@@ -1,0 +1,59 @@
+// Regenerates Figure 2: read amplification (seeks, left panel; bandwidth,
+// right panel) vs data size in multiples of RAM, for fractional-cascading
+// trees with R = 2..10 against the paper's three-level variable-R tree with
+// Bloom filters. Analytic model: src/sim/read_amplification.h documents the
+// assumptions (100 B keys, 1000 B values, 4 KiB pages, 10 bits/key filters).
+//
+// Expected shape (paper): the Bloom curve is flat at <= 1.03 seeks; every
+// constant-R curve climbs as data outgrows RAM, with small R costing more
+// seeks and large R costing more bandwidth per lookup.
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/read_amplification.h"
+
+namespace blsm {
+namespace {
+
+constexpr double kMaxMultiple = 16.0;
+constexpr double kStep = 2.0;
+
+void PrintPanel(bool seeks) {
+  printf("\n--- Figure 2 (%s panel): read amplification (%s)\n",
+         seeks ? "left" : "right", seeks ? "seeks" : "4KB pages transferred");
+  printf("%-28s", "data size (x RAM):");
+  for (double m = kStep; m <= kMaxMultiple; m += kStep) printf("%8.0f", m);
+  printf("\n");
+
+  ReadAmpParams params;
+  auto bloom = BloomThreeLevelCurve(kMaxMultiple, kStep, params);
+  printf("%-28s", "variable R + Bloom (bLSM):");
+  for (const auto& pt : bloom) {
+    printf("%8.2f", seeks ? pt.seeks : pt.bandwidth_pages);
+  }
+  printf("\n");
+
+  for (int r = 2; r <= 10; r++) {
+    auto curve = FractionalCascadingCurve(r, kMaxMultiple, kStep, params);
+    char label[32];
+    snprintf(label, sizeof(label), "fractional cascading R=%d:", r);
+    printf("%-28s", label);
+    for (const auto& pt : curve) {
+      printf("%8.2f", seeks ? pt.seeks : pt.bandwidth_pages);
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace blsm
+
+int main() {
+  printf("Figure 2 reproduction: Bloom filters vs fractional cascading\n");
+  blsm::PrintPanel(/*seeks=*/true);
+  blsm::PrintPanel(/*seeks=*/false);
+  printf("\nPaper check: no setting of R gives fractional cascading reads\n"
+         "competitive with Bloom filters (max Bloom amplification 1.03).\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+#ifndef BLSM_BENCH_HARNESS_H_
+#define BLSM_BENCH_HARNESS_H_
+
+// Shared scaffolding for the paper-reproduction benchmarks: engine setup on
+// a counting environment, workspace management, device-model reporting, and
+// table printing. Each bench binary regenerates one table or figure of the
+// paper (see DESIGN.md §3 for the index and EXPERIMENTS.md for results).
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "io/counting_env.h"
+#include "lsm/blsm_tree.h"
+#include "multilevel/multilevel_tree.h"
+#include "sim/device_model.h"
+#include "ycsb/driver.h"
+
+namespace blsm::bench {
+
+// Benchmarks run against real files in a scratch directory; the CountingEnv
+// measures seeks and bytes, which the device models convert into the
+// HDD/SSD-equivalent numbers the paper reports (DESIGN.md §1).
+class Workspace {
+ public:
+  explicit Workspace(const std::string& name)
+      : dir_("/tmp/blsm_bench_" + name), counting_(Env::Default(), &stats_) {
+    Cleanup();
+    Env::Default()->CreateDir(dir_);
+  }
+
+  ~Workspace() { Cleanup(); }
+
+  Env* env() { return &counting_; }
+  IoStats* stats() { return &stats_; }
+  std::string Path(const std::string& sub) { return dir_ + "/" + sub; }
+
+ private:
+  void Cleanup() {
+    std::vector<std::string> stack{dir_};
+    // Two-level scratch layout: dir plus engine subdirs.
+    std::vector<std::string> children;
+    if (Env::Default()->GetChildren(dir_, &children).ok()) {
+      for (const auto& child : children) {
+        std::string sub = dir_ + "/" + child;
+        std::vector<std::string> grandchildren;
+        if (Env::Default()->GetChildren(sub, &grandchildren).ok()) {
+          for (const auto& g : grandchildren) {
+            Env::Default()->RemoveFile(sub + "/" + g);
+          }
+        }
+        Env::Default()->RemoveFile(sub);
+        rmdir(sub.c_str());
+      }
+    }
+    rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+  IoStats stats_;
+  CountingEnv counting_;
+};
+
+// Scale factor: BLSM_BENCH_SCALE=4 quadruples dataset/op counts. Default
+// sizes keep every binary under ~a minute while still cycling each engine's
+// merge machinery many times.
+inline double Scale() {
+  const char* s = getenv("BLSM_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  return static_cast<uint64_t>(static_cast<double>(base) * Scale());
+}
+
+// Paper-style geometry: values of 1000 bytes (§5.1); C0 sized so that
+// |data|/|C0| lands in the paper's regime.
+struct EngineSet {
+  std::unique_ptr<BlsmTree> blsm;
+  std::unique_ptr<btree::BTree> btree;
+  std::unique_ptr<multilevel::MultilevelTree> multilevel;
+};
+
+inline BlsmOptions DefaultBlsmOptions(Env* env) {
+  BlsmOptions options;
+  options.env = env;
+  options.c0_target_bytes = 8 << 20;
+  options.block_cache_bytes = 16 << 20;
+  options.durability = DurabilityMode::kAsync;  // the paper's setting (§5.1)
+  return options;
+}
+
+inline btree::BTreeOptions DefaultBTreeOptions(Env* env) {
+  btree::BTreeOptions options;
+  options.env = env;
+  options.buffer_pool_pages = (16 << 20) / 4096;  // 16 MiB pool
+  return options;
+}
+
+inline multilevel::MultilevelOptions DefaultMultilevelOptions(Env* env) {
+  multilevel::MultilevelOptions options;
+  options.env = env;
+  // LevelDB's write buffer is tiny relative to bLSM's RAM-sized C0 (§5.1:
+  // "LevelDB makes use of extremely small C0 components"). Scaled to this
+  // harness's datasets, that is 1 MiB against bLSM's 8 MiB, and a level
+  // geometry deep enough that data traverses several levels.
+  options.memtable_bytes = 1 << 20;
+  options.file_bytes = 1 << 20;
+  options.base_level_bytes = 4 << 20;
+  options.block_cache_bytes = 16 << 20;
+  options.durability = DurabilityMode::kAsync;
+  return options;
+}
+
+// --- reporting -----------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  printf("\n================================================================\n");
+  printf("%s\n", title.c_str());
+  printf("================================================================\n");
+}
+
+inline void PrintIoProfile(const char* label, const IoStats::Snapshot& io,
+                           uint64_t ops) {
+  double per_op = ops > 0 ? static_cast<double>(io.read_seeks) / ops : 0;
+  printf("  %-28s read-seeks=%-8" PRIu64 " (%.2f/op)  read-MB=%-7.1f "
+         "write-MB=%-7.1f write-seeks=%" PRIu64 "\n",
+         label, io.read_seeks, per_op,
+         static_cast<double>(io.read_bytes) / 1e6,
+         static_cast<double>(io.write_bytes) / 1e6, io.write_seeks);
+}
+
+// Device-model throughput: what this I/O profile would sustain on the
+// paper's HDD and SSD arrays.
+inline void PrintModeledThroughput(const char* label, uint64_t ops,
+                                   const IoStats::Snapshot& io) {
+  DeviceModel hdd = HardDiskArray();
+  DeviceModel ssd = SsdArray();
+  printf("  %-28s hdd-model=%9.0f ops/s   ssd-model=%9.0f ops/s\n", label,
+         hdd.OpsPerSecond(ops, io), ssd.OpsPerSecond(ops, io));
+}
+
+}  // namespace blsm::bench
+
+#endif  // BLSM_BENCH_HARNESS_H_

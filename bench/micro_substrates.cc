@@ -1,0 +1,149 @@
+// google-benchmark microbenchmarks for the substrates: Bloom filter,
+// skiplist/memtable, CRC32C, hashing, Zipfian generation, block cache, and
+// WAL appends. Sanity checks that no substrate is pathologically slow
+// relative to the I/O costs the paper reasons about.
+
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.h"
+#include "buffer/block_cache.h"
+#include "io/mem_env.h"
+#include "memtable/memtable.h"
+#include "util/crc32c.h"
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/zipfian.h"
+#include "wal/log_writer.h"
+
+namespace blsm {
+namespace {
+
+void BM_BloomInsert(benchmark::State& state) {
+  BloomFilter filter(1000000, 10.0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    filter.InsertHash(Hash64(reinterpret_cast<const char*>(&i), 8, 0));
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomQuery(benchmark::State& state) {
+  BloomFilter filter(1000000, 10.0);
+  for (uint64_t i = 0; i < 1000000; i++) {
+    filter.InsertHash(Hash64(reinterpret_cast<const char*>(&i), 8, 0));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filter.MayContainHash(Hash64(reinterpret_cast<const char*>(&i), 8, 0)));
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_MemTableAdd(benchmark::State& state) {
+  auto mem = std::make_unique<MemTable>();
+  Random rnd(1);
+  std::string value(state.range(0), 'v');
+  char key[32];
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    snprintf(key, sizeof(key), "key%016llu",
+             static_cast<unsigned long long>(rnd.Next()));
+    mem->Add(++seq, RecordType::kBase, key, value);
+    if (mem->ApproximateMemoryUsage() > (256u << 20)) {
+      state.PauseTiming();
+      mem = std::make_unique<MemTable>();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableAdd)->Arg(100)->Arg(1000);
+
+void BM_MemTableLookup(benchmark::State& state) {
+  MemTable mem;
+  const uint64_t kN = 100000;
+  char key[32];
+  for (uint64_t i = 0; i < kN; i++) {
+    snprintf(key, sizeof(key), "key%016llu",
+             static_cast<unsigned long long>(i));
+    mem.Add(i + 1, RecordType::kBase, key, "value");
+  }
+  Random rnd(2);
+  for (auto _ : state) {
+    snprintf(key, sizeof(key), "key%016llu",
+             static_cast<unsigned long long>(rnd.Uniform(kN)));
+    mem.ForEachVersion(key, [](RecordType, const Slice&) { return false; });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableLookup);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(32768);
+
+void BM_Hash64(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(data.data(), data.size(), 0));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(100)->Arg(1000);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ScrambledZipfianGenerator gen(10000000, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.Next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_BlockCacheHit(benchmark::State& state) {
+  BlockCache cache(64 << 20);
+  for (uint64_t i = 0; i < 1000; i++) {
+    cache.Insert(1, i * 4096, std::make_shared<const std::string>(4096, 'b'));
+  }
+  Random rnd(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(1, rnd.Uniform(1000) * 4096));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheHit);
+
+void BM_WalAppend(benchmark::State& state) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> file;
+  env.NewWritableFile("log", &file);
+  wal::LogWriter writer(std::move(file));
+  std::string record(state.range(0), 'r');
+  for (auto _ : state) {
+    writer.AddRecord(record);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WalAppend)->Arg(128)->Arg(1100);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram hist;
+  Random rnd(4);
+  for (auto _ : state) hist.Add(rnd.Uniform(1000000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace
+}  // namespace blsm
+
+BENCHMARK_MAIN();

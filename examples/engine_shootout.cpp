@@ -1,0 +1,94 @@
+// Engine shootout: run the same YCSB workload against all three engines in
+// this repository — bLSM, the update-in-place B-tree, and the LevelDB-like
+// multilevel tree — using the workload driver the benchmark harness uses.
+// A miniature of the paper's §5 evaluation you can point at any mix.
+//
+//   build/examples/engine_shootout [workload A-F] [records] [operations]
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "btree/btree.h"
+#include "lsm/blsm_tree.h"
+#include "multilevel/multilevel_tree.h"
+#include "ycsb/driver.h"
+#include "ycsb/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace blsm;
+  using namespace blsm::ycsb;
+
+  char which = argc > 1 ? argv[1][0] : 'A';
+  uint64_t records = argc > 2 ? strtoull(argv[2], nullptr, 10) : 20000;
+  uint64_t operations = argc > 3 ? strtoull(argv[3], nullptr, 10) : 40000;
+
+  WorkloadSpec spec;
+  switch (which) {
+    case 'A': spec = WorkloadA(records); break;
+    case 'B': spec = WorkloadB(records); break;
+    case 'C': spec = WorkloadC(records); break;
+    case 'D': spec = WorkloadD(records); break;
+    case 'E': spec = WorkloadE(records); break;
+    case 'F': spec = WorkloadF(records); break;
+    default:
+      fprintf(stderr, "usage: %s [A-F] [records] [operations]\n", argv[0]);
+      return 1;
+  }
+  spec.value_size = 500;
+  printf("workload %c: %" PRIu64 " records, %" PRIu64 " operations\n", which,
+         records, operations);
+  printf("%-14s %12s %10s %10s %10s\n", "engine", "load ops/s", "run ops/s",
+         "p99(us)", "p99.9(us)");
+
+  DriverOptions dopts;
+  dopts.threads = 4;
+  dopts.operations = operations;
+
+  auto report = [&](EngineAdapter* engine) {
+    auto load = RunLoad(engine, spec, dopts, false, false);
+    auto run = RunWorkload(engine, spec, dopts);
+    printf("%-14s %12.0f %10.0f %10.0f %10.0f\n", engine->Name().c_str(),
+           load.OpsPerSecond(), run.OpsPerSecond(),
+           run.latency_us.Percentile(99), run.latency_us.Percentile(99.9));
+    if (run.errors > 0) {
+      printf("  !! %" PRIu64 " errors\n", run.errors);
+    }
+  };
+
+  {
+    BlsmOptions options;
+    options.durability = DurabilityMode::kAsync;
+    std::unique_ptr<BlsmTree> tree;
+    system("rm -rf /tmp/blsm_shootout_lsm");
+    if (!BlsmTree::Open(options, "/tmp/blsm_shootout_lsm", &tree).ok()) {
+      return 1;
+    }
+    auto engine = WrapBlsm(tree.get());
+    report(engine.get());
+  }
+  {
+    btree::BTreeOptions options;
+    std::unique_ptr<btree::BTree> tree;
+    system("rm -f /tmp/blsm_shootout_btree.db");
+    if (!btree::BTree::Open(options, "/tmp/blsm_shootout_btree.db", &tree)
+             .ok()) {
+      return 1;
+    }
+    auto engine = WrapBTree(tree.get());
+    report(engine.get());
+  }
+  {
+    multilevel::MultilevelOptions options;
+    options.durability = DurabilityMode::kAsync;
+    std::unique_ptr<multilevel::MultilevelTree> tree;
+    system("rm -rf /tmp/blsm_shootout_ml");
+    if (!multilevel::MultilevelTree::Open(options, "/tmp/blsm_shootout_ml",
+                                          &tree)
+             .ok()) {
+      return 1;
+    }
+    auto engine = WrapMultilevel(tree.get());
+    report(engine.get());
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "bloom/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace blsm {
+
+namespace {
+constexpr uint32_t kBloomMagic = 0xb100f11eu;
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t expected_keys, double bits_per_key)
+    : BloomFilter(
+          std::max<uint64_t>(64, static_cast<uint64_t>(
+                                     std::ceil(static_cast<double>(std::max<uint64_t>(
+                                                   expected_keys, 1)) *
+                                               bits_per_key))),
+          // k = ln2 * bits/key, clamped to [1, 30].
+          std::clamp(static_cast<int>(std::round(bits_per_key * 0.69)), 1,
+                     30)) {}
+
+BloomFilter::BloomFilter(uint64_t num_bits, int num_hashes)
+    : num_bits_((num_bits + 63) / 64 * 64),
+      num_hashes_(num_hashes),
+      words_(num_bits_ / 64) {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+uint64_t BloomFilter::KeyHash(const Slice& key) { return Hash64(key); }
+
+void BloomFilter::Insert(const Slice& key) { InsertHash(Hash64(key)); }
+
+bool BloomFilter::MayContain(const Slice& key) const {
+  return MayContainHash(Hash64(key));
+}
+
+void BloomFilter::InsertHash(uint64_t h) {
+  uint32_t h1 = static_cast<uint32_t>(h);
+  uint32_t h2 = static_cast<uint32_t>(h >> 32) | 1;  // odd => full period
+  for (int i = 0; i < num_hashes_; i++) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    words_[bit / 64].fetch_or(uint64_t{1} << (bit % 64),
+                              std::memory_order_relaxed);
+  }
+}
+
+bool BloomFilter::MayContainHash(uint64_t h) const {
+  uint32_t h1 = static_cast<uint32_t>(h);
+  uint32_t h2 = static_cast<uint32_t>(h >> 32) | 1;
+  for (int i = 0; i < num_hashes_; i++) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    if ((words_[bit / 64].load(std::memory_order_relaxed) &
+         (uint64_t{1} << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::EncodeTo(std::string* dst) const {
+  PutFixed32(dst, kBloomMagic);
+  PutFixed64(dst, num_bits_);
+  PutFixed32(dst, static_cast<uint32_t>(num_hashes_));
+  for (const auto& w : words_) {
+    PutFixed64(dst, w.load(std::memory_order_relaxed));
+  }
+}
+
+Status BloomFilter::DecodeFrom(const Slice& data,
+                               std::unique_ptr<BloomFilter>* out) {
+  Slice in = data;
+  uint32_t magic;
+  uint64_t num_bits;
+  uint32_t num_hashes;
+  if (!GetFixed32(&in, &magic) || magic != kBloomMagic) {
+    return Status::Corruption("bad bloom filter magic");
+  }
+  if (!GetFixed64(&in, &num_bits) || !GetFixed32(&in, &num_hashes)) {
+    return Status::Corruption("truncated bloom filter header");
+  }
+  if (num_bits % 64 != 0 || num_hashes == 0 || num_hashes > 30 ||
+      in.size() < num_bits / 8) {
+    return Status::Corruption("bad bloom filter geometry");
+  }
+  auto filter = std::unique_ptr<BloomFilter>(
+      new BloomFilter(num_bits, static_cast<int>(num_hashes)));
+  for (uint64_t i = 0; i < num_bits / 64; i++) {
+    uint64_t w;
+    GetFixed64(&in, &w);
+    filter->words_[i].store(w, std::memory_order_relaxed);
+  }
+  *out = std::move(filter);
+  return Status::OK();
+}
+
+double BloomFilter::ExpectedFpRate(uint64_t n) const {
+  double k = num_hashes_;
+  double m = static_cast<double>(num_bits_);
+  double filled = 1.0 - std::exp(-k * static_cast<double>(n) / m);
+  return std::pow(filled, k);
+}
+
+}  // namespace blsm

@@ -1,0 +1,65 @@
+#ifndef BLSM_BLOOM_BLOOM_FILTER_H_
+#define BLSM_BLOOM_BLOOM_FILTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace blsm {
+
+// Bloom filter with double hashing (Kirsch & Mitzenmacher, ESA'06), as in
+// the paper §4.4.3: the k probe positions are h1 + i*h2 derived from the two
+// halves of a single 64-bit hash of the key.
+//
+// Updates are monotonic — bits only flip 0→1 — so concurrent inserts use
+// relaxed fetch_or and readers need no insulation from writers (§4.4.3).
+// The bLSM write path issues a release barrier after inserting into the
+// filter and before publishing the corresponding tree entry; MayContain
+// never returns a false negative for a published key.
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_keys` at `bits_per_key` (default 10 bits
+  // per key -> ~1% false positives, the paper's operating point).
+  explicit BloomFilter(uint64_t expected_keys, double bits_per_key = 10.0);
+
+  BloomFilter(const BloomFilter&) = delete;
+  BloomFilter& operator=(const BloomFilter&) = delete;
+
+  void Insert(const Slice& key);
+  bool MayContain(const Slice& key) const;
+
+  // Hash-based variants: callers that stream keys before the filter can be
+  // sized (e.g. the tree builder) retain Hash64(key) values and insert them
+  // later. KeyHash(key) == the hash both paths probe with.
+  static uint64_t KeyHash(const Slice& key);
+  void InsertHash(uint64_t key_hash);
+  bool MayContainHash(uint64_t key_hash) const;
+
+  uint64_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  uint64_t MemoryUsage() const { return words_.size() * sizeof(uint64_t); }
+
+  // On-disk form: fixed header (magic, bits, hashes) + packed words.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(const Slice& data,
+                           std::unique_ptr<BloomFilter>* out);
+
+  // Theoretical false-positive rate after n insertions.
+  double ExpectedFpRate(uint64_t n) const;
+
+ private:
+  BloomFilter(uint64_t num_bits, int num_hashes);
+
+  uint64_t num_bits_;
+  int num_hashes_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_BLOOM_BLOOM_FILTER_H_

@@ -1,0 +1,324 @@
+#include "btree/btree.h"
+
+#include <cassert>
+
+namespace blsm::btree {
+
+BTree::BTree(const BTreeOptions& options, const std::string& fname)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()),
+      pool_(env_, fname, options.buffer_pool_pages) {}
+
+BTree::~BTree() { Checkpoint(); }
+
+Status BTree::Open(const BTreeOptions& options, const std::string& fname,
+                   std::unique_ptr<BTree>* out) {
+  auto tree = std::unique_ptr<BTree>(new BTree(options, fname));
+  Status s = tree->OpenImpl();
+  if (!s.ok()) return s;
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BTree::OpenImpl() {
+  Status s = pool_.Open();
+  if (!s.ok()) return s;
+  if (pool_.page_count() == 0) {
+    // Fresh file: allocate the meta page.
+    PageId id;
+    char* data;
+    s = pool_.AllocatePage(&id, &data);
+    if (!s.ok()) return s;
+    assert(id == 0);
+    meta_ = MetaPage{};
+    meta_.SerializeTo(data);
+    pool_.MarkDirty(0);
+    return Status::OK();
+  }
+  char* data;
+  s = pool_.Fetch(0, &data);
+  if (!s.ok()) return s;
+  return meta_.ParseFrom(data);
+}
+
+Status BTree::WriteMeta() {
+  char* data;
+  Status s = pool_.Fetch(0, &data);
+  if (!s.ok()) return s;
+  meta_.SerializeTo(data);
+  pool_.MarkDirty(0);
+  return Status::OK();
+}
+
+Status BTree::DescendToLeaf(const Slice& key, std::vector<PathEntry>* path,
+                            PageId* leaf_id, LeafNode* leaf) {
+  if (path != nullptr) path->clear();
+  PageId id = meta_.root;
+  for (uint32_t level = meta_.height; level > 1; level--) {
+    char* data;
+    Status s = pool_.Fetch(id, &data);
+    if (!s.ok()) return s;
+    InternalNode node;
+    s = ParseInternal(data, &node);
+    if (!s.ok()) return s;
+    PageId child = node.children[node.ChildFor(key)];
+    if (path != nullptr) path->push_back(PathEntry{id, std::move(node)});
+    id = child;
+  }
+  char* data;
+  Status s = pool_.Fetch(id, &data);
+  if (!s.ok()) return s;
+  s = ParseLeaf(data, leaf);
+  if (!s.ok()) return s;
+  *leaf_id = id;
+  return Status::OK();
+}
+
+Status BTree::WriteLeaf(PageId id, const LeafNode& node) {
+  char* data;
+  Status s = pool_.Fetch(id, &data);
+  if (!s.ok()) return s;
+  if (!SerializeLeaf(node, data)) {
+    return Status::InvalidArgument("leaf overflows page");
+  }
+  pool_.MarkDirty(id);
+  return Status::OK();
+}
+
+Status BTree::WriteInternal(PageId id, const InternalNode& node) {
+  char* data;
+  Status s = pool_.Fetch(id, &data);
+  if (!s.ok()) return s;
+  if (!SerializeInternal(node, data)) {
+    return Status::InvalidArgument("internal node overflows page");
+  }
+  pool_.MarkDirty(id);
+  return Status::OK();
+}
+
+Status BTree::PropagateSplit(std::vector<PathEntry>& path,
+                             std::string separator, PageId right_child) {
+  while (!path.empty()) {
+    PathEntry entry = std::move(path.back());
+    path.pop_back();
+    InternalNode& node = entry.node;
+    size_t pos = node.ChildFor(separator);
+    node.keys.insert(node.keys.begin() + pos, separator);
+    node.children.insert(node.children.begin() + pos + 1, right_child);
+
+    if (node.SerializedSize() <= kPageSize) {
+      return WriteInternal(entry.id, node);
+    }
+
+    // Split the internal node: middle key moves up.
+    size_t mid = node.keys.size() / 2;
+    std::string up_key = node.keys[mid];
+    InternalNode right;
+    right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+    right.children.assign(node.children.begin() + mid + 1,
+                          node.children.end());
+    node.keys.resize(mid);
+    node.children.resize(mid + 1);
+
+    PageId right_id;
+    char* data;
+    Status s = pool_.AllocatePage(&right_id, &data);
+    if (!s.ok()) return s;
+    if (!SerializeInternal(right, data)) {
+      return Status::InvalidArgument("split internal still overflows");
+    }
+    pool_.MarkDirty(right_id);
+    s = WriteInternal(entry.id, node);
+    if (!s.ok()) return s;
+
+    separator = std::move(up_key);
+    right_child = right_id;
+  }
+
+  // Root split: grow the tree.
+  InternalNode new_root;
+  new_root.keys.push_back(std::move(separator));
+  new_root.children.push_back(meta_.root);
+  new_root.children.push_back(right_child);
+  PageId root_id;
+  char* data;
+  Status s = pool_.AllocatePage(&root_id, &data);
+  if (!s.ok()) return s;
+  if (!SerializeInternal(new_root, data)) {
+    return Status::InvalidArgument("new root overflows");
+  }
+  pool_.MarkDirty(root_id);
+  meta_.root = root_id;
+  meta_.height++;
+  return WriteMeta();
+}
+
+Status BTree::InsertImpl(const Slice& key, const Slice& value,
+                         bool must_be_absent) {
+  // Sanity bound: the record must fit a page with headers and a sibling.
+  if (key.size() + value.size() + 64 > kPageSize / 2) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+
+  if (meta_.height == 0) {
+    // Empty tree: create the first leaf.
+    LeafNode leaf;
+    leaf.entries.emplace_back(key.ToString(), value.ToString());
+    PageId id;
+    char* data;
+    Status s = pool_.AllocatePage(&id, &data);
+    if (!s.ok()) return s;
+    if (!SerializeLeaf(leaf, data)) {
+      return Status::InvalidArgument("record too large");
+    }
+    pool_.MarkDirty(id);
+    meta_.root = id;
+    meta_.height = 1;
+    meta_.num_entries = 1;
+    return WriteMeta();
+  }
+
+  std::vector<PathEntry> path;
+  PageId leaf_id;
+  LeafNode leaf;
+  Status s = DescendToLeaf(key, &path, &leaf_id, &leaf);
+  if (!s.ok()) return s;
+
+  size_t pos = leaf.LowerBound(key);
+  bool exists = pos < leaf.entries.size() && Slice(leaf.entries[pos].first) == key;
+  if (exists) {
+    if (must_be_absent) return Status::KeyExists(key);
+    leaf.entries[pos].second.assign(value.data(), value.size());
+  } else {
+    leaf.entries.insert(leaf.entries.begin() + pos,
+                        {key.ToString(), value.ToString()});
+    meta_.num_entries++;
+    s = WriteMeta();
+    if (!s.ok()) return s;
+  }
+
+  if (leaf.SerializedSize() <= kPageSize) {
+    return WriteLeaf(leaf_id, leaf);
+  }
+
+  // Leaf split.
+  size_t mid = leaf.entries.size() / 2;
+  LeafNode right;
+  right.entries.assign(leaf.entries.begin() + mid, leaf.entries.end());
+  leaf.entries.resize(mid);
+  right.next_leaf = leaf.next_leaf;
+
+  PageId right_id;
+  char* data;
+  s = pool_.AllocatePage(&right_id, &data);
+  if (!s.ok()) return s;
+  if (!SerializeLeaf(right, data)) {
+    return Status::InvalidArgument("split leaf still overflows");
+  }
+  pool_.MarkDirty(right_id);
+  leaf.next_leaf = right_id;
+  s = WriteLeaf(leaf_id, leaf);
+  if (!s.ok()) return s;
+
+  return PropagateSplit(path, right.entries[0].first, right_id);
+}
+
+Status BTree::Insert(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> l(mu_);
+  return InsertImpl(key, value, /*must_be_absent=*/false);
+}
+
+Status BTree::InsertIfNotExists(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> l(mu_);
+  return InsertImpl(key, value, /*must_be_absent=*/true);
+}
+
+Status BTree::Get(const Slice& key, std::string* value) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (meta_.height == 0) return Status::NotFound(key);
+  PageId leaf_id;
+  LeafNode leaf;
+  Status s = DescendToLeaf(key, nullptr, &leaf_id, &leaf);
+  if (!s.ok()) return s;
+  size_t pos = leaf.LowerBound(key);
+  if (pos < leaf.entries.size() && Slice(leaf.entries[pos].first) == key) {
+    *value = leaf.entries[pos].second;
+    return Status::OK();
+  }
+  return Status::NotFound(key);
+}
+
+Status BTree::Delete(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (meta_.height == 0) return Status::NotFound(key);
+  PageId leaf_id;
+  LeafNode leaf;
+  Status s = DescendToLeaf(key, nullptr, &leaf_id, &leaf);
+  if (!s.ok()) return s;
+  size_t pos = leaf.LowerBound(key);
+  if (pos >= leaf.entries.size() || Slice(leaf.entries[pos].first) != key) {
+    return Status::NotFound(key);
+  }
+  leaf.entries.erase(leaf.entries.begin() + pos);
+  meta_.num_entries--;
+  s = WriteMeta();
+  if (!s.ok()) return s;
+  return WriteLeaf(leaf_id, leaf);
+}
+
+Status BTree::ReadModifyWrite(
+    const Slice& key,
+    const std::function<std::string(const std::string& old, bool absent)>&
+        update) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::string old;
+  bool absent = true;
+  if (meta_.height > 0) {
+    PageId leaf_id;
+    LeafNode leaf;
+    Status s = DescendToLeaf(key, nullptr, &leaf_id, &leaf);
+    if (!s.ok()) return s;
+    size_t pos = leaf.LowerBound(key);
+    if (pos < leaf.entries.size() && Slice(leaf.entries[pos].first) == key) {
+      old = leaf.entries[pos].second;
+      absent = false;
+    }
+  }
+  return InsertImpl(key, update(old, absent), /*must_be_absent=*/false);
+}
+
+Status BTree::Scan(const Slice& start, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  std::lock_guard<std::mutex> l(mu_);
+  out->clear();
+  if (meta_.height == 0) return Status::OK();
+  PageId leaf_id;
+  LeafNode leaf;
+  Status s = DescendToLeaf(start, nullptr, &leaf_id, &leaf);
+  if (!s.ok()) return s;
+  size_t pos = leaf.LowerBound(start);
+  while (out->size() < limit) {
+    while (pos < leaf.entries.size() && out->size() < limit) {
+      out->push_back(leaf.entries[pos]);
+      pos++;
+    }
+    if (out->size() >= limit || leaf.next_leaf == kInvalidPage) break;
+    PageId next = leaf.next_leaf;
+    char* data;
+    s = pool_.Fetch(next, &data);
+    if (!s.ok()) return s;
+    s = ParseLeaf(data, &leaf);
+    if (!s.ok()) return s;
+    pos = 0;
+  }
+  return Status::OK();
+}
+
+Status BTree::Checkpoint() {
+  std::lock_guard<std::mutex> l(mu_);
+  Status s = WriteMeta();
+  if (!s.ok()) return s;
+  return pool_.FlushAll();
+}
+
+}  // namespace blsm::btree

@@ -1,0 +1,110 @@
+#ifndef BLSM_BTREE_BTREE_H_
+#define BLSM_BTREE_BTREE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "btree/btree_page.h"
+#include "btree/buffer_pool.h"
+#include "io/env.h"
+#include "util/status.h"
+
+namespace blsm::btree {
+
+struct BTreeOptions {
+  Env* env = nullptr;  // nullptr -> Env::Default()
+  // Resident pages. The paper's B-tree comparison point is a pool much
+  // smaller than the data, so uncached updates pay the read + writeback
+  // seeks (§2.2).
+  size_t buffer_pool_pages = 4096;  // 16 MiB
+};
+
+// Update-in-place B+-tree — the InnoDB stand-in for the paper's
+// evaluation. Records live in 4 KiB slotted pages; updates modify the page
+// in the buffer pool and are written back on eviction or checkpoint.
+//
+// Scope notes (documented deviations from a production engine):
+//  * No WAL: the paper's benchmarks disable logging (§5.1); Checkpoint()
+//    gives a consistent on-disk image.
+//  * Deletes do not rebalance (pages may underfill, as in many engines).
+//  * A record (key+value) must fit a page after headers (< ~4000 bytes).
+//
+// Thread-safe: a single mutex serializes operations. The paper's comparison
+// is I/O-bound, which a coarse lock does not distort.
+class BTree {
+ public:
+  static Status Open(const BTreeOptions& options, const std::string& fname,
+                     std::unique_ptr<BTree>* out);
+
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Upsert: replaces the value if the key exists. Two seeks uncached: the
+  // traversal's leaf read, plus the eventual dirty-page writeback.
+  Status Insert(const Slice& key, const Slice& value);
+
+  // Returns KeyExists without modifying if present. Unlike bLSM's
+  // Bloom-filter path (§3.1.2), the existence check is the same leaf read
+  // the insert needs anyway — but that read is a seek.
+  Status InsertIfNotExists(const Slice& key, const Slice& value);
+
+  Status Get(const Slice& key, std::string* value);
+
+  Status Delete(const Slice& key);
+
+  // Read-modify-write: one traversal for the read; the write dirties the
+  // same (now cached) leaf.
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string& old, bool absent)>&
+          update);
+
+  // Range scan from `start`: up to `limit` records. Unfragmented trees scan
+  // with ~1 seek; after random inserts, leaves scatter and long scans seek
+  // per leaf (§5.6).
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  // Writes back all dirty pages and syncs.
+  Status Checkpoint();
+
+  uint64_t num_entries() const { return meta_.num_entries; }
+  uint32_t height() const { return meta_.height; }
+
+ private:
+  BTree(const BTreeOptions& options, const std::string& fname);
+
+  Status OpenImpl();
+  Status WriteMeta();
+
+  // Descends to the leaf for `key`; fills `path` with the internal pages
+  // visited (page id + parsed node) from root downwards.
+  struct PathEntry {
+    PageId id;
+    InternalNode node;
+  };
+  Status DescendToLeaf(const Slice& key, std::vector<PathEntry>* path,
+                       PageId* leaf_id, LeafNode* leaf);
+
+  Status WriteLeaf(PageId id, const LeafNode& node);
+  Status WriteInternal(PageId id, const InternalNode& node);
+
+  // Inserts (separator, right_child) into the parent chain after a split.
+  Status PropagateSplit(std::vector<PathEntry>& path, std::string separator,
+                        PageId right_child);
+
+  Status InsertImpl(const Slice& key, const Slice& value, bool must_be_absent);
+
+  BTreeOptions options_;
+  Env* env_;
+  MetaPage meta_;
+  BufferPool pool_;
+  std::mutex mu_;
+};
+
+}  // namespace blsm::btree
+
+#endif  // BLSM_BTREE_BTREE_H_

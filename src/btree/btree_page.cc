@@ -1,0 +1,162 @@
+#include "btree/btree_page.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace blsm::btree {
+
+namespace {
+constexpr size_t kLeafHeader = 1 + 2 + 4;
+constexpr size_t kInternalHeader = 1 + 2 + 4;
+}  // namespace
+
+size_t LeafNode::LowerBound(const Slice& key) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& entry, const Slice& k) { return Slice(entry.first) < k; });
+  return static_cast<size_t>(it - entries.begin());
+}
+
+size_t LeafNode::SerializedSize() const {
+  size_t size = kLeafHeader;
+  for (const auto& [k, v] : entries) {
+    size += VarintLength(k.size()) + k.size() + VarintLength(v.size()) +
+            v.size();
+  }
+  return size;
+}
+
+size_t InternalNode::ChildFor(const Slice& key) const {
+  // First separator strictly greater than key determines the child:
+  // child[i] holds keys < keys[i].
+  auto it = std::upper_bound(
+      keys.begin(), keys.end(), key,
+      [](const Slice& k, const std::string& sep) { return k < Slice(sep); });
+  return static_cast<size_t>(it - keys.begin());
+}
+
+size_t InternalNode::SerializedSize() const {
+  size_t size = kInternalHeader;
+  for (const auto& k : keys) {
+    size += VarintLength(k.size()) + k.size() + sizeof(PageId);
+  }
+  return size;
+}
+
+PageType PageTypeOf(const char* page) {
+  uint8_t t = static_cast<uint8_t>(page[0]);
+  if (t == 1) return PageType::kLeaf;
+  if (t == 2) return PageType::kInternal;
+  return PageType::kInvalid;
+}
+
+Status ParseLeaf(const char* page, LeafNode* out) {
+  if (PageTypeOf(page) != PageType::kLeaf) {
+    return Status::Corruption("not a leaf page");
+  }
+  uint16_t count;
+  memcpy(&count, page + 1, 2);
+  memcpy(&out->next_leaf, page + 3, 4);
+  out->entries.clear();
+  out->entries.reserve(count);
+  Slice in(page + kLeafHeader, kPageSize - kLeafHeader);
+  for (uint16_t i = 0; i < count; i++) {
+    Slice k, v;
+    if (!GetLengthPrefixedSlice(&in, &k) || !GetLengthPrefixedSlice(&in, &v)) {
+      return Status::Corruption("truncated leaf entry");
+    }
+    out->entries.emplace_back(k.ToString(), v.ToString());
+  }
+  return Status::OK();
+}
+
+Status ParseInternal(const char* page, InternalNode* out) {
+  if (PageTypeOf(page) != PageType::kInternal) {
+    return Status::Corruption("not an internal page");
+  }
+  uint16_t count;
+  memcpy(&count, page + 1, 2);
+  out->keys.clear();
+  out->children.clear();
+  PageId child0;
+  memcpy(&child0, page + 3, 4);
+  out->children.push_back(child0);
+  Slice in(page + kInternalHeader, kPageSize - kInternalHeader);
+  for (uint16_t i = 0; i < count; i++) {
+    Slice k;
+    if (!GetLengthPrefixedSlice(&in, &k) || in.size() < sizeof(PageId)) {
+      return Status::Corruption("truncated internal entry");
+    }
+    out->keys.push_back(k.ToString());
+    PageId child;
+    memcpy(&child, in.data(), sizeof(PageId));
+    in.remove_prefix(sizeof(PageId));
+    out->children.push_back(child);
+  }
+  return Status::OK();
+}
+
+bool SerializeLeaf(const LeafNode& node, char* page) {
+  if (node.SerializedSize() > kPageSize || node.entries.size() > 0xffff) {
+    return false;
+  }
+  memset(page, 0, kPageSize);
+  page[0] = 1;
+  uint16_t count = static_cast<uint16_t>(node.entries.size());
+  memcpy(page + 1, &count, 2);
+  memcpy(page + 3, &node.next_leaf, 4);
+  char* p = page + kLeafHeader;
+  for (const auto& [k, v] : node.entries) {
+    p = EncodeVarint32(p, static_cast<uint32_t>(k.size()));
+    memcpy(p, k.data(), k.size());
+    p += k.size();
+    p = EncodeVarint32(p, static_cast<uint32_t>(v.size()));
+    memcpy(p, v.data(), v.size());
+    p += v.size();
+  }
+  return true;
+}
+
+bool SerializeInternal(const InternalNode& node, char* page) {
+  if (node.SerializedSize() > kPageSize || node.keys.size() > 0xffff ||
+      node.children.size() != node.keys.size() + 1) {
+    return false;
+  }
+  memset(page, 0, kPageSize);
+  page[0] = 2;
+  uint16_t count = static_cast<uint16_t>(node.keys.size());
+  memcpy(page + 1, &count, 2);
+  memcpy(page + 3, &node.children[0], 4);
+  char* p = page + kInternalHeader;
+  for (size_t i = 0; i < node.keys.size(); i++) {
+    const std::string& k = node.keys[i];
+    p = EncodeVarint32(p, static_cast<uint32_t>(k.size()));
+    memcpy(p, k.data(), k.size());
+    p += k.size();
+    memcpy(p, &node.children[i + 1], sizeof(PageId));
+    p += sizeof(PageId);
+  }
+  return true;
+}
+
+void MetaPage::SerializeTo(char* page) const {
+  memset(page, 0, kPageSize);
+  memcpy(page, &kMagic, 4);
+  memcpy(page + 4, &root, 4);
+  memcpy(page + 8, &height, 4);
+  memcpy(page + 12, &num_entries, 8);
+}
+
+Status MetaPage::ParseFrom(const char* page) {
+  uint32_t magic;
+  memcpy(&magic, page, 4);
+  if (magic != kMagic) return Status::Corruption("bad btree meta magic");
+  memcpy(&root, page + 4, 4);
+  memcpy(&height, page + 8, 4);
+  memcpy(&num_entries, page + 12, 8);
+  return Status::OK();
+}
+
+}  // namespace blsm::btree

@@ -1,0 +1,68 @@
+#ifndef BLSM_BTREE_BTREE_PAGE_H_
+#define BLSM_BTREE_BTREE_PAGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/buffer_pool.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace blsm::btree {
+
+// On-page formats for the update-in-place B+-tree. Pages are parsed into
+// in-memory node structs for manipulation and serialized back on write —
+// clarity over micro-optimization; the benchmarks measure I/O, not CPU.
+//
+// Leaf page:      [type=1][count u16][next_leaf u32][klen|key|vlen|value]*
+// Internal page:  [type=2][count u16][child0 u32]([klen|key][child u32])*
+// where keys[i] separates children: child[i] holds keys < keys[i],
+// child[i+1] holds keys >= keys[i].
+enum class PageType : uint8_t { kInvalid = 0, kLeaf = 1, kInternal = 2 };
+
+constexpr PageId kInvalidPage = 0xffffffffu;
+
+struct LeafNode {
+  std::vector<std::pair<std::string, std::string>> entries;  // sorted by key
+  PageId next_leaf = kInvalidPage;
+
+  // Index of the first entry with key >= target.
+  size_t LowerBound(const Slice& key) const;
+  size_t SerializedSize() const;
+};
+
+struct InternalNode {
+  std::vector<std::string> keys;    // separators, sorted
+  std::vector<PageId> children;     // keys.size() + 1 entries
+
+  // Child index to follow for `key`.
+  size_t ChildFor(const Slice& key) const;
+  size_t SerializedSize() const;
+};
+
+PageType PageTypeOf(const char* page);
+
+Status ParseLeaf(const char* page, LeafNode* out);
+Status ParseInternal(const char* page, InternalNode* out);
+
+// Serialization fails (returns false) if the node exceeds kPageSize; the
+// caller must split first.
+bool SerializeLeaf(const LeafNode& node, char* page);
+bool SerializeInternal(const InternalNode& node, char* page);
+
+// Meta page (page 0) of a tree file.
+struct MetaPage {
+  static constexpr uint32_t kMagic = 0xb7ee0001u;
+
+  PageId root = kInvalidPage;
+  uint32_t height = 0;  // 0 = empty tree
+  uint64_t num_entries = 0;
+
+  void SerializeTo(char* page) const;
+  Status ParseFrom(const char* page);
+};
+
+}  // namespace blsm::btree
+
+#endif  // BLSM_BTREE_BTREE_PAGE_H_

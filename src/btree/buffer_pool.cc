@@ -1,0 +1,143 @@
+#include "btree/buffer_pool.h"
+
+#include <cstring>
+
+namespace blsm::btree {
+
+BufferPool::BufferPool(Env* env, std::string fname, size_t capacity_pages)
+    : env_(env), fname_(std::move(fname)), capacity_(capacity_pages) {
+  frames_.resize(capacity_);
+}
+
+BufferPool::~BufferPool() {
+  if (file_ != nullptr) {
+    FlushAll();
+    file_->Close();
+  }
+}
+
+Status BufferPool::Open() {
+  Status s = env_->NewRandomRWFile(fname_, &file_);
+  if (!s.ok()) return s;
+  uint64_t size = 0;
+  env_->GetFileSize(fname_, &size);
+  page_count_ = size / kPageSize;
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  Status s = file_->Write(static_cast<uint64_t>(frame->id) * kPageSize,
+                          Slice(frame->data.get(), kPageSize));
+  if (s.ok()) frame->dirty = false;
+  return s;
+}
+
+Status BufferPool::GrabFrame(Frame** out) {
+  // First look for an unoccupied frame.
+  for (auto& frame : frames_) {
+    if (!frame.occupied) {
+      if (frame.data == nullptr) frame.data = std::make_unique<char[]>(kPageSize);
+      *out = &frame;
+      return Status::OK();
+    }
+  }
+  // CLOCK sweep with bounded revolutions.
+  for (size_t scanned = 0; scanned < 2 * frames_.size() + 1; scanned++) {
+    Frame& frame = frames_[hand_];
+    hand_ = (hand_ + 1) % frames_.size();
+    if (frame.pins > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    Status s = WriteBack(&frame);
+    if (!s.ok()) return s;
+    page_table_.erase(frame.id);
+    frame.occupied = false;
+    *out = &frame;
+    return Status::OK();
+  }
+  return Status::Busy("buffer pool exhausted: all pages pinned");
+}
+
+Status BufferPool::Fetch(PageId id, char** data) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    frame.referenced = true;
+    *data = frame.data.get();
+    return Status::OK();
+  }
+  Frame* frame;
+  Status s = GrabFrame(&frame);
+  if (!s.ok()) return s;
+
+  Slice result;
+  s = file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, &result,
+                  frame->data.get());
+  if (!s.ok()) return s;
+  if (result.size() < kPageSize) {
+    // Reading past EOF (freshly allocated page on a sparse file): zero-fill.
+    if (result.data() != frame->data.get() && !result.empty()) {
+      memmove(frame->data.get(), result.data(), result.size());
+    }
+    memset(frame->data.get() + result.size(), 0, kPageSize - result.size());
+  } else if (result.data() != frame->data.get()) {
+    memcpy(frame->data.get(), result.data(), kPageSize);
+  }
+
+  frame->id = id;
+  frame->occupied = true;
+  frame->dirty = false;
+  frame->referenced = true;
+  frame->pins = 0;
+  page_table_[id] = static_cast<size_t>(frame - frames_.data());
+  *data = frame->data.get();
+  return Status::OK();
+}
+
+void BufferPool::MarkDirty(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) frames_[it->second].dirty = true;
+}
+
+void BufferPool::Pin(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) frames_[it->second].pins++;
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end() && frames_[it->second].pins > 0) {
+    frames_[it->second].pins--;
+  }
+}
+
+Status BufferPool::AllocatePage(PageId* id, char** data) {
+  Frame* frame;
+  Status s = GrabFrame(&frame);
+  if (!s.ok()) return s;
+  *id = static_cast<PageId>(page_count_++);
+  memset(frame->data.get(), 0, kPageSize);
+  frame->id = *id;
+  frame->occupied = true;
+  frame->dirty = true;
+  frame->referenced = true;
+  frame->pins = 0;
+  page_table_[*id] = static_cast<size_t>(frame - frames_.data());
+  *data = frame->data.get();
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& frame : frames_) {
+    if (frame.occupied) {
+      Status s = WriteBack(&frame);
+      if (!s.ok()) return s;
+    }
+  }
+  return file_->Sync();
+}
+
+}  // namespace blsm::btree

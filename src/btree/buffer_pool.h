@@ -1,0 +1,84 @@
+#ifndef BLSM_BTREE_BUFFER_POOL_H_
+#define BLSM_BTREE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "io/env.h"
+#include "util/status.h"
+
+namespace blsm::btree {
+
+constexpr size_t kPageSize = 4096;
+using PageId = uint32_t;
+
+// Fixed-capacity page cache over a RandomRWFile with CLOCK eviction and
+// write-back of dirty pages. This is the update-in-place half of the paper's
+// comparison (§2.2): an uncached update costs one random read (fault the
+// page) plus, eventually, one random write (evict it dirty) — the two seeks
+// that give B-trees their ~1000x write amplification on small records.
+//
+// Not thread-safe; the BTree serializes access (see btree.h).
+class BufferPool {
+ public:
+  // `capacity_pages` bounds resident pages. The file is created on demand.
+  BufferPool(Env* env, std::string fname, size_t capacity_pages);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  Status Open();
+
+  // Returns a pointer to the page's in-pool bytes (kPageSize long), faulting
+  // it in if needed. The pointer is valid until the next Fetch/Release cycle
+  // allows eviction; callers must not hold it across other pool calls unless
+  // pinned.
+  Status Fetch(PageId id, char** data);
+
+  // Marks a fetched page dirty (it will be written back before eviction).
+  void MarkDirty(PageId id);
+
+  // Pin/unpin: pinned pages are never evicted.
+  void Pin(PageId id);
+  void Unpin(PageId id);
+
+  // Extends the file by one page; returns its id (contents zeroed, dirty).
+  Status AllocatePage(PageId* id, char** data);
+
+  // Writes back every dirty page and syncs the file.
+  Status FlushAll();
+
+  uint64_t page_count() const { return page_count_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    PageId id = 0;
+    bool occupied = false;
+    bool dirty = false;
+    bool referenced = false;
+    int pins = 0;
+    std::unique_ptr<char[]> data;
+  };
+
+  Status WriteBack(Frame* frame);
+  // Finds a free frame, evicting with CLOCK if necessary.
+  Status GrabFrame(Frame** out);
+
+  Env* env_;
+  std::string fname_;
+  size_t capacity_;
+  std::unique_ptr<RandomRWFile> file_;
+  uint64_t page_count_ = 0;
+
+  std::vector<Frame> frames_;
+  size_t hand_ = 0;
+  std::unordered_map<PageId, size_t> page_table_;
+};
+
+}  // namespace blsm::btree
+
+#endif  // BLSM_BTREE_BUFFER_POOL_H_

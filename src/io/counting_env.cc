@@ -1,0 +1,178 @@
+#include "io/counting_env.h"
+
+namespace blsm {
+
+namespace {
+
+// A read is contiguous (no seek) if it starts within kNearWindow bytes after
+// the previous read's end on the same handle; drives service such accesses
+// from read-ahead without repositioning.
+constexpr uint64_t kNearWindow = 128 << 10;
+
+class CountingSequentialFile final : public SequentialFile {
+ public:
+  CountingSequentialFile(std::unique_ptr<SequentialFile> base, IoStats* stats)
+      : base_(std::move(base)), stats_(stats) {
+    // Opening a sequential file and starting to read is one repositioning.
+    stats_->read_seeks.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok()) {
+      stats_->read_ops.fetch_add(1, std::memory_order_relaxed);
+      stats_->read_bytes.fetch_add(result->size(), std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  IoStats* stats_;
+};
+
+class CountingRandomAccessFile final : public RandomAccessFile {
+ public:
+  CountingRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                           IoStats* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      stats_->read_ops.fetch_add(1, std::memory_order_relaxed);
+      stats_->read_bytes.fetch_add(result->size(), std::memory_order_relaxed);
+      uint64_t prev = last_end_.exchange(offset + result->size(),
+                                         std::memory_order_relaxed);
+      if (offset < prev || offset > prev + kNearWindow) {
+        stats_->read_seeks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  IoStats* stats_;
+  mutable std::atomic<uint64_t> last_end_{~uint64_t{0} - kNearWindow};
+};
+
+class CountingWritableFile final : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> base, IoStats* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Append(const Slice& data) override {
+    Status s = base_->Append(data);
+    if (s.ok()) {
+      stats_->write_ops.fetch_add(1, std::memory_order_relaxed);
+      stats_->write_bytes.fetch_add(data.size(), std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    stats_->syncs.fetch_add(1, std::memory_order_relaxed);
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  IoStats* stats_;
+};
+
+class CountingRandomRWFile final : public RandomRWFile {
+ public:
+  CountingRandomRWFile(std::unique_ptr<RandomRWFile> base, IoStats* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      stats_->read_ops.fetch_add(1, std::memory_order_relaxed);
+      stats_->read_bytes.fetch_add(result->size(), std::memory_order_relaxed);
+      uint64_t prev = last_read_end_.exchange(offset + result->size(),
+                                              std::memory_order_relaxed);
+      if (offset < prev || offset > prev + kNearWindow) {
+        stats_->read_seeks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return s;
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    Status s = base_->Write(offset, data);
+    if (s.ok()) {
+      stats_->write_ops.fetch_add(1, std::memory_order_relaxed);
+      stats_->write_bytes.fetch_add(data.size(), std::memory_order_relaxed);
+      uint64_t prev = last_write_end_.exchange(offset + data.size(),
+                                               std::memory_order_relaxed);
+      if (offset < prev || offset > prev + kNearWindow) {
+        stats_->write_seeks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return s;
+  }
+
+  Status Sync() override {
+    stats_->syncs.fetch_add(1, std::memory_order_relaxed);
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  IoStats* stats_;
+  mutable std::atomic<uint64_t> last_read_end_{~uint64_t{0} - kNearWindow};
+  std::atomic<uint64_t> last_write_end_{~uint64_t{0} - kNearWindow};
+};
+
+}  // namespace
+
+Status CountingEnv::NewSequentialFile(const std::string& fname,
+                                      std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> base;
+  Status s = base_->NewSequentialFile(fname, &base);
+  if (!s.ok()) return s;
+  *result = std::make_unique<CountingSequentialFile>(std::move(base), stats_);
+  return Status::OK();
+}
+
+Status CountingEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base;
+  Status s = base_->NewRandomAccessFile(fname, &base);
+  if (!s.ok()) return s;
+  *result =
+      std::make_unique<CountingRandomAccessFile>(std::move(base), stats_);
+  return Status::OK();
+}
+
+Status CountingEnv::NewWritableFile(const std::string& fname,
+                                    std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base;
+  Status s = base_->NewWritableFile(fname, &base);
+  if (!s.ok()) return s;
+  *result = std::make_unique<CountingWritableFile>(std::move(base), stats_);
+  return Status::OK();
+}
+
+Status CountingEnv::NewRandomRWFile(const std::string& fname,
+                                    std::unique_ptr<RandomRWFile>* result) {
+  std::unique_ptr<RandomRWFile> base;
+  Status s = base_->NewRandomRWFile(fname, &base);
+  if (!s.ok()) return s;
+  *result = std::make_unique<CountingRandomRWFile>(std::move(base), stats_);
+  return Status::OK();
+}
+
+}  // namespace blsm

@@ -1,0 +1,99 @@
+#ifndef BLSM_IO_ENV_H_
+#define BLSM_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace blsm {
+
+// File and environment abstraction. Every engine in this repository performs
+// its I/O through an Env so that (a) tests can run against an in-memory
+// filesystem and (b) benchmarks can run against a CountingEnv that classifies
+// each access as a seek or a sequential transfer — the unit the paper's
+// analysis is written in (§2.1).
+
+// Sequential read-only file (log recovery, merges).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  // Reads up to n bytes. Sets *result to the data read (may point into
+  // scratch). Returns OK with an empty result at end of file.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+// Random-access read-only file (tree component reads).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+// Append-only writable file (logs, tree component builds).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+// Read/write file with positional access (update-in-place B-tree pages).
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  virtual Status NewRandomRWFile(const std::string& fname,
+                                 std::unique_ptr<RandomRWFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  virtual uint64_t NowMicros() = 0;
+  virtual void SleepForMicroseconds(uint64_t micros) = 0;
+
+  // Process-wide default environment (POSIX). Never deleted.
+  static Env* Default();
+};
+
+// Convenience helpers.
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
+                         bool sync);
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+}  // namespace blsm
+
+#endif  // BLSM_IO_ENV_H_

@@ -1,0 +1,156 @@
+#include "io/fault_injection_env.h"
+
+namespace blsm {
+
+namespace {
+
+class FaultSequentialFile final : public SequentialFile {
+ public:
+  FaultSequentialFile(std::unique_ptr<SequentialFile> base,
+                      FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = env_->Check();
+    if (!s.ok()) return s;
+    return base_->Read(n, result, scratch);
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = env_->Check();
+    if (!s.ok()) return s;
+    return base_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status s = env_->Check();
+    if (!s.ok()) return s;
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    Status s = env_->Check();
+    if (!s.ok()) return s;
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultRandomRWFile final : public RandomRWFile {
+ public:
+  FaultRandomRWFile(std::unique_ptr<RandomRWFile> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = env_->Check();
+    if (!s.ok()) return s;
+    return base_->Read(offset, n, result, scratch);
+  }
+  Status Write(uint64_t offset, const Slice& data) override {
+    Status s = env_->Check();
+    if (!s.ok()) return s;
+    return base_->Write(offset, data);
+  }
+  Status Sync() override {
+    Status s = env_->Check();
+    if (!s.ok()) return s;
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::Check() {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  if (remaining_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected fault");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  Status s = Check();
+  if (!s.ok()) return s;
+  std::unique_ptr<SequentialFile> base;
+  s = base_->NewSequentialFile(fname, &base);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultSequentialFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  Status s = Check();
+  if (!s.ok()) return s;
+  std::unique_ptr<RandomAccessFile> base;
+  s = base_->NewRandomAccessFile(fname, &base);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultRandomAccessFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = Check();
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> base;
+  s = base_->NewWritableFile(fname, &base);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultWritableFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomRWFile(
+    const std::string& fname, std::unique_ptr<RandomRWFile>* result) {
+  Status s = Check();
+  if (!s.ok()) return s;
+  std::unique_ptr<RandomRWFile> base;
+  s = base_->NewRandomRWFile(fname, &base);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultRandomRWFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  Status s = Check();
+  if (!s.ok()) return s;
+  return base_->RenameFile(src, target);
+}
+
+}  // namespace blsm

@@ -1,0 +1,91 @@
+#ifndef BLSM_IO_FAULT_INJECTION_ENV_H_
+#define BLSM_IO_FAULT_INJECTION_ENV_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+
+namespace blsm {
+
+// Env decorator that injects I/O failures: after `TripAfter(n)` further
+// operations, every subsequent data-path call (reads, writes, syncs, file
+// creation, rename) fails with IOError until `Heal()` is called. Used by the
+// failure-injection tests to verify that background errors surface, writes
+// are refused afterwards, and recovery works once the device "comes back".
+//
+// Metadata queries (FileExists, GetChildren, GetFileSize) and the clock are
+// not failed: a broken disk still answers stat-ish queries in practice, and
+// failing them mostly tests the test.
+class FaultInjectionEnv final : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // Arms the fault: the next `ops` data operations succeed, everything
+  // after fails.
+  void TripAfter(uint64_t ops) {
+    remaining_.store(static_cast<int64_t>(ops), std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  // Clears the fault; subsequent operations succeed again.
+  void Heal() { armed_.store(false, std::memory_order_relaxed); }
+
+  bool tripped() const {
+    return armed_.load(std::memory_order_relaxed) &&
+           remaining_.load(std::memory_order_relaxed) <= 0;
+  }
+
+  uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* result) override;
+
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  uint64_t NowMicros() override { return base_->NowMicros(); }
+  void SleepForMicroseconds(uint64_t micros) override {
+    base_->SleepForMicroseconds(micros);
+  }
+
+  // Returns OK while healthy; decrements the countdown and returns IOError
+  // once tripped. Exposed for the file wrappers.
+  Status Check();
+
+ private:
+  Env* base_;
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> remaining_{0};
+  std::atomic<uint64_t> faults_{0};
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_IO_FAULT_INJECTION_ENV_H_

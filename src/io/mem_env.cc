@@ -1,0 +1,255 @@
+#include "io/mem_env.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace blsm {
+
+struct MemEnv::FileState {
+  std::mutex mu;
+  std::string data;
+  size_t synced_len = 0;
+};
+
+namespace {
+
+using FileStatePtr = std::shared_ptr<MemEnv::FileState>;
+
+}  // namespace
+
+// --- file implementations ---------------------------------------------------
+
+namespace {
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(FileStatePtr fs) : fs_(std::move(fs)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> l(fs_->mu);
+    size_t avail = fs_->data.size() - std::min(pos_, fs_->data.size());
+    size_t len = std::min(n, avail);
+    memcpy(scratch, fs_->data.data() + pos_, len);
+    pos_ += len;
+    *result = Slice(scratch, len);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  FileStatePtr fs_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(FileStatePtr fs) : fs_(std::move(fs)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> l(fs_->mu);
+    if (offset >= fs_->data.size()) {
+      *result = Slice(scratch, 0);
+      return Status::OK();
+    }
+    size_t len = std::min(n, fs_->data.size() - static_cast<size_t>(offset));
+    memcpy(scratch, fs_->data.data() + offset, len);
+    *result = Slice(scratch, len);
+    return Status::OK();
+  }
+
+ private:
+  FileStatePtr fs_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(FileStatePtr fs) : fs_(std::move(fs)) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> l(fs_->mu);
+    fs_->data.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> l(fs_->mu);
+    fs_->synced_len = fs_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FileStatePtr fs_;
+};
+
+class MemRandomRWFile final : public RandomRWFile {
+ public:
+  explicit MemRandomRWFile(FileStatePtr fs) : fs_(std::move(fs)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> l(fs_->mu);
+    if (offset >= fs_->data.size()) {
+      *result = Slice(scratch, 0);
+      return Status::OK();
+    }
+    size_t len = std::min(n, fs_->data.size() - static_cast<size_t>(offset));
+    memcpy(scratch, fs_->data.data() + offset, len);
+    *result = Slice(scratch, len);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    std::lock_guard<std::mutex> l(fs_->mu);
+    size_t end = static_cast<size_t>(offset) + data.size();
+    if (fs_->data.size() < end) fs_->data.resize(end, '\0');
+    memcpy(fs_->data.data() + offset, data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> l(fs_->mu);
+    fs_->synced_len = fs_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FileStatePtr fs_;
+};
+
+}  // namespace
+
+// --- env --------------------------------------------------------------------
+
+MemEnv::MemEnv() = default;
+MemEnv::~MemEnv() = default;
+
+Status MemEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  *result = std::make_unique<MemSequentialFile>(it->second);
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  *result = std::make_unique<MemRandomAccessFile>(it->second);
+  return Status::OK();
+}
+
+Status MemEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto fs = std::make_shared<FileState>();
+  files_[fname] = fs;
+  *result = std::make_unique<MemWritableFile>(std::move(fs));
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomRWFile(const std::string& fname,
+                               std::unique_ptr<RandomRWFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  std::shared_ptr<FileState> fs;
+  if (it == files_.end()) {
+    fs = std::make_shared<FileState>();
+    files_[fname] = fs;
+  } else {
+    fs = it->second;
+  }
+  *result = std::make_unique<MemRandomRWFile>(std::move(fs));
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  return files_.count(fname) > 0;
+}
+
+Status MemEnv::GetChildren(const std::string& dir,
+                           std::vector<std::string>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  result->clear();
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [name, fs] : files_) {
+    (void)fs;
+    if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+      std::string rest = name.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) result->push_back(rest);
+    }
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (files_.erase(fname) == 0) return Status::NotFound(fname);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDir(const std::string& dirname) {
+  std::lock_guard<std::mutex> l(mu_);
+  dirs_.insert(dirname);
+  return Status::OK();
+}
+
+Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) {
+    *size = 0;
+    return Status::NotFound(fname);
+  }
+  std::lock_guard<std::mutex> fl(it->second->mu);
+  *size = it->second->data.size();
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound(src);
+  files_[target] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+uint64_t MemEnv::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void MemEnv::SleepForMicroseconds(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+void MemEnv::DropUnsynced() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [name, fs] : files_) {
+    (void)name;
+    std::lock_guard<std::mutex> fl(fs->mu);
+    fs->data.resize(fs->synced_len);
+  }
+}
+
+}  // namespace blsm

@@ -1,0 +1,58 @@
+#ifndef BLSM_IO_MEM_ENV_H_
+#define BLSM_IO_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "io/env.h"
+
+namespace blsm {
+
+// In-memory filesystem for unit tests: fast, hermetic, and makes crash
+// simulation trivial (DropUnsynced discards bytes appended after the last
+// Sync, modelling a power failure).
+class MemEnv final : public Env {
+ public:
+  MemEnv();
+  ~MemEnv() override;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* result) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  uint64_t NowMicros() override;
+  void SleepForMicroseconds(uint64_t micros) override;
+
+  // Crash simulation: truncates every file back to its last-synced length.
+  void DropUnsynced();
+
+  struct FileState;  // public so file implementations in the .cc can use it
+
+ private:
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_IO_MEM_ENV_H_

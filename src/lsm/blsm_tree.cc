@@ -1,0 +1,1169 @@
+#include "lsm/blsm_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "lsm/collapse.h"
+#include "sstree/tree_builder.h"
+
+namespace blsm {
+
+namespace {
+
+constexpr uint64_t kMergePausePollUs = 1000;
+
+}  // namespace
+
+// --- construction / open ------------------------------------------------------
+
+BlsmTree::BlsmTree(const BlsmOptions& options, std::string dir)
+    : options_(options), dir_(std::move(dir)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  if (options_.shared_block_cache != nullptr) {
+    cache_ = options_.shared_block_cache;
+  } else if (options_.block_cache_bytes > 0) {
+    cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes);
+  }  // else: no cache — every read hits the Env (cold-cache measurements)
+  if (options_.scheduler == SchedulerKind::kSpringGear) {
+    scheduler_ = std::make_unique<SpringGearScheduler>(
+        options_.low_watermark, options_.high_watermark);
+  } else {
+    scheduler_ = MakeScheduler(options_.scheduler);
+  }
+  merge_op_ = options_.merge_operator != nullptr
+                  ? options_.merge_operator
+                  : std::make_shared<const AppendMergeOperator>();
+  mem_ = std::make_shared<MemTable>();
+}
+
+Status BlsmTree::Open(const BlsmOptions& options, const std::string& dir,
+                      std::unique_ptr<BlsmTree>* out) {
+  auto tree = std::unique_ptr<BlsmTree>(new BlsmTree(options, dir));
+  Status s = tree->OpenImpl();
+  if (!s.ok()) return s;
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BlsmTree::OpenImpl() {
+  Status s = env_->CreateDir(dir_);
+  if (!s.ok()) return s;
+
+  Manifest manifest;
+  s = Manifest::Load(env_, dir_, &manifest);
+  if (s.IsNotFound()) {
+    manifest = Manifest{};
+    s = manifest.Save(env_, dir_);
+  }
+  if (!s.ok()) return s;
+
+  next_file_number_ = manifest.next_file_number;
+  last_seq_.store(manifest.last_sequence);
+
+  for (const auto& entry : manifest.components) {
+    ComponentPtr comp;
+    s = OpenComponent(entry.file_number, &comp, options_.use_bloom);
+    if (!s.ok()) return s;
+    switch (entry.slot) {
+      case Manifest::Slot::kC1:
+        c1_ = comp;
+        c1_data_bytes_.store(comp->reader->data_bytes());
+        break;
+      case Manifest::Slot::kC1Prime:
+        c1_prime_ = comp;
+        break;
+      case Manifest::Slot::kC2:
+        c2_ = comp;
+        break;
+    }
+  }
+
+  // Garbage from merges in flight at crash time: any .tree file the manifest
+  // does not reference.
+  std::vector<std::string> children;
+  if (env_->GetChildren(dir_, &children).ok()) {
+    for (const std::string& name : children) {
+      if (name.size() > 5 && name.substr(name.size() - 5) == ".tree") {
+        uint64_t num = strtoull(name.c_str(), nullptr, 10);
+        bool referenced = false;
+        for (const auto& entry : manifest.components) {
+          if (entry.file_number == num) referenced = true;
+        }
+        if (!referenced) env_->RemoveFile(dir_ + "/" + name);
+      }
+    }
+  }
+
+  // Recover recent writes from the logical log, then restart it with the
+  // survivors so the new log is self-contained.
+  std::string log_path = Manifest::LogFileName(dir_);
+  uint64_t max_seq = last_seq_.load();
+  s = LogicalLog::Replay(
+      env_, log_path,
+      [&](const Slice& key, SequenceNumber seq, RecordType type,
+          const Slice& value) {
+        mem_->Add(seq, type, key, value);
+        max_seq = std::max(max_seq, seq);
+      });
+  if (!s.ok()) return s;
+  last_seq_.store(max_seq);
+
+  log_ = std::make_unique<LogicalLog>(env_, log_path, options_.durability);
+  if (options_.durability != DurabilityMode::kNone) {
+    s = log_->Restart([&](wal::LogWriter* w) -> Status {
+      MemTable::Iterator it(mem_.get());
+      std::string payload;
+      for (it.SeekToFirst(); it.Valid(); it.Next()) {
+        payload.clear();
+        PutLengthPrefixedSlice(&payload, it.internal_key());
+        PutLengthPrefixedSlice(&payload, it.value());
+        Status ws = w->AddRecord(payload);
+        if (!ws.ok()) return ws;
+      }
+      return Status::OK();
+    });
+    if (!s.ok()) return s;
+  }
+
+  merge1_thread_ = std::thread(&BlsmTree::Merge1Loop, this);
+  merge2_thread_ = std::thread(&BlsmTree::Merge2Loop, this);
+  return Status::OK();
+}
+
+Status BlsmTree::OpenComponent(uint64_t file_number, ComponentPtr* out,
+                               bool with_bloom_expected) const {
+  (void)with_bloom_expected;
+  auto comp = std::make_shared<Component>();
+  comp->env = env_;
+  comp->file_number = file_number;
+  comp->fname = Manifest::TreeFileName(dir_, file_number);
+  Status s = sstree::TreeReader::Open(env_, cache_.get(), file_number,
+                                      comp->fname, &comp->reader);
+  if (!s.ok()) return s;
+  *out = std::move(comp);
+  return Status::OK();
+}
+
+BlsmTree::~BlsmTree() {
+  shutdown_.store(true);
+  work_cv_.notify_all();
+  if (merge1_thread_.joinable()) merge1_thread_.join();
+  if (merge2_thread_.joinable()) merge2_thread_.join();
+  if (log_ != nullptr) log_->Close();
+}
+
+// --- snapshots / state --------------------------------------------------------
+
+BlsmTree::Snapshot BlsmTree::GetSnapshot() const {
+  std::lock_guard<std::mutex> l(mu_);
+  Snapshot snap;
+  snap.mem = mem_;
+  snap.mem_old = mem_old_;
+  snap.c1 = c1_;
+  snap.c1_prime = c1_prime_;
+  snap.c2 = c2_;
+  return snap;
+}
+
+double BlsmTree::CurrentR() const {
+  // Variable R (§2.3.1): with a three-level tree, R = sqrt(|data| / |C0|).
+  uint64_t disk = 0;
+  if (c1_ != nullptr) disk += c1_->reader->data_bytes();
+  if (c1_prime_ != nullptr) disk += c1_prime_->reader->data_bytes();
+  if (c2_ != nullptr) disk += c2_->reader->data_bytes();
+  double r = std::sqrt(static_cast<double>(disk + options_.c0_target_bytes) /
+                       static_cast<double>(options_.c0_target_bytes));
+  return std::max(options_.min_r, r);
+}
+
+SchedulerState BlsmTree::ComputeSchedulerState() const {
+  std::lock_guard<std::mutex> l(mu_);
+  SchedulerState s;
+  s.c0_live_bytes = mem_->LiveBytes();
+  s.c0_target_bytes = options_.c0_target_bytes;
+  s.merge1_active = progress1_.active.load(std::memory_order_relaxed);
+  s.merge1_inprogress = progress1_.inprogress();
+  s.merge2_active = progress2_.active.load(std::memory_order_relaxed);
+  s.merge2_inprogress = progress2_.inprogress();
+  s.c1_prime_exists = c1_prime_ != nullptr;
+
+  // outprogress_1 (§4.1): how close C1 is to triggering the next hand-off,
+  // counting completed C0-sized fills plus the current merge's inprogress.
+  double r = CurrentR();
+  double ceil_r = std::ceil(r);
+  double fills = std::floor(
+      static_cast<double>(c1_data_bytes_.load(std::memory_order_relaxed)) /
+      static_cast<double>(options_.c0_target_bytes));
+  fills = std::min(fills, ceil_r - 1.0);
+  s.merge1_outprogress =
+      std::min(1.0, (s.merge1_inprogress + fills) / ceil_r);
+  return s;
+}
+
+uint64_t BlsmTree::OnDiskBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = 0;
+  if (c1_ != nullptr) total += c1_->reader->data_bytes();
+  if (c1_prime_ != nullptr) total += c1_prime_->reader->data_bytes();
+  if (c2_ != nullptr) total += c2_->reader->data_bytes();
+  return total;
+}
+
+uint64_t BlsmTree::C0LiveBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = mem_->LiveBytes();
+  if (mem_old_ != nullptr) total += mem_old_->LiveBytes();
+  return total;
+}
+
+Status BlsmTree::BackgroundError() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return bg_error_;
+}
+
+void BlsmTree::RecordBackgroundError(const Status& s) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (bg_error_.ok()) bg_error_ = s;
+}
+
+// --- writes ---------------------------------------------------------------
+
+void BlsmTree::ApplyBackpressure() {
+  constexpr uint64_t kBlockedPollUs = 500;
+  uint64_t stalled = 0;
+  // Hard stall: wait (re-polling) while the scheduler blocks writes — C0
+  // full, or (gear) the writer has outrun merge 1.
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    SchedulerState state = ComputeSchedulerState();
+    if (!scheduler_->WriteBlocked(state)) {
+      // One-shot proportional delay (the spring, §4.3).
+      uint64_t delay = scheduler_->WriteDelayMicros(state);
+      if (delay > 0) {
+        env_->SleepForMicroseconds(delay);
+        stalled += delay;
+      }
+      break;
+    }
+    env_->SleepForMicroseconds(kBlockedPollUs);
+    stalled += kBlockedPollUs;
+    MaybeScheduleMerge1();
+  }
+  if (stalled > 0) {
+    stats_.write_stall_micros.fetch_add(stalled, std::memory_order_relaxed);
+  }
+}
+
+Status BlsmTree::WriteImpl(const Slice& key, RecordType type,
+                           const Slice& value) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!bg_error_.ok()) return bg_error_;
+  }
+  ApplyBackpressure();
+
+  std::shared_lock<std::shared_mutex> swap_guard(mem_swap_mu_);
+  SequenceNumber seq = last_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (log_ != nullptr) {
+    Status s = log_->Append(key, seq, type, value);
+    if (!s.ok()) return s;
+  }
+  // mem_ is only replaced while mem_swap_mu_ is held exclusively, so the
+  // shared lock makes this read stable.
+  std::shared_ptr<MemTable> mem;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    mem = mem_;
+  }
+  mem->Add(seq, type, key, value);
+  swap_guard.unlock();
+
+  MaybeScheduleMerge1();
+  return Status::OK();
+}
+
+void BlsmTree::MaybeScheduleMerge1() {
+  bool trigger;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    uint64_t live = mem_->LiveBytes();
+    if (options_.snowshovel) {
+      trigger = live >= static_cast<uint64_t>(
+                            options_.low_watermark *
+                            static_cast<double>(options_.c0_target_bytes));
+    } else {
+      trigger = mem_old_ != nullptr || live >= options_.c0_target_bytes;
+    }
+  }
+  if (trigger) work_cv_.notify_all();
+}
+
+Status BlsmTree::Put(const Slice& key, const Slice& value) {
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  return WriteImpl(key, RecordType::kBase, value);
+}
+
+Status BlsmTree::Delete(const Slice& key) {
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  return WriteImpl(key, RecordType::kTombstone, Slice());
+}
+
+Status BlsmTree::WriteDelta(const Slice& key, const Slice& delta) {
+  stats_.deltas.fetch_add(1, std::memory_order_relaxed);
+  return WriteImpl(key, RecordType::kDelta, delta);
+}
+
+Status BlsmTree::InsertIfNotExists(const Slice& key, const Slice& value) {
+  stats_.insert_if_not_exists.fetch_add(1, std::memory_order_relaxed);
+  Snapshot snap = GetSnapshot();
+  bool exists = false;
+  Status s = KeyExistsProbe(key, snap, &exists);
+  if (!s.ok()) return s;
+  if (exists) return Status::KeyExists(key);
+  return WriteImpl(key, RecordType::kBase, value);
+}
+
+Status BlsmTree::KeyExistsProbe(const Slice& key, const Snapshot& snap,
+                                bool* exists) {
+  // The newest version decides: a base OR a delta means the key reads back
+  // a value (deltas define one even over a tombstone or nothing, §2.3); a
+  // tombstone means it does not. C0 (and C0') first: free.
+  bool decided = false;
+  auto probe_mem = [&](const std::shared_ptr<MemTable>& mem) {
+    if (decided || mem == nullptr) return;
+    mem->ForEachVersion(key, [&](RecordType t, const Slice&) {
+      *exists = t != RecordType::kTombstone;
+      decided = true;
+      return false;
+    });
+  };
+  probe_mem(snap.mem);
+  probe_mem(snap.mem_old);
+  if (decided) return Status::OK();
+
+  // On-disk components: the Bloom filters prove absence with zero seeks
+  // (§3.1.2); a positive filter requires one real lookup.
+  const Component* comps[3] = {snap.c1.get(), snap.c1_prime.get(),
+                               snap.c2.get()};
+  for (const Component* comp : comps) {
+    if (comp == nullptr) continue;
+    bool use_bloom =
+        options_.use_bloom &&
+        (options_.bloom_on_largest || comp != snap.c2.get());
+    if (use_bloom && !comp->reader->MayContain(key)) {
+      stats_.bloom_skips.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Status io;
+    auto rec = comp->reader->Get(key, use_bloom, &io);
+    if (!io.ok()) return io;
+    if (rec.has_value()) {
+      if (rec->type == RecordType::kBase) {
+        *exists = true;
+        return Status::OK();
+      }
+      if (rec->type == RecordType::kTombstone) {
+        *exists = false;
+        return Status::OK();
+      }
+      // Delta: the key effectively has a value (deltas against a missing
+      // base still produce one at read time).
+      *exists = true;
+      return Status::OK();
+    }
+  }
+  *exists = false;
+  return Status::OK();
+}
+
+// --- reads ----------------------------------------------------------------
+
+Status BlsmTree::FinishLookup(const Slice& key, bool have_base,
+                              const std::string& base,
+                              std::vector<std::string>& deltas_newest_first,
+                              std::string* value) const {
+  if (!have_base && deltas_newest_first.empty()) return Status::NotFound(key);
+  if (have_base && deltas_newest_first.empty()) {
+    *value = base;
+    return Status::OK();
+  }
+  std::vector<Slice> oldest_first;
+  oldest_first.reserve(deltas_newest_first.size());
+  for (auto it = deltas_newest_first.rbegin();
+       it != deltas_newest_first.rend(); ++it) {
+    oldest_first.emplace_back(*it);
+  }
+  Slice base_slice(base);
+  if (!merge_op_->FullMerge(key, have_base ? &base_slice : nullptr,
+                            oldest_first, value)) {
+    return Status::Corruption("merge operator rejected operands");
+  }
+  return Status::OK();
+}
+
+Status BlsmTree::Get(const Slice& key, std::string* value) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  Snapshot snap = GetSnapshot();
+  if (options_.early_read_termination) {
+    return GetWithEarlyTermination(key, snap, value);
+  }
+  return GetExhaustive(key, snap, value);
+}
+
+Status BlsmTree::GetWithEarlyTermination(const Slice& key,
+                                         const Snapshot& snap,
+                                         std::string* value) {
+  // §3.1.1: components are searched newest-first and the lookup stops at the
+  // first base record or tombstone.
+  std::vector<std::string> deltas;
+  bool terminated = false;
+  bool have_base = false;
+  bool deleted = false;
+  std::string base;
+
+  auto search_mem = [&](const std::shared_ptr<MemTable>& mem) {
+    if (terminated || mem == nullptr) return;
+    mem->ForEachVersion(key, [&](RecordType t, const Slice& v) {
+      switch (t) {
+        case RecordType::kBase:
+          base.assign(v.data(), v.size());
+          have_base = true;
+          terminated = true;
+          break;
+        case RecordType::kTombstone:
+          deleted = true;
+          terminated = true;
+          break;
+        case RecordType::kDelta:
+          deltas.emplace_back(v.data(), v.size());
+          break;
+      }
+      return !terminated;
+    });
+  };
+  search_mem(snap.mem);
+  search_mem(snap.mem_old);
+
+  const Component* comps[3] = {snap.c1.get(), snap.c1_prime.get(),
+                               snap.c2.get()};
+  for (const Component* comp : comps) {
+    if (terminated) break;
+    if (comp == nullptr) continue;
+    bool use_bloom =
+        options_.use_bloom &&
+        (options_.bloom_on_largest || comp != snap.c2.get());
+    if (use_bloom && !comp->reader->MayContain(key)) {
+      stats_.bloom_skips.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Status io;
+    auto rec = comp->reader->Get(key, use_bloom, &io);
+    if (!io.ok()) return io;
+    if (!rec.has_value()) continue;
+    switch (rec->type) {
+      case RecordType::kBase:
+        base = std::move(rec->value);
+        have_base = true;
+        terminated = true;
+        break;
+      case RecordType::kTombstone:
+        deleted = true;
+        terminated = true;
+        break;
+      case RecordType::kDelta:
+        deltas.emplace_back(std::move(rec->value));
+        break;
+    }
+  }
+
+  (void)deleted;  // a tombstone simply means "no base below"
+  return FinishLookup(key, have_base, base, deltas, value);
+}
+
+Status BlsmTree::GetExhaustive(const Slice& key, const Snapshot& snap,
+                               std::string* value) {
+  // Ablation for §3.1.1: visit every component unconditionally, collect all
+  // versions, and reconstruct by sequence number. Models systems that assign
+  // reads to components non-deterministically and cannot stop early.
+  struct Version {
+    SequenceNumber seq;
+    RecordType type;
+    std::string value;
+  };
+  std::vector<Version> versions;
+
+  auto collect_mem = [&](const std::shared_ptr<MemTable>& mem) {
+    if (mem == nullptr) return;
+    // ForEachVersion already stops below a terminator, which is harmless
+    // here: anything below it is shadowed in every reconstruction.
+    SequenceNumber synth = kMaxSequenceNumber;
+    mem->ForEachVersion(key, [&](RecordType t, const Slice& v) {
+      versions.push_back(Version{synth--, t, std::string(v.data(), v.size())});
+      return true;
+    });
+  };
+  collect_mem(snap.mem);
+  collect_mem(snap.mem_old);
+
+  const Component* comps[3] = {snap.c1.get(), snap.c1_prime.get(),
+                               snap.c2.get()};
+  SequenceNumber disk_rank = kMaxSequenceNumber / 2;
+  for (const Component* comp : comps) {
+    if (comp == nullptr) continue;
+    Status io;
+    auto rec = comp->reader->Get(key, /*use_bloom=*/false, &io);
+    if (!io.ok()) return io;
+    if (rec.has_value()) {
+      versions.push_back(Version{disk_rank, rec->type, std::move(rec->value)});
+    }
+    disk_rank--;  // freshness ordering across components
+  }
+
+  std::stable_sort(versions.begin(), versions.end(),
+                   [](const Version& a, const Version& b) {
+                     return a.seq > b.seq;
+                   });
+
+  std::vector<std::string> deltas;
+  bool have_base = false;
+  std::string base;
+  for (const Version& v : versions) {
+    if (v.type == RecordType::kBase) {
+      base = v.value;
+      have_base = true;
+      break;
+    }
+    if (v.type == RecordType::kTombstone) break;
+    deltas.push_back(v.value);
+  }
+  return FinishLookup(key, have_base, base, deltas, value);
+}
+
+std::vector<Status> BlsmTree::MultiGet(const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values) {
+  stats_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
+  Snapshot snap = GetSnapshot();  // one snapshot: a consistent point
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses;
+  statuses.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    statuses.push_back(
+        options_.early_read_termination
+            ? GetWithEarlyTermination(keys[i], snap, &(*values)[i])
+            : GetExhaustive(keys[i], snap, &(*values)[i]));
+  }
+  return statuses;
+}
+
+Status BlsmTree::ReadModifyWrite(
+    const Slice& key,
+    const std::function<std::string(const std::string& old, bool absent)>&
+        update) {
+  std::string old;
+  Status s = Get(key, &old);
+  bool absent = s.IsNotFound();
+  if (!s.ok() && !absent) return s;
+  return Put(key, update(old, absent));
+}
+
+// --- scans ------------------------------------------------------------------
+
+std::unique_ptr<ScanIterator> BlsmTree::NewScanIterator() {
+  Snapshot snap = GetSnapshot();
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  std::vector<std::shared_ptr<void>> pins;
+  children.push_back(NewMemTableIterator(snap.mem));
+  if (snap.mem_old != nullptr) {
+    children.push_back(NewMemTableIterator(snap.mem_old));
+  }
+  for (const ComponentPtr& comp : {snap.c1, snap.c1_prime, snap.c2}) {
+    if (comp == nullptr) continue;
+    children.push_back(
+        NewTreeComponentIterator(comp->reader.get(), /*sequential=*/false));
+    pins.push_back(comp);
+  }
+  auto merged = std::make_unique<MergingIterator>(std::move(children));
+  return std::unique_ptr<ScanIterator>(
+      new ScanIterator(std::move(merged), merge_op_, std::move(pins)));
+}
+
+Status BlsmTree::Scan(const Slice& start, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  auto it = NewScanIterator();
+  for (it->Seek(start); it->Valid() && out->size() < limit; it->Next()) {
+    out->emplace_back(it->key().ToString(), it->value().ToString());
+  }
+  return it->status();
+}
+
+ScanIterator::ScanIterator(std::unique_ptr<InternalIterator> iter,
+                           std::shared_ptr<const MergeOperator> merge_op,
+                           std::vector<std::shared_ptr<void>> pins)
+    : iter_(std::move(iter)),
+      merge_op_(std::move(merge_op)),
+      pins_(std::move(pins)) {}
+
+void ScanIterator::SeekToFirst() {
+  iter_->SeekToFirst();
+  CollapseCurrent();
+}
+
+void ScanIterator::Seek(const Slice& user_key) {
+  iter_->Seek(InternalLookupKey(user_key));
+  CollapseCurrent();
+}
+
+void ScanIterator::Next() { CollapseCurrent(); }
+
+void ScanIterator::CollapseCurrent() {
+  // The underlying iterator is positioned at the first unprocessed version.
+  valid_ = false;
+  while (iter_->Valid()) {
+    ParsedInternalKey first;
+    if (!ParseInternalKey(iter_->key(), &first)) {
+      status_ = Status::Corruption("bad internal key in scan");
+      return;
+    }
+    key_.assign(first.user_key.data(), first.user_key.size());
+
+    bool have_base = false;
+    bool have_tombstone = false;
+    std::string base;
+    std::vector<std::string> deltas_newest_first;
+
+    while (iter_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(iter_->key(), &parsed)) {
+        status_ = Status::Corruption("bad internal key in scan");
+        return;
+      }
+      if (parsed.user_key != Slice(key_)) break;
+      if (!have_base && !have_tombstone) {
+        switch (parsed.type) {
+          case RecordType::kBase:
+            base.assign(iter_->value().data(), iter_->value().size());
+            have_base = true;
+            break;
+          case RecordType::kTombstone:
+            have_tombstone = true;
+            break;
+          case RecordType::kDelta:
+            deltas_newest_first.emplace_back(iter_->value().data(),
+                                             iter_->value().size());
+            break;
+        }
+      }
+      iter_->Next();
+    }
+
+    if (!have_base && deltas_newest_first.empty()) {
+      continue;  // deleted key (or empty group): skip to the next user key
+    }
+    std::vector<Slice> oldest_first;
+    for (auto rit = deltas_newest_first.rbegin();
+         rit != deltas_newest_first.rend(); ++rit) {
+      oldest_first.emplace_back(*rit);
+    }
+    if (oldest_first.empty()) {
+      value_ = std::move(base);
+    } else {
+      Slice base_slice(base);
+      if (!merge_op_->FullMerge(key_, have_base ? &base_slice : nullptr,
+                                oldest_first, &value_)) {
+        status_ = Status::Corruption("merge operator rejected operands");
+        return;
+      }
+    }
+    valid_ = true;
+    return;
+  }
+}
+
+// --- merges -----------------------------------------------------------------
+
+bool BlsmTree::MergePauseWait(int which) {
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    if (force_promote_.load(std::memory_order_relaxed) ||
+        pacing_override_.load(std::memory_order_relaxed) > 0) {
+      return true;  // foreground compaction / drain override
+    }
+    SchedulerState state = ComputeSchedulerState();
+    bool paused = (which == 1) ? scheduler_->PauseMerge1(state)
+                               : scheduler_->PauseMerge2(state);
+    if (!paused) return true;
+    env_->SleepForMicroseconds(kMergePausePollUs);
+  }
+  return false;
+}
+
+void BlsmTree::Merge1Loop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!shutdown_.load()) {
+    uint64_t live = mem_->LiveBytes();
+    bool trigger;
+    if (options_.snowshovel) {
+      trigger = merge1_requested_ ||
+                live >= static_cast<uint64_t>(
+                            options_.low_watermark *
+                            static_cast<double>(options_.c0_target_bytes));
+    } else {
+      trigger = merge1_requested_ || mem_old_ != nullptr ||
+                live >= options_.c0_target_bytes;
+    }
+    if (!trigger) {
+      work_cv_.wait_for(l, std::chrono::milliseconds(20));
+      continue;
+    }
+
+    // Non-snowshovel modes partition C0: freeze the current memtable as C0'
+    // and open a fresh C0 for incoming writes (§4.2.1).
+    if (!options_.snowshovel && mem_old_ == nullptr) {
+      l.unlock();
+      {
+        std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
+        std::lock_guard<std::mutex> relock(mu_);
+        mem_old_ = mem_;
+        mem_ = std::make_shared<MemTable>();
+      }
+      l.lock();
+    }
+
+    merge1_running_ = true;
+    merge1_requested_ = false;
+    l.unlock();
+    Status s = RunMerge1Pass();
+    l.lock();
+    merge1_running_ = false;
+    if (!s.ok() && !shutdown_.load()) bg_error_ = s;
+    stats_.merge1_passes.fetch_add(1, std::memory_order_relaxed);
+    idle_cv_.notify_all();
+  }
+}
+
+Status BlsmTree::RunMerge1Pass() {
+  std::shared_ptr<MemTable> input_mem;
+  ComponentPtr old_c1;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    input_mem = options_.snowshovel ? mem_ : mem_old_;
+    old_c1 = c1_;
+  }
+  if (input_mem == nullptr) return Status::OK();
+
+  uint64_t input_total = input_mem->LiveBytes() +
+                         (old_c1 != nullptr ? old_c1->reader->data_bytes() : 0);
+  if (input_total == 0) {
+    // Nothing to do; clear C0' so the loop does not spin.
+    std::lock_guard<std::mutex> l(mu_);
+    if (!options_.snowshovel) mem_old_.reset();
+    return Status::OK();
+  }
+  progress1_.bytes_read.store(0);
+  progress1_.input_total.store(input_total);
+  progress1_.active.store(true);
+
+  uint64_t file_number;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    file_number = next_file_number_++;
+  }
+  std::string fname = Manifest::TreeFileName(dir_, file_number);
+  sstree::TreeBuilderOptions bopts;
+  bopts.block_size = options_.block_size;
+  bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
+  bopts.build_bloom = options_.use_bloom;
+  sstree::TreeBuilder builder(env_, fname, bopts);
+  Status s = builder.Open();
+  if (!s.ok()) {
+    progress1_.active.store(false);
+    return s;
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(NewMemTableIterator(input_mem));
+  if (old_c1 != nullptr) {
+    children.push_back(
+        NewTreeComponentIterator(old_c1->reader.get(), /*sequential=*/true));
+  }
+  MergingIterator merged(std::move(children));
+  merged.SeekToFirst();
+
+  uint64_t consumed = 0;
+  size_t since_check = 0;
+  std::string out_ikey;
+  while (merged.Valid()) {
+    GroupResult group;
+    s = CollapseGroup(&merged, merge_op_.get(), /*bottom=*/false, &consumed,
+                      &group);
+    if (!s.ok()) break;
+    progress1_.bytes_read.store(std::min(consumed, input_total));
+    if (group.emit) {
+      out_ikey.clear();
+      AppendInternalKey(&out_ikey, group.user_key, group.seq, group.type);
+      s = builder.Add(out_ikey, group.value);
+      if (!s.ok()) break;
+    }
+    if (++since_check >= options_.merge_batch_entries) {
+      since_check = 0;
+      if (!MergePauseWait(1)) {  // shutdown
+        builder.Abandon();
+        env_->RemoveFile(fname);
+        progress1_.active.store(false);
+        return Status::OK();
+      }
+    }
+  }
+  if (s.ok()) s = merged.status();
+  if (!s.ok()) {
+    builder.Abandon();
+    env_->RemoveFile(fname);
+    progress1_.active.store(false);
+    return s;
+  }
+
+  s = builder.Finish();
+  if (!s.ok()) {
+    env_->RemoveFile(fname);
+    progress1_.active.store(false);
+    return s;
+  }
+  stats_.merge1_bytes_out.fetch_add(builder.file_size(),
+                                    std::memory_order_relaxed);
+
+  ComponentPtr fresh;
+  s = OpenComponent(file_number, &fresh, options_.use_bloom);
+  if (!s.ok()) {
+    env_->RemoveFile(fname);
+    progress1_.active.store(false);
+    return s;
+  }
+
+  // Install, then decide the hand-off (promotion of C1 to C1'). The
+  // manifest write (an fsync) happens after mu_ is released; the replaced
+  // component is unlinked only once the new manifest is durable.
+  Manifest manifest;
+  uint64_t manifest_version;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    c1_ = fresh;
+    c1_data_bytes_.store(fresh->reader->data_bytes());
+    if (!options_.snowshovel) mem_old_.reset();
+
+    double r = CurrentR();
+    bool promote =
+        c1_prime_ == nullptr &&
+        (force_promote_.load() ||
+         c1_data_bytes_.load() >=
+             static_cast<uint64_t>(
+                 r * static_cast<double>(options_.c0_target_bytes)));
+    if (promote) {
+      c1_prime_ = c1_;
+      c1_.reset();
+      c1_data_bytes_.store(0);
+      force_promote_.store(false);
+    }
+    manifest = BuildManifestLocked(&manifest_version);
+  }
+  s = SaveManifest(manifest, manifest_version);
+  if (!s.ok()) {
+    progress1_.active.store(false);
+    return s;
+  }
+  if (old_c1 != nullptr) old_c1->obsolete.store(true);
+  work_cv_.notify_all();  // wake merge2 if we promoted
+
+  // Snowshovel: drop the consumed entries and reclaim arena memory, then
+  // truncate the log to the survivors.
+  //
+  // In kSync mode the writer exclusion must span the log restart too: a
+  // write whose old-log record is discarded by the truncation must be
+  // guaranteed to appear in the relogged survivor set. In kAsync mode the
+  // durability contract already tolerates losing an unsynced tail, so
+  // writers are excluded only for the (short) memtable swap and the fsync-
+  // bearing restart happens with writes flowing.
+  {
+    std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
+    std::shared_ptr<MemTable> survivors;
+    if (options_.snowshovel) {
+      survivors = input_mem->CompactUnconsumed();
+      std::lock_guard<std::mutex> l(mu_);
+      mem_ = survivors;
+    } else {
+      std::lock_guard<std::mutex> l(mu_);
+      survivors = mem_;
+    }
+    if (options_.durability == DurabilityMode::kSync) {
+      s = TruncateLog(survivors);
+    } else {
+      swap.unlock();
+      s = TruncateLog(survivors);
+    }
+  }
+  progress1_.active.store(false);
+  return s;
+}
+
+Status BlsmTree::TruncateLog(const std::shared_ptr<MemTable>& survivors) {
+  if (log_ == nullptr || log_->mode() == DurabilityMode::kNone) {
+    return Status::OK();
+  }
+  return log_->Restart([&](wal::LogWriter* w) -> Status {
+    MemTable::Iterator it(survivors.get());
+    std::string payload;
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      payload.clear();
+      PutLengthPrefixedSlice(&payload, it.internal_key());
+      PutLengthPrefixedSlice(&payload, it.value());
+      Status s = w->AddRecord(payload);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  });
+}
+
+void BlsmTree::Merge2Loop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!shutdown_.load()) {
+    if (c1_prime_ == nullptr) {
+      work_cv_.wait_for(l, std::chrono::milliseconds(20));
+      continue;
+    }
+    merge2_running_ = true;
+    l.unlock();
+    Status s = RunMerge2Pass();
+    l.lock();
+    merge2_running_ = false;
+    if (!s.ok() && !shutdown_.load()) bg_error_ = s;
+    stats_.merge2_passes.fetch_add(1, std::memory_order_relaxed);
+    idle_cv_.notify_all();
+  }
+}
+
+Status BlsmTree::RunMerge2Pass() {
+  ComponentPtr input_c1p, old_c2;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    input_c1p = c1_prime_;
+    old_c2 = c2_;
+  }
+  if (input_c1p == nullptr) return Status::OK();
+
+  uint64_t input_total = input_c1p->reader->data_bytes() +
+                         (old_c2 != nullptr ? old_c2->reader->data_bytes() : 0);
+  progress2_.bytes_read.store(0);
+  progress2_.input_total.store(std::max<uint64_t>(input_total, 1));
+  progress2_.active.store(true);
+
+  uint64_t file_number;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    file_number = next_file_number_++;
+  }
+  std::string fname = Manifest::TreeFileName(dir_, file_number);
+  sstree::TreeBuilderOptions bopts;
+  bopts.block_size = options_.block_size;
+  bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
+  // §3.1.2: the largest component's filter is what makes "insert if not
+  // exists" seek-free; bloom_on_largest=false is the ablation.
+  bopts.build_bloom = options_.use_bloom && options_.bloom_on_largest;
+  sstree::TreeBuilder builder(env_, fname, bopts);
+  Status s = builder.Open();
+  if (!s.ok()) {
+    progress2_.active.store(false);
+    return s;
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(
+      NewTreeComponentIterator(input_c1p->reader.get(), /*sequential=*/true));
+  if (old_c2 != nullptr) {
+    children.push_back(
+        NewTreeComponentIterator(old_c2->reader.get(), /*sequential=*/true));
+  }
+  MergingIterator merged(std::move(children));
+  merged.SeekToFirst();
+
+  uint64_t consumed = 0;
+  size_t since_check = 0;
+  std::string out_ikey;
+  while (merged.Valid()) {
+    GroupResult group;
+    s = CollapseGroup(&merged, merge_op_.get(), /*bottom=*/true, &consumed,
+                      &group);
+    if (!s.ok()) break;
+    progress2_.bytes_read.store(
+        std::min(consumed, progress2_.input_total.load()));
+    if (group.emit) {
+      out_ikey.clear();
+      AppendInternalKey(&out_ikey, group.user_key, group.seq, group.type);
+      s = builder.Add(out_ikey, group.value);
+      if (!s.ok()) break;
+    }
+    if (++since_check >= options_.merge_batch_entries) {
+      since_check = 0;
+      if (!MergePauseWait(2)) {
+        builder.Abandon();
+        env_->RemoveFile(fname);
+        progress2_.active.store(false);
+        return Status::OK();
+      }
+    }
+  }
+  if (s.ok()) s = merged.status();
+  if (!s.ok()) {
+    builder.Abandon();
+    env_->RemoveFile(fname);
+    progress2_.active.store(false);
+    return s;
+  }
+
+  s = builder.Finish();
+  if (!s.ok()) {
+    env_->RemoveFile(fname);
+    progress2_.active.store(false);
+    return s;
+  }
+  stats_.merge2_bytes_out.fetch_add(builder.file_size(),
+                                    std::memory_order_relaxed);
+
+  ComponentPtr fresh;
+  s = OpenComponent(file_number, &fresh, options_.use_bloom);
+  if (!s.ok()) {
+    env_->RemoveFile(fname);
+    progress2_.active.store(false);
+    return s;
+  }
+
+  Manifest manifest;
+  uint64_t manifest_version;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    c2_ = fresh;
+    c1_prime_.reset();
+    manifest = BuildManifestLocked(&manifest_version);
+  }
+  s = SaveManifest(manifest, manifest_version);
+  if (!s.ok()) {
+    progress2_.active.store(false);
+    return s;
+  }
+  // Inputs become garbage only after the manifest that drops them is
+  // durable (a crash in between must still find them referenced).
+  if (old_c2 != nullptr) old_c2->obsolete.store(true);
+  input_c1p->obsolete.store(true);
+  progress2_.active.store(false);
+  work_cv_.notify_all();
+  return Status::OK();
+}
+
+Manifest BlsmTree::BuildManifestLocked(uint64_t* version) {
+  Manifest manifest;
+  manifest.next_file_number = next_file_number_;
+  manifest.last_sequence = last_seq_.load();
+  if (c1_ != nullptr) {
+    manifest.components.push_back(
+        {Manifest::Slot::kC1, c1_->file_number});
+  }
+  if (c1_prime_ != nullptr) {
+    manifest.components.push_back(
+        {Manifest::Slot::kC1Prime, c1_prime_->file_number});
+  }
+  if (c2_ != nullptr) {
+    manifest.components.push_back(
+        {Manifest::Slot::kC2, c2_->file_number});
+  }
+  *version = ++manifest_build_version_;
+  return manifest;
+}
+
+Status BlsmTree::SaveManifest(const Manifest& manifest, uint64_t version) {
+  std::lock_guard<std::mutex> l(manifest_io_mu_);
+  if (version <= manifest_written_version_) {
+    // A newer snapshot has already been written (the other merge thread
+    // installed after us but reached the file first).
+    return Status::OK();
+  }
+  Status s = manifest.Save(env_, dir_);
+  if (s.ok()) manifest_written_version_ = version;
+  return s;
+}
+
+// --- maintenance entry points -------------------------------------------------
+
+Status BlsmTree::Flush() {
+  pacing_override_.fetch_add(1);
+  uint64_t target;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    if (!bg_error_.ok()) {
+      pacing_override_.fetch_sub(1);
+      return bg_error_;
+    }
+    merge1_requested_ = true;
+    // A pass already in flight snapshotted its inputs before this request;
+    // only a pass that starts afterwards is guaranteed to cover everything.
+    target = stats_.merge1_passes.load() + (merge1_running_ ? 2 : 1);
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> l(mu_);
+  while (!(shutdown_.load() || !bg_error_.ok() ||
+           stats_.merge1_passes.load() >= target)) {
+    work_cv_.notify_all();
+    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
+  }
+  pacing_override_.fetch_sub(1);
+  return bg_error_;
+}
+
+Status BlsmTree::CompactToBottom() {
+  Status s = Flush();
+  if (!s.ok()) return s;
+  force_promote_.store(true);
+  // A second pass performs the promotion (it may have no data to merge).
+  s = Flush();
+  if (!s.ok()) {
+    force_promote_.store(false);
+    return s;
+  }
+  // Wait for merge2 to drain C1'.
+  pacing_override_.fetch_add(1);
+  std::unique_lock<std::mutex> l(mu_);
+  while (!(shutdown_.load() || !bg_error_.ok() ||
+           (c1_prime_ == nullptr && !merge2_running_))) {
+    work_cv_.notify_all();
+    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
+  }
+  force_promote_.store(false);
+  pacing_override_.fetch_sub(1);
+  return bg_error_;
+}
+
+void BlsmTree::WaitForMergeIdle() {
+  // Drain at full speed: pacing is meant to shape concurrent workloads, not
+  // to make an idle wait last forever.
+  pacing_override_.fetch_add(1);
+  std::unique_lock<std::mutex> l(mu_);
+  while (true) {
+    bool done = [&] {
+      if (shutdown_.load() || !bg_error_.ok()) return true;
+      if (merge1_running_ || merge2_running_) return false;
+      uint64_t live = mem_->LiveBytes();
+      bool pending1 =
+          options_.snowshovel
+              ? live >= static_cast<uint64_t>(
+                            options_.low_watermark *
+                            static_cast<double>(options_.c0_target_bytes))
+              : (mem_old_ != nullptr || live >= options_.c0_target_bytes);
+      return !pending1 && c1_prime_ == nullptr;
+    }();
+    if (done) break;
+    work_cv_.notify_all();
+    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
+  }
+  pacing_override_.fetch_sub(1);
+}
+
+}  // namespace blsm

@@ -1,0 +1,337 @@
+#ifndef BLSM_LSM_BLSM_TREE_H_
+#define BLSM_LSM_BLSM_TREE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buffer/block_cache.h"
+#include "io/env.h"
+#include "lsm/manifest.h"
+#include "lsm/merge_iterator.h"
+#include "lsm/merge_operator.h"
+#include "lsm/merge_scheduler.h"
+#include "lsm/record.h"
+#include "memtable/memtable.h"
+#include "sstree/tree_reader.h"
+#include "util/status.h"
+#include "wal/logical_log.h"
+
+namespace blsm {
+
+class ScanIterator;
+
+// Tuning and ablation knobs. Defaults match the paper's design: three-level
+// tree, Bloom filters on both on-disk components, snowshoveling, spring-and-
+// gear scheduling, async logical logging (§5.1).
+struct BlsmOptions {
+  Env* env = nullptr;  // nullptr -> Env::Default()
+
+  // Geometry. R is derived per merge pass as sqrt(|data| / c0_target) and
+  // clamped to at least min_r (§2.3.1's optimal exponential sizing with
+  // N = 3 levels).
+  size_t c0_target_bytes = 8 << 20;
+  double min_r = 2.0;
+
+  size_t block_size = 4096;  // Appendix A.2
+  size_t block_cache_bytes = 32 << 20;
+
+  // §3.1 Bloom filters. bloom_on_largest=false removes only C2's filter —
+  // the ablation for §3.1.2's zero-seek "insert if not exists".
+  bool use_bloom = true;
+  double bloom_bits_per_key = 10.0;
+  bool bloom_on_largest = true;
+
+  // §3.1.1 early read termination (ablation: when false, point reads visit
+  // every component and reconstruct by sequence number).
+  bool early_read_termination = true;
+
+  // §4.2 snowshoveling. When false, C0 is partitioned into C0/C0' as the
+  // plain gear scheduler requires.
+  bool snowshovel = true;
+
+  SchedulerKind scheduler = SchedulerKind::kSpringGear;
+  double low_watermark = 0.50;   // spring: fraction of c0_target
+  double high_watermark = 0.95;
+
+  DurabilityMode durability = DurabilityMode::kAsync;
+
+  // Interprets delta records; default AppendMergeOperator.
+  std::shared_ptr<const MergeOperator> merge_operator;
+
+  // Entries a merge processes between scheduler checks.
+  size_t merge_batch_entries = 512;
+
+  // External block cache to share across trees (else the tree makes its
+  // own of block_cache_bytes).
+  std::shared_ptr<BlockCache> shared_block_cache;
+};
+
+// Counters exposed for tests and the benchmark harness.
+struct BlsmStats {
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> deltas{0};
+  std::atomic<uint64_t> insert_if_not_exists{0};
+  std::atomic<uint64_t> bloom_skips{0};  // component probes avoided
+  std::atomic<uint64_t> write_stall_micros{0};
+  std::atomic<uint64_t> merge1_passes{0};
+  std::atomic<uint64_t> merge2_passes{0};
+  std::atomic<uint64_t> merge1_bytes_out{0};
+  std::atomic<uint64_t> merge2_bytes_out{0};
+};
+
+// bLSM: a three-level log structured merge tree with Bloom filters, early
+// read termination, snowshoveling, and level merge scheduling (Figure 1).
+//
+// Concurrency model: any number of application threads may call the write
+// and read operations; two background threads run the C0:C1 and C1':C2
+// merges. A short mutex protects the component pointers; reads operate on a
+// shared_ptr snapshot and never block merges.
+class BlsmTree {
+ public:
+  static Status Open(const BlsmOptions& options, const std::string& dir,
+                     std::unique_ptr<BlsmTree>* out);
+
+  ~BlsmTree();
+  BlsmTree(const BlsmTree&) = delete;
+  BlsmTree& operator=(const BlsmTree&) = delete;
+
+  // Blind write of a complete value: zero seeks (Table 1).
+  Status Put(const Slice& key, const Slice& value);
+
+  // Blind delete (tombstone).
+  Status Delete(const Slice& key);
+
+  // Blind delta write, interpreted by the MergeOperator: zero seeks.
+  Status WriteDelta(const Slice& key, const Slice& delta);
+
+  // §3.1.2: returns KeyExists without writing if the key is present. With
+  // Bloom filters on every component (including C2) the not-exists path
+  // costs zero seeks.
+  Status InsertIfNotExists(const Slice& key, const Slice& value);
+
+  // Point lookup; ~1 seek (§3.1.1). NotFound if absent or deleted.
+  Status Get(const Slice& key, std::string* value);
+
+  // Batched point lookups against one consistent snapshot of the tree:
+  // values->at(i) and the returned status i correspond to keys[i]. Bloom
+  // filters skip components per key as in Get.
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values);
+
+  // Read-modify-write convenience: Get (NotFound -> absent=true), then Put
+  // what the callback returns. One seek total (Table 1): the write is blind.
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string& old, bool absent)>&
+          update);
+
+  // Range scan from `start` (inclusive): up to `limit` user records, newest
+  // versions, deltas applied, tombstones elided. Touches every component
+  // (§3.3): 2-3 seeks regardless of scan length.
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  // Streaming scan; see ScanIterator below.
+  std::unique_ptr<ScanIterator> NewScanIterator();
+
+  // Pushes C0 into C1 and waits (one synchronous merge pass).
+  Status Flush();
+
+  // Pushes everything into C2 (flush, force-promote, merge) and waits.
+  Status CompactToBottom();
+
+  // Blocks until both merge threads are idle and no trigger is pending.
+  void WaitForMergeIdle();
+
+  // Progress/estimator snapshot (also how tests validate the schedulers).
+  SchedulerState ComputeSchedulerState() const;
+
+  const BlsmStats& stats() const { return stats_; }
+
+  // Current on-disk footprint (bytes of data blocks across components).
+  uint64_t OnDiskBytes() const;
+  uint64_t C0LiveBytes() const;
+
+  Status BackgroundError() const;
+
+ private:
+  // An immutable on-disk component; unlinks its file when the last reference
+  // drops after obsolescence (readers may outlive the merge that replaced
+  // it).
+  struct Component {
+    Env* env = nullptr;
+    std::string fname;
+    uint64_t file_number = 0;
+    std::unique_ptr<sstree::TreeReader> reader;
+    std::atomic<bool> obsolete{false};
+
+    ~Component() {
+      if (obsolete.load()) env->RemoveFile(fname);
+    }
+  };
+  using ComponentPtr = std::shared_ptr<Component>;
+
+  struct MergeProgress {
+    std::atomic<bool> active{false};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> input_total{1};
+
+    double inprogress() const {
+      uint64_t total = input_total.load(std::memory_order_relaxed);
+      if (total == 0) return 1.0;
+      double p = static_cast<double>(bytes_read.load(std::memory_order_relaxed)) /
+                 static_cast<double>(total);
+      return p > 1.0 ? 1.0 : p;
+    }
+  };
+
+  // Read-path snapshot of the tree shape.
+  struct Snapshot {
+    std::shared_ptr<MemTable> mem;
+    std::shared_ptr<MemTable> mem_old;
+    ComponentPtr c1, c1_prime, c2;
+  };
+
+  BlsmTree(const BlsmOptions& options, std::string dir);
+
+  Status OpenImpl();
+  Status OpenComponent(uint64_t file_number, ComponentPtr* out,
+                       bool with_bloom_expected) const;
+  Snapshot GetSnapshot() const;
+
+  Status WriteImpl(const Slice& key, RecordType type, const Slice& value);
+  void ApplyBackpressure();
+
+  // Existence probe for InsertIfNotExists. Sets *exists; may perform seeks
+  // only when a Bloom filter admits the key.
+  Status KeyExistsProbe(const Slice& key, const Snapshot& snap, bool* exists);
+
+  Status GetWithEarlyTermination(const Slice& key, const Snapshot& snap,
+                                 std::string* value);
+  Status GetExhaustive(const Slice& key, const Snapshot& snap,
+                       std::string* value);
+  Status FinishLookup(const Slice& key, bool have_base,
+                      const std::string& base,
+                      std::vector<std::string>& deltas_newest_first,
+                      std::string* value) const;
+
+  double CurrentR() const;
+  void MaybeScheduleMerge1();
+
+  // Background threads.
+  void Merge1Loop();
+  void Merge2Loop();
+  Status RunMerge1Pass();
+  Status RunMerge2Pass();
+  // Waits while the scheduler pauses the given merge; returns false on
+  // shutdown.
+  bool MergePauseWait(int which);
+  void RecordBackgroundError(const Status& s);
+
+  Status TruncateLog(const std::shared_ptr<MemTable>& survivors);
+
+  // Manifest writes happen OUTSIDE mu_ (an fsync under mu_ would stall every
+  // writer): the tree state is snapshotted under mu_ with a version number,
+  // and writes are serialized/deduplicated under manifest_io_mu_.
+  Manifest BuildManifestLocked(uint64_t* version);
+  Status SaveManifest(const Manifest& manifest, uint64_t version);
+
+  BlsmOptions options_;
+  std::string dir_;
+  Env* env_ = nullptr;
+  std::shared_ptr<BlockCache> cache_;
+  std::unique_ptr<MergeScheduler> scheduler_;
+  std::shared_ptr<const MergeOperator> merge_op_;
+  std::unique_ptr<LogicalLog> log_;
+
+  mutable std::mutex mu_;  // protects the fields below
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> mem_old_;  // C0' (non-snowshovel modes)
+  ComponentPtr c1_, c1_prime_, c2_;
+  uint64_t next_file_number_ = 1;
+  Status bg_error_;
+  // Overrides merge pacing: set while a foreground compaction or idle-wait
+  // must drain the tree at full speed.
+  std::atomic<bool> force_promote_{false};
+  std::atomic<int> pacing_override_{0};
+
+  // Writers hold this shared while inserting into mem_ so the snowshovel
+  // compaction (which swaps mem_) can exclude them briefly.
+  mutable std::shared_mutex mem_swap_mu_;
+
+  std::atomic<uint64_t> last_seq_{0};
+  std::atomic<uint64_t> c1_data_bytes_{0};  // cached for the scheduler
+
+  MergeProgress progress1_;
+  MergeProgress progress2_;
+
+  uint64_t manifest_build_version_ = 0;  // under mu_
+  std::mutex manifest_io_mu_;
+  uint64_t manifest_written_version_ = 0;  // under manifest_io_mu_
+
+  std::condition_variable work_cv_;   // wakes merge threads
+  std::condition_variable idle_cv_;   // signals pass completion
+  bool merge1_requested_ = false;
+  bool merge1_running_ = false;
+  bool merge2_running_ = false;
+  std::atomic<bool> shutdown_{false};
+
+  std::thread merge1_thread_;
+  std::thread merge2_thread_;
+
+  BlsmStats stats_;
+
+  friend class ScanIterator;
+};
+
+// User-facing streaming scan: merges all components, collapses versions,
+// applies deltas, elides tombstones.
+class ScanIterator {
+ public:
+  // Also constructed directly by other engines (the multilevel baseline)
+  // that share the record semantics: `iter` yields internal-key order,
+  // `pins` keeps the underlying components alive.
+  ScanIterator(std::unique_ptr<InternalIterator> iter,
+               std::shared_ptr<const MergeOperator> merge_op,
+               std::vector<std::shared_ptr<void>> pins);
+
+  ScanIterator(const ScanIterator&) = delete;
+  ScanIterator& operator=(const ScanIterator&) = delete;
+
+  bool Valid() const { return valid_; }
+  void SeekToFirst();
+  void Seek(const Slice& user_key);
+  void Next();
+
+  Slice key() const { return key_; }
+  Slice value() const { return value_; }
+  Status status() const { return status_; }
+
+ private:
+  friend class BlsmTree;
+
+  // Collapses the versions at the iterator's current position into one user
+  // record; advances past them. Skips deleted keys.
+  void CollapseCurrent();
+
+  std::unique_ptr<InternalIterator> iter_;
+  std::shared_ptr<const MergeOperator> merge_op_;
+  std::vector<std::shared_ptr<void>> pins_;  // keeps components alive
+  bool valid_ = false;
+  std::string key_;
+  std::string value_;
+  Status status_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_LSM_BLSM_TREE_H_

@@ -1,0 +1,123 @@
+#include "lsm/collapse.h"
+
+#include <vector>
+
+namespace blsm {
+
+Status CollapseGroup(InternalIterator* it, const MergeOperator* op,
+                     bool bottom, uint64_t* bytes_consumed, GroupResult* out) {
+  ParsedInternalKey first;
+  if (!ParseInternalKey(it->key(), &first)) {
+    return Status::Corruption("bad internal key in merge input");
+  }
+  out->user_key.assign(first.user_key.data(), first.user_key.size());
+  out->seq = first.seq;
+
+  bool have_base = false;
+  bool have_tombstone = false;
+  std::string base;
+  std::vector<std::string> deltas_newest_first;
+
+  while (it->Valid()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(it->key(), &parsed)) {
+      return Status::Corruption("bad internal key in merge input");
+    }
+    if (parsed.user_key != Slice(out->user_key)) break;
+
+    *bytes_consumed += it->key().size() + it->value().size() + 8;
+    if (!have_base && !have_tombstone) {
+      switch (parsed.type) {
+        case RecordType::kBase:
+          base.assign(it->value().data(), it->value().size());
+          have_base = true;
+          break;
+        case RecordType::kTombstone:
+          have_tombstone = true;
+          break;
+        case RecordType::kDelta:
+          deltas_newest_first.emplace_back(it->value().data(),
+                                           it->value().size());
+          break;
+      }
+    }
+    // Versions older than the first base/tombstone are shadowed: reads can
+    // never observe them (§3.1.1), so the merge drops them.
+    it->MarkConsumed();
+    it->Next();
+  }
+
+  std::vector<Slice> deltas_oldest_first;
+  deltas_oldest_first.reserve(deltas_newest_first.size());
+  for (auto rit = deltas_newest_first.rbegin();
+       rit != deltas_newest_first.rend(); ++rit) {
+    deltas_oldest_first.emplace_back(*rit);
+  }
+
+  if (have_base) {
+    out->emit = true;
+    out->type = RecordType::kBase;
+    if (deltas_oldest_first.empty()) {
+      out->value = std::move(base);
+    } else {
+      Slice base_slice(base);
+      if (!op->FullMerge(out->user_key, &base_slice, deltas_oldest_first,
+                         &out->value)) {
+        return Status::Corruption("merge operator rejected operands");
+      }
+    }
+    return Status::OK();
+  }
+
+  if (have_tombstone) {
+    if (!deltas_oldest_first.empty()) {
+      // Deltas newer than the tombstone define the value from scratch.
+      out->emit = true;
+      out->type = RecordType::kBase;
+      if (!op->FullMerge(out->user_key, nullptr, deltas_oldest_first,
+                         &out->value)) {
+        return Status::Corruption("merge operator rejected operands");
+      }
+    } else if (bottom) {
+      out->emit = false;  // nothing below C2 to shadow
+    } else {
+      out->emit = true;
+      out->type = RecordType::kTombstone;
+      out->value.clear();
+    }
+    return Status::OK();
+  }
+
+  // Deltas only.
+  if (deltas_oldest_first.empty()) {
+    out->emit = false;  // empty group (cannot happen, but be safe)
+    return Status::OK();
+  }
+  if (bottom) {
+    out->emit = true;
+    out->type = RecordType::kBase;
+    if (!op->FullMerge(out->user_key, nullptr, deltas_oldest_first,
+                       &out->value)) {
+      return Status::Corruption("merge operator rejected operands");
+    }
+    return Status::OK();
+  }
+  // Middle level: collapse the delta chain with partial merges so the
+  // component keeps at most one record per key.
+  std::string acc(deltas_oldest_first[0].data(), deltas_oldest_first[0].size());
+  for (size_t i = 1; i < deltas_oldest_first.size(); i++) {
+    std::string combined;
+    if (!op->PartialMerge(out->user_key, acc, deltas_oldest_first[i],
+                          &combined)) {
+      return Status::Corruption("merge operator cannot partial-merge");
+    }
+    acc = std::move(combined);
+  }
+  out->emit = true;
+  out->type = RecordType::kDelta;
+  out->value = std::move(acc);
+  return Status::OK();
+}
+
+
+}  // namespace blsm

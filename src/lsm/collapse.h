@@ -1,0 +1,43 @@
+#ifndef BLSM_LSM_COLLAPSE_H_
+#define BLSM_LSM_COLLAPSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/merge_iterator.h"
+#include "lsm/merge_operator.h"
+#include "util/status.h"
+
+namespace blsm {
+
+// Result of folding all versions of one user key into at most one output
+// record during a merge or compaction.
+struct GroupResult {
+  bool emit = false;
+  RecordType type = RecordType::kBase;
+  SequenceNumber seq = 0;
+  std::string user_key;
+  std::string value;
+};
+
+// Consumes every version of the user key at `it`'s current position (the
+// iterator must be positioned at the newest version; on return it sits on
+// the next user key) and folds them into at most one record:
+//
+//  * a base record absorbs newer deltas via FullMerge;
+//  * deltas above a tombstone define the value from scratch;
+//  * `bottom` selects bottom-component semantics (tombstones are dropped,
+//    orphan deltas are materialized into base records); otherwise tombstones
+//    are retained to shadow older components and delta chains are collapsed
+//    with PartialMerge;
+//  * versions older than the first base/tombstone are shadowed and dropped.
+//
+// Each consumed input record adds its encoded size to *bytes_consumed (the
+// merge schedulers' inprogress numerator) and is MarkConsumed()ed (the
+// snowshovel hook; a no-op for on-disk inputs).
+Status CollapseGroup(InternalIterator* it, const MergeOperator* op,
+                     bool bottom, uint64_t* bytes_consumed, GroupResult* out);
+
+}  // namespace blsm
+
+#endif  // BLSM_LSM_COLLAPSE_H_

@@ -1,0 +1,97 @@
+#include "lsm/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace blsm {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0xb15a11feu;
+constexpr uint32_t kFormatVersion = 1;
+}  // namespace
+
+void Manifest::EncodeTo(std::string* dst) const {
+  std::string body;
+  PutFixed32(&body, kManifestMagic);
+  PutFixed32(&body, kFormatVersion);
+  PutVarint64(&body, next_file_number);
+  PutVarint64(&body, last_sequence);
+  PutVarint32(&body, static_cast<uint32_t>(components.size()));
+  for (const auto& c : components) {
+    body.push_back(static_cast<char>(c.slot));
+    PutVarint64(&body, c.file_number);
+  }
+  PutFixed32(&body, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  *dst = std::move(body);
+}
+
+Status Manifest::DecodeFrom(const Slice& data) {
+  if (data.size() < 12) return Status::Corruption("manifest too short");
+  Slice body(data.data(), data.size() - 4);
+  uint32_t stored = crc32c::Unmask(DecodeFixed32(data.data() + body.size()));
+  if (stored != crc32c::Value(body.data(), body.size())) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  uint32_t magic, version, count;
+  if (!GetFixed32(&body, &magic) || magic != kManifestMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  if (!GetFixed32(&body, &version) || version != kFormatVersion) {
+    return Status::Corruption("unsupported manifest version");
+  }
+  if (!GetVarint64(&body, &next_file_number) ||
+      !GetVarint64(&body, &last_sequence) || !GetVarint32(&body, &count)) {
+    return Status::Corruption("truncated manifest");
+  }
+  components.clear();
+  for (uint32_t i = 0; i < count; i++) {
+    if (body.empty()) return Status::Corruption("truncated component list");
+    auto slot = static_cast<Slot>(body[0]);
+    body.remove_prefix(1);
+    if (slot != Slot::kC1 && slot != Slot::kC1Prime && slot != Slot::kC2) {
+      return Status::Corruption("bad component slot");
+    }
+    uint64_t file_number;
+    if (!GetVarint64(&body, &file_number)) {
+      return Status::Corruption("truncated component entry");
+    }
+    components.push_back(ComponentEntry{slot, file_number});
+  }
+  return Status::OK();
+}
+
+Status Manifest::Save(Env* env, const std::string& dir) const {
+  std::string encoded;
+  EncodeTo(&encoded);
+  std::string tmp = dir + "/MANIFEST.tmp";
+  Status s = WriteStringToFile(env, encoded, tmp, /*sync=*/true);
+  if (!s.ok()) return s;
+  return env->RenameFile(tmp, FileName(dir));
+}
+
+Status Manifest::Load(Env* env, const std::string& dir, Manifest* out) {
+  std::string data;
+  Status s = ReadFileToString(env, FileName(dir), &data);
+  if (!s.ok()) return s;
+  return out->DecodeFrom(data);
+}
+
+std::string Manifest::FileName(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+std::string Manifest::TreeFileName(const std::string& dir,
+                                   uint64_t file_number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06" PRIu64 ".tree", file_number);
+  return dir + buf;
+}
+
+std::string Manifest::LogFileName(const std::string& dir) {
+  return dir + "/wal.log";
+}
+
+}  // namespace blsm

@@ -1,0 +1,52 @@
+#ifndef BLSM_LSM_MANIFEST_H_
+#define BLSM_LSM_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "util/status.h"
+
+namespace blsm {
+
+// The manifest is the physically consistent root of the tree (§4.4.2): it
+// names the live on-disk components. Merges build their output file, sync
+// it, then commit by atomically replacing the manifest (write temp + fsync +
+// rename). After a crash the tree described by the manifest is intact;
+// un-referenced files are garbage from in-flight merges and are deleted on
+// open. Recent writes are recovered from the logical log.
+struct Manifest {
+  // Which architectural slot (Figure 1) a component occupies.
+  enum class Slot : uint8_t {
+    kC1 = 1,       // output side of the C0:C1 merge
+    kC1Prime = 2,  // frozen, being consumed by the C1':C2 merge
+    kC2 = 3,       // the largest component
+  };
+
+  struct ComponentEntry {
+    Slot slot;
+    uint64_t file_number;
+  };
+
+  uint64_t next_file_number = 1;
+  uint64_t last_sequence = 0;
+  std::vector<ComponentEntry> components;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& data);
+
+  // Atomic write: <dir>/MANIFEST.tmp + sync + rename to <dir>/MANIFEST.
+  Status Save(Env* env, const std::string& dir) const;
+  // NotFound if no manifest exists (fresh database).
+  static Status Load(Env* env, const std::string& dir, Manifest* out);
+
+  static std::string FileName(const std::string& dir);
+  static std::string TreeFileName(const std::string& dir,
+                                  uint64_t file_number);
+  static std::string LogFileName(const std::string& dir);
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_LSM_MANIFEST_H_

@@ -1,0 +1,65 @@
+#include "lsm/merge_operator.h"
+
+#include <cstring>
+
+namespace blsm {
+
+bool AppendMergeOperator::PartialMerge(const Slice& key,
+                                       const Slice& older_delta,
+                                       const Slice& newer_delta,
+                                       std::string* result) const {
+  (void)key;
+  result->assign(older_delta.data(), older_delta.size());
+  result->append(newer_delta.data(), newer_delta.size());
+  return true;
+}
+
+bool AppendMergeOperator::FullMerge(const Slice& key, const Slice* base,
+                                    const std::vector<Slice>& deltas,
+                                    std::string* result) const {
+  (void)key;
+  result->clear();
+  if (base != nullptr) result->assign(base->data(), base->size());
+  for (const Slice& d : deltas) result->append(d.data(), d.size());
+  return true;
+}
+
+std::string Int64AddMergeOperator::Encode(int64_t v) {
+  std::string s(sizeof(v), '\0');
+  memcpy(s.data(), &v, sizeof(v));
+  return s;
+}
+
+bool Int64AddMergeOperator::Decode(const Slice& s, int64_t* v) {
+  if (s.size() != sizeof(*v)) return false;
+  memcpy(v, s.data(), sizeof(*v));
+  return true;
+}
+
+bool Int64AddMergeOperator::PartialMerge(const Slice& key,
+                                         const Slice& older_delta,
+                                         const Slice& newer_delta,
+                                         std::string* result) const {
+  (void)key;
+  int64_t a, b;
+  if (!Decode(older_delta, &a) || !Decode(newer_delta, &b)) return false;
+  *result = Encode(a + b);
+  return true;
+}
+
+bool Int64AddMergeOperator::FullMerge(const Slice& key, const Slice* base,
+                                      const std::vector<Slice>& deltas,
+                                      std::string* result) const {
+  (void)key;
+  int64_t acc = 0;
+  if (base != nullptr && !Decode(*base, &acc)) return false;
+  for (const Slice& d : deltas) {
+    int64_t v;
+    if (!Decode(d, &v)) return false;
+    acc += v;
+  }
+  *result = Encode(acc);
+  return true;
+}
+
+}  // namespace blsm

@@ -1,0 +1,68 @@
+#ifndef BLSM_LSM_MERGE_OPERATOR_H_
+#define BLSM_LSM_MERGE_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace blsm {
+
+// Interprets delta records (§2.3 "apply delta to record": zero-seek partial
+// updates). Applications that write deltas instead of base records avoid the
+// read-modify-write seek; the tree applies deltas lazily at merge time or at
+// read time.
+class MergeOperator {
+ public:
+  virtual ~MergeOperator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Combines two deltas into one (older applied first). Enables merges to
+  // collapse delta chains without the base record. Returns false if the pair
+  // cannot be combined, in which case both deltas are retained.
+  virtual bool PartialMerge(const Slice& key, const Slice& older_delta,
+                            const Slice& newer_delta,
+                            std::string* result) const = 0;
+
+  // Applies deltas (oldest first) to an optional base value. `base` is
+  // nullptr when the key has no base record (delta against missing value).
+  // Returns false on malformed operands; the record is then treated as
+  // corrupt.
+  virtual bool FullMerge(const Slice& key, const Slice* base,
+                         const std::vector<Slice>& deltas_oldest_first,
+                         std::string* result) const = 0;
+};
+
+// Deltas are byte strings appended to the base value.
+class AppendMergeOperator final : public MergeOperator {
+ public:
+  std::string Name() const override { return "append"; }
+  bool PartialMerge(const Slice& key, const Slice& older_delta,
+                    const Slice& newer_delta,
+                    std::string* result) const override;
+  bool FullMerge(const Slice& key, const Slice* base,
+                 const std::vector<Slice>& deltas_oldest_first,
+                 std::string* result) const override;
+};
+
+// Values and deltas are little-endian int64; deltas add to the base.
+class Int64AddMergeOperator final : public MergeOperator {
+ public:
+  std::string Name() const override { return "int64add"; }
+  bool PartialMerge(const Slice& key, const Slice& older_delta,
+                    const Slice& newer_delta,
+                    std::string* result) const override;
+  bool FullMerge(const Slice& key, const Slice* base,
+                 const std::vector<Slice>& deltas_oldest_first,
+                 std::string* result) const override;
+
+  static std::string Encode(int64_t v);
+  static bool Decode(const Slice& s, int64_t* v);
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_LSM_MERGE_OPERATOR_H_

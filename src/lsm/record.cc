@@ -1,0 +1,8 @@
+#include "lsm/record.h"
+
+namespace blsm {
+
+// All record helpers are inline in record.h so that lower-level libraries
+// (memtable, sstree) can use them without linking against the core library.
+
+}  // namespace blsm

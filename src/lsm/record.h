@@ -1,0 +1,112 @@
+#ifndef BLSM_LSM_RECORD_H_
+#define BLSM_LSM_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace blsm {
+
+// Record taxonomy from §3.1.1: reads distinguish base records from deltas so
+// they can stop at the first base record ("early termination"), and
+// tombstones so deletes shadow older versions until they reach the bottom
+// component.
+enum class RecordType : uint8_t {
+  kTombstone = 0,  // deletion marker
+  kDelta = 1,      // partial update, interpreted by the MergeOperator
+  kBase = 2,       // complete value
+};
+
+// A sequence number orders all writes in the system. Write ordering across
+// tree levels is consistent with seqno order (§3.1.1), which is what makes
+// early read termination safe.
+using SequenceNumber = uint64_t;
+constexpr SequenceNumber kMaxSequenceNumber = (uint64_t{1} << 56) - 1;
+
+// An internal key is user_key + 8-byte trailer ((seqno << 8) | type).
+// Internal keys sort by (user_key ascending, seqno descending), so the
+// newest version of a key is encountered first by forward iteration.
+inline uint64_t PackSeqAndType(SequenceNumber seq, RecordType t) {
+  return (seq << 8) | static_cast<uint8_t>(t);
+}
+
+inline SequenceNumber UnpackSeq(uint64_t packed) { return packed >> 8; }
+inline RecordType UnpackType(uint64_t packed) {
+  return static_cast<RecordType>(packed & 0xff);
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber seq = 0;
+  RecordType type = RecordType::kBase;
+};
+
+inline void AppendInternalKey(std::string* dst, const Slice& user_key,
+                              SequenceNumber seq, RecordType t) {
+  dst->append(user_key.data(), user_key.size());
+  PutFixed64(dst, PackSeqAndType(seq, t));
+}
+
+inline bool ParseInternalKey(const Slice& ikey, ParsedInternalKey* out) {
+  if (ikey.size() < 8) return false;
+  uint64_t packed = DecodeFixed64(ikey.data() + ikey.size() - 8);
+  out->user_key = Slice(ikey.data(), ikey.size() - 8);
+  out->seq = UnpackSeq(packed);
+  out->type = UnpackType(packed);
+  return out->type <= RecordType::kBase;
+}
+
+inline Slice ExtractUserKey(const Slice& ikey) {
+  return Slice(ikey.data(), ikey.size() - 8);
+}
+
+// (user_key asc, seq desc, type desc): newest version first.
+inline int CompareInternalKey(const Slice& a, const Slice& b) {
+  Slice ua = ExtractUserKey(a);
+  Slice ub = ExtractUserKey(b);
+  int r = ua.compare(ub);
+  if (r != 0) return r;
+  uint64_t pa = DecodeFixed64(a.data() + a.size() - 8);
+  uint64_t pb = DecodeFixed64(b.data() + b.size() - 8);
+  // Higher (seq, type) sorts first: newest version wins ties.
+  if (pa > pb) return -1;
+  if (pa < pb) return +1;
+  return 0;
+}
+
+// An internal key that sorts at the newest possible version of `user_key`,
+// i.e. before every stored version. Used as a Seek target for point lookups.
+inline std::string InternalLookupKey(const Slice& user_key) {
+  std::string k;
+  AppendInternalKey(&k, user_key, kMaxSequenceNumber, RecordType::kBase);
+  return k;
+}
+
+// Flat encoding of one record, used by the memtable and the WAL:
+//   varint32 ikey_len | ikey | varint32 value_len | value
+inline void EncodeRecord(std::string* dst, const Slice& user_key,
+                         SequenceNumber seq, RecordType t, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(user_key.size() + 8));
+  AppendInternalKey(dst, user_key, seq, t);
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+struct DecodedRecord {
+  Slice internal_key;
+  Slice value;
+};
+
+// Parses a record at the front of *input, advancing it. Returns false on
+// malformed input.
+inline bool DecodeRecord(Slice* input, DecodedRecord* rec) {
+  if (!GetLengthPrefixedSlice(input, &rec->internal_key)) return false;
+  if (rec->internal_key.size() < 8) return false;
+  return GetLengthPrefixedSlice(input, &rec->value);
+}
+
+}  // namespace blsm
+
+#endif  // BLSM_LSM_RECORD_H_

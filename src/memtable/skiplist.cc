@@ -1,0 +1,174 @@
+#include "memtable/skiplist.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace blsm {
+
+struct SkipList::Node {
+  explicit Node(const char* e) : entry(e), consumed(false) {}
+
+  const char* const entry;
+  std::atomic<bool> consumed;
+
+  Node* Next(int n) { return next_[n].load(std::memory_order_acquire); }
+  void SetNext(int n, Node* x) { next_[n].store(x, std::memory_order_release); }
+  Node* NoBarrierNext(int n) {
+    return next_[n].load(std::memory_order_relaxed);
+  }
+  void NoBarrierSetNext(int n, Node* x) {
+    next_[n].store(x, std::memory_order_relaxed);
+  }
+
+  // Variable-length tail: next_[0..height-1]; allocated inline by NewNode.
+  std::atomic<Node*> next_[1];
+};
+
+namespace {
+
+// Extracts the internal key from an encoded record entry.
+Slice EntryInternalKey(const char* entry) {
+  uint32_t len;
+  const char* p = GetVarint32Ptr(entry, entry + 5, &len);
+  return Slice(p, len);
+}
+
+}  // namespace
+
+SkipList::SkipList(Arena* arena)
+    : arena_(arena),
+      head_(NewNode(nullptr, kMaxHeight)),
+      max_height_(1),
+      rnd_(0xdeadbeef),
+      count_(0) {
+  for (int i = 0; i < kMaxHeight; i++) head_->SetNext(i, nullptr);
+}
+
+SkipList::Node* SkipList::NewNode(const char* entry, int height) {
+  char* mem = arena_->AllocateAligned(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (mem) Node(entry);
+}
+
+int SkipList::RandomHeight() {
+  static constexpr unsigned kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(kBranching)) height++;
+  return height;
+}
+
+int SkipList::Compare(const char* entry_a, const Slice& ikey_b) {
+  return CompareInternalKey(EntryInternalKey(entry_a), ikey_b);
+}
+
+SkipList::Node* SkipList::FindGreaterOrEqual(const Slice& target,
+                                             Node** prev) const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next != nullptr && Compare(next->entry, target) < 0) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      level--;
+    }
+  }
+}
+
+SkipList::Node* SkipList::FindLessThan(const Slice& target) const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next == nullptr || Compare(next->entry, target) >= 0) {
+      if (level == 0) return x == head_ ? nullptr : x;
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+SkipList::Node* SkipList::FindLast() const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next == nullptr) {
+      if (level == 0) return x == head_ ? nullptr : x;
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+void SkipList::Insert(const char* entry) {
+  Node* prev[kMaxHeight];
+  Slice ikey = EntryInternalKey(entry);
+  Node* x = FindGreaterOrEqual(ikey, prev);
+
+  // Sequence numbers make internal keys unique.
+  assert(x == nullptr || Compare(x->entry, ikey) != 0);
+  (void)x;
+
+  int height = RandomHeight();
+  int cur_max = max_height_.load(std::memory_order_relaxed);
+  if (height > cur_max) {
+    for (int i = cur_max; i < height; i++) prev[i] = head_;
+    // Racing readers will see either the old or new height; both are safe
+    // because new levels point through head_.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  Node* n = NewNode(entry, height);
+  for (int i = 0; i < height; i++) {
+    n->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
+    prev[i]->SetNext(i, n);  // release: publishes the node
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SkipList::Contains(const char* entry) const {
+  Slice ikey = EntryInternalKey(entry);
+  Node* x = FindGreaterOrEqual(ikey, nullptr);
+  return x != nullptr && Compare(x->entry, ikey) == 0;
+}
+
+// --- Iterator ---------------------------------------------------------------
+
+const char* SkipList::Iterator::entry() const {
+  return static_cast<Node*>(node_)->entry;
+}
+
+void SkipList::Iterator::Next() {
+  node_ = static_cast<Node*>(node_)->Next(0);
+}
+
+void SkipList::Iterator::Prev() {
+  Node* n = static_cast<Node*>(node_);
+  node_ = list_->FindLessThan(EntryInternalKey(n->entry));
+}
+
+void SkipList::Iterator::Seek(const Slice& target) {
+  node_ = list_->FindGreaterOrEqual(target, nullptr);
+}
+
+void SkipList::Iterator::SeekToFirst() {
+  node_ = list_->head_->Next(0);
+}
+
+void SkipList::Iterator::SeekToLast() { node_ = list_->FindLast(); }
+
+void SkipList::Iterator::MarkConsumed() {
+  static_cast<Node*>(node_)->consumed.store(true, std::memory_order_relaxed);
+}
+
+bool SkipList::Iterator::IsConsumed() const {
+  return static_cast<Node*>(node_)->consumed.load(std::memory_order_relaxed);
+}
+
+}  // namespace blsm

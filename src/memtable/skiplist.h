@@ -1,0 +1,88 @@
+#ifndef BLSM_MEMTABLE_SKIPLIST_H_
+#define BLSM_MEMTABLE_SKIPLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "lsm/record.h"
+#include "util/arena.h"
+#include "util/random.h"
+#include "util/slice.h"
+
+namespace blsm {
+
+// Concurrent insert-only skiplist over encoded records (see lsm/record.h for
+// the entry encoding), ordered by internal key. Modeled on the LevelDB
+// skiplist: writers are externally synchronized (the MemTable holds a write
+// mutex); readers and iterators are lock-free and may run concurrently with
+// inserts, observing a prefix-consistent view.
+//
+// Each node additionally carries a monotonic `consumed` flag used by
+// snowshoveling (§4.2): the C0:C1 merge marks entries as it emits them, and
+// the memtable later discards consumed nodes in one compaction step. The
+// flag never blocks or hides the node from readers.
+class SkipList {
+ public:
+  explicit SkipList(Arena* arena);
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Inserts an encoded record. The internal key must not already be present
+  // (sequence numbers make every internal key unique). entry must point into
+  // memory that outlives the list (normally the same arena).
+  void Insert(const char* entry);
+
+  bool Contains(const char* entry) const;
+
+  size_t ApproximateCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const char* entry() const;
+    void Next();
+    void Prev();
+    void Seek(const Slice& internal_key_target);
+    void SeekToFirst();
+    void SeekToLast();
+
+    // Snowshovel hooks: mark the current node consumed / test the flag.
+    void MarkConsumed();
+    bool IsConsumed() const;
+
+   private:
+    const SkipList* list_;
+    void* node_;
+  };
+
+ private:
+  struct Node;
+  friend class Iterator;
+
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(const char* entry, int height);
+  int RandomHeight();
+  // Returns the earliest node >= target (by internal key); if prev != null,
+  // fills prev[0..max_height) with the preceding node at each level.
+  Node* FindGreaterOrEqual(const Slice& target, Node** prev) const;
+  Node* FindLessThan(const Slice& target) const;
+  Node* FindLast() const;
+
+  static int Compare(const char* entry_a, const Slice& ikey_b);
+
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+  Random rnd_;
+  std::atomic<size_t> count_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_MEMTABLE_SKIPLIST_H_

@@ -1,0 +1,388 @@
+// Background work for the multilevel (LevelDB stand-in) tree: memtable
+// flushes into L0 runs, and the partition compaction scheduler — pick the
+// most over-target level, compact ONE file (plus its overlap in the next
+// level) at a time. This is the "partition scheduler" the paper contrasts
+// with its level schedulers (§3.2, §4): merges proceed in small units, but
+// nothing paces the application against merge backlog except the L0
+// slowdown/stop triggers, so saturating writers see throughput collapses and
+// pauses (Figure 7 right).
+
+#include <algorithm>
+#include <chrono>
+
+#include "lsm/collapse.h"
+#include "lsm/merge_iterator.h"
+#include "multilevel/multilevel_tree.h"
+#include "sstree/tree_builder.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace blsm::multilevel {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x1e5e1dbau;
+
+std::string TreeFileName(const std::string& dir, uint64_t number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.run",
+           static_cast<unsigned long long>(number));
+  return dir + buf;
+}
+
+std::string ManifestName(const std::string& dir) { return dir + "/CURRENT"; }
+
+// Sort key for non-overlapping levels.
+bool BySmallest(const FileMetaPtr& a, const FileMetaPtr& b) {
+  return Slice(a->smallest) < Slice(b->smallest);
+}
+
+}  // namespace
+
+std::string MultilevelTree::BuildManifestLocked(uint64_t* version) {
+  std::string body;
+  PutFixed32(&body, kManifestMagic);
+  PutVarint64(&body, next_file_number_);
+  PutVarint64(&body, last_seq_.load());
+  uint32_t count = 0;
+  for (int l = 0; l < kNumLevels; l++) {
+    count += static_cast<uint32_t>(version_->levels[l].size());
+  }
+  PutVarint32(&body, count);
+  for (int l = 0; l < kNumLevels; l++) {
+    for (const auto& f : version_->levels[l]) {
+      body.push_back(static_cast<char>(l));
+      PutVarint64(&body, f->number);
+      PutLengthPrefixedSlice(&body, f->smallest);
+      PutLengthPrefixedSlice(&body, f->largest);
+      PutVarint64(&body, f->data_bytes);
+    }
+  }
+  PutFixed32(&body, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  *version = ++manifest_build_version_;
+  return body;
+}
+
+Status MultilevelTree::SaveManifest(const std::string& body,
+                                    uint64_t version) {
+  std::lock_guard<std::mutex> l(manifest_io_mu_);
+  if (version <= manifest_written_version_) return Status::OK();
+  std::string tmp = dir_ + "/CURRENT.tmp";
+  Status s = WriteStringToFile(env_, body, tmp, /*sync=*/true);
+  if (!s.ok()) return s;
+  s = env_->RenameFile(tmp, ManifestName(dir_));
+  if (s.ok()) manifest_written_version_ = version;
+  return s;
+}
+
+Status MultilevelTree::TruncateLog() {
+  if (log_ == nullptr || log_->mode() == DurabilityMode::kNone) {
+    return Status::OK();
+  }
+  // Exclude writers so no append straddles the restart.
+  std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
+  std::shared_ptr<MemTable> mem;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    mem = mem_;
+  }
+  return log_->Restart([&](wal::LogWriter* w) -> Status {
+    MemTable::Iterator it(mem.get());
+    std::string payload;
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      payload.clear();
+      PutLengthPrefixedSlice(&payload, it.internal_key());
+      PutLengthPrefixedSlice(&payload, it.value());
+      Status s = w->AddRecord(payload);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  });
+}
+
+void MultilevelTree::BackgroundLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!shutdown_.load()) {
+    std::shared_ptr<MemTable> imm = imm_;
+    int level = -1;
+    bool have_compaction = imm == nullptr && PickCompaction(&level);
+    if (imm == nullptr && !have_compaction) {
+      idle_cv_.notify_all();
+      work_cv_.wait_for(l, std::chrono::milliseconds(20));
+      continue;
+    }
+    background_running_ = true;
+    l.unlock();
+    Status s = imm != nullptr ? FlushMemtable(imm) : CompactLevel(level);
+    l.lock();
+    background_running_ = false;
+    if (!s.ok() && !shutdown_.load()) bg_error_ = s;
+    idle_cv_.notify_all();
+  }
+}
+
+// Requires mu_. The partition scheduler's pick: L0 by file count, deeper
+// levels by size-over-target score.
+bool MultilevelTree::PickCompaction(int* level) {
+  if (static_cast<int>(version_->levels[0].size()) >=
+      options_.l0_compaction_trigger) {
+    *level = 0;
+    return true;
+  }
+  double best_score = 1.0;
+  int best_level = -1;
+  for (int l = 1; l < kNumLevels - 1; l++) {
+    double score = static_cast<double>(version_->LevelBytes(l)) /
+                   static_cast<double>(LevelTargetBytes(l));
+    if (score > best_score) {
+      best_score = score;
+      best_level = l;
+    }
+  }
+  if (best_level < 0) return false;
+  *level = best_level;
+  return true;
+}
+
+Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
+                                        int output_level, bool bottom,
+                                        std::vector<FileMetaPtr>* outputs) {
+  outputs->clear();
+  std::unique_ptr<sstree::TreeBuilder> builder;
+  uint64_t current_number = 0;
+  std::string first_key, last_key;
+  uint64_t consumed = 0;
+  std::string out_ikey;
+
+  auto open_builder = [&]() -> Status {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      current_number = next_file_number_++;
+    }
+    sstree::TreeBuilderOptions bopts;
+    bopts.block_size = options_.block_size;
+    bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
+    bopts.build_bloom = options_.use_bloom;
+    builder = std::make_unique<sstree::TreeBuilder>(
+        env_, TreeFileName(dir_, current_number), bopts);
+    first_key.clear();
+    return builder->Open();
+  };
+
+  auto close_builder = [&]() -> Status {
+    Status s = builder->Finish();
+    if (!s.ok()) return s;
+    FileMetaPtr meta;
+    s = NewFileMeta(current_number, &meta);
+    if (!s.ok()) return s;
+    meta->smallest = first_key;
+    meta->largest = last_key;
+    outputs->push_back(std::move(meta));
+    builder.reset();
+    return Status::OK();
+  };
+
+  Status s;
+  while (input->Valid()) {
+    GroupResult group;
+    s = CollapseGroup(input, merge_op_.get(), bottom, &consumed, &group);
+    if (!s.ok()) break;
+    if (!group.emit) continue;
+    if (builder == nullptr) {
+      s = open_builder();
+      if (!s.ok()) break;
+    }
+    out_ikey.clear();
+    AppendInternalKey(&out_ikey, group.user_key, group.seq, group.type);
+    s = builder->Add(out_ikey, group.value);
+    if (!s.ok()) break;
+    if (first_key.empty()) first_key = group.user_key;
+    last_key = group.user_key;
+    if (builder->file_size() >= options_.file_bytes) {
+      s = close_builder();
+      if (!s.ok()) break;
+    }
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      s = Status::Busy("shutdown during compaction");
+      break;
+    }
+  }
+  if (s.ok()) s = input->status();
+  if (s.ok() && builder != nullptr && builder->num_entries() > 0) {
+    s = close_builder();
+  } else if (builder != nullptr) {
+    builder->Abandon();
+    env_->RemoveFile(TreeFileName(dir_, current_number));
+  }
+  if (!s.ok()) {
+    // Clean up any outputs we already finished.
+    for (auto& meta : *outputs) meta->obsolete.store(true);
+    outputs->clear();
+  }
+  stats_.compaction_bytes.fetch_add(consumed, std::memory_order_relaxed);
+  (void)output_level;
+  return s;
+}
+
+Status MultilevelTree::FlushMemtable(std::shared_ptr<MemTable> imm) {
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(NewMemTableIterator(imm));
+  MergingIterator merged(std::move(children));
+  merged.SeekToFirst();
+
+  std::vector<FileMetaPtr> outputs;
+  // L0 runs are whole memtable dumps: use a file size cap large enough to
+  // keep one run per flush.
+  size_t saved = options_.file_bytes;
+  options_.file_bytes = ~size_t{0} >> 1;
+  Status s = WriteOutputFiles(&merged, /*output_level=*/0, /*bottom=*/false,
+                              &outputs);
+  options_.file_bytes = saved;
+  if (!s.ok()) return s;
+
+  std::string manifest;
+  uint64_t manifest_version;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto fresh = version_->Clone();
+    // Newest first.
+    for (auto it = outputs.rbegin(); it != outputs.rend(); ++it) {
+      fresh->levels[0].insert(fresh->levels[0].begin(), *it);
+    }
+    version_ = std::move(fresh);
+    imm_.reset();
+    stats_.memtable_flushes.fetch_add(1, std::memory_order_relaxed);
+    manifest = BuildManifestLocked(&manifest_version);
+  }
+  s = SaveManifest(manifest, manifest_version);
+  if (!s.ok()) return s;
+  return TruncateLog();
+}
+
+Status MultilevelTree::CompactLevel(int level) {
+  // Select inputs under the lock.
+  std::vector<FileMetaPtr> inputs_this, inputs_next;
+  bool bottom;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (level == 0) {
+      // L0 runs overlap arbitrarily: take them all.
+      inputs_this = version_->levels[0];
+      if (inputs_this.empty()) return Status::OK();
+    } else {
+      if (version_->levels[level].empty()) return Status::OK();
+      // Partition scheduler: round-robin one file per compaction.
+      const auto& files = version_->levels[level];
+      FileMetaPtr pick;
+      for (const auto& f : files) {
+        if (Slice(f->smallest).compare(compact_cursor_[level]) > 0) {
+          pick = f;
+          break;
+        }
+      }
+      if (pick == nullptr) pick = files[0];  // wrap around
+      compact_cursor_[level] = pick->smallest;
+      inputs_this.push_back(pick);
+    }
+    // Key range of the inputs.
+    std::string begin = inputs_this[0]->smallest;
+    std::string end = inputs_this[0]->largest;
+    for (const auto& f : inputs_this) {
+      if (Slice(f->smallest) < Slice(begin)) begin = f->smallest;
+      if (Slice(end) < Slice(f->largest)) end = f->largest;
+    }
+    inputs_next = version_->Overlapping(level + 1, begin, end);
+    bottom = version_->IsBottommost(level + 1, begin, end);
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  for (const auto& f : inputs_this) {
+    children.push_back(
+        NewTreeComponentIterator(f->reader.get(), /*sequential=*/true));
+  }
+  for (const auto& f : inputs_next) {
+    children.push_back(
+        NewTreeComponentIterator(f->reader.get(), /*sequential=*/true));
+  }
+  MergingIterator merged(std::move(children));
+  merged.SeekToFirst();
+
+  std::vector<FileMetaPtr> outputs;
+  Status s = WriteOutputFiles(&merged, level + 1, bottom, &outputs);
+  if (!s.ok()) return s;
+
+  std::string manifest;
+  uint64_t manifest_version;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto fresh = version_->Clone();
+    auto remove = [&](int lvl, const std::vector<FileMetaPtr>& gone) {
+      auto& files = fresh->levels[lvl];
+      files.erase(std::remove_if(files.begin(), files.end(),
+                                 [&](const FileMetaPtr& f) {
+                                   for (const auto& g : gone) {
+                                     if (g->number == f->number) return true;
+                                   }
+                                   return false;
+                                 }),
+                  files.end());
+    };
+    remove(level, inputs_this);
+    remove(level + 1, inputs_next);
+    auto& dest = fresh->levels[level + 1];
+    dest.insert(dest.end(), outputs.begin(), outputs.end());
+    std::sort(dest.begin(), dest.end(), BySmallest);
+    version_ = std::move(fresh);
+    stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+    manifest = BuildManifestLocked(&manifest_version);
+  }
+  s = SaveManifest(manifest, manifest_version);
+  if (!s.ok()) return s;
+  // Unlink inputs only once the manifest that drops them is durable.
+  for (const auto& f : inputs_this) f->obsolete.store(true);
+  for (const auto& f : inputs_next) f->obsolete.store(true);
+  return Status::OK();
+}
+
+Status MultilevelTree::CompactAll() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (!bg_error_.ok()) return bg_error_;
+    }
+    // Freeze a non-empty memtable.
+    bool frozen = false;
+    {
+      std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
+      std::lock_guard<std::mutex> l(mu_);
+      if (!mem_->Empty() && imm_ == nullptr) {
+        imm_ = mem_;
+        mem_ = std::make_shared<MemTable>();
+        frozen = true;
+      }
+    }
+    (void)frozen;
+    work_cv_.notify_all();
+    // Wait for quiescence.
+    std::unique_lock<std::mutex> l(mu_);
+    idle_cv_.wait_for(l, std::chrono::milliseconds(50));
+    int level;
+    bool pending = imm_ != nullptr || background_running_ ||
+                   PickCompaction(&level) || !mem_->Empty();
+    if (!pending) return bg_error_;
+  }
+}
+
+void MultilevelTree::WaitForIdle() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!shutdown_.load()) {
+    int level;
+    bool pending =
+        imm_ != nullptr || background_running_ || PickCompaction(&level);
+    if (!pending || !bg_error_.ok()) return;
+    work_cv_.notify_all();
+    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace blsm::multilevel

@@ -1,0 +1,441 @@
+#include "multilevel/multilevel_tree.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "lsm/blsm_tree.h"  // ScanIterator
+#include "lsm/merge_iterator.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace blsm::multilevel {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x1e5e1dbau;
+
+std::string TreeFileName(const std::string& dir, uint64_t number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06" PRIu64 ".run", number);
+  return dir + buf;
+}
+
+std::string ManifestName(const std::string& dir) { return dir + "/CURRENT"; }
+std::string LogName(const std::string& dir) { return dir + "/wal.log"; }
+
+}  // namespace
+
+MultilevelTree::MultilevelTree(const MultilevelOptions& options,
+                               std::string dir)
+    : options_(options), dir_(std::move(dir)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  if (options_.shared_block_cache != nullptr) {
+    cache_ = options_.shared_block_cache;
+  } else if (options_.block_cache_bytes > 0) {
+    cache_ = std::make_shared<BlockCache>(options_.block_cache_bytes);
+  }
+  merge_op_ = options_.merge_operator != nullptr
+                  ? options_.merge_operator
+                  : std::make_shared<const AppendMergeOperator>();
+  mem_ = std::make_shared<MemTable>();
+  version_ = std::make_shared<Version>();
+}
+
+Status MultilevelTree::Open(const MultilevelOptions& options,
+                            const std::string& dir,
+                            std::unique_ptr<MultilevelTree>* out) {
+  auto tree =
+      std::unique_ptr<MultilevelTree>(new MultilevelTree(options, dir));
+  Status s = tree->OpenImpl();
+  if (!s.ok()) return s;
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status MultilevelTree::OpenImpl() {
+  Status s = env_->CreateDir(dir_);
+  if (!s.ok()) return s;
+
+  // Manifest: [magic][next_file][last_seq][count]
+  //           ([level u8][number][smallest][largest][data_bytes])* [crc]
+  std::string data;
+  s = ReadFileToString(env_, ManifestName(dir_), &data);
+  if (s.ok()) {
+    if (data.size() < 8) return Status::Corruption("manifest too short");
+    Slice body(data.data(), data.size() - 4);
+    uint32_t stored =
+        crc32c::Unmask(DecodeFixed32(data.data() + body.size()));
+    if (stored != crc32c::Value(body.data(), body.size())) {
+      return Status::Corruption("manifest checksum mismatch");
+    }
+    uint32_t magic, count;
+    uint64_t next_file, last_seq;
+    if (!GetFixed32(&body, &magic) || magic != kManifestMagic ||
+        !GetVarint64(&body, &next_file) || !GetVarint64(&body, &last_seq) ||
+        !GetVarint32(&body, &count)) {
+      return Status::Corruption("bad manifest header");
+    }
+    next_file_number_ = next_file;
+    last_seq_.store(last_seq);
+    for (uint32_t i = 0; i < count; i++) {
+      if (body.empty()) return Status::Corruption("truncated manifest");
+      int level = static_cast<uint8_t>(body[0]);
+      body.remove_prefix(1);
+      uint64_t number, bytes;
+      Slice smallest, largest;
+      if (level >= kNumLevels || !GetVarint64(&body, &number) ||
+          !GetLengthPrefixedSlice(&body, &smallest) ||
+          !GetLengthPrefixedSlice(&body, &largest) ||
+          !GetVarint64(&body, &bytes)) {
+        return Status::Corruption("truncated manifest entry");
+      }
+      FileMetaPtr meta;
+      s = NewFileMeta(number, &meta);
+      if (!s.ok()) return s;
+      meta->smallest = smallest.ToString();
+      meta->largest = largest.ToString();
+      version_->levels[level].push_back(std::move(meta));
+    }
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+
+  // Delete unreferenced runs (in-flight compactions at crash time).
+  std::vector<std::string> children;
+  if (env_->GetChildren(dir_, &children).ok()) {
+    for (const std::string& name : children) {
+      if (name.size() > 4 && name.substr(name.size() - 4) == ".run") {
+        uint64_t num = strtoull(name.c_str(), nullptr, 10);
+        bool referenced = false;
+        for (int l = 0; l < kNumLevels; l++) {
+          for (const auto& f : version_->levels[l]) {
+            if (f->number == num) referenced = true;
+          }
+        }
+        if (!referenced) env_->RemoveFile(dir_ + "/" + name);
+      }
+    }
+  }
+
+  // Replay the logical log into the memtable.
+  uint64_t max_seq = last_seq_.load();
+  s = LogicalLog::Replay(env_, LogName(dir_),
+                         [&](const Slice& key, SequenceNumber seq,
+                             RecordType type, const Slice& value) {
+                           mem_->Add(seq, type, key, value);
+                           max_seq = std::max(max_seq, seq);
+                         });
+  if (!s.ok()) return s;
+  last_seq_.store(max_seq);
+
+  log_ = std::make_unique<LogicalLog>(env_, LogName(dir_),
+                                      options_.durability);
+  if (options_.durability != DurabilityMode::kNone) {
+    s = log_->Restart([&](wal::LogWriter* w) -> Status {
+      MemTable::Iterator it(mem_.get());
+      std::string payload;
+      for (it.SeekToFirst(); it.Valid(); it.Next()) {
+        payload.clear();
+        PutLengthPrefixedSlice(&payload, it.internal_key());
+        PutLengthPrefixedSlice(&payload, it.value());
+        Status ws = w->AddRecord(payload);
+        if (!ws.ok()) return ws;
+      }
+      return Status::OK();
+    });
+    if (!s.ok()) return s;
+  }
+
+  background_thread_ = std::thread(&MultilevelTree::BackgroundLoop, this);
+  return Status::OK();
+}
+
+Status MultilevelTree::NewFileMeta(uint64_t number, FileMetaPtr* out) {
+  auto meta = std::make_shared<FileMeta>();
+  meta->env = env_;
+  meta->number = number;
+  meta->fname = TreeFileName(dir_, number);
+  Status s = sstree::TreeReader::Open(env_, cache_.get(), number, meta->fname,
+                                      &meta->reader);
+  if (!s.ok()) return s;
+  meta->data_bytes = meta->reader->data_bytes();
+  *out = std::move(meta);
+  return Status::OK();
+}
+
+MultilevelTree::~MultilevelTree() {
+  shutdown_.store(true);
+  work_cv_.notify_all();
+  if (background_thread_.joinable()) background_thread_.join();
+  if (log_ != nullptr) log_->Close();
+}
+
+uint64_t MultilevelTree::LevelTargetBytes(int level) const {
+  uint64_t target = options_.base_level_bytes;
+  for (int l = 1; l < level; l++) {
+    target *= static_cast<uint64_t>(options_.level_ratio);
+  }
+  return target;
+}
+
+VersionPtr MultilevelTree::CurrentVersion() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return version_;
+}
+
+Status MultilevelTree::BackgroundError() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return bg_error_;
+}
+
+int MultilevelTree::NumFilesAtLevel(int level) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return static_cast<int>(version_->levels[level].size());
+}
+
+uint64_t MultilevelTree::OnDiskBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = 0;
+  for (int l = 0; l < kNumLevels; l++) total += version_->LevelBytes(l);
+  return total;
+}
+
+// --- writes --------------------------------------------------------------
+
+void MultilevelTree::MaybeStallWrites() {
+  uint64_t stalled = 0;
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    size_t l0_files;
+    bool mem_full_and_imm_busy;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      l0_files = version_->levels[0].size();
+      mem_full_and_imm_busy =
+          mem_->LiveBytes() >= options_.memtable_bytes && imm_ != nullptr;
+    }
+    if (static_cast<int>(l0_files) >= options_.l0_stop_trigger ||
+        mem_full_and_imm_busy) {
+      // Hard stop: the L0 pile (or the frozen memtable) must drain first.
+      // This is the unbounded write pause the paper measures in LevelDB.
+      stats_.stopped_writes.fetch_add(1, std::memory_order_relaxed);
+      work_cv_.notify_all();
+      env_->SleepForMicroseconds(1000);
+      stalled += 1000;
+      continue;
+    }
+    if (static_cast<int>(l0_files) >= options_.l0_slowdown_trigger) {
+      stats_.slowdown_writes.fetch_add(1, std::memory_order_relaxed);
+      env_->SleepForMicroseconds(1000);
+      stalled += 1000;
+    }
+    break;
+  }
+  if (stalled > 0) {
+    stats_.write_stall_micros.fetch_add(stalled, std::memory_order_relaxed);
+  }
+}
+
+Status MultilevelTree::WriteImpl(const Slice& key, RecordType type,
+                                 const Slice& value) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!bg_error_.ok()) return bg_error_;
+  }
+  MaybeStallWrites();
+
+  {
+    std::shared_lock<std::shared_mutex> swap_guard(mem_swap_mu_);
+    SequenceNumber seq = last_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (log_ != nullptr) {
+      Status s = log_->Append(key, seq, type, value);
+      if (!s.ok()) return s;
+    }
+    std::shared_ptr<MemTable> mem;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      mem = mem_;
+    }
+    mem->Add(seq, type, key, value);
+  }
+
+  // Memtable full: freeze it for flushing if the previous one is done.
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (mem_->LiveBytes() >= options_.memtable_bytes && imm_ == nullptr) {
+      std::unique_lock<std::shared_mutex> swap(mem_swap_mu_, std::try_to_lock);
+      if (swap.owns_lock()) {
+        imm_ = mem_;
+        mem_ = std::make_shared<MemTable>();
+        notify = true;
+      }
+    }
+  }
+  if (notify) work_cv_.notify_all();
+  return Status::OK();
+}
+
+Status MultilevelTree::Put(const Slice& key, const Slice& value) {
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  return WriteImpl(key, RecordType::kBase, value);
+}
+
+Status MultilevelTree::Delete(const Slice& key) {
+  return WriteImpl(key, RecordType::kTombstone, Slice());
+}
+
+Status MultilevelTree::WriteDelta(const Slice& key, const Slice& delta) {
+  return WriteImpl(key, RecordType::kDelta, delta);
+}
+
+Status MultilevelTree::InsertIfNotExists(const Slice& key,
+                                         const Slice& value) {
+  std::string existing;
+  Status s = Get(key, &existing);
+  if (s.ok()) return Status::KeyExists(key);
+  if (!s.IsNotFound()) return s;
+  return Put(key, value);
+}
+
+Status MultilevelTree::ReadModifyWrite(
+    const Slice& key,
+    const std::function<std::string(const std::string& old, bool absent)>&
+        update) {
+  std::string old;
+  Status s = Get(key, &old);
+  bool absent = s.IsNotFound();
+  if (!s.ok() && !absent) return s;
+  return Put(key, update(old, absent));
+}
+
+// --- reads ---------------------------------------------------------------
+
+Status MultilevelTree::Get(const Slice& key, std::string* value) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<MemTable> mem, imm;
+  VersionPtr version;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    mem = mem_;
+    imm = imm_;
+    version = version_;
+  }
+
+  std::vector<std::string> deltas;  // newest first
+  bool terminated = false;
+  bool have_base = false;
+  std::string base;
+
+  auto search_mem = [&](const std::shared_ptr<MemTable>& m) {
+    if (terminated || m == nullptr) return;
+    m->ForEachVersion(key, [&](RecordType t, const Slice& v) {
+      switch (t) {
+        case RecordType::kBase:
+          base.assign(v.data(), v.size());
+          have_base = true;
+          terminated = true;
+          break;
+        case RecordType::kTombstone:
+          terminated = true;
+          break;
+        case RecordType::kDelta:
+          deltas.emplace_back(v.data(), v.size());
+          break;
+      }
+      return !terminated;
+    });
+  };
+  search_mem(mem);
+  search_mem(imm);
+
+  auto search_file = [&](const FileMetaPtr& f) -> Status {
+    if (terminated) return Status::OK();
+    Status io;
+    auto rec = f->reader->Get(key, options_.use_bloom, &io);
+    if (!io.ok()) return io;
+    if (!rec.has_value()) return Status::OK();
+    switch (rec->type) {
+      case RecordType::kBase:
+        base = std::move(rec->value);
+        have_base = true;
+        terminated = true;
+        break;
+      case RecordType::kTombstone:
+        terminated = true;
+        break;
+      case RecordType::kDelta:
+        deltas.emplace_back(std::move(rec->value));
+        break;
+    }
+    return Status::OK();
+  };
+
+  // L0: newest first; every file may contain the key.
+  for (const auto& f : version->levels[0]) {
+    if (terminated) break;
+    if (!f->MayContainKeyRange(key)) continue;
+    Status s = search_file(f);
+    if (!s.ok()) return s;
+  }
+  // Deeper levels: at most one file each.
+  for (int level = 1; level < kNumLevels && !terminated; level++) {
+    FileMetaPtr f = version->FileFor(level, key);
+    if (f == nullptr) continue;
+    Status s = search_file(f);
+    if (!s.ok()) return s;
+  }
+
+  if (!have_base && deltas.empty()) return Status::NotFound(key);
+  if (have_base && deltas.empty()) {
+    *value = std::move(base);
+    return Status::OK();
+  }
+  std::vector<Slice> oldest_first;
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    oldest_first.emplace_back(*it);
+  }
+  Slice base_slice(base);
+  if (!merge_op_->FullMerge(key, have_base ? &base_slice : nullptr,
+                            oldest_first, value)) {
+    return Status::Corruption("merge operator rejected operands");
+  }
+  return Status::OK();
+}
+
+Status MultilevelTree::Scan(
+    const Slice& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::shared_ptr<MemTable> mem, imm;
+  VersionPtr version;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    mem = mem_;
+    imm = imm_;
+    version = version_;
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  std::vector<std::shared_ptr<void>> pins;
+  children.push_back(NewMemTableIterator(mem));
+  if (imm != nullptr) children.push_back(NewMemTableIterator(imm));
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const auto& f : version->levels[level]) {
+      children.push_back(
+          NewTreeComponentIterator(f->reader.get(), /*sequential=*/false));
+      pins.push_back(f);
+    }
+  }
+  auto merged = std::make_unique<MergingIterator>(std::move(children));
+  ScanIterator it(std::move(merged), merge_op_, std::move(pins));
+  for (it.Seek(start); it.Valid() && out->size() < limit; it.Next()) {
+    out->emplace_back(it.key().ToString(), it.value().ToString());
+  }
+  return it.status();
+}
+
+}  // namespace blsm::multilevel

@@ -1,0 +1,173 @@
+#ifndef BLSM_MULTILEVEL_MULTILEVEL_TREE_H_
+#define BLSM_MULTILEVEL_MULTILEVEL_TREE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buffer/block_cache.h"
+#include "io/env.h"
+#include "lsm/merge_iterator.h"
+#include "lsm/merge_operator.h"
+#include "lsm/record.h"
+#include "memtable/memtable.h"
+#include "multilevel/version.h"
+#include "util/status.h"
+#include "wal/logical_log.h"
+
+namespace blsm::multilevel {
+
+// Options for the LevelDB stand-in (the paper's second comparison point):
+// a multi-level LSM with constant fanout, small memtables, a partition
+// (file-granularity) compaction scheduler, write slowdown/stop triggers on
+// the L0 run pile, and no Bloom filters by default (§5: "It is a multi-level
+// tree that does not make use of Bloom filters and uses a partition
+// scheduler").
+struct MultilevelOptions {
+  Env* env = nullptr;
+
+  size_t memtable_bytes = 4 << 20;   // LevelDB's small write buffer
+  size_t file_bytes = 2 << 20;       // target output file size
+  uint64_t base_level_bytes = 10 << 20;  // L1 target; Li = base * ratio^(i-1)
+  int level_ratio = 10;
+
+  // L0 file-count triggers (LevelDB defaults scaled): at `slowdown` each
+  // write sleeps 1 ms; at `stop` writes block until compaction catches up —
+  // the source of the unbounded insert latency in Figure 7 (right).
+  int l0_compaction_trigger = 4;
+  int l0_slowdown_trigger = 8;
+  int l0_stop_trigger = 12;
+
+  size_t block_size = 4096;
+  size_t block_cache_bytes = 32 << 20;
+  std::shared_ptr<BlockCache> shared_block_cache;
+
+  // The Riak patch (§6): Bloom filters bolted onto LevelDB. Off by default.
+  bool use_bloom = false;
+  double bloom_bits_per_key = 10.0;
+
+  DurabilityMode durability = DurabilityMode::kAsync;
+  std::shared_ptr<const MergeOperator> merge_operator;
+};
+
+struct MultilevelStats {
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> write_stall_micros{0};
+  std::atomic<uint64_t> slowdown_writes{0};
+  std::atomic<uint64_t> stopped_writes{0};
+  std::atomic<uint64_t> memtable_flushes{0};
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> compaction_bytes{0};
+};
+
+// LevelDB-like multi-level LSM tree. Reuses the repository's memtable and
+// on-disk tree component substrates; differs from the bLSM core exactly
+// where the paper says LevelDB differs: many levels of constant ratio, a
+// partition scheduler that compacts one file (plus overlap) at a time,
+// stop-the-world L0 backpressure, and (by default) no Bloom filters.
+class MultilevelTree {
+ public:
+  static Status Open(const MultilevelOptions& options, const std::string& dir,
+                     std::unique_ptr<MultilevelTree>* out);
+
+  ~MultilevelTree();
+  MultilevelTree(const MultilevelTree&) = delete;
+  MultilevelTree& operator=(const MultilevelTree&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Status WriteDelta(const Slice& key, const Slice& delta);
+
+  // No Bloom filters: the existence check is a full multi-level lookup —
+  // O(levels) seeks, the cost §3.1.2 contrasts with bLSM's zero.
+  Status InsertIfNotExists(const Slice& key, const Slice& value);
+
+  // Point lookup: memtables, then L0 newest-first, then one file per deeper
+  // level — O(log n) seeks uncached (Table 1).
+  Status Get(const Slice& key, std::string* value);
+
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string& old, bool absent)>&
+          update);
+
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  // Flushes the memtable and compacts until every level is within target.
+  Status CompactAll();
+  void WaitForIdle();
+
+  const MultilevelStats& stats() const { return stats_; }
+  Status BackgroundError() const;
+  int NumFilesAtLevel(int level) const;
+  uint64_t OnDiskBytes() const;
+
+ private:
+  MultilevelTree(const MultilevelOptions& options, std::string dir);
+
+  Status OpenImpl();
+  uint64_t LevelTargetBytes(int level) const;
+
+  Status WriteImpl(const Slice& key, RecordType type, const Slice& value);
+  void MaybeStallWrites();
+
+  // Background work.
+  void BackgroundLoop();
+  bool PickCompaction(int* level);
+  Status FlushMemtable(std::shared_ptr<MemTable> imm);
+  Status CompactLevel(int level);
+  // Writes the sorted stream from `input` into <= file_bytes output files at
+  // `output_level`; `bottom` enables tombstone dropping.
+  Status WriteOutputFiles(InternalIterator* input, int output_level,
+                          bool bottom, std::vector<FileMetaPtr>* outputs);
+  Status NewFileMeta(uint64_t number, FileMetaPtr* out);
+  // Snapshot the manifest contents under mu_; write (fsync) outside it.
+  std::string BuildManifestLocked(uint64_t* version);
+  Status SaveManifest(const std::string& body, uint64_t version);
+  Status TruncateLog();
+
+  VersionPtr CurrentVersion() const;
+
+  MultilevelOptions options_;
+  std::string dir_;
+  Env* env_ = nullptr;
+  std::shared_ptr<BlockCache> cache_;
+  std::shared_ptr<const MergeOperator> merge_op_;
+  std::unique_ptr<LogicalLog> log_;
+
+  mutable std::mutex mu_;
+  // Writers hold this shared across (log append + memtable insert); the
+  // memtable freeze takes it exclusively, so no write straddles a swap.
+  mutable std::shared_mutex mem_swap_mu_;
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;  // being flushed
+  VersionPtr version_;
+  uint64_t next_file_number_ = 1;
+  Status bg_error_;
+  // Round-robin compaction cursors (LevelDB's partition scheduler state).
+  std::string compact_cursor_[kNumLevels];
+  uint64_t manifest_build_version_ = 0;  // under mu_
+  std::mutex manifest_io_mu_;
+  uint64_t manifest_written_version_ = 0;  // under manifest_io_mu_
+
+  std::atomic<uint64_t> last_seq_{0};
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  bool background_running_ = false;
+  std::atomic<bool> shutdown_{false};
+  std::thread background_thread_;
+
+  MultilevelStats stats_;
+};
+
+}  // namespace blsm::multilevel
+
+#endif  // BLSM_MULTILEVEL_MULTILEVEL_TREE_H_

@@ -1,0 +1,50 @@
+#include "multilevel/version.h"
+
+namespace blsm::multilevel {
+
+uint64_t Version::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : levels[level]) total += f->data_bytes;
+  return total;
+}
+
+int Version::NumFiles() const {
+  int n = 0;
+  for (const auto& level : levels) n += static_cast<int>(level.size());
+  return n;
+}
+
+std::vector<FileMetaPtr> Version::Overlapping(int level, const Slice& begin,
+                                              const Slice& end) const {
+  std::vector<FileMetaPtr> result;
+  for (const auto& f : levels[level]) {
+    if (Slice(f->largest).compare(begin) < 0) continue;
+    if (Slice(f->smallest).compare(end) > 0) continue;
+    result.push_back(f);
+  }
+  return result;
+}
+
+FileMetaPtr Version::FileFor(int level, const Slice& user_key) const {
+  for (const auto& f : levels[level]) {
+    if (f->MayContainKeyRange(user_key)) return f;
+    if (Slice(f->smallest).compare(user_key) > 0) break;  // sorted
+  }
+  return nullptr;
+}
+
+bool Version::IsBottommost(int level, const Slice& begin,
+                           const Slice& end) const {
+  for (int l = level + 1; l < kNumLevels; l++) {
+    if (!Overlapping(l, begin, end).empty()) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<Version> Version::Clone() const {
+  auto v = std::make_shared<Version>();
+  for (int l = 0; l < kNumLevels; l++) v->levels[l] = levels[l];
+  return v;
+}
+
+}  // namespace blsm::multilevel

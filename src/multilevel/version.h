@@ -1,0 +1,67 @@
+#ifndef BLSM_MULTILEVEL_VERSION_H_
+#define BLSM_MULTILEVEL_VERSION_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "sstree/tree_reader.h"
+
+namespace blsm::multilevel {
+
+constexpr int kNumLevels = 7;
+
+// One immutable on-disk file (run). Shares the component-deletion idiom with
+// the bLSM core: the file is unlinked when the last reference to an obsolete
+// FileMeta drops.
+struct FileMeta {
+  Env* env = nullptr;
+  std::string fname;
+  uint64_t number = 0;
+  std::string smallest;  // user keys
+  std::string largest;
+  uint64_t data_bytes = 0;
+  std::unique_ptr<sstree::TreeReader> reader;
+  std::atomic<bool> obsolete{false};
+
+  ~FileMeta() {
+    if (obsolete.load()) env->RemoveFile(fname);
+  }
+
+  bool MayContainKeyRange(const Slice& user_key) const {
+    return Slice(smallest).compare(user_key) <= 0 &&
+           user_key.compare(Slice(largest)) <= 0;
+  }
+};
+using FileMetaPtr = std::shared_ptr<FileMeta>;
+
+// Immutable snapshot of the file layout (copy-on-write, LevelDB style).
+// Level 0 holds whole memtable dumps — files may overlap and are ordered
+// newest first. Levels >= 1 hold non-overlapping files sorted by smallest
+// key.
+struct Version {
+  std::vector<FileMetaPtr> levels[kNumLevels];
+
+  uint64_t LevelBytes(int level) const;
+  int NumFiles() const;
+
+  // Files in `level` whose range intersects [begin, end] (user keys).
+  std::vector<FileMetaPtr> Overlapping(int level, const Slice& begin,
+                                       const Slice& end) const;
+
+  // The single file in level >= 1 that may contain user_key, or nullptr.
+  FileMetaPtr FileFor(int level, const Slice& user_key) const;
+
+  // True if no file below `level` intersects [begin, end] — compactions into
+  // such a range may drop tombstones.
+  bool IsBottommost(int level, const Slice& begin, const Slice& end) const;
+
+  std::shared_ptr<Version> Clone() const;
+};
+using VersionPtr = std::shared_ptr<Version>;
+
+}  // namespace blsm::multilevel
+
+#endif  // BLSM_MULTILEVEL_VERSION_H_

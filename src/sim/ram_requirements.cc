@@ -1,0 +1,66 @@
+#include "sim/ram_requirements.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blsm {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+std::optional<double> RamGiBForPeriod(const DeviceSpec& dev,
+                                      double period_seconds,
+                                      const RamCalcParams& p) {
+  double capacity_pages = dev.capacity_bytes / p.page_size;
+  double servable_pages = dev.reads_per_second * period_seconds;
+  if (servable_pages >= capacity_pages) {
+    // Capacity-bound: the whole disk is hot; see the full-disk row.
+    return std::nullopt;
+  }
+  double ram_bytes = servable_pages * (p.key_size + p.pointer_size);
+  return ram_bytes / kGiB;
+}
+
+double RamGiBFullDisk(const DeviceSpec& dev, const RamCalcParams& p) {
+  double capacity_pages = dev.capacity_bytes / p.page_size;
+  return capacity_pages * (p.key_size + p.pointer_size) / kGiB;
+}
+
+double ReadFanout(const RamCalcParams& p) {
+  return std::max(p.page_size, p.key_size + p.value_size) /
+         (p.key_size + p.pointer_size);
+}
+
+double BloomOverheadFraction(const RamCalcParams& p,
+                             double bloom_bits_per_key) {
+  // Index cache stores (key+pointer) once per leaf page; Bloom filters store
+  // bits for every key. entries_per_leaf keys share one index entry.
+  double entries_per_leaf =
+      std::max(1.0, p.page_size / (p.key_size + p.value_size));
+  double bloom_bytes_per_key = bloom_bits_per_key / 8.0;
+  return entries_per_leaf * bloom_bytes_per_key / (p.key_size + p.pointer_size);
+}
+
+std::vector<DeviceSpec> Table2Devices() {
+  return {
+      DeviceSpec{"SATA SSD", 512e9, 50e3},
+      DeviceSpec{"PCI-E SSD", 5000e9, 1e6},
+      DeviceSpec{"Server HDD", 300e9, 500},
+      DeviceSpec{"Media HDD", 2000e9, 250},
+  };
+}
+
+std::vector<std::pair<std::string, double>> Table2Periods() {
+  return {
+      {"Minute", 60.0},
+      {"Five minute", 300.0},
+      {"Half hour", 1800.0},
+      {"Hour", 3600.0},
+      {"Day", 86400.0},
+      {"Week", 604800.0},
+      {"Month", 2592000.0},
+  };
+}
+
+}  // namespace blsm

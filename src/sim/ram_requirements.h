@@ -1,0 +1,56 @@
+#ifndef BLSM_SIM_RAM_REQUIREMENTS_H_
+#define BLSM_SIM_RAM_REQUIREMENTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blsm {
+
+// Analytic calculators behind Table 2 and Appendix A: the RAM required to
+// cache B-Tree bottom-level index nodes so that reads cost one seek (read
+// amplification of one), as a function of device speed/capacity and how hot
+// the data is (a variant of the five-minute rule).
+struct RamCalcParams {
+  double key_size = 100;      // bytes
+  double value_size = 1000;   // bytes
+  double page_size = 4096;    // bytes
+  double pointer_size = 8;    // bytes
+};
+
+struct DeviceSpec {
+  std::string name;
+  double capacity_bytes;
+  double reads_per_second;
+};
+
+// GiB of RAM needed to cache one (key+pointer) entry per leaf page for the
+// data a device can keep "hot" at the given access period:
+//   hot_pages = min(capacity / page_size, reads_per_second * period_seconds)
+//   ram_bytes = hot_pages * (key_size + pointer_size)
+// Returns nullopt when the device is capacity-bound before the period ends
+// (the paper prints "-" there and defers to the full-disk row).
+std::optional<double> RamGiBForPeriod(const DeviceSpec& dev,
+                                      double period_seconds,
+                                      const RamCalcParams& p);
+
+// Full-disk row: RAM to cache index entries for the whole device.
+double RamGiBFullDisk(const DeviceSpec& dev, const RamCalcParams& p);
+
+// Appendix A.1: read fanout ~= max(page, key+value) / (key + pointer).
+double ReadFanout(const RamCalcParams& p);
+
+// Appendix A: Bloom filters add 1.25 bytes/key for every key (not just one
+// per leaf page): overhead relative to the index cache.
+double BloomOverheadFraction(const RamCalcParams& p, double bloom_bits_per_key);
+
+// The four devices from Table 2.
+std::vector<DeviceSpec> Table2Devices();
+
+// The access-frequency rows from Table 2 (label, seconds).
+std::vector<std::pair<std::string, double>> Table2Periods();
+
+}  // namespace blsm
+
+#endif  // BLSM_SIM_RAM_REQUIREMENTS_H_

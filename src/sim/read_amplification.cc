@@ -1,0 +1,105 @@
+#include "sim/read_amplification.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blsm {
+
+namespace {
+
+// Fraction of RAM dedicated to C0 (the write buffer) in both designs. The
+// remainder caches index pages and (for the Bloom variant) filters.
+constexpr double kC0Fraction = 0.10;
+
+// Bytes of bottom-level index needed per byte of leaf data (Appendix A.1:
+// one (key+pointer) entry per leaf page).
+double IndexBytesPerDataByte(const ReadAmpParams& p) {
+  return (p.key_size + p.pointer_size) / p.page_size;
+}
+
+}  // namespace
+
+std::vector<ReadAmpPoint> FractionalCascadingCurve(int R,
+                                                   double max_data_multiple,
+                                                   double step,
+                                                   const ReadAmpParams& p) {
+  std::vector<ReadAmpPoint> curve;
+  const double c0 = kC0Fraction;  // in RAM units
+  for (double m = step; m <= max_data_multiple + 1e-9; m += step) {
+    // Build the level sizes (RAM units): c0*R, c0*R^2, ... until data covered.
+    std::vector<double> levels;
+    double remaining = m;
+    double sz = c0 * R;
+    while (remaining > 1e-12) {
+      double level = std::min(sz, remaining);
+      // The final (largest) level absorbs whatever is left once the geometric
+      // progression overshoots.
+      if (sz >= remaining) level = remaining;
+      levels.push_back(level);
+      remaining -= level;
+      sz *= R;
+    }
+
+    // RAM budget after C0 and index pages for every level.
+    double index_cost = m * IndexBytesPerDataByte(p);
+    double cache_ram = 1.0 - c0 - index_cost;
+
+    // Cache leaf data smallest-level-first; a fully cached level costs no
+    // seek, a partially cached one costs (1 - cached_fraction) expected
+    // seeks.
+    double seeks = 0;
+    double bw_pages = 0;
+    for (double level : levels) {
+      double cached = std::clamp(cache_ram / std::max(level, 1e-12), 0.0, 1.0);
+      if (cache_ram > 0) cache_ram -= std::min(level, cache_ram);
+      double miss = 1.0 - cached;
+      seeks += miss;
+      // Each cascade step examines a short run of ~R data pages in the next
+      // level (§3.1: "check short runs of data pages at each level").
+      bw_pages += miss * R;
+    }
+    curve.push_back(ReadAmpPoint{m, seeks, bw_pages});
+  }
+  return curve;
+}
+
+std::vector<ReadAmpPoint> BloomThreeLevelCurve(double max_data_multiple,
+                                               double step,
+                                               const ReadAmpParams& p) {
+  std::vector<ReadAmpPoint> curve;
+  const double c0 = kC0Fraction;
+  const double item = p.key_size + p.value_size;
+  for (double m = step; m <= max_data_multiple + 1e-9; m += step) {
+    // Variable R: two on-disk components sized so C2/C1 == C1/C0.
+    double ratio = std::sqrt(std::max(m / c0, 1.0));
+    double c1 = std::min(c0 * ratio, m);
+    double c2 = std::max(m - c1, 0.0);
+    (void)c2;
+
+    // RAM: C0 + Bloom filters (bits for every on-disk key) + index pages.
+    double keys_per_ram = 1.0 / item;  // keys per RAM-unit of data
+    double bloom_cost = m * keys_per_ram * (p.bloom_bits_per_key / 8.0);
+    double index_cost = m * IndexBytesPerDataByte(p);
+    double cache_ram = 1.0 - c0 - bloom_cost - index_cost;
+
+    // With filters and cached indexes, a lookup of existing data costs one
+    // seek (the component that holds the record) plus false-positive seeks on
+    // the other filters (§3.1.1).
+    double seeks;
+    double bw_pages;
+    if (cache_ram >= 0) {
+      seeks = 1.0 + 2 * p.bloom_fp_rate;
+      bw_pages = seeks;  // one page per seek: keys and data are not mixed
+    } else {
+      // RAM exhausted: index pages start missing; every index miss costs an
+      // extra seek. Deficit fraction of the index translates into misses.
+      double deficit = -cache_ram / index_cost;
+      seeks = 1.0 + 2 * p.bloom_fp_rate + deficit;
+      bw_pages = seeks;
+    }
+    curve.push_back(ReadAmpPoint{m, seeks, bw_pages});
+  }
+  return curve;
+}
+
+}  // namespace blsm

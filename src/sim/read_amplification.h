@@ -1,0 +1,57 @@
+#ifndef BLSM_SIM_READ_AMPLIFICATION_H_
+#define BLSM_SIM_READ_AMPLIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace blsm {
+
+// Analytic model behind Figure 2: read amplification of point lookups as a
+// function of data size (in multiples of available RAM), comparing
+//  (a) fractional-cascading trees with constant fanout ratio R (TokuDB /
+//      LevelDB style: logarithmically many levels, leaf runs of ~R pages
+//      examined per cascade step), against
+//  (b) the paper's approach: a three-level tree with variable R and Bloom
+//      filters on the on-disk components.
+//
+// Model assumptions (documented per DESIGN.md):
+//  * keys 100 B, values 1000 B, pages 4096 B, pointers 8 B (Appendix A);
+//  * RAM is spent, in priority order, on (1) Bloom filters (10 bits per key
+//    for the Bloom variant only), (2) bottom-most index pages of each level,
+//    starting from the smallest level (read fanout ≈ page/key, Appendix A.1);
+//  * a lookup seeks once per level whose leaf data is uncached; fractional
+//    cascading additionally transfers a run of R data pages per cascade step
+//    (the cascade pointers land in the middle of leaf runs), while the Bloom
+//    variant transfers one page per seek;
+//  * Bloom false-positive rate 1%: expected seeks = 1 + (levels-1)/100
+//    (§3.1: "reduce the read amplification ... from N to 1 + N/100").
+struct ReadAmpParams {
+  double key_size = 100;
+  double value_size = 1000;
+  double page_size = 4096;
+  double pointer_size = 8;
+  double bloom_bits_per_key = 10;
+  double bloom_fp_rate = 0.01;
+};
+
+struct ReadAmpPoint {
+  double data_multiple;     // data size / RAM
+  double seeks;             // expected seeks per uncached point lookup
+  double bandwidth_pages;   // expected 4KB pages transferred per lookup
+};
+
+// Fractional cascading with constant ratio R. Levels are sized
+// geometrically: level i holds R^i times the smallest component, smallest
+// component = RAM-resident C0 (so it costs no seeks).
+std::vector<ReadAmpPoint> FractionalCascadingCurve(
+    int R, double max_data_multiple, double step, const ReadAmpParams& p);
+
+// The paper's three-level variable-R tree with Bloom filters: two on-disk
+// components, each with a filter; RAM also caches bottom index pages.
+std::vector<ReadAmpPoint> BloomThreeLevelCurve(double max_data_multiple,
+                                               double step,
+                                               const ReadAmpParams& p);
+
+}  // namespace blsm
+
+#endif  // BLSM_SIM_READ_AMPLIFICATION_H_

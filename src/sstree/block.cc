@@ -1,0 +1,59 @@
+#include "sstree/block.h"
+
+#include "lsm/record.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace blsm::sstree {
+
+void BlockPointer::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset);
+  PutVarint64(dst, size);
+}
+
+bool BlockPointer::DecodeFrom(Slice* input, BlockPointer* out) {
+  return GetVarint64(input, &out->offset) && GetVarint64(input, &out->size);
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  PutLengthPrefixedSlice(&buffer_, key);
+  PutLengthPrefixedSlice(&buffer_, value);
+}
+
+Status VerifyBlock(const Slice& raw, Slice* payload) {
+  if (raw.size() < 4) return Status::Corruption("block too small");
+  size_t payload_size = raw.size() - 4;
+  uint32_t stored = crc32c::Unmask(DecodeFixed32(raw.data() + payload_size));
+  uint32_t actual = crc32c::Value(raw.data(), payload_size);
+  if (stored != actual) return Status::Corruption("block checksum mismatch");
+  *payload = Slice(raw.data(), payload_size);
+  return Status::OK();
+}
+
+void SealBlock(const Slice& payload, std::string* out) {
+  out->assign(payload.data(), payload.size());
+  PutFixed32(out, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+}
+
+void BlockCursor::SeekToFirst() {
+  rest_ = payload_;
+  valid_ = ParseNext();
+}
+
+bool BlockCursor::ParseNext() {
+  if (rest_.empty()) return false;
+  if (!GetLengthPrefixedSlice(&rest_, &key_)) return false;
+  if (!GetLengthPrefixedSlice(&rest_, &value_)) return false;
+  return true;
+}
+
+void BlockCursor::Next() { valid_ = ParseNext(); }
+
+void BlockCursor::Seek(const Slice& target) {
+  SeekToFirst();
+  while (valid_ && CompareInternalKey(key_, target) < 0) {
+    Next();
+  }
+}
+
+}  // namespace blsm::sstree

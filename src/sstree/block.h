@@ -1,0 +1,85 @@
+#ifndef BLSM_SSTREE_BLOCK_H_
+#define BLSM_SSTREE_BLOCK_H_
+
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace blsm::sstree {
+
+// Blocks are the unit of I/O and caching for on-disk tree components. A
+// block is a packed sequence of entries
+//   varint32 key_len | key | varint32 value_len | value
+// followed by a 4-byte masked CRC32C when stored on disk. Data blocks hold
+// (internal key, record value) pairs; index blocks hold
+// (last internal key of child, child BlockPointer) pairs.
+//
+// Entries are small relative to the 4 KiB block (Appendix A.2 argues for
+// 4 KiB pages), so in-block Seek is a linear scan — no restart array needed.
+
+// Location of a block within its file.
+struct BlockPointer {
+  uint64_t offset = 0;
+  uint64_t size = 0;  // payload + CRC
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, BlockPointer* out);
+};
+
+// Builds one block in memory.
+class BlockBuilder {
+ public:
+  BlockBuilder() = default;
+
+  // Keys must be added in increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  bool empty() const { return buffer_.empty(); }
+  size_t CurrentSizeEstimate() const { return buffer_.size(); }
+
+  // Returns the payload (no CRC; the writer appends it).
+  Slice Finish() { return Slice(buffer_); }
+  void Reset() { buffer_.clear(); }
+
+ private:
+  std::string buffer_;
+};
+
+// Verifies and strips the CRC of an on-disk block. `raw` is the block as
+// read from disk; on success *payload receives the entry region (pointing
+// into raw).
+Status VerifyBlock(const Slice& raw, Slice* payload);
+
+// Appends the CRC to a finished payload, producing the on-disk form.
+void SealBlock(const Slice& payload, std::string* out);
+
+// Iterates a block payload. The payload must outlive the cursor (readers
+// hold the cache handle).
+class BlockCursor {
+ public:
+  explicit BlockCursor(Slice payload) : payload_(payload) { SeekToFirst(); }
+
+  bool Valid() const { return valid_; }
+  void SeekToFirst();
+  // Positions at the first entry with key >= target (internal key order).
+  void Seek(const Slice& target);
+  void Next();
+
+  Slice key() const { return key_; }
+  Slice value() const { return value_; }
+
+ private:
+  bool ParseNext();
+
+  Slice payload_;
+  Slice rest_;
+  Slice key_;
+  Slice value_;
+  bool valid_ = false;
+};
+
+}  // namespace blsm::sstree
+
+#endif  // BLSM_SSTREE_BLOCK_H_

@@ -1,0 +1,239 @@
+#include "sstree/tree_reader.h"
+
+#include <cassert>
+
+namespace blsm::sstree {
+
+Status TreeReader::Open(Env* env, BlockCache* cache, uint64_t file_id,
+                        const std::string& fname,
+                        std::unique_ptr<TreeReader>* out) {
+  auto reader = std::unique_ptr<TreeReader>(new TreeReader());
+  reader->env_ = env;
+  reader->cache_ = cache;
+  reader->file_id_ = file_id;
+
+  Status s = env->GetFileSize(fname, &reader->file_size_);
+  if (!s.ok()) return s;
+  if (reader->file_size_ < Footer::kEncodedLength) {
+    return Status::Corruption("tree component smaller than footer: " + fname);
+  }
+  s = env->NewRandomAccessFile(fname, &reader->file_);
+  if (!s.ok()) return s;
+
+  // Footer.
+  char scratch[Footer::kEncodedLength];
+  Slice footer_bytes;
+  s = reader->file_->Read(reader->file_size_ - Footer::kEncodedLength,
+                          Footer::kEncodedLength, &footer_bytes, scratch);
+  if (!s.ok()) return s;
+  s = reader->footer_.DecodeFrom(footer_bytes);
+  if (!s.ok()) return s;
+
+  // Bloom filter: loaded whole at open; it lives in RAM for the component's
+  // lifetime (the paper's filters are memory-resident, §4.4.3).
+  if (reader->footer_.bloom_size > 0) {
+    std::string bloom_buf(reader->footer_.bloom_size, '\0');
+    Slice bloom_bytes;
+    s = reader->file_->Read(reader->footer_.bloom_offset,
+                            reader->footer_.bloom_size, &bloom_bytes,
+                            bloom_buf.data());
+    if (!s.ok()) return s;
+    s = BloomFilter::DecodeFrom(bloom_bytes, &reader->bloom_);
+    if (!s.ok()) return s;
+  }
+
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+TreeReader::~TreeReader() {
+  if (cache_ != nullptr) cache_->EraseFile(file_id_);
+}
+
+Status TreeReader::ReadBlock(const BlockPointer& ptr, bool fill_cache,
+                             BlockCache::BlockHandle* out) const {
+  if (cache_ != nullptr) {
+    auto handle = cache_->Lookup(file_id_, ptr.offset);
+    if (handle != nullptr) {
+      *out = std::move(handle);
+      return Status::OK();
+    }
+  }
+  std::string raw(ptr.size, '\0');
+  Slice raw_slice;
+  Status s = file_->Read(ptr.offset, ptr.size, &raw_slice, raw.data());
+  if (!s.ok()) return s;
+  if (raw_slice.size() != ptr.size) {
+    return Status::Corruption("short block read");
+  }
+  Slice payload;
+  s = VerifyBlock(raw_slice, &payload);
+  if (!s.ok()) return s;
+  auto block = std::make_shared<std::string>(payload.data(), payload.size());
+  if (cache_ != nullptr && fill_cache) {
+    cache_->Insert(file_id_, ptr.offset, block);
+  }
+  *out = std::move(block);
+  return Status::OK();
+}
+
+bool TreeReader::MayContain(const Slice& user_key) const {
+  return bloom_ == nullptr || bloom_->MayContain(user_key);
+}
+
+std::optional<TreeReader::GetResult> TreeReader::Get(const Slice& user_key,
+                                                     bool use_bloom,
+                                                     Status* io_status) const {
+  if (io_status != nullptr) *io_status = Status::OK();
+  if (footer_.index_levels == 0) return std::nullopt;  // empty component
+  if (use_bloom && bloom_ != nullptr && !bloom_->MayContain(user_key)) {
+    return std::nullopt;
+  }
+
+  std::string target = InternalLookupKey(user_key);
+  BlockPointer ptr{footer_.root_offset, footer_.root_size};
+  BlockCache::BlockHandle handle;
+
+  // Descend index levels; each cursor.Seek finds the first child whose last
+  // key is >= target.
+  for (uint32_t level = 0; level < footer_.index_levels; level++) {
+    Status s = ReadBlock(ptr, /*fill_cache=*/true, &handle);
+    if (!s.ok()) {
+      if (io_status != nullptr) *io_status = s;
+      return std::nullopt;
+    }
+    BlockCursor cursor{Slice(*handle)};
+    cursor.Seek(target);
+    if (!cursor.Valid()) return std::nullopt;  // past the largest key
+    Slice v = cursor.value();
+    if (!BlockPointer::DecodeFrom(&v, &ptr)) {
+      if (io_status != nullptr) {
+        *io_status = Status::Corruption("bad index entry");
+      }
+      return std::nullopt;
+    }
+  }
+
+  Status s = ReadBlock(ptr, /*fill_cache=*/true, &handle);
+  if (!s.ok()) {
+    if (io_status != nullptr) *io_status = s;
+    return std::nullopt;
+  }
+  BlockCursor cursor{Slice(*handle)};
+  cursor.Seek(target);
+  if (!cursor.Valid()) return std::nullopt;
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(cursor.key(), &parsed)) {
+    if (io_status != nullptr) {
+      *io_status = Status::Corruption("bad internal key");
+    }
+    return std::nullopt;
+  }
+  if (parsed.user_key != user_key) return std::nullopt;
+  GetResult result;
+  result.type = parsed.type;
+  result.seq = parsed.seq;
+  result.value.assign(cursor.value().data(), cursor.value().size());
+  return result;
+}
+
+std::unique_ptr<TreeIterator> TreeReader::NewIterator(bool sequential) const {
+  return std::make_unique<TreeIterator>(this, sequential);
+}
+
+// --- TreeIterator -----------------------------------------------------------
+
+TreeIterator::TreeIterator(const TreeReader* tree, bool sequential)
+    : tree_(tree), sequential_(sequential) {}
+
+bool TreeIterator::DescendFrom(size_t i, const Slice* seek_target) {
+  // levels_[i] must be a valid index cursor; loads its child into
+  // levels_[i+1] and positions that cursor.
+  Slice v = levels_[i].cursor->value();
+  BlockPointer ptr;
+  if (!BlockPointer::DecodeFrom(&v, &ptr)) {
+    status_ = Status::Corruption("bad index entry");
+    return false;
+  }
+  BlockCache::BlockHandle handle;
+  Status s = tree_->ReadBlock(ptr, /*fill_cache=*/!sequential_, &handle);
+  if (!s.ok()) {
+    status_ = s;
+    return false;
+  }
+  Level& child = levels_[i + 1];
+  child.handle = std::move(handle);
+  child.cursor = std::make_unique<BlockCursor>(Slice(*child.handle));
+  if (seek_target != nullptr) {
+    child.cursor->Seek(*seek_target);
+  } else {
+    child.cursor->SeekToFirst();
+  }
+  return child.cursor->Valid();
+}
+
+void TreeIterator::SeekToFirst() { Seek(Slice()); }
+
+void TreeIterator::Seek(const Slice& target) {
+  valid_ = false;
+  status_ = Status::OK();
+  const Footer& footer = tree_->footer();
+  if (footer.index_levels == 0) return;
+
+  levels_.clear();
+  levels_.resize(footer.index_levels + 1);
+
+  // Root.
+  BlockPointer root{footer.root_offset, footer.root_size};
+  BlockCache::BlockHandle handle;
+  Status s = tree_->ReadBlock(root, /*fill_cache=*/!sequential_, &handle);
+  if (!s.ok()) {
+    status_ = s;
+    return;
+  }
+  levels_[0].handle = std::move(handle);
+  levels_[0].cursor = std::make_unique<BlockCursor>(Slice(*levels_[0].handle));
+  const bool seeking = !target.empty();
+  if (seeking) {
+    levels_[0].cursor->Seek(target);
+  } else {
+    levels_[0].cursor->SeekToFirst();
+  }
+  if (!levels_[0].cursor->Valid()) return;
+
+  for (size_t i = 0; i + 1 < levels_.size(); i++) {
+    if (!DescendFrom(i, seeking ? &target : nullptr)) return;
+  }
+  valid_ = true;
+}
+
+void TreeIterator::Next() {
+  assert(valid_);
+  Level& leaf = levels_.back();
+  leaf.cursor->Next();
+  if (leaf.cursor->Valid()) return;
+  AdvanceLeaf();
+}
+
+void TreeIterator::AdvanceLeaf() {
+  // Walk up to the deepest index level that can advance; then descend
+  // leftmost back to the leaf.
+  valid_ = false;
+  if (levels_.size() < 2) return;
+  size_t i = levels_.size() - 2;  // deepest index level
+  while (true) {
+    levels_[i].cursor->Next();
+    if (levels_[i].cursor->Valid()) break;
+    if (i == 0) return;  // root exhausted
+    i--;
+  }
+  for (size_t j = i; j + 1 < levels_.size(); j++) {
+    if (!DescendFrom(j, nullptr)) return;
+  }
+  valid_ = true;
+}
+
+Slice TreeIterator::key() const { return levels_.back().cursor->key(); }
+Slice TreeIterator::value() const { return levels_.back().cursor->value(); }
+
+}  // namespace blsm::sstree

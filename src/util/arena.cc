@@ -1,0 +1,44 @@
+#include "util/arena.h"
+
+namespace blsm {
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large objects get their own block so we don't waste the rest of the
+    // current block's headroom.
+    return AllocateNewBlock(bytes);
+  }
+  alloc_ptr_ = AllocateNewBlock(kBlockSize);
+  alloc_bytes_remaining_ = kBlockSize;
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_bytes_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = alignof(void*);
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be power of 2");
+  size_t mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  size_t slop = (mod == 0 ? 0 : kAlign - mod);
+  size_t needed = bytes + slop;
+  if (needed <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+    return result;
+  }
+  // Fallback blocks from new[] are already suitably aligned.
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  auto block = std::make_unique<char[]>(block_bytes);
+  char* result = block.get();
+  blocks_.push_back(std::move(block));
+  memory_usage_.fetch_add(block_bytes + sizeof(blocks_.back()),
+                          std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace blsm

@@ -1,0 +1,57 @@
+#ifndef BLSM_UTIL_ARENA_H_
+#define BLSM_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace blsm {
+
+// Bump-pointer allocator backing C0 (the in-memory component). Allocations
+// live until the arena is destroyed; there is no per-allocation free, which
+// matches the LSM memtable lifecycle (entries die when the component is
+// merged away). MemoryUsage() is the signal the merge schedulers throttle on.
+class Arena {
+ public:
+  Arena() : alloc_ptr_(nullptr), alloc_bytes_remaining_(0), memory_usage_(0) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes) {
+    assert(bytes > 0);
+    if (bytes <= alloc_bytes_remaining_) {
+      char* result = alloc_ptr_;
+      alloc_ptr_ += bytes;
+      alloc_bytes_remaining_ -= bytes;
+      return result;
+    }
+    return AllocateFallback(bytes);
+  }
+
+  // Aligned for pointer-sized loads (skiplist nodes).
+  char* AllocateAligned(size_t bytes);
+
+  // Total bytes reserved by the arena (including block headroom), suitable
+  // for backpressure decisions.
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kBlockSize = 1 << 20;  // 1 MiB
+
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_UTIL_ARENA_H_

@@ -1,0 +1,27 @@
+#ifndef BLSM_UTIL_HASH_H_
+#define BLSM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace blsm {
+
+// 64-bit hash of a byte range (xxHash64-style avalanche mixing). Used by the
+// Bloom filter (which derives its two double-hashing functions from the two
+// 32-bit halves, per Kirsch-Mitzenmacher) and by the block cache shards.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+// 32-bit convenience hash for sharding.
+inline uint32_t Hash32(const Slice& s, uint32_t seed = 0) {
+  return static_cast<uint32_t>(Hash64(s.data(), s.size(), seed));
+}
+
+}  // namespace blsm
+
+#endif  // BLSM_UTIL_HASH_H_

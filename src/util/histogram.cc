@@ -1,0 +1,89 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+namespace blsm {
+
+namespace {
+// 16 sub-buckets per power of two: ~6% relative error per bucket.
+constexpr int kSubBucketBits = 4;
+constexpr int kSubBuckets = 1 << kSubBucketBits;
+}  // namespace
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  buckets_.assign(kNumBuckets, 0);
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int log = 63 - std::countl_zero(value);
+  int shift = log - kSubBucketBits;
+  int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  int bucket = (log - kSubBucketBits + 1) * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b < kSubBuckets) return static_cast<uint64_t>(b);
+  int log = (b / kSubBuckets) + kSubBucketBits - 1;
+  int sub = b % kSubBuckets;
+  int shift = log - kSubBucketBits;
+  return ((uint64_t{1} << log) | (static_cast<uint64_t>(sub) << shift)) +
+         ((uint64_t{1} << shift) - 1);
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  uint64_t threshold =
+      static_cast<uint64_t>((p / 100.0) * static_cast<double>(count_));
+  if (threshold >= count_) return static_cast<double>(max_);
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; b++) {
+    seen += buckets_[b];
+    if (seen > threshold) {
+      return static_cast<double>(std::min(BucketUpperBound(b), max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%" PRIu64 " mean=%.1f min=%" PRIu64 " max=%" PRIu64
+           " p50=%.0f p95=%.0f p99=%.0f p99.9=%.0f",
+           count_, Mean(), min(), max_, Percentile(50), Percentile(95),
+           Percentile(99), Percentile(99.9));
+  return buf;
+}
+
+}  // namespace blsm

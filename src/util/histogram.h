@@ -1,0 +1,46 @@
+#ifndef BLSM_UTIL_HISTOGRAM_H_
+#define BLSM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blsm {
+
+// Latency histogram with log-spaced buckets (~4% relative resolution) over
+// [1us, ~1000s] when fed microseconds. Thread-compatible: callers synchronize
+// or keep one per thread and Merge().
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100].
+  double Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  // Bucket boundaries grow geometrically; index for a value computed from its
+  // bit width plus sub-bucket position.
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int b);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_UTIL_HISTOGRAM_H_

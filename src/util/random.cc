@@ -1,0 +1,7 @@
+#include "util/random.h"
+
+namespace blsm {
+
+// Random is header-only; see random.h.
+
+}  // namespace blsm

@@ -1,0 +1,59 @@
+#ifndef BLSM_UTIL_RANDOM_H_
+#define BLSM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace blsm {
+
+// Deterministic, fast PRNG (xorshift128+). Not thread-safe; give each thread
+// its own instance. Determinism matters here: benchmarks must regenerate the
+// same workload on each run.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to expand the seed into two non-zero state words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  // Returns true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Skewed: picks base in [0, max_log] uniformly then a value with that many
+  // bits. Useful for generating varied value sizes in tests.
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(static_cast<uint64_t>(max_log + 1)));
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_UTIL_RANDOM_H_

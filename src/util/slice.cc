@@ -1,0 +1,9 @@
+#include "util/slice.h"
+
+namespace blsm {
+
+// Slice is header-only; this translation unit exists so the util library has
+// a stable archive member for the type and keeps one definition of nothing
+// inline-only from being optimized out of existence in debug tooling.
+
+}  // namespace blsm

@@ -1,0 +1,38 @@
+#include "util/status.h"
+
+namespace blsm {
+
+std::string Status::ToString() const {
+  const char* type;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kNotSupported:
+      type = "NotSupported: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "InvalidArgument: ";
+      break;
+    case Code::kIOError:
+      type = "IOError: ";
+      break;
+    case Code::kBusy:
+      type = "Busy: ";
+      break;
+    case Code::kKeyExists:
+      type = "KeyExists: ";
+      break;
+    default:
+      type = "Unknown: ";
+      break;
+  }
+  return std::string(type) + msg_;
+}
+
+}  // namespace blsm

@@ -1,0 +1,72 @@
+#ifndef BLSM_UTIL_STATUS_H_
+#define BLSM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace blsm {
+
+// Status carries the outcome of an operation: OK or an error code with a
+// message. All fallible public APIs in this library return Status (or wrap
+// one); exceptions are not used, per the project style.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg = Slice()) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(const Slice& msg = Slice()) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(const Slice& msg = Slice()) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(const Slice& msg = Slice()) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(const Slice& msg = Slice()) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(const Slice& msg = Slice()) {
+    return Status(Code::kBusy, msg);
+  }
+  static Status KeyExists(const Slice& msg = Slice()) {
+    return Status(Code::kKeyExists, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsKeyExists() const { return code_ == Code::kKeyExists; }
+
+  std::string ToString() const;
+
+ private:
+  enum class Code {
+    kOk,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+    kKeyExists,
+  };
+
+  Status(Code code, const Slice& msg) : code_(code), msg_(msg.ToString()) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_UTIL_STATUS_H_

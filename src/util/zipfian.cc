@@ -1,0 +1,57 @@
+#include "util/zipfian.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace blsm {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double theta,
+                                   uint64_t seed)
+    : num_items_(num_items), theta_(theta), rng_(seed) {
+  assert(num_items >= 1);
+  zeta2theta_ = Zeta(0, 2, theta_, 0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(0, num_items_, theta_, 0);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(num_items_), 1 - theta_)) /
+         (1 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t st, uint64_t n, double theta,
+                              double initial) {
+  double sum = initial;
+  for (uint64_t i = st; i < n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+void ZipfianGenerator::SetItemCount(uint64_t num_items) {
+  assert(num_items >= num_items_);
+  if (num_items == num_items_) return;
+  zetan_ = Zeta(num_items_, num_items, theta_, zetan_);
+  num_items_ = num_items;
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(num_items_), 1 - theta_)) /
+         (1 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto ret = static_cast<uint64_t>(
+      static_cast<double>(num_items_) *
+      std::pow(eta_ * u - eta_ + 1, alpha_));
+  if (ret >= num_items_) ret = num_items_ - 1;
+  return ret;
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  uint64_t v = gen_.Next();
+  return Hash64(reinterpret_cast<const char*>(&v), sizeof(v), 0xdecafbadull) %
+         num_items_;
+}
+
+}  // namespace blsm

@@ -1,0 +1,88 @@
+#ifndef BLSM_UTIL_ZIPFIAN_H_
+#define BLSM_UTIL_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace blsm {
+
+// Zipfian-distributed generator over [0, n), implementing the Gray et al.
+// rejection-free algorithm used by YCSB ("Quickly generating billion-record
+// synthetic databases", SIGMOD '94). theta defaults to YCSB's 0.99.
+//
+// The raw generator is heavily skewed toward low item numbers; YCSB scrambles
+// the output (ScrambledZipfian) so hot keys are spread across the keyspace.
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(uint64_t num_items, double theta, uint64_t seed);
+  ZipfianGenerator(uint64_t num_items, uint64_t seed)
+      : ZipfianGenerator(num_items, kDefaultTheta, seed) {}
+
+  // Next raw zipfian value in [0, num_items): 0 is the hottest item.
+  uint64_t Next();
+
+  // Grow the item space (used by workloads that insert new keys); recomputes
+  // zeta incrementally.
+  void SetItemCount(uint64_t num_items);
+
+  uint64_t num_items() const { return num_items_; }
+
+ private:
+  static double Zeta(uint64_t st, uint64_t n, double theta, double initial);
+
+  uint64_t num_items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+// ScrambledZipfian: zipfian item numbers hashed over the key space, as in
+// YCSB. Hot items are uniformly scattered instead of clustered at key 0.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, uint64_t seed)
+      : num_items_(num_items), gen_(num_items, seed) {}
+
+  uint64_t Next();
+
+  void SetItemCount(uint64_t n) {
+    num_items_ = n;
+    gen_.SetItemCount(n);
+  }
+
+ private:
+  uint64_t num_items_;
+  ZipfianGenerator gen_;
+};
+
+// "Latest" distribution: zipfian over recency — item (max-1) is hottest.
+// Models read-your-recent-writes workloads.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t num_items, uint64_t seed)
+      : num_items_(num_items), gen_(num_items, seed) {}
+
+  uint64_t Next() {
+    uint64_t off = gen_.Next();
+    return num_items_ - 1 - off;
+  }
+
+  void SetItemCount(uint64_t n) {
+    num_items_ = n;
+    gen_.SetItemCount(n);
+  }
+
+ private:
+  uint64_t num_items_;
+  ZipfianGenerator gen_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_UTIL_ZIPFIAN_H_

@@ -1,0 +1,29 @@
+#ifndef BLSM_WAL_LOG_FORMAT_H_
+#define BLSM_WAL_LOG_FORMAT_H_
+
+#include <cstdint>
+
+namespace blsm::wal {
+
+// Record-oriented log format: the file is a sequence of 32 KiB blocks, each
+// holding physical records. Application payloads larger than a block are
+// fragmented across FIRST/MIDDLE/LAST records; payloads never span blocks
+// partially — trailers of < 7 bytes are zero-filled. Each physical record:
+//   checksum: fixed32  (masked CRC32C of type + payload)
+//   length:   fixed16
+//   type:     uint8    (RecordKind)
+//   payload:  length bytes
+enum class RecordKind : uint8_t {
+  kZero = 0,  // preallocated / trailer filler
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+
+constexpr int kBlockSize = 32768;
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace blsm::wal
+
+#endif  // BLSM_WAL_LOG_FORMAT_H_

@@ -1,0 +1,135 @@
+#include "wal/log_reader.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace blsm::wal {
+
+bool LogReader::ReadRecord(Slice* record, std::string* scratch) {
+  scratch->clear();
+  record->clear();
+  bool in_fragmented_record = false;
+
+  while (true) {
+    Slice fragment;
+    int kind = ReadPhysicalRecord(&fragment);
+    switch (kind) {
+      case static_cast<int>(RecordKind::kFull):
+        if (in_fragmented_record) {
+          // Incomplete fragmented record interrupted by a full one: drop the
+          // partial prefix (crash artifact).
+          dropped_bytes_ += scratch->size();
+          scratch->clear();
+        }
+        *record = fragment;
+        return true;
+
+      case static_cast<int>(RecordKind::kFirst):
+        if (in_fragmented_record) {
+          dropped_bytes_ += scratch->size();
+        }
+        scratch->assign(fragment.data(), fragment.size());
+        in_fragmented_record = true;
+        break;
+
+      case static_cast<int>(RecordKind::kMiddle):
+        if (!in_fragmented_record) {
+          dropped_bytes_ += fragment.size();
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+        }
+        break;
+
+      case static_cast<int>(RecordKind::kLast):
+        if (!in_fragmented_record) {
+          dropped_bytes_ += fragment.size();
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+          *record = Slice(*scratch);
+          return true;
+        }
+        break;
+
+      case kEof:
+        if (in_fragmented_record) {
+          // Crash mid-record: the partial record never committed.
+          dropped_bytes_ += scratch->size();
+          scratch->clear();
+        }
+        return false;
+
+      case kBadRecord:
+        if (in_fragmented_record) {
+          dropped_bytes_ += scratch->size();
+          scratch->clear();
+          in_fragmented_record = false;
+        }
+        break;
+
+      default:
+        dropped_bytes_ += fragment.size() + scratch->size();
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+    }
+  }
+}
+
+int LogReader::ReadPhysicalRecord(Slice* fragment) {
+  while (true) {
+    if (buffer_.size() < static_cast<size_t>(kHeaderSize)) {
+      if (!eof_) {
+        // Skip any block trailer and read the next block.
+        buffer_.clear();
+        Status s = file_->Read(kBlockSize, &buffer_, backing_);
+        if (!s.ok()) {
+          eof_ = true;
+          return kEof;
+        }
+        if (buffer_.size() < static_cast<size_t>(kBlockSize)) eof_ = true;
+        if (buffer_.empty()) return kEof;
+        continue;
+      }
+      // Truncated header at EOF: crash artifact, not corruption.
+      buffer_.clear();
+      return kEof;
+    }
+
+    const char* header = buffer_.data();
+    const uint32_t length = static_cast<uint8_t>(header[4]) |
+                            (static_cast<uint32_t>(static_cast<uint8_t>(header[5])) << 8);
+    const int kind = static_cast<uint8_t>(header[6]);
+
+    if (kind == static_cast<int>(RecordKind::kZero) && length == 0) {
+      // Zero-filled trailer; move to next block.
+      buffer_.clear();
+      continue;
+    }
+
+    if (kHeaderSize + length > buffer_.size()) {
+      // Truncated record: crash artifact if at EOF, corruption otherwise.
+      size_t drop = buffer_.size();
+      buffer_.clear();
+      if (!eof_) {
+        dropped_bytes_ += drop;
+        return kBadRecord;
+      }
+      return kEof;
+    }
+
+    uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
+    uint32_t actual_crc = crc32c::Value(header + 6, 1 + length);
+    if (actual_crc != expected_crc) {
+      size_t drop = buffer_.size();
+      buffer_.clear();
+      dropped_bytes_ += drop;
+      return kBadRecord;
+    }
+
+    *fragment = Slice(header + kHeaderSize, length);
+    buffer_.remove_prefix(kHeaderSize + length);
+    return kind;
+  }
+}
+
+}  // namespace blsm::wal

@@ -1,0 +1,44 @@
+#ifndef BLSM_WAL_LOG_READER_H_
+#define BLSM_WAL_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+#include "wal/log_format.h"
+
+namespace blsm::wal {
+
+// Reads back application records written by LogWriter. Corrupt or truncated
+// tails (the normal result of a crash mid-append) terminate iteration
+// cleanly; corruption is reported via dropped_bytes().
+class LogReader {
+ public:
+  explicit LogReader(std::unique_ptr<SequentialFile> file)
+      : file_(std::move(file)) {}
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  // Reads the next application record into *record (backed by *scratch).
+  // Returns false at end of log.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  // Returns the kind, or one of the sentinels below.
+  static constexpr int kEof = -1;
+  static constexpr int kBadRecord = -2;
+  int ReadPhysicalRecord(Slice* fragment);
+
+  std::unique_ptr<SequentialFile> file_;
+  std::string buffer_store_;
+  Slice buffer_;
+  bool eof_ = false;
+  uint64_t dropped_bytes_ = 0;
+  char backing_[kBlockSize];
+};
+
+}  // namespace blsm::wal
+
+#endif  // BLSM_WAL_LOG_READER_H_

@@ -1,0 +1,69 @@
+#include "wal/log_writer.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace blsm::wal {
+
+Status LogWriter::AddRecord(const Slice& payload) {
+  const char* ptr = payload.data();
+  size_t left = payload.size();
+
+  Status s;
+  bool begin = true;
+  do {
+    const int leftover = kBlockSize - block_offset_;
+    assert(leftover >= 0);
+    if (leftover < kHeaderSize) {
+      // Zero-fill the trailer and switch to a new block.
+      if (leftover > 0) {
+        static const char kZeroes[kHeaderSize] = {0};
+        s = dest_->Append(Slice(kZeroes, leftover));
+        if (!s.ok()) return s;
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment_length = (left < avail) ? left : avail;
+
+    RecordKind kind;
+    const bool end = (left == fragment_length);
+    if (begin && end) {
+      kind = RecordKind::kFull;
+    } else if (begin) {
+      kind = RecordKind::kFirst;
+    } else if (end) {
+      kind = RecordKind::kLast;
+    } else {
+      kind = RecordKind::kMiddle;
+    }
+
+    s = EmitPhysicalRecord(kind, ptr, fragment_length);
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status LogWriter::EmitPhysicalRecord(RecordKind kind, const char* ptr,
+                                     size_t length) {
+  assert(length <= 0xffff);
+  char header[kHeaderSize];
+  char kind_byte = static_cast<char>(kind);
+  uint32_t crc = crc32c::Extend(crc32c::Value(&kind_byte, 1), ptr, length);
+  EncodeFixed32(header, crc32c::Mask(crc));
+  header[4] = static_cast<char>(length & 0xff);
+  header[5] = static_cast<char>(length >> 8);
+  header[6] = kind_byte;
+
+  Status s = dest_->Append(Slice(header, kHeaderSize));
+  if (s.ok()) s = dest_->Append(Slice(ptr, length));
+  block_offset_ += kHeaderSize + static_cast<int>(length);
+  return s;
+}
+
+}  // namespace blsm::wal

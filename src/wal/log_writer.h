@@ -1,0 +1,34 @@
+#ifndef BLSM_WAL_LOG_WRITER_H_
+#define BLSM_WAL_LOG_WRITER_H_
+
+#include <memory>
+
+#include "io/env.h"
+#include "wal/log_format.h"
+
+namespace blsm::wal {
+
+// Appends application records to a log file in the block format described in
+// log_format.h. Not thread-safe; callers serialize (LogicalLog does).
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> dest)
+      : dest_(std::move(dest)), block_offset_(0) {}
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  Status AddRecord(const Slice& payload);
+  Status Flush() { return dest_->Flush(); }
+  Status Sync() { return dest_->Sync(); }
+  Status Close() { return dest_->Close(); }
+
+ private:
+  Status EmitPhysicalRecord(RecordKind kind, const char* ptr, size_t length);
+
+  std::unique_ptr<WritableFile> dest_;
+  int block_offset_;  // current offset within the block
+};
+
+}  // namespace blsm::wal
+
+#endif  // BLSM_WAL_LOG_WRITER_H_

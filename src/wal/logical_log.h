@@ -1,0 +1,69 @@
+#ifndef BLSM_WAL_LOGICAL_LOG_H_
+#define BLSM_WAL_LOGICAL_LOG_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "io/env.h"
+#include "lsm/record.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace blsm {
+
+// Durability for individual writes (§4.4.2). The physical manifest keeps the
+// tree physically consistent; this logical log replays recent updates into
+// C0 after a crash. Durability modes:
+//   kSync  — fsync after every append (strict durability),
+//   kAsync — append without sync, as the paper's benchmarks run ("none of
+//            the systems sync their logs at commit", §5.1),
+//   kNone  — degraded mode: no logging at all; after a crash, updates since
+//            the last merge are lost (useful for replication sinks).
+enum class DurabilityMode { kSync, kAsync, kNone };
+
+class LogicalLog {
+ public:
+  LogicalLog(Env* env, std::string path, DurabilityMode mode)
+      : env_(env), path_(std::move(path)), mode_(mode) {}
+
+  // Opens (truncating) a fresh log file.
+  Status Open();
+
+  // Appends one logical record. Thread-safe.
+  Status Append(const Slice& user_key, SequenceNumber seq, RecordType type,
+                const Slice& value);
+
+  // Forces buffered appends to the OS (and to disk in kSync mode).
+  Status Flush();
+
+  // Truncation: merges make C0's prefix durable in C1, after which the log
+  // can be restarted. (Snowshoveling delays this — §4.4.2 — because C0 is
+  // never fully drained; the LSM truncates only after a compaction that
+  // leaves C0 empty or re-logs survivors.)
+  Status Restart(const std::function<Status(wal::LogWriter*)>& relog);
+
+  Status Close();
+
+  // Replays every record in `path` through the callback (applied in log
+  // order). Safe on truncated tails. Missing file is not an error (fresh
+  // database or kNone mode).
+  static Status Replay(
+      Env* env, const std::string& path,
+      const std::function<void(const Slice& user_key, SequenceNumber seq,
+                               RecordType type, const Slice& value)>& apply);
+
+  DurabilityMode mode() const { return mode_; }
+
+ private:
+  Env* env_;
+  std::string path_;
+  DurabilityMode mode_;
+  std::mutex mu_;
+  std::unique_ptr<wal::LogWriter> writer_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_WAL_LOGICAL_LOG_H_

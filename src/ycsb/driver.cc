@@ -1,0 +1,297 @@
+#include "ycsb/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "btree/btree.h"
+#include "lsm/blsm_tree.h"
+#include "multilevel/multilevel_tree.h"
+
+namespace blsm::ycsb {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class BlsmAdapter final : public EngineAdapter {
+ public:
+  explicit BlsmAdapter(BlsmTree* tree) : tree_(tree) {}
+  std::string Name() const override { return "bLSM"; }
+  Status Insert(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);
+  }
+  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
+    return tree_->InsertIfNotExists(key, value);
+  }
+  Status Read(const Slice& key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Update(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);  // blind write: zero seeks
+  }
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string&, bool)>& fn) override {
+    return tree_->ReadModifyWrite(key, fn);
+  }
+  Status Scan(const Slice& start, size_t n,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return tree_->Scan(start, n, out);
+  }
+  Status Delete(const Slice& key) override { return tree_->Delete(key); }
+  void WaitIdle() override { tree_->WaitForMergeIdle(); }
+
+ private:
+  BlsmTree* tree_;
+};
+
+class BTreeAdapter final : public EngineAdapter {
+ public:
+  explicit BTreeAdapter(btree::BTree* tree) : tree_(tree) {}
+  std::string Name() const override { return "B-Tree"; }
+  Status Insert(const Slice& key, const Slice& value) override {
+    return tree_->Insert(key, value);
+  }
+  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
+    return tree_->InsertIfNotExists(key, value);
+  }
+  Status Read(const Slice& key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Update(const Slice& key, const Slice& value) override {
+    // Update-in-place: the engine has no blind write; every update faults
+    // the leaf (§2.2).
+    return tree_->Insert(key, value);
+  }
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string&, bool)>& fn) override {
+    return tree_->ReadModifyWrite(key, fn);
+  }
+  Status Scan(const Slice& start, size_t n,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return tree_->Scan(start, n, out);
+  }
+  Status Delete(const Slice& key) override { return tree_->Delete(key); }
+  void WaitIdle() override { tree_->Checkpoint(); }
+
+ private:
+  btree::BTree* tree_;
+};
+
+class MultilevelAdapter final : public EngineAdapter {
+ public:
+  explicit MultilevelAdapter(multilevel::MultilevelTree* tree) : tree_(tree) {}
+  std::string Name() const override { return "LevelDB-like"; }
+  Status Insert(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);
+  }
+  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
+    return tree_->InsertIfNotExists(key, value);
+  }
+  Status Read(const Slice& key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Update(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);
+  }
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string&, bool)>& fn) override {
+    return tree_->ReadModifyWrite(key, fn);
+  }
+  Status Scan(const Slice& start, size_t n,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return tree_->Scan(start, n, out);
+  }
+  Status Delete(const Slice& key) override { return tree_->Delete(key); }
+  void WaitIdle() override { tree_->WaitForIdle(); }
+
+ private:
+  multilevel::MultilevelTree* tree_;
+};
+
+// Shared accumulator for the per-interval timeseries.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bucket_seconds)
+      : bucket_us_(static_cast<uint64_t>(bucket_seconds * 1e6)) {}
+
+  void Record(uint64_t elapsed_us, uint64_t latency_us) {
+    size_t idx = elapsed_us / bucket_us_;
+    std::lock_guard<std::mutex> l(mu_);
+    if (buckets_.size() <= idx) buckets_.resize(idx + 1);
+    buckets_[idx].ops++;
+    buckets_[idx].max_latency_us =
+        std::max(buckets_[idx].max_latency_us, latency_us);
+  }
+
+  std::vector<TimeBucket> Finish() {
+    std::lock_guard<std::mutex> l(mu_);
+    for (size_t i = 0; i < buckets_.size(); i++) {
+      buckets_[i].start_seconds =
+          static_cast<double>(i) * static_cast<double>(bucket_us_) / 1e6;
+    }
+    return buckets_;
+  }
+
+ private:
+  uint64_t bucket_us_;
+  std::mutex mu_;
+  std::vector<TimeBucket> buckets_;
+};
+
+}  // namespace
+
+std::unique_ptr<EngineAdapter> WrapBlsm(BlsmTree* tree) {
+  return std::make_unique<BlsmAdapter>(tree);
+}
+std::unique_ptr<EngineAdapter> WrapBTree(btree::BTree* tree) {
+  return std::make_unique<BTreeAdapter>(tree);
+}
+std::unique_ptr<EngineAdapter> WrapMultilevel(
+    multilevel::MultilevelTree* tree) {
+  return std::make_unique<MultilevelAdapter>(tree);
+}
+
+RunResult RunWorkload(EngineAdapter* engine, const WorkloadSpec& spec,
+                      const DriverOptions& options) {
+  RunResult result;
+  result.label = engine->Name() + "/" + spec.name;
+  IoStats::Snapshot io_before{};
+  if (options.io_stats != nullptr) io_before = options.io_stats->snapshot();
+
+  std::atomic<uint64_t> next_op{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> errors{0};
+  TimeSeries series(options.bucket_seconds);
+  std::vector<Histogram> histograms(options.threads);
+
+  const uint64_t start_us = NowMicros();
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (int t = 0; t < options.threads; t++) {
+    threads.emplace_back([&, t] {
+      uint64_t seed = options.seed * 1000003 + static_cast<uint64_t>(t);
+      KeyChooser chooser(spec.distribution, spec.record_count, &inserts, seed);
+      Random op_rng(seed ^ 0xfee1deadull);
+      ValueGenerator values(seed ^ 0x7a11ull);
+      Histogram& hist = histograms[t];
+      std::vector<std::pair<std::string, std::string>> scan_out;
+
+      while (true) {
+        uint64_t op = next_op.fetch_add(1, std::memory_order_relaxed);
+        if (op >= options.operations) break;
+        double dice = op_rng.NextDouble();
+        uint64_t begin = NowMicros();
+        Status s;
+        if (dice < spec.update_proportion) {
+          uint64_t id = chooser.Next();
+          s = engine->Update(FormatKey(id, true),
+                             values.Next(id, spec.value_size));
+        } else if (dice < spec.update_proportion + spec.insert_proportion) {
+          uint64_t id =
+              spec.record_count + inserts.fetch_add(1, std::memory_order_relaxed);
+          s = engine->Insert(FormatKey(id, true),
+                             values.Next(id, spec.value_size));
+        } else if (dice < spec.update_proportion + spec.insert_proportion +
+                              spec.rmw_proportion) {
+          uint64_t id = chooser.Next();
+          std::string fresh = values.Next(id, spec.value_size);
+          s = engine->ReadModifyWrite(
+              FormatKey(id, true),
+              [&fresh](const std::string&, bool) { return fresh; });
+        } else if (dice < spec.update_proportion + spec.insert_proportion +
+                              spec.rmw_proportion + spec.scan_proportion) {
+          uint64_t id = chooser.Next();
+          uint64_t len = 1 + op_rng.Uniform(spec.max_scan_len);
+          s = engine->Scan(FormatKey(id, true), len, &scan_out);
+        } else {
+          uint64_t id = chooser.Next();
+          std::string value;
+          s = engine->Read(FormatKey(id, true), &value);
+          if (s.IsNotFound()) s = Status::OK();  // unloaded key: fine
+        }
+        uint64_t end = NowMicros();
+        if (!s.ok() && !s.IsKeyExists()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        hist.Add(end - begin);
+        series.Record(end - start_us, end - begin);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  result.elapsed_seconds =
+      static_cast<double>(NowMicros() - start_us) / 1e6;
+  result.ops = std::min<uint64_t>(next_op.load(), options.operations);
+  result.errors = errors.load();
+  for (const auto& h : histograms) result.latency_us.Merge(h);
+  result.timeseries = series.Finish();
+  if (options.io_stats != nullptr) {
+    result.io = options.io_stats->snapshot() - io_before;
+  }
+  return result;
+}
+
+RunResult RunLoad(EngineAdapter* engine, const WorkloadSpec& spec,
+                  const DriverOptions& options, bool check_exists,
+                  bool sorted) {
+  RunResult result;
+  result.label = engine->Name() + "/load";
+  IoStats::Snapshot io_before{};
+  if (options.io_stats != nullptr) io_before = options.io_stats->snapshot();
+
+  std::atomic<uint64_t> next_id{0};
+  std::atomic<uint64_t> errors{0};
+  TimeSeries series(options.bucket_seconds);
+  std::vector<Histogram> histograms(options.threads);
+
+  const uint64_t start_us = NowMicros();
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (int t = 0; t < options.threads; t++) {
+    threads.emplace_back([&, t] {
+      ValueGenerator values(options.seed * 7919 + static_cast<uint64_t>(t));
+      Histogram& hist = histograms[t];
+      while (true) {
+        uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+        if (id >= spec.record_count) break;
+        std::string key = FormatKey(id, /*hashed=*/!sorted);
+        std::string value = values.Next(id, spec.value_size);
+        uint64_t begin = NowMicros();
+        Status s = check_exists ? engine->InsertIfNotExists(key, value)
+                                : engine->Insert(key, value);
+        uint64_t end = NowMicros();
+        if (!s.ok() && !s.IsKeyExists()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        hist.Add(end - begin);
+        series.Record(end - start_us, end - begin);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  result.elapsed_seconds =
+      static_cast<double>(NowMicros() - start_us) / 1e6;
+  result.ops = spec.record_count;
+  result.errors = errors.load();
+  for (const auto& h : histograms) result.latency_us.Merge(h);
+  result.timeseries = series.Finish();
+  if (options.io_stats != nullptr) {
+    result.io = options.io_stats->snapshot() - io_before;
+  }
+  return result;
+}
+
+}  // namespace blsm::ycsb

@@ -1,0 +1,77 @@
+#include "ycsb/workload.h"
+
+namespace blsm::ycsb {
+
+WorkloadSpec WorkloadSpec::ReadWriteMix(double write_pct, bool blind,
+                                        uint64_t records, Distribution dist) {
+  WorkloadSpec spec;
+  spec.name = (blind ? "blind-" : "rmw-") + std::to_string(static_cast<int>(write_pct)) + "pct-writes";
+  double w = write_pct / 100.0;
+  if (blind) {
+    spec.update_proportion = w;
+    spec.blind_updates = true;
+  } else {
+    spec.rmw_proportion = w;
+  }
+  spec.read_proportion = 1.0 - w;
+  spec.distribution = dist;
+  spec.record_count = records;
+  return spec;
+}
+
+WorkloadSpec WorkloadA(uint64_t records) {
+  WorkloadSpec spec;
+  spec.name = "ycsb-a";
+  spec.read_proportion = 0.5;
+  spec.update_proportion = 0.5;
+  spec.record_count = records;
+  return spec;
+}
+
+WorkloadSpec WorkloadB(uint64_t records) {
+  WorkloadSpec spec;
+  spec.name = "ycsb-b";
+  spec.read_proportion = 0.95;
+  spec.update_proportion = 0.05;
+  spec.record_count = records;
+  return spec;
+}
+
+WorkloadSpec WorkloadC(uint64_t records) {
+  WorkloadSpec spec;
+  spec.name = "ycsb-c";
+  spec.read_proportion = 1.0;
+  spec.record_count = records;
+  return spec;
+}
+
+WorkloadSpec WorkloadD(uint64_t records) {
+  WorkloadSpec spec;
+  spec.name = "ycsb-d";
+  spec.read_proportion = 0.95;
+  spec.insert_proportion = 0.05;
+  spec.distribution = Distribution::kLatest;
+  spec.record_count = records;
+  return spec;
+}
+
+WorkloadSpec WorkloadE(uint64_t records) {
+  WorkloadSpec spec;
+  spec.name = "ycsb-e";
+  spec.scan_proportion = 0.95;
+  spec.insert_proportion = 0.05;
+  spec.max_scan_len = 100;
+  spec.record_count = records;
+  return spec;
+}
+
+WorkloadSpec WorkloadF(uint64_t records) {
+  WorkloadSpec spec;
+  spec.name = "ycsb-f";
+  spec.read_proportion = 0.5;
+  spec.rmw_proportion = 0.5;
+  spec.record_count = records;
+  return spec;
+}
+
+}  // namespace blsm::ycsb

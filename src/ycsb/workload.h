@@ -1,0 +1,48 @@
+#ifndef BLSM_YCSB_WORKLOAD_H_
+#define BLSM_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ycsb/generator.h"
+
+namespace blsm::ycsb {
+
+// Operation mix of one YCSB-style workload. Proportions must sum to <= 1;
+// any remainder is treated as reads.
+struct WorkloadSpec {
+  std::string name;
+
+  double read_proportion = 1.0;
+  double update_proportion = 0;  // blind or RMW, per blind_updates
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+
+  Distribution distribution = Distribution::kZipfian;
+
+  // §5.4 distinguishes blind writes (zero seeks on LSMs) from
+  // read-modify-writes (a read plus a blind write).
+  bool blind_updates = true;
+
+  uint64_t record_count = 100000;
+  size_t value_size = 1000;  // the paper's 1000-byte values (§5.1)
+  size_t max_scan_len = 100;
+
+  // Derived helper: a workload with `write_pct` percent writes and the rest
+  // reads (the x-axis of Figure 8).
+  static WorkloadSpec ReadWriteMix(double write_pct, bool blind,
+                                   uint64_t records, Distribution dist);
+};
+
+// The standard YCSB core workloads (A-F), with the paper's value size.
+WorkloadSpec WorkloadA(uint64_t records);  // 50% read / 50% update, zipfian
+WorkloadSpec WorkloadB(uint64_t records);  // 95% read / 5% update, zipfian
+WorkloadSpec WorkloadC(uint64_t records);  // 100% read, zipfian
+WorkloadSpec WorkloadD(uint64_t records);  // 95% read / 5% insert, latest
+WorkloadSpec WorkloadE(uint64_t records);  // 95% scan / 5% insert, zipfian
+WorkloadSpec WorkloadF(uint64_t records);  // 50% read / 50% RMW, zipfian
+
+}  // namespace blsm::ycsb
+
+#endif  // BLSM_YCSB_WORKLOAD_H_

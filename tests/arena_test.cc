@@ -1,0 +1,72 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/random.h"
+
+namespace blsm {
+namespace {
+
+TEST(ArenaTest, Empty) {
+  Arena arena;
+  EXPECT_EQ(arena.MemoryUsage(), 0u);
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena;
+  Random rnd(301);
+  std::vector<std::pair<size_t, char*>> allocated;
+  size_t bytes = 0;
+  for (int i = 0; i < 10000; i++) {
+    size_t s = i % 3 == 0 ? rnd.Uniform(6000) + 1 : rnd.Uniform(20) + 1;
+    char* r = arena.Allocate(s);
+    // Fill with a pattern derived from the allocation index.
+    for (size_t b = 0; b < s; b++) r[b] = static_cast<char>(i % 256);
+    bytes += s;
+    allocated.emplace_back(s, r);
+  }
+  // Verify all patterns survived (no overlap).
+  for (size_t i = 0; i < allocated.size(); i++) {
+    auto [s, p] = allocated[i];
+    for (size_t b = 0; b < s; b++) {
+      EXPECT_EQ(static_cast<unsigned char>(p[b]), i % 256);
+    }
+  }
+  EXPECT_GE(arena.MemoryUsage(), bytes);
+  // Bookkeeping overhead stays modest.
+  EXPECT_LE(arena.MemoryUsage(), bytes * 1.2 + (2 << 20));
+}
+
+TEST(ArenaTest, AlignedAllocations) {
+  Arena arena;
+  for (int i = 1; i < 100; i++) {
+    char* p = arena.AllocateAligned(static_cast<size_t>(i));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(void*), 0u) << i;
+    // Force misalignment of the bump pointer for the next round.
+    arena.Allocate(1);
+  }
+}
+
+TEST(ArenaTest, LargeAllocationsGetOwnBlock) {
+  Arena arena;
+  size_t before = arena.MemoryUsage();
+  char* p = arena.Allocate(5 << 20);
+  memset(p, 0xab, 5 << 20);
+  EXPECT_GE(arena.MemoryUsage() - before, size_t{5} << 20);
+}
+
+TEST(ArenaTest, MemoryUsageMonotonic) {
+  Arena arena;
+  size_t prev = 0;
+  for (int i = 0; i < 1000; i++) {
+    arena.Allocate(100);
+    EXPECT_GE(arena.MemoryUsage(), prev);
+    prev = arena.MemoryUsage();
+  }
+}
+
+}  // namespace
+}  // namespace blsm

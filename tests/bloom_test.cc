@@ -1,0 +1,145 @@
+#include "bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace blsm {
+namespace {
+
+std::string Key(uint64_t i) { return "key-" + std::to_string(i); }
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(10000);
+  for (uint64_t i = 0; i < 10000; i++) filter.Insert(Key(i));
+  for (uint64_t i = 0; i < 10000; i++) {
+    EXPECT_TRUE(filter.MayContain(Key(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearOnePercent) {
+  // §4.4.3 / §3.1: 10 bits per key -> ~1% false positives.
+  const uint64_t kN = 100000;
+  BloomFilter filter(kN, 10.0);
+  for (uint64_t i = 0; i < kN; i++) filter.Insert(Key(i));
+  uint64_t fp = 0;
+  const uint64_t kProbes = 100000;
+  for (uint64_t i = 0; i < kProbes; i++) {
+    if (filter.MayContain(Key(kN + i))) fp++;
+  }
+  double rate = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(rate, 0.02) << "fp rate " << rate;
+  EXPECT_GT(rate, 0.001) << "suspiciously low fp rate " << rate;
+  EXPECT_NEAR(filter.ExpectedFpRate(kN), 0.01, 0.005);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter filter(1000);
+  int positives = 0;
+  for (uint64_t i = 0; i < 1000; i++) {
+    if (filter.MayContain(Key(i))) positives++;
+  }
+  EXPECT_EQ(positives, 0);
+}
+
+TEST(BloomFilterTest, BitsPerKeyControlsFpRate) {
+  const uint64_t kN = 20000;
+  double prev_rate = 1.0;
+  for (double bits : {4.0, 8.0, 12.0}) {
+    BloomFilter filter(kN, bits);
+    for (uint64_t i = 0; i < kN; i++) filter.Insert(Key(i));
+    uint64_t fp = 0;
+    for (uint64_t i = 0; i < 50000; i++) {
+      if (filter.MayContain(Key(kN + i))) fp++;
+    }
+    double rate = static_cast<double>(fp) / 50000;
+    EXPECT_LT(rate, prev_rate) << bits << " bits/key";
+    prev_rate = rate;
+  }
+}
+
+TEST(BloomFilterTest, HashVariantsAgreeWithKeyVariants) {
+  BloomFilter a(1000), b(1000);
+  for (uint64_t i = 0; i < 1000; i++) {
+    a.Insert(Key(i));
+    b.InsertHash(BloomFilter::KeyHash(Key(i)));
+  }
+  for (uint64_t i = 0; i < 2000; i++) {
+    EXPECT_EQ(a.MayContain(Key(i)),
+              b.MayContainHash(BloomFilter::KeyHash(Key(i))))
+        << i;
+  }
+}
+
+TEST(BloomFilterTest, SerializationRoundTrip) {
+  BloomFilter filter(5000, 10.0);
+  for (uint64_t i = 0; i < 5000; i += 2) filter.Insert(Key(i));
+  std::string encoded;
+  filter.EncodeTo(&encoded);
+
+  std::unique_ptr<BloomFilter> decoded;
+  ASSERT_TRUE(BloomFilter::DecodeFrom(encoded, &decoded).ok());
+  EXPECT_EQ(decoded->num_bits(), filter.num_bits());
+  EXPECT_EQ(decoded->num_hashes(), filter.num_hashes());
+  for (uint64_t i = 0; i < 5000; i++) {
+    EXPECT_EQ(filter.MayContain(Key(i)), decoded->MayContain(Key(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, DecodeRejectsCorruption) {
+  BloomFilter filter(100);
+  filter.Insert("x");
+  std::string encoded;
+  filter.EncodeTo(&encoded);
+
+  std::unique_ptr<BloomFilter> out;
+  // Bad magic.
+  std::string bad = encoded;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(BloomFilter::DecodeFrom(bad, &out).ok());
+  // Truncated payload.
+  EXPECT_FALSE(
+      BloomFilter::DecodeFrom(Slice(encoded.data(), encoded.size() / 2), &out)
+          .ok());
+  // Empty.
+  EXPECT_FALSE(BloomFilter::DecodeFrom(Slice(), &out).ok());
+}
+
+TEST(BloomFilterTest, ConcurrentInsertIsSafeAndComplete) {
+  // §4.4.3: updates are monotonic; concurrent inserts need no locking.
+  const uint64_t kPerThread = 20000;
+  const int kThreads = 8;
+  BloomFilter filter(kPerThread * kThreads, 10.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&filter, t] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        filter.Insert(Key(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (uint64_t i = 0; i < kPerThread * kThreads; i++) {
+    ASSERT_TRUE(filter.MayContain(Key(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, TinyFilterStillWorks) {
+  BloomFilter filter(1);
+  filter.Insert("only");
+  EXPECT_TRUE(filter.MayContain("only"));
+}
+
+TEST(BloomFilterTest, MemoryUsageMatchesGeometry) {
+  BloomFilter filter(100000, 10.0);
+  // ~10 bits/key = 1.25 bytes/key (Appendix A).
+  EXPECT_NEAR(static_cast<double>(filter.MemoryUsage()), 125000, 1000);
+}
+
+}  // namespace
+}  // namespace blsm

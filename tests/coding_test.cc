@@ -1,0 +1,125 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace blsm {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v = 0; v < 100000; v += 977) PutFixed32(&s, v);
+  const char* p = s.data();
+  for (uint32_t v = 0; v < 100000; v += 977) {
+    EXPECT_EQ(DecodeFixed32(p), v);
+    p += sizeof(uint32_t);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  std::vector<uint64_t> values;
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = uint64_t{1} << power;
+    values.insert(values.end(), {v - 1, v, v + 1});
+  }
+  for (uint64_t v : values) PutFixed64(&s, v);
+  const char* p = s.data();
+  for (uint64_t v : values) {
+    EXPECT_EQ(DecodeFixed64(p), v);
+    p += sizeof(uint64_t);
+  }
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string s;
+  for (uint32_t i = 0; i < 32 * 32; i++) {
+    uint32_t v = (i / 32) << (i % 32);
+    PutVarint32(&s, v);
+  }
+  Slice in(s);
+  for (uint32_t i = 0; i < 32 * 32; i++) {
+    uint32_t expected = (i / 32) << (i % 32);
+    uint32_t actual;
+    ASSERT_TRUE(GetVarint32(&in, &actual));
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::vector<uint64_t> values = {0, 100, ~uint64_t{0}, ~uint64_t{0} - 1};
+  for (uint32_t k = 0; k < 64; k++) {
+    const uint64_t power = uint64_t{1} << k;
+    values.insert(values.end(), {power, power - 1, power + 1});
+  }
+  std::string s;
+  for (uint64_t v : values) PutVarint64(&s, v);
+  Slice in(s);
+  for (uint64_t expected : values) {
+    uint64_t actual;
+    ASSERT_TRUE(GetVarint64(&in, &actual));
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint32Truncation) {
+  uint32_t large = ~uint32_t{0};
+  std::string s;
+  PutVarint32(&s, large);
+  for (size_t len = 0; len + 1 < s.size(); len++) {
+    Slice in(s.data(), len);
+    uint32_t result;
+    EXPECT_FALSE(GetVarint32(&in, &result)) << len;
+  }
+}
+
+TEST(CodingTest, Varint64Truncation) {
+  uint64_t large = ~uint64_t{0};
+  std::string s;
+  PutVarint64(&s, large);
+  for (size_t len = 0; len + 1 < s.size(); len++) {
+    Slice in(s.data(), len);
+    uint64_t result;
+    EXPECT_FALSE(GetVarint64(&in, &result)) << len;
+  }
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = uint64_t{1} << power;
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, LengthPrefixedSlice) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "");
+  PutLengthPrefixedSlice(&s, "foo");
+  PutLengthPrefixedSlice(&s, std::string(10000, 'x'));
+  Slice in(s);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &v));
+  EXPECT_EQ(v.size(), 0u);
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &v));
+  EXPECT_EQ(v.ToString(), "foo");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &v));
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceTruncatedBody) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello world");
+  Slice in(s.data(), s.size() - 3);
+  Slice v;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &v));
+}
+
+}  // namespace
+}  // namespace blsm

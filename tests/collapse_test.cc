@@ -1,0 +1,183 @@
+// Unit tests for CollapseGroup: the version-folding logic shared by the
+// bLSM merges and the multilevel compactions (§3.1.1 semantics).
+
+#include "lsm/collapse.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memtable/memtable.h"
+
+namespace blsm {
+namespace {
+
+struct Entry {
+  std::string key;
+  SequenceNumber seq;
+  RecordType type;
+  std::string value;
+};
+
+// Builds a memtable-backed iterator over the given entries.
+std::pair<std::shared_ptr<MemTable>, std::unique_ptr<InternalIterator>>
+MakeInput(const std::vector<Entry>& entries) {
+  auto mem = std::make_shared<MemTable>();
+  for (const auto& e : entries) mem->Add(e.seq, e.type, e.key, e.value);
+  auto it = NewMemTableIterator(mem);
+  it->SeekToFirst();
+  return {mem, std::move(it)};
+}
+
+GroupResult Collapse(const std::vector<Entry>& entries, bool bottom,
+                     uint64_t* consumed = nullptr) {
+  auto [mem, it] = MakeInput(entries);
+  AppendMergeOperator op;
+  uint64_t bytes = 0;
+  GroupResult out;
+  EXPECT_TRUE(CollapseGroup(it.get(), &op, bottom, &bytes, &out).ok());
+  if (consumed != nullptr) *consumed = bytes;
+  return out;
+}
+
+TEST(CollapseGroupTest, SingleBasePassesThrough) {
+  auto r = Collapse({{"k", 5, RecordType::kBase, "v"}}, false);
+  EXPECT_TRUE(r.emit);
+  EXPECT_EQ(r.type, RecordType::kBase);
+  EXPECT_EQ(r.seq, 5u);
+  EXPECT_EQ(r.value, "v");
+  EXPECT_EQ(r.user_key, "k");
+}
+
+TEST(CollapseGroupTest, NewestBaseShadowsOlderVersions) {
+  auto r = Collapse({{"k", 9, RecordType::kBase, "new"},
+                     {"k", 5, RecordType::kBase, "old"},
+                     {"k", 2, RecordType::kDelta, "+stale"}},
+                    false);
+  EXPECT_TRUE(r.emit);
+  EXPECT_EQ(r.value, "new");
+  EXPECT_EQ(r.seq, 9u);
+}
+
+TEST(CollapseGroupTest, DeltasFoldIntoBase) {
+  auto r = Collapse({{"k", 9, RecordType::kDelta, "+2"},
+                     {"k", 8, RecordType::kDelta, "+1"},
+                     {"k", 5, RecordType::kBase, "base"}},
+                    false);
+  EXPECT_TRUE(r.emit);
+  EXPECT_EQ(r.type, RecordType::kBase);
+  EXPECT_EQ(r.value, "base+1+2");
+  EXPECT_EQ(r.seq, 9u) << "output carries the newest seq";
+}
+
+TEST(CollapseGroupTest, MiddleLevelKeepsLoneTombstone) {
+  auto r = Collapse({{"k", 5, RecordType::kTombstone, ""}}, false);
+  EXPECT_TRUE(r.emit);
+  EXPECT_EQ(r.type, RecordType::kTombstone);
+}
+
+TEST(CollapseGroupTest, BottomLevelDropsLoneTombstone) {
+  auto r = Collapse({{"k", 5, RecordType::kTombstone, ""}}, true);
+  EXPECT_FALSE(r.emit);
+}
+
+TEST(CollapseGroupTest, TombstoneShadowsOlderBaseBothLevels) {
+  for (bool bottom : {false, true}) {
+    auto r = Collapse({{"k", 9, RecordType::kTombstone, ""},
+                       {"k", 5, RecordType::kBase, "dead"}},
+                      bottom);
+    if (bottom) {
+      EXPECT_FALSE(r.emit);
+    } else {
+      EXPECT_TRUE(r.emit);
+      EXPECT_EQ(r.type, RecordType::kTombstone);
+    }
+  }
+}
+
+TEST(CollapseGroupTest, DeltasAboveTombstoneDefineFreshBase) {
+  // §3.1.1 ordering: deltas newer than a tombstone apply to nothing.
+  for (bool bottom : {false, true}) {
+    auto r = Collapse({{"k", 9, RecordType::kDelta, "new"},
+                       {"k", 7, RecordType::kTombstone, ""},
+                       {"k", 5, RecordType::kBase, "dead"}},
+                      bottom);
+    EXPECT_TRUE(r.emit);
+    EXPECT_EQ(r.type, RecordType::kBase);
+    EXPECT_EQ(r.value, "new");
+  }
+}
+
+TEST(CollapseGroupTest, MiddleLevelCollapsesDeltaChain) {
+  auto r = Collapse({{"k", 9, RecordType::kDelta, "c"},
+                     {"k", 8, RecordType::kDelta, "b"},
+                     {"k", 7, RecordType::kDelta, "a"}},
+                    false);
+  EXPECT_TRUE(r.emit);
+  EXPECT_EQ(r.type, RecordType::kDelta) << "no base: stays a delta";
+  EXPECT_EQ(r.value, "abc") << "partial merge, oldest first";
+}
+
+TEST(CollapseGroupTest, BottomLevelMaterializesOrphanDeltas) {
+  auto r = Collapse({{"k", 9, RecordType::kDelta, "b"},
+                     {"k", 8, RecordType::kDelta, "a"}},
+                    true);
+  EXPECT_TRUE(r.emit);
+  EXPECT_EQ(r.type, RecordType::kBase) << "nothing below C2";
+  EXPECT_EQ(r.value, "ab");
+}
+
+TEST(CollapseGroupTest, ConsumesExactlyOneUserKey) {
+  auto [mem, it] = MakeInput({{"a", 2, RecordType::kBase, "va"},
+                              {"a", 1, RecordType::kDelta, "+old"},
+                              {"b", 3, RecordType::kBase, "vb"}});
+  AppendMergeOperator op;
+  uint64_t bytes = 0;
+  GroupResult out;
+  ASSERT_TRUE(CollapseGroup(it.get(), &op, false, &bytes, &out).ok());
+  EXPECT_EQ(out.user_key, "a");
+  ASSERT_TRUE(it->Valid()) << "iterator must rest on the next user key";
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(it->key(), &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "b");
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST(CollapseGroupTest, MarksEveryConsumedEntry) {
+  auto mem = std::make_shared<MemTable>();
+  mem->Add(2, RecordType::kBase, "a", "new");
+  mem->Add(1, RecordType::kBase, "a", "shadowed");
+  mem->Add(3, RecordType::kBase, "b", "keep");
+  auto it = NewMemTableIterator(mem);
+  it->SeekToFirst();
+  AppendMergeOperator op;
+  uint64_t bytes = 0;
+  GroupResult out;
+  ASSERT_TRUE(CollapseGroup(it.get(), &op, false, &bytes, &out).ok());
+  // Both versions of "a" (emitted and shadowed) are consumed; "b" is not.
+  auto survivors = mem->CompactUnconsumed();
+  EXPECT_EQ(survivors->Count(), 1u);
+}
+
+TEST(CollapseGroupTest, RejectsUncombinableDeltas) {
+  // Int64Add cannot partial-merge malformed operands.
+  auto mem = std::make_shared<MemTable>();
+  mem->Add(2, RecordType::kDelta, "k", "not-eight-bytes");
+  mem->Add(1, RecordType::kDelta, "k", "also-bad");
+  auto it = NewMemTableIterator(mem);
+  it->SeekToFirst();
+  Int64AddMergeOperator op;
+  uint64_t bytes = 0;
+  GroupResult out;
+  EXPECT_TRUE(
+      CollapseGroup(it.get(), &op, false, &bytes, &out).IsCorruption());
+}
+
+TEST(CollapseGroupTest, EmptyValueBaseSurvives) {
+  auto r = Collapse({{"k", 1, RecordType::kBase, ""}}, true);
+  EXPECT_TRUE(r.emit);
+  EXPECT_EQ(r.value, "");
+}
+
+}  // namespace
+}  // namespace blsm

@@ -1,0 +1,52 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace blsm::crc32c {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // Known-answer tests from RFC 3720 / the iSCSI CRC32C test vectors.
+  char zeros[32];
+  memset(zeros, 0, sizeof(zeros));
+  EXPECT_EQ(0x8a9136aau, Value(zeros, sizeof(zeros)));
+
+  char ones[32];
+  memset(ones, 0xff, sizeof(ones));
+  EXPECT_EQ(0x62a8ab43u, Value(ones, sizeof(ones)));
+
+  char ascending[32];
+  for (int i = 0; i < 32; i++) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(0x46dd794eu, Value(ascending, sizeof(ascending)));
+
+  char descending[32];
+  for (int i = 0; i < 32; i++) descending[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(0x113fdb5cu, Value(descending, sizeof(descending)));
+}
+
+TEST(Crc32cTest, DistinguishesValues) {
+  EXPECT_NE(Value("a", 1), Value("foo", 3));
+  EXPECT_NE(Value("foo", 3), Value("bar", 3));
+}
+
+TEST(Crc32cTest, ExtendEqualsConcatenation) {
+  std::string hello = "hello ";
+  std::string world = "world";
+  std::string both = hello + world;
+  EXPECT_EQ(Value(both.data(), both.size()),
+            Extend(Value(hello.data(), hello.size()), world.data(),
+                   world.size()));
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = Value("foo", 3);
+  EXPECT_NE(crc, Mask(crc));
+  EXPECT_NE(crc, Mask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Unmask(Mask(Mask(crc)))));
+}
+
+}  // namespace
+}  // namespace blsm::crc32c

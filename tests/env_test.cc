@@ -1,0 +1,211 @@
+#include "io/env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "io/counting_env.h"
+#include "io/mem_env.h"
+
+namespace blsm {
+namespace {
+
+// Shared conformance suite run against both MemEnv and the CountingEnv
+// wrapper (over MemEnv).
+class EnvTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    mem_env_ = std::make_unique<MemEnv>();
+    if (GetParam()) {
+      counting_ = std::make_unique<CountingEnv>(mem_env_.get(), &stats_);
+      env_ = counting_.get();
+    } else {
+      env_ = mem_env_.get();
+    }
+  }
+
+  std::unique_ptr<MemEnv> mem_env_;
+  std::unique_ptr<CountingEnv> counting_;
+  IoStats stats_;
+  Env* env_ = nullptr;
+};
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(WriteStringToFile(env_, "hello world", "f", true).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, "f", &data).ok());
+  EXPECT_EQ(data, "hello world");
+}
+
+TEST_P(EnvTest, FileExists) {
+  EXPECT_FALSE(env_->FileExists("nope"));
+  ASSERT_TRUE(WriteStringToFile(env_, "x", "yes", false).ok());
+  EXPECT_TRUE(env_->FileExists("yes"));
+}
+
+TEST_P(EnvTest, GetFileSize) {
+  ASSERT_TRUE(WriteStringToFile(env_, std::string(12345, 'a'), "f", false).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize("f", &size).ok());
+  EXPECT_EQ(size, 12345u);
+}
+
+TEST_P(EnvTest, MissingFileIsNotFound) {
+  std::unique_ptr<SequentialFile> f;
+  Status s = env_->NewSequentialFile("missing", &f);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+}
+
+TEST_P(EnvTest, RenameReplaces) {
+  ASSERT_TRUE(WriteStringToFile(env_, "new", "a", false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "old", "b", false).ok());
+  ASSERT_TRUE(env_->RenameFile("a", "b").ok());
+  EXPECT_FALSE(env_->FileExists("a"));
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, "b", &data).ok());
+  EXPECT_EQ(data, "new");
+}
+
+TEST_P(EnvTest, RemoveFile) {
+  ASSERT_TRUE(WriteStringToFile(env_, "x", "f", false).ok());
+  ASSERT_TRUE(env_->RemoveFile("f").ok());
+  EXPECT_FALSE(env_->FileExists("f"));
+  EXPECT_TRUE(env_->RemoveFile("f").IsNotFound());
+}
+
+TEST_P(EnvTest, RandomAccessRead) {
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", "f", false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_->NewRandomAccessFile("f", &f).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(3, 4, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "3456");
+  // Read past EOF returns short/empty, not an error.
+  ASSERT_TRUE(f->Read(8, 10, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "89");
+  ASSERT_TRUE(f->Read(100, 4, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_P(EnvTest, RandomRWFile) {
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_TRUE(env_->NewRandomRWFile("rw", &f).ok());
+  ASSERT_TRUE(f->Write(0, "AAAA").ok());
+  ASSERT_TRUE(f->Write(8, "BBBB").ok());  // hole at 4..7
+  ASSERT_TRUE(f->Write(2, "cc").ok());    // overwrite
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(0, 12, &result, scratch).ok());
+  EXPECT_EQ(result.size(), 12u);
+  EXPECT_EQ(result.ToString().substr(0, 4), "AAcc");
+  EXPECT_EQ(result.ToString().substr(8, 4), "BBBB");
+}
+
+TEST_P(EnvTest, SequentialSkip) {
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", "f", false).ok());
+  std::unique_ptr<SequentialFile> f;
+  ASSERT_TRUE(env_->NewSequentialFile("f", &f).ok());
+  ASSERT_TRUE(f->Skip(4).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "456");
+}
+
+TEST_P(EnvTest, GetChildren) {
+  ASSERT_TRUE(WriteStringToFile(env_, "x", "dir/a", false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "x", "dir/b", false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("dir", &children).ok());
+  EXPECT_EQ(children.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlainAndCounting, EnvTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Counting" : "Mem";
+                         });
+
+TEST(CountingEnvTest, ClassifiesSeeksAndSequentialReads) {
+  MemEnv base;
+  IoStats stats;
+  CountingEnv env(&base, &stats);
+  std::string blob(1 << 20, 'z');
+  ASSERT_TRUE(WriteStringToFile(&env, blob, "f", false).ok());
+
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env.NewRandomAccessFile("f", &f).ok());
+  char scratch[4096];
+  Slice r;
+  // First read: one seek.
+  ASSERT_TRUE(f->Read(0, 4096, &r, scratch).ok());
+  uint64_t seeks_after_first = stats.read_seeks.load();
+  // Contiguous follow-up reads: no new seeks.
+  ASSERT_TRUE(f->Read(4096, 4096, &r, scratch).ok());
+  ASSERT_TRUE(f->Read(8192, 4096, &r, scratch).ok());
+  EXPECT_EQ(stats.read_seeks.load(), seeks_after_first);
+  // A jump far away: one more seek.
+  ASSERT_TRUE(f->Read(900000, 4096, &r, scratch).ok());
+  EXPECT_EQ(stats.read_seeks.load(), seeks_after_first + 1);
+  // Backward read: seek.
+  ASSERT_TRUE(f->Read(0, 4096, &r, scratch).ok());
+  EXPECT_EQ(stats.read_seeks.load(), seeks_after_first + 2);
+  EXPECT_EQ(stats.read_ops.load(), 5u);
+  EXPECT_EQ(stats.read_bytes.load(), 5u * 4096);
+}
+
+TEST(CountingEnvTest, CountsWritesAndSyncs) {
+  MemEnv base;
+  IoStats stats;
+  CountingEnv env(&base, &stats);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("f", &f).ok());
+  ASSERT_TRUE(f->Append("hello").ok());
+  ASSERT_TRUE(f->Append("world").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(stats.write_bytes.load(), 10u);
+  EXPECT_EQ(stats.write_ops.load(), 2u);
+  EXPECT_EQ(stats.syncs.load(), 1u);
+  // Appends are sequential: no write seeks.
+  EXPECT_EQ(stats.write_seeks.load(), 0u);
+}
+
+TEST(CountingEnvTest, RandomWritesCountAsWriteSeeks) {
+  MemEnv base;
+  IoStats stats;
+  CountingEnv env(&base, &stats);
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_TRUE(env.NewRandomRWFile("f", &f).ok());
+  ASSERT_TRUE(f->Write(1 << 20, "page").ok());
+  ASSERT_TRUE(f->Write(0, "page").ok());
+  ASSERT_TRUE(f->Write(4, "page").ok());  // contiguous with previous
+  EXPECT_EQ(stats.write_seeks.load(), 2u);
+}
+
+TEST(IoStatsTest, SnapshotDifference) {
+  IoStats stats;
+  stats.read_seeks = 10;
+  stats.read_bytes = 100;
+  auto a = stats.snapshot();
+  stats.read_seeks = 25;
+  stats.read_bytes = 400;
+  auto diff = stats.snapshot() - a;
+  EXPECT_EQ(diff.read_seeks, 15u);
+  EXPECT_EQ(diff.read_bytes, 300u);
+}
+
+TEST(MemEnvTest, DropUnsyncedSimulatesCrash) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("f", &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("lost").ok());
+  env.DropUnsynced();
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env, "f", &data).ok());
+  EXPECT_EQ(data, "durable");
+}
+
+}  // namespace
+}  // namespace blsm

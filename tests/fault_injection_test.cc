@@ -1,0 +1,138 @@
+// Failure-injection tests: when the device starts failing, the engines must
+// surface errors (not crash, hang, or silently lose acknowledged data), and
+// once the device heals plus the tree is reopened, recovery must restore a
+// consistent state.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "io/fault_injection_env.h"
+#include "io/mem_env.h"
+#include "lsm/blsm_tree.h"
+#include "multilevel/multilevel_tree.h"
+#include "util/random.h"
+
+namespace blsm {
+namespace {
+
+std::string KeyFor(uint64_t i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "k%06llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+class FaultInjectionTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  MemEnv base_;
+};
+
+TEST_P(FaultInjectionTest, EnvFailsCleanly) {
+  FaultInjectionEnv env(&base_);
+  env.TripAfter(0);
+  std::unique_ptr<WritableFile> f;
+  EXPECT_TRUE(env.NewWritableFile("x", &f).IsIOError());
+  env.Heal();
+  EXPECT_TRUE(env.NewWritableFile("x", &f).ok());
+  EXPECT_TRUE(f->Append("works").ok());
+  env.TripAfter(0);
+  EXPECT_TRUE(f->Append("fails").IsIOError());
+  EXPECT_GT(env.faults_injected(), 0u);
+}
+
+TEST_P(FaultInjectionTest, BlsmSurfacesBackgroundErrorsAndRecovers) {
+  FaultInjectionEnv env(&base_);
+  BlsmOptions options;
+  options.env = &env;
+  options.c0_target_bytes = 32 << 10;
+  options.durability = DurabilityMode::kSync;
+
+  std::unique_ptr<BlsmTree> tree;
+  ASSERT_TRUE(BlsmTree::Open(options, "db", &tree).ok());
+
+  // Phase 1: healthy writes, flushed to disk.
+  for (uint64_t i = 0; i < 200; i++) {
+    ASSERT_TRUE(tree->Put(KeyFor(i), "stable" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+
+  // Phase 2: the device dies partway through continued load. Writes must
+  // start failing (either at the log append or via the surfaced background
+  // error) rather than disappearing.
+  env.TripAfter(GetParam());
+  bool saw_failure = false;
+  for (uint64_t i = 200; i < 2000; i++) {
+    Status s = tree->Put(KeyFor(i), "doomed");
+    if (!s.ok()) {
+      saw_failure = true;
+      break;
+    }
+  }
+  // Give background merges a moment to hit the fault too.
+  for (int i = 0; i < 50 && !saw_failure; i++) {
+    env.SleepForMicroseconds(1000);
+    saw_failure = !tree->BackgroundError().ok();
+  }
+  EXPECT_TRUE(saw_failure) << "a dead device must surface somewhere";
+
+  // Phase 3: heal, reopen, verify phase-1 data survived intact.
+  tree.reset();
+  env.Heal();
+  base_.DropUnsynced();
+  ASSERT_TRUE(BlsmTree::Open(options, "db", &tree).ok());
+  for (uint64_t i = 0; i < 200; i++) {
+    std::string value;
+    ASSERT_TRUE(tree->Get(KeyFor(i), &value).ok()) << i;
+    ASSERT_EQ(value, "stable" + std::to_string(i));
+  }
+  // And the tree is writable again.
+  ASSERT_TRUE(tree->Put("fresh", "ok").ok());
+  ASSERT_TRUE(tree->Flush().ok());
+}
+
+TEST_P(FaultInjectionTest, MultilevelSurfacesErrorsAndRecovers) {
+  FaultInjectionEnv env(&base_);
+  multilevel::MultilevelOptions options;
+  options.env = &env;
+  options.memtable_bytes = 16 << 10;
+  options.file_bytes = 8 << 10;
+  options.durability = DurabilityMode::kSync;
+
+  std::unique_ptr<multilevel::MultilevelTree> tree;
+  ASSERT_TRUE(multilevel::MultilevelTree::Open(options, "ml", &tree).ok());
+  for (uint64_t i = 0; i < 150; i++) {
+    ASSERT_TRUE(tree->Put(KeyFor(i), "stable").ok());
+  }
+  ASSERT_TRUE(tree->CompactAll().ok());
+
+  env.TripAfter(GetParam());
+  bool saw_failure = false;
+  for (uint64_t i = 150; i < 2000 && !saw_failure; i++) {
+    saw_failure = !tree->Put(KeyFor(i), "doomed").ok();
+  }
+  for (int i = 0; i < 50 && !saw_failure; i++) {
+    env.SleepForMicroseconds(1000);
+    saw_failure = !tree->BackgroundError().ok();
+  }
+  EXPECT_TRUE(saw_failure);
+
+  tree.reset();
+  env.Heal();
+  base_.DropUnsynced();
+  ASSERT_TRUE(multilevel::MultilevelTree::Open(options, "ml", &tree).ok());
+  for (uint64_t i = 0; i < 150; i++) {
+    std::string value;
+    ASSERT_TRUE(tree->Get(KeyFor(i), &value).ok()) << i;
+  }
+  ASSERT_TRUE(tree->Put("fresh", "ok").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(TripPoints, FaultInjectionTest,
+                         ::testing::Values(0, 3, 17, 60, 250),
+                         [](const auto& info) {
+                           return "After" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace blsm

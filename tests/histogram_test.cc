@@ -1,0 +1,107 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace blsm {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_EQ(h.Percentile(50), 42.0);
+  EXPECT_EQ(h.Percentile(99.9), 42.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  // Values below 16 land in exact buckets.
+  Histogram h;
+  for (int i = 0; i < 10; i++) h.Add(static_cast<uint64_t>(i));
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_LE(h.Percentile(50), 5.0);
+  EXPECT_EQ(h.max(), 9u);
+}
+
+TEST(HistogramTest, PercentilesAreMonotonic) {
+  Histogram h;
+  Random rnd(301);
+  for (int i = 0; i < 100000; i++) h.Add(rnd.Uniform(1000000));
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileAccuracyOnUniform) {
+  Histogram h;
+  Random rnd(17);
+  for (int i = 0; i < 200000; i++) h.Add(rnd.Uniform(100000));
+  // Log-spaced buckets give ~6% relative resolution.
+  EXPECT_NEAR(h.Percentile(50), 50000, 50000 * 0.10);
+  EXPECT_NEAR(h.Percentile(90), 90000, 90000 * 0.10);
+  EXPECT_NEAR(h.Mean(), 50000, 50000 * 0.02);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedFeed) {
+  Histogram a, b, combined;
+  Random rnd(99);
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = rnd.Skewed(20);
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  for (double p : {50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(100);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Add(~uint64_t{0});
+  h.Add(uint64_t{1} << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  EXPECT_GT(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, ToStringContainsCount) {
+  Histogram h;
+  for (int i = 0; i < 7; i++) h.Add(10);
+  EXPECT_NE(h.ToString().find("count=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blsm

@@ -1,0 +1,109 @@
+#include "lsm/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "io/mem_env.h"
+
+namespace blsm {
+namespace {
+
+TEST(ManifestTest, EncodeDecodeRoundTrip) {
+  Manifest m;
+  m.next_file_number = 42;
+  m.last_sequence = 123456;
+  m.components.push_back({Manifest::Slot::kC1, 10});
+  m.components.push_back({Manifest::Slot::kC1Prime, 11});
+  m.components.push_back({Manifest::Slot::kC2, 7});
+
+  std::string encoded;
+  m.EncodeTo(&encoded);
+
+  Manifest out;
+  ASSERT_TRUE(out.DecodeFrom(encoded).ok());
+  EXPECT_EQ(out.next_file_number, 42u);
+  EXPECT_EQ(out.last_sequence, 123456u);
+  ASSERT_EQ(out.components.size(), 3u);
+  EXPECT_EQ(out.components[0].slot, Manifest::Slot::kC1);
+  EXPECT_EQ(out.components[1].file_number, 11u);
+  EXPECT_EQ(out.components[2].slot, Manifest::Slot::kC2);
+}
+
+TEST(ManifestTest, EmptyComponents) {
+  Manifest m;
+  std::string encoded;
+  m.EncodeTo(&encoded);
+  Manifest out;
+  ASSERT_TRUE(out.DecodeFrom(encoded).ok());
+  EXPECT_TRUE(out.components.empty());
+}
+
+TEST(ManifestTest, CorruptionDetected) {
+  Manifest m;
+  m.next_file_number = 5;
+  std::string encoded;
+  m.EncodeTo(&encoded);
+  for (size_t i = 0; i < encoded.size(); i += 3) {
+    std::string bad = encoded;
+    bad[i] ^= 0x5a;
+    Manifest out;
+    EXPECT_FALSE(out.DecodeFrom(bad).ok()) << "flip at " << i;
+  }
+}
+
+TEST(ManifestTest, TruncationDetected) {
+  Manifest m;
+  m.components.push_back({Manifest::Slot::kC2, 3});
+  std::string encoded;
+  m.EncodeTo(&encoded);
+  for (size_t len = 0; len < encoded.size(); len++) {
+    Manifest out;
+    EXPECT_FALSE(out.DecodeFrom(Slice(encoded.data(), len)).ok()) << len;
+  }
+}
+
+TEST(ManifestTest, SaveAndLoad) {
+  MemEnv env;
+  env.CreateDir("db");
+  Manifest m;
+  m.next_file_number = 9;
+  m.last_sequence = 77;
+  m.components.push_back({Manifest::Slot::kC2, 8});
+  ASSERT_TRUE(m.Save(&env, "db").ok());
+
+  Manifest out;
+  ASSERT_TRUE(Manifest::Load(&env, "db", &out).ok());
+  EXPECT_EQ(out.next_file_number, 9u);
+  EXPECT_EQ(out.last_sequence, 77u);
+  ASSERT_EQ(out.components.size(), 1u);
+}
+
+TEST(ManifestTest, LoadMissingIsNotFound) {
+  MemEnv env;
+  Manifest out;
+  EXPECT_TRUE(Manifest::Load(&env, "nowhere", &out).IsNotFound());
+}
+
+TEST(ManifestTest, SaveReplacesAtomically) {
+  MemEnv env;
+  env.CreateDir("db");
+  Manifest a;
+  a.next_file_number = 1;
+  ASSERT_TRUE(a.Save(&env, "db").ok());
+  Manifest b;
+  b.next_file_number = 2;
+  ASSERT_TRUE(b.Save(&env, "db").ok());
+  Manifest out;
+  ASSERT_TRUE(Manifest::Load(&env, "db", &out).ok());
+  EXPECT_EQ(out.next_file_number, 2u);
+  // No stray temp file remains.
+  EXPECT_FALSE(env.FileExists("db/MANIFEST.tmp"));
+}
+
+TEST(ManifestTest, FileNames) {
+  EXPECT_EQ(Manifest::FileName("db"), "db/MANIFEST");
+  EXPECT_EQ(Manifest::TreeFileName("db", 7), "db/000007.tree");
+  EXPECT_EQ(Manifest::LogFileName("db"), "db/wal.log");
+}
+
+}  // namespace
+}  // namespace blsm

@@ -1,0 +1,178 @@
+#include "memtable/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace blsm {
+namespace {
+
+struct Version {
+  RecordType type;
+  std::string value;
+};
+
+std::vector<Version> Collect(const MemTable& mem, const std::string& key) {
+  std::vector<Version> out;
+  mem.ForEachVersion(key, [&](RecordType t, const Slice& v) {
+    out.push_back({t, v.ToString()});
+    return true;
+  });
+  return out;
+}
+
+TEST(MemTableTest, EmptyLookup) {
+  MemTable mem;
+  EXPECT_TRUE(Collect(mem, "nope").empty());
+  EXPECT_TRUE(mem.Empty());
+  EXPECT_EQ(mem.LiveBytes(), 0u);
+}
+
+TEST(MemTableTest, AddAndGetNewestFirst) {
+  MemTable mem;
+  mem.Add(1, RecordType::kBase, "k", "v1");
+  mem.Add(2, RecordType::kBase, "k", "v2");
+  auto versions = Collect(mem, "k");
+  // Early termination: stops at the first base record.
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].value, "v2");
+}
+
+TEST(MemTableTest, DeltasAccumulateUntilBase) {
+  MemTable mem;
+  mem.Add(1, RecordType::kBase, "k", "base");
+  mem.Add(2, RecordType::kDelta, "k", "+d1");
+  mem.Add(3, RecordType::kDelta, "k", "+d2");
+  auto versions = Collect(mem, "k");
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0].type, RecordType::kDelta);
+  EXPECT_EQ(versions[0].value, "+d2");
+  EXPECT_EQ(versions[1].value, "+d1");
+  EXPECT_EQ(versions[2].type, RecordType::kBase);
+}
+
+TEST(MemTableTest, TombstoneTerminates) {
+  MemTable mem;
+  mem.Add(1, RecordType::kBase, "k", "old");
+  mem.Add(2, RecordType::kTombstone, "k", "");
+  auto versions = Collect(mem, "k");
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].type, RecordType::kTombstone);
+}
+
+TEST(MemTableTest, CallbackCanStopEarly) {
+  MemTable mem;
+  mem.Add(1, RecordType::kDelta, "k", "a");
+  mem.Add(2, RecordType::kDelta, "k", "b");
+  int calls = 0;
+  mem.ForEachVersion("k", [&](RecordType, const Slice&) {
+    calls++;
+    return false;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(MemTableTest, KeysAreIsolated) {
+  MemTable mem;
+  mem.Add(1, RecordType::kBase, "a", "va");
+  mem.Add(2, RecordType::kBase, "ab", "vab");
+  mem.Add(3, RecordType::kBase, "b", "vb");
+  EXPECT_EQ(Collect(mem, "a")[0].value, "va");
+  EXPECT_EQ(Collect(mem, "ab")[0].value, "vab");
+  EXPECT_EQ(Collect(mem, "b")[0].value, "vb");
+  EXPECT_TRUE(Collect(mem, "aa").empty());
+}
+
+TEST(MemTableTest, LiveBytesTracksInserts) {
+  MemTable mem;
+  EXPECT_EQ(mem.LiveBytes(), 0u);
+  mem.Add(1, RecordType::kBase, "key", std::string(1000, 'x'));
+  size_t one = mem.LiveBytes();
+  EXPECT_GT(one, 1000u);
+  EXPECT_LT(one, 1100u);
+  mem.Add(2, RecordType::kBase, "key2", std::string(1000, 'x'));
+  EXPECT_NEAR(static_cast<double>(mem.LiveBytes()), 2.0 * one, 32);
+}
+
+TEST(MemTableTest, IteratorWalksInternalKeyOrder) {
+  MemTable mem;
+  mem.Add(5, RecordType::kBase, "b", "b5");
+  mem.Add(3, RecordType::kBase, "a", "a3");
+  mem.Add(7, RecordType::kBase, "a", "a7");
+  MemTable::Iterator it(&mem);
+  it.SeekToFirst();
+  std::vector<std::string> got;
+  while (it.Valid()) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(it.internal_key(), &parsed));
+    got.push_back(parsed.user_key.ToString() + "@" +
+                  std::to_string(parsed.seq));
+    it.Next();
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"a@7", "a@3", "b@5"}));
+}
+
+TEST(MemTableTest, CompactUnconsumedDropsMarked) {
+  MemTable mem;
+  mem.Add(1, RecordType::kBase, "a", "va");
+  mem.Add(2, RecordType::kBase, "b", "vb");
+  mem.Add(3, RecordType::kBase, "c", "vc");
+
+  // Consume a and c.
+  MemTable::Iterator it(&mem);
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(it.internal_key(), &parsed));
+    if (parsed.user_key == "a" || parsed.user_key == "c") {
+      it.MarkConsumed();
+      mem.NoteConsumed(it.entry_bytes());
+    }
+  }
+
+  auto fresh = mem.CompactUnconsumed();
+  EXPECT_EQ(fresh->Count(), 1u);
+  EXPECT_TRUE(Collect(*fresh, "a").empty());
+  EXPECT_EQ(Collect(*fresh, "b")[0].value, "vb");
+  EXPECT_TRUE(Collect(*fresh, "c").empty());
+  // Sequence numbers preserved.
+  MemTable::Iterator fit(fresh.get());
+  fit.SeekToFirst();
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(fit.internal_key(), &parsed));
+  EXPECT_EQ(parsed.seq, 2u);
+}
+
+TEST(MemTableTest, ConsumedBytesReduceLiveBytes) {
+  MemTable mem;
+  mem.Add(1, RecordType::kBase, "a", std::string(500, 'x'));
+  mem.Add(2, RecordType::kBase, "b", std::string(500, 'x'));
+  size_t full = mem.LiveBytes();
+  MemTable::Iterator it(&mem);
+  it.SeekToFirst();
+  it.MarkConsumed();
+  mem.NoteConsumed(it.entry_bytes());
+  EXPECT_LT(mem.LiveBytes(), full);
+  EXPECT_GT(mem.LiveBytes(), 0u);
+}
+
+TEST(MemTableTest, EmptyValueAllowed) {
+  MemTable mem;
+  mem.Add(1, RecordType::kBase, "k", "");
+  auto versions = Collect(mem, "k");
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].value, "");
+}
+
+TEST(MemTableTest, BinaryKeysAndValues) {
+  MemTable mem;
+  std::string key("\x00\x01\xff", 3);
+  std::string value("\xde\xad\x00\xbe\xef", 5);
+  mem.Add(1, RecordType::kBase, key, value);
+  auto versions = Collect(mem, key);
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].value, value);
+}
+
+}  // namespace
+}  // namespace blsm

@@ -1,0 +1,125 @@
+#include "lsm/merge_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace blsm {
+namespace {
+
+std::shared_ptr<MemTable> MakeMem(
+    const std::vector<std::tuple<std::string, SequenceNumber, std::string>>&
+        entries) {
+  auto mem = std::make_shared<MemTable>();
+  for (const auto& [key, seq, value] : entries) {
+    mem->Add(seq, RecordType::kBase, key, value);
+  }
+  return mem;
+}
+
+std::vector<std::string> Drain(InternalIterator* it) {
+  std::vector<std::string> out;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ParsedInternalKey parsed;
+    EXPECT_TRUE(ParseInternalKey(it->key(), &parsed));
+    out.push_back(parsed.user_key.ToString() + "@" +
+                  std::to_string(parsed.seq) + "=" + it->value().ToString());
+  }
+  return out;
+}
+
+TEST(MergingIteratorTest, EmptyChildren) {
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(NewMemTableIterator(MakeMem({})));
+  children.push_back(NewMemTableIterator(MakeMem({})));
+  MergingIterator it(std::move(children));
+  it.SeekToFirst();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(MergingIteratorTest, SingleChild) {
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(
+      NewMemTableIterator(MakeMem({{"a", 1, "va"}, {"b", 2, "vb"}})));
+  MergingIterator it(std::move(children));
+  EXPECT_EQ(Drain(&it), (std::vector<std::string>{"a@1=va", "b@2=vb"}));
+}
+
+TEST(MergingIteratorTest, InterleavedSources) {
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(
+      NewMemTableIterator(MakeMem({{"a", 1, "1"}, {"c", 3, "3"}})));
+  children.push_back(
+      NewMemTableIterator(MakeMem({{"b", 2, "2"}, {"d", 4, "4"}})));
+  MergingIterator it(std::move(children));
+  EXPECT_EQ(Drain(&it),
+            (std::vector<std::string>{"a@1=1", "b@2=2", "c@3=3", "d@4=4"}));
+}
+
+TEST(MergingIteratorTest, SameUserKeyNewestFirstAcrossSources) {
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(NewMemTableIterator(MakeMem({{"k", 10, "new"}})));
+  children.push_back(NewMemTableIterator(MakeMem({{"k", 5, "old"}})));
+  MergingIterator it(std::move(children));
+  EXPECT_EQ(Drain(&it), (std::vector<std::string>{"k@10=new", "k@5=old"}));
+}
+
+TEST(MergingIteratorTest, Seek) {
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(
+      NewMemTableIterator(MakeMem({{"a", 1, "1"}, {"m", 2, "2"}})));
+  children.push_back(NewMemTableIterator(MakeMem({{"f", 3, "3"}})));
+  MergingIterator it(std::move(children));
+  it.Seek(InternalLookupKey("e"));
+  ASSERT_TRUE(it.Valid());
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(it.key(), &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "f");
+}
+
+TEST(MergingIteratorTest, MarkConsumedRoutesToCurrentChild) {
+  auto mem_a = MakeMem({{"a", 1, "1"}});
+  auto mem_b = MakeMem({{"b", 2, "2"}});
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(NewMemTableIterator(mem_a));
+  children.push_back(NewMemTableIterator(mem_b));
+  MergingIterator it(std::move(children));
+  it.SeekToFirst();  // at "a"
+  it.MarkConsumed();
+  // Only mem_a's entry is consumed.
+  EXPECT_EQ(mem_a->CompactUnconsumed()->Count(), 0u);
+  EXPECT_EQ(mem_b->CompactUnconsumed()->Count(), 1u);
+  // And the consumed bytes were credited to mem_a.
+  EXPECT_EQ(mem_a->LiveBytes(), 0u);
+  EXPECT_GT(mem_b->LiveBytes(), 0u);
+}
+
+TEST(MergingIteratorTest, ManySourcesStress) {
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  int total = 0;
+  for (int src = 0; src < 8; src++) {
+    std::vector<std::tuple<std::string, SequenceNumber, std::string>> entries;
+    for (int i = src; i < 800; i += 8) {
+      char buf[16];
+      snprintf(buf, sizeof(buf), "%06d", i);
+      entries.emplace_back(buf, i + 1, "v");
+      total++;
+    }
+    children.push_back(NewMemTableIterator(MakeMem(entries)));
+  }
+  MergingIterator it(std::move(children));
+  std::string prev;
+  int n = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    std::string cur = ExtractUserKey(it.key()).ToString();
+    EXPECT_GT(cur, prev);
+    prev = cur;
+    n++;
+  }
+  EXPECT_EQ(n, total);
+}
+
+}  // namespace
+}  // namespace blsm

@@ -1,0 +1,103 @@
+#include "lsm/merge_operator.h"
+
+#include <gtest/gtest.h>
+
+namespace blsm {
+namespace {
+
+TEST(AppendMergeOperatorTest, FullMergeWithBase) {
+  AppendMergeOperator op;
+  std::string out;
+  Slice base("base");
+  ASSERT_TRUE(op.FullMerge("k", &base, {Slice("+1"), Slice("+2")}, &out));
+  EXPECT_EQ(out, "base+1+2");
+}
+
+TEST(AppendMergeOperatorTest, FullMergeWithoutBase) {
+  AppendMergeOperator op;
+  std::string out;
+  ASSERT_TRUE(op.FullMerge("k", nullptr, {Slice("a"), Slice("b")}, &out));
+  EXPECT_EQ(out, "ab");
+}
+
+TEST(AppendMergeOperatorTest, FullMergeNoDeltas) {
+  AppendMergeOperator op;
+  std::string out;
+  Slice base("only");
+  ASSERT_TRUE(op.FullMerge("k", &base, {}, &out));
+  EXPECT_EQ(out, "only");
+}
+
+TEST(AppendMergeOperatorTest, PartialMergeConcatenates) {
+  AppendMergeOperator op;
+  std::string out;
+  ASSERT_TRUE(op.PartialMerge("k", "old", "new", &out));
+  EXPECT_EQ(out, "oldnew");
+}
+
+TEST(AppendMergeOperatorTest, PartialThenFullEqualsDirectFull) {
+  // Associativity invariant: PartialMerge must commute with FullMerge.
+  AppendMergeOperator op;
+  std::string combined;
+  ASSERT_TRUE(op.PartialMerge("k", "x", "y", &combined));
+  std::string via_partial, direct;
+  Slice base("b");
+  ASSERT_TRUE(op.FullMerge("k", &base, {Slice(combined)}, &via_partial));
+  ASSERT_TRUE(op.FullMerge("k", &base, {Slice("x"), Slice("y")}, &direct));
+  EXPECT_EQ(via_partial, direct);
+}
+
+TEST(Int64AddMergeOperatorTest, EncodeDecodeRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{123456789},
+                    int64_t{-987654321}}) {
+    int64_t decoded;
+    ASSERT_TRUE(Int64AddMergeOperator::Decode(
+        Int64AddMergeOperator::Encode(v), &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(Int64AddMergeOperatorTest, FullMergeAddsDeltas) {
+  Int64AddMergeOperator op;
+  std::string base = Int64AddMergeOperator::Encode(100);
+  std::string d1 = Int64AddMergeOperator::Encode(5);
+  std::string d2 = Int64AddMergeOperator::Encode(-3);
+  std::string out;
+  Slice base_slice(base);
+  ASSERT_TRUE(op.FullMerge("k", &base_slice, {Slice(d1), Slice(d2)}, &out));
+  int64_t result;
+  ASSERT_TRUE(Int64AddMergeOperator::Decode(out, &result));
+  EXPECT_EQ(result, 102);
+}
+
+TEST(Int64AddMergeOperatorTest, FullMergeWithoutBaseStartsAtZero) {
+  Int64AddMergeOperator op;
+  std::string d = Int64AddMergeOperator::Encode(7);
+  std::string out;
+  ASSERT_TRUE(op.FullMerge("k", nullptr, {Slice(d)}, &out));
+  int64_t result;
+  ASSERT_TRUE(Int64AddMergeOperator::Decode(out, &result));
+  EXPECT_EQ(result, 7);
+}
+
+TEST(Int64AddMergeOperatorTest, PartialMergeAdds) {
+  Int64AddMergeOperator op;
+  std::string out;
+  ASSERT_TRUE(op.PartialMerge("k", Int64AddMergeOperator::Encode(10),
+                              Int64AddMergeOperator::Encode(32), &out));
+  int64_t result;
+  ASSERT_TRUE(Int64AddMergeOperator::Decode(out, &result));
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Int64AddMergeOperatorTest, RejectsMalformedOperands) {
+  Int64AddMergeOperator op;
+  std::string out;
+  EXPECT_FALSE(op.PartialMerge("k", "not8bytes", "alsobad", &out));
+  Slice bad("xyz");
+  EXPECT_FALSE(op.FullMerge("k", &bad,
+                            {Slice(Int64AddMergeOperator::Encode(1))}, &out));
+}
+
+}  // namespace
+}  // namespace blsm

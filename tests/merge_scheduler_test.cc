@@ -1,0 +1,197 @@
+#include "lsm/merge_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace blsm {
+namespace {
+
+SchedulerState MakeState(double c0_fill) {
+  SchedulerState s;
+  s.c0_target_bytes = 1000000;
+  s.c0_live_bytes = static_cast<uint64_t>(c0_fill * 1000000);
+  return s;
+}
+
+// --- Naive ---------------------------------------------------------------
+
+TEST(NaiveSchedulerTest, NoDelayUntilFull) {
+  NaiveScheduler sched;
+  EXPECT_EQ(sched.WriteDelayMicros(MakeState(0.5)), 0u);
+  EXPECT_FALSE(sched.WriteBlocked(MakeState(0.0)));
+  EXPECT_FALSE(sched.WriteBlocked(MakeState(0.5)));
+  EXPECT_FALSE(sched.WriteBlocked(MakeState(0.99)));
+}
+
+TEST(NaiveSchedulerTest, HardBlockWhenFull) {
+  NaiveScheduler sched;
+  EXPECT_TRUE(sched.WriteBlocked(MakeState(1.0)));
+  EXPECT_TRUE(sched.WriteBlocked(MakeState(1.5)));
+}
+
+TEST(NaiveSchedulerTest, NeverPausesMerges) {
+  NaiveScheduler sched;
+  SchedulerState s = MakeState(0.5);
+  s.merge1_active = true;
+  s.merge2_active = true;
+  s.merge1_outprogress = 1.0;
+  s.merge2_inprogress = 0.0;
+  EXPECT_FALSE(sched.PauseMerge1(s));
+  EXPECT_FALSE(sched.PauseMerge2(s));
+}
+
+// --- Gear ------------------------------------------------------------------
+
+TEST(GearSchedulerTest, WriterPacesAgainstMerge1) {
+  GearScheduler sched;
+  SchedulerState s = MakeState(0.5);
+  s.merge1_active = true;
+  s.merge1_inprogress = 0.2;  // writers ahead of the merge
+  EXPECT_TRUE(sched.WriteBlocked(s));
+  s.merge1_inprogress = 0.6;  // merge ahead of writers
+  EXPECT_FALSE(sched.WriteBlocked(s));
+}
+
+TEST(GearSchedulerTest, WriterFreeWhenMergeInactive) {
+  GearScheduler sched;
+  SchedulerState s = MakeState(0.9);
+  s.merge1_active = false;
+  EXPECT_FALSE(sched.WriteBlocked(s));
+}
+
+TEST(GearSchedulerTest, WriterBlockedAtFull) {
+  GearScheduler sched;
+  SchedulerState s = MakeState(1.0);
+  s.merge1_active = true;
+  s.merge1_inprogress = 0.99;
+  EXPECT_TRUE(sched.WriteBlocked(s));
+}
+
+TEST(GearSchedulerTest, Merge1PausesWhenAheadOfMerge2) {
+  GearScheduler sched;
+  SchedulerState s = MakeState(0.5);
+  s.merge1_active = true;
+  s.merge2_active = true;
+  s.merge1_outprogress = 0.8;
+  s.merge2_inprogress = 0.3;
+  EXPECT_TRUE(sched.PauseMerge1(s));
+  s.merge2_inprogress = 0.85;
+  EXPECT_FALSE(sched.PauseMerge1(s));
+}
+
+TEST(GearSchedulerTest, Merge1PausesAtHandoffWhenC1PrimePending) {
+  GearScheduler sched;
+  SchedulerState s = MakeState(0.5);
+  s.merge1_active = true;
+  s.merge2_active = false;
+  s.c1_prime_exists = true;
+  s.merge1_outprogress = 0.99;
+  EXPECT_TRUE(sched.PauseMerge1(s));
+  s.merge1_outprogress = 0.5;
+  EXPECT_FALSE(sched.PauseMerge1(s));
+}
+
+TEST(GearSchedulerTest, Merge2ShutsDownWhenAheadOfUpstream) {
+  GearScheduler sched;
+  SchedulerState s = MakeState(0.5);
+  s.merge2_active = true;
+  s.merge2_inprogress = 0.9;
+  s.merge1_outprogress = 0.2;
+  EXPECT_TRUE(sched.PauseMerge2(s));
+  s.merge1_outprogress = 0.88;
+  EXPECT_FALSE(sched.PauseMerge2(s));
+}
+
+TEST(GearSchedulerTest, PauseRulesCannotDeadlock) {
+  // The two pause conditions are mutually exclusive for any state: merge1
+  // pauses when outprogress1 > inprogress2 + slack, merge2 pauses when
+  // inprogress2 > outprogress1 + slack.
+  GearScheduler sched;
+  for (double op1 = 0; op1 <= 1.0; op1 += 0.05) {
+    for (double ip2 = 0; ip2 <= 1.0; ip2 += 0.05) {
+      SchedulerState s = MakeState(0.5);
+      s.merge1_active = true;
+      s.merge2_active = true;
+      s.merge1_outprogress = op1;
+      s.merge2_inprogress = ip2;
+      EXPECT_FALSE(sched.PauseMerge1(s) && sched.PauseMerge2(s))
+          << "op1=" << op1 << " ip2=" << ip2;
+    }
+  }
+}
+
+// --- Spring and gear ----------------------------------------------------------
+
+TEST(SpringGearSchedulerTest, NoBackpressureBelowLowWatermark) {
+  SpringGearScheduler sched(0.5, 0.95, 2000);
+  EXPECT_EQ(sched.WriteDelayMicros(MakeState(0.0)), 0u);
+  EXPECT_EQ(sched.WriteDelayMicros(MakeState(0.49)), 0u);
+}
+
+TEST(SpringGearSchedulerTest, ProportionalBackpressureBetweenWatermarks) {
+  SpringGearScheduler sched(0.5, 0.95, 2000);
+  uint64_t d_low = sched.WriteDelayMicros(MakeState(0.55));
+  uint64_t d_mid = sched.WriteDelayMicros(MakeState(0.75));
+  uint64_t d_high = sched.WriteDelayMicros(MakeState(0.94));
+  EXPECT_GT(d_low, 0u);
+  EXPECT_GT(d_mid, d_low);
+  EXPECT_GT(d_high, d_mid);
+  EXPECT_LE(d_high, 2000u);
+}
+
+TEST(SpringGearSchedulerTest, DelaySaturatesAtHighWatermark) {
+  SpringGearScheduler sched(0.5, 0.95, 2000);
+  EXPECT_EQ(sched.WriteDelayMicros(MakeState(0.96)), 2000u);
+  EXPECT_EQ(sched.WriteDelayMicros(MakeState(0.99)), 2000u);
+}
+
+TEST(SpringGearSchedulerTest, BoundedDelayIsKeyProperty) {
+  // The paper's claim: spring-and-gear bounds write latency. Except for the
+  // (rare) completely-full case, the delay never exceeds max_delay_us and
+  // writers are never hard-blocked.
+  SpringGearScheduler sched(0.5, 0.95, 2000);
+  for (double fill = 0; fill < 0.999; fill += 0.001) {
+    EXPECT_LE(sched.WriteDelayMicros(MakeState(fill)), 2000u) << fill;
+    EXPECT_FALSE(sched.WriteBlocked(MakeState(fill))) << fill;
+  }
+  EXPECT_TRUE(sched.WriteBlocked(MakeState(1.0)));
+}
+
+TEST(SpringGearSchedulerTest, Merge1PausesWhenC0Drains) {
+  SpringGearScheduler sched(0.5, 0.95, 2000);
+  SchedulerState s = MakeState(0.3);  // below the low watermark
+  s.merge1_active = true;
+  EXPECT_TRUE(sched.PauseMerge1(s));
+  s = MakeState(0.7);
+  s.merge1_active = true;
+  EXPECT_FALSE(sched.PauseMerge1(s));
+}
+
+TEST(SpringGearSchedulerTest, DownstreamGearPacingRetained) {
+  SpringGearScheduler sched(0.5, 0.95, 2000);
+  SchedulerState s = MakeState(0.7);
+  s.merge1_active = true;
+  s.merge2_active = true;
+  s.merge1_outprogress = 0.9;
+  s.merge2_inprogress = 0.2;
+  EXPECT_TRUE(sched.PauseMerge1(s));
+  s.merge2_inprogress = 0.95;
+  EXPECT_FALSE(sched.PauseMerge1(s));
+  s.merge1_outprogress = 0.1;
+  EXPECT_TRUE(sched.PauseMerge2(s));
+}
+
+TEST(SchedulerStateTest, C0Fill) {
+  SchedulerState s;
+  s.c0_target_bytes = 100;
+  s.c0_live_bytes = 25;
+  EXPECT_DOUBLE_EQ(s.c0_fill(), 0.25);
+}
+
+TEST(MakeSchedulerTest, CreatesAllKinds) {
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kNaive)->Name(), "naive");
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kGear)->Name(), "gear");
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kSpringGear)->Name(), "spring-gear");
+}
+
+}  // namespace
+}  // namespace blsm

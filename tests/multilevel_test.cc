@@ -1,0 +1,236 @@
+#include "multilevel/multilevel_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "io/counting_env.h"
+#include "io/mem_env.h"
+#include "util/random.h"
+
+namespace blsm::multilevel {
+namespace {
+
+std::string PaddedKey(uint64_t i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "user%012llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+class MultilevelTest : public ::testing::Test {
+ protected:
+  MultilevelTest() : counting_env_(&mem_env_, &stats_) {}
+
+  MultilevelOptions SmallOptions() {
+    MultilevelOptions options;
+    options.env = &counting_env_;
+    options.memtable_bytes = 64 << 10;
+    options.file_bytes = 32 << 10;
+    options.base_level_bytes = 128 << 10;
+    options.durability = DurabilityMode::kSync;
+    return options;
+  }
+
+  void Open(MultilevelOptions options) {
+    tree_.reset();
+    ASSERT_TRUE(MultilevelTree::Open(options, "db", &tree_).ok());
+  }
+
+  MemEnv mem_env_;
+  IoStats stats_;
+  CountingEnv counting_env_;
+  std::unique_ptr<MultilevelTree> tree_;
+};
+
+TEST_F(MultilevelTest, PutGetDelete) {
+  Open(SmallOptions());
+  ASSERT_TRUE(tree_->Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(tree_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE(tree_->Delete("k").ok());
+  EXPECT_TRUE(tree_->Get("k", &value).IsNotFound());
+}
+
+TEST_F(MultilevelTest, InsertIfNotExists) {
+  Open(SmallOptions());
+  EXPECT_TRUE(tree_->InsertIfNotExists("k", "first").ok());
+  EXPECT_TRUE(tree_->InsertIfNotExists("k", "second").IsKeyExists());
+}
+
+TEST_F(MultilevelTest, LoadSpillsToMultipleLevels) {
+  Open(SmallOptions());
+  const uint64_t kN = 20000;
+  Random rnd(9);
+  for (uint64_t i = 0; i < kN; i++) {
+    ASSERT_TRUE(
+        tree_->Put(PaddedKey(rnd.Uniform(1000000)), std::string(100, 'x'))
+            .ok());
+  }
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  ASSERT_TRUE(tree_->BackgroundError().ok());
+  // Data volume (~2.2MB) exceeds L1's 128KB target: deeper levels must hold
+  // files.
+  int deep_files = 0;
+  for (int level = 2; level < kNumLevels; level++) {
+    deep_files += tree_->NumFilesAtLevel(level);
+  }
+  EXPECT_GT(deep_files, 0);
+  EXPECT_GT(tree_->stats().compactions.load(), 0u);
+}
+
+TEST_F(MultilevelTest, AllKeysReadableAfterCompactions) {
+  Open(SmallOptions());
+  const uint64_t kN = 5000;
+  for (uint64_t i = 0; i < kN; i++) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  for (uint64_t i = 0; i < kN; i += 13) {
+    std::string value;
+    ASSERT_TRUE(tree_->Get(PaddedKey(i), &value).ok()) << i;
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(MultilevelTest, NewestVersionWinsAcrossLevels) {
+  Open(SmallOptions());
+  ASSERT_TRUE(tree_->Put("k", "old").ok());
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  ASSERT_TRUE(tree_->Put("k", "new").ok());
+  std::string value;
+  ASSERT_TRUE(tree_->Get("k", &value).ok());
+  EXPECT_EQ(value, "new");
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  ASSERT_TRUE(tree_->Get("k", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST_F(MultilevelTest, TombstonesDropAtBottom) {
+  Open(SmallOptions());
+  ASSERT_TRUE(tree_->Put("doomed", "v").ok());
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  ASSERT_TRUE(tree_->Delete("doomed").ok());
+  std::string value;
+  EXPECT_TRUE(tree_->Get("doomed", &value).IsNotFound());
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  EXPECT_TRUE(tree_->Get("doomed", &value).IsNotFound());
+}
+
+TEST_F(MultilevelTest, DeltasApply) {
+  Open(SmallOptions());
+  ASSERT_TRUE(tree_->Put("k", "base").ok());
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  ASSERT_TRUE(tree_->WriteDelta("k", "+d").ok());
+  std::string value;
+  ASSERT_TRUE(tree_->Get("k", &value).ok());
+  EXPECT_EQ(value, "base+d");
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  ASSERT_TRUE(tree_->Get("k", &value).ok());
+  EXPECT_EQ(value, "base+d");
+}
+
+TEST_F(MultilevelTest, ScanMergedAcrossLevels) {
+  Open(SmallOptions());
+  for (uint64_t i = 0; i < 300; i += 2) tree_->Put(PaddedKey(i), "even");
+  ASSERT_TRUE(tree_->CompactAll().ok());
+  for (uint64_t i = 1; i < 300; i += 2) tree_->Put(PaddedKey(i), "odd");
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(tree_->Scan(PaddedKey(0), 1000, &rows).ok());
+  ASSERT_EQ(rows.size(), 300u);
+  for (uint64_t i = 0; i < 300; i++) {
+    EXPECT_EQ(rows[i].first, PaddedKey(i));
+    EXPECT_EQ(rows[i].second, i % 2 == 0 ? "even" : "odd");
+  }
+}
+
+TEST_F(MultilevelTest, RecoveryAfterCrash) {
+  Open(SmallOptions());
+  for (uint64_t i = 0; i < 3000; i++) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "pre").ok());
+  }
+  tree_->WaitForIdle();
+  tree_.reset();
+  mem_env_.DropUnsynced();
+  Open(SmallOptions());
+  for (uint64_t i = 0; i < 3000; i += 37) {
+    std::string value;
+    ASSERT_TRUE(tree_->Get(PaddedKey(i), &value).ok()) << i;
+    EXPECT_EQ(value, "pre");
+  }
+}
+
+TEST_F(MultilevelTest, ReadsCostMultipleSeeksWithoutBloom) {
+  // The paper's Table 1: LevelDB point lookups are O(log n) seeks because
+  // every L0 run and one file per level must be probed, with no filters.
+  auto options = SmallOptions();
+  options.block_cache_bytes = 0;  // cold cache
+  Open(options);
+  const uint64_t kN = 10000;
+  Random rnd(11);
+  for (uint64_t i = 0; i < kN; i++) {
+    ASSERT_TRUE(
+        tree_->Put(PaddedKey(rnd.Uniform(kN)), std::string(100, 'x')).ok());
+  }
+  tree_->WaitForIdle();
+
+  auto before = stats_.snapshot();
+  const int kProbes = 200;
+  Random probe_rnd(13);
+  int found = 0;
+  for (int i = 0; i < kProbes; i++) {
+    std::string value;
+    if (tree_->Get(PaddedKey(probe_rnd.Uniform(kN)), &value).ok()) found++;
+  }
+  auto diff = stats_.snapshot() - before;
+  double seeks_per_read = static_cast<double>(diff.read_seeks) / kProbes;
+  EXPECT_GT(seeks_per_read, 1.5)
+      << "multilevel reads without bloom filters must cost several seeks";
+}
+
+TEST_F(MultilevelTest, BloomOptionReducesProbes) {
+  auto with = SmallOptions();
+  with.use_bloom = true;
+  with.block_cache_bytes = 0;
+  Open(with);
+  for (uint64_t i = 0; i < 5000; i++) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), std::string(100, 'x')).ok());
+  }
+  tree_->WaitForIdle();
+  auto before = stats_.snapshot();
+  for (uint64_t i = 0; i < 500; i++) {
+    std::string value;
+    EXPECT_TRUE(tree_->Get("absent-" + std::to_string(i), &value).IsNotFound());
+  }
+  auto diff = stats_.snapshot() - before;
+  // With the Riak bloom patch, negative lookups are nearly free.
+  EXPECT_LT(diff.read_seeks, 100u);
+}
+
+TEST_F(MultilevelTest, SaturatingWritesStall) {
+  // Figure 7 (right): saturating load piles up L0 runs and triggers the
+  // slowdown/stop machinery.
+  auto options = SmallOptions();
+  options.durability = DurabilityMode::kNone;
+  options.memtable_bytes = 16 << 10;
+  options.l0_compaction_trigger = 2;
+  options.l0_slowdown_trigger = 3;
+  options.l0_stop_trigger = 4;
+  Open(options);
+  Random rnd(17);
+  for (uint64_t i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        tree_->Put(PaddedKey(rnd.Uniform(100000)), std::string(500, 'x')).ok());
+  }
+  tree_->WaitForIdle();
+  ASSERT_TRUE(tree_->BackgroundError().ok());
+  EXPECT_GT(tree_->stats().slowdown_writes.load() +
+                tree_->stats().stopped_writes.load(),
+            0u)
+      << "saturating writes should have hit the L0 triggers";
+}
+
+}  // namespace
+}  // namespace blsm::multilevel

@@ -1,0 +1,71 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace blsm {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42);
+  for (int i = 0; i < 1000; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rnd(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rnd.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rnd(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) seen.insert(rnd.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rnd(5);
+  double sum = 0;
+  for (int i = 0; i < 100000; i++) {
+    double d = rnd.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RandomTest, OneInApproximatesProbability) {
+  Random rnd(3);
+  int hits = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; i++) {
+    if (rnd.OneIn(10)) hits++;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.1, 0.01);
+}
+
+TEST(RandomTest, ZeroSeedWorks) {
+  Random rnd(0);
+  // Must not get stuck at zero.
+  bool nonzero = false;
+  for (int i = 0; i < 10; i++) {
+    if (rnd.Next() != 0) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+}  // namespace
+}  // namespace blsm

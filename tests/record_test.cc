@@ -1,0 +1,117 @@
+#include "lsm/record.h"
+
+#include <gtest/gtest.h>
+
+namespace blsm {
+namespace {
+
+TEST(RecordTest, PackUnpackSeqAndType) {
+  for (SequenceNumber seq : {uint64_t{0}, uint64_t{1}, uint64_t{123456789},
+                             kMaxSequenceNumber}) {
+    for (RecordType t : {RecordType::kBase, RecordType::kDelta,
+                         RecordType::kTombstone}) {
+      uint64_t packed = PackSeqAndType(seq, t);
+      EXPECT_EQ(UnpackSeq(packed), seq);
+      EXPECT_EQ(UnpackType(packed), t);
+    }
+  }
+}
+
+TEST(RecordTest, ParseInternalKey) {
+  std::string ikey;
+  AppendInternalKey(&ikey, "user", 42, RecordType::kDelta);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "user");
+  EXPECT_EQ(parsed.seq, 42u);
+  EXPECT_EQ(parsed.type, RecordType::kDelta);
+}
+
+TEST(RecordTest, ParseRejectsShortKeys) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &parsed));
+}
+
+TEST(RecordTest, ParseRejectsBadType) {
+  std::string ikey = "user";
+  PutFixed64(&ikey, (uint64_t{1} << 8) | 99);  // type 99
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(ikey, &parsed));
+}
+
+TEST(RecordTest, CompareOrdersUserKeysAscending) {
+  std::string a, b;
+  AppendInternalKey(&a, "aaa", 1, RecordType::kBase);
+  AppendInternalKey(&b, "bbb", 1, RecordType::kBase);
+  EXPECT_LT(CompareInternalKey(a, b), 0);
+  EXPECT_GT(CompareInternalKey(b, a), 0);
+  EXPECT_EQ(CompareInternalKey(a, a), 0);
+}
+
+TEST(RecordTest, CompareOrdersSeqDescendingWithinKey) {
+  std::string newer, older;
+  AppendInternalKey(&newer, "k", 10, RecordType::kBase);
+  AppendInternalKey(&older, "k", 5, RecordType::kBase);
+  EXPECT_LT(CompareInternalKey(newer, older), 0) << "newest sorts first";
+}
+
+TEST(RecordTest, LookupKeySortsBeforeAllVersions) {
+  std::string lookup = InternalLookupKey("k");
+  for (SequenceNumber seq : {uint64_t{0}, uint64_t{1000}, kMaxSequenceNumber - 1}) {
+    std::string stored;
+    AppendInternalKey(&stored, "k", seq, RecordType::kBase);
+    EXPECT_LE(CompareInternalKey(lookup, stored), 0) << seq;
+  }
+  // But after every version of the previous user key.
+  std::string prev;
+  AppendInternalKey(&prev, "j", 0, RecordType::kTombstone);
+  EXPECT_GT(CompareInternalKey(lookup, prev), 0);
+}
+
+TEST(RecordTest, ExtractUserKey) {
+  std::string ikey;
+  AppendInternalKey(&ikey, "hello", 7, RecordType::kBase);
+  EXPECT_EQ(ExtractUserKey(ikey).ToString(), "hello");
+}
+
+TEST(RecordTest, EncodeDecodeRecord) {
+  std::string buf;
+  EncodeRecord(&buf, "key", 9, RecordType::kDelta, "value");
+  EncodeRecord(&buf, "key2", 10, RecordType::kBase, "");
+  Slice in(buf);
+  DecodedRecord rec;
+  ASSERT_TRUE(DecodeRecord(&in, &rec));
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(rec.internal_key, &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "key");
+  EXPECT_EQ(parsed.seq, 9u);
+  EXPECT_EQ(parsed.type, RecordType::kDelta);
+  EXPECT_EQ(rec.value.ToString(), "value");
+  ASSERT_TRUE(DecodeRecord(&in, &rec));
+  EXPECT_EQ(rec.value.size(), 0u);
+  EXPECT_TRUE(in.empty());
+  EXPECT_FALSE(DecodeRecord(&in, &rec));
+}
+
+TEST(RecordTest, DecodeRejectsTruncation) {
+  std::string buf;
+  EncodeRecord(&buf, "key", 9, RecordType::kBase, "value");
+  for (size_t len = 0; len + 1 < buf.size(); len++) {
+    Slice in(buf.data(), len);
+    DecodedRecord rec;
+    EXPECT_FALSE(DecodeRecord(&in, &rec)) << len;
+  }
+}
+
+TEST(RecordTest, TypeOrderBreaksTiesNewestFirst) {
+  // Same seq: base (2) sorts before delta (1) sorts before tombstone (0).
+  std::string base, delta, tomb;
+  AppendInternalKey(&base, "k", 5, RecordType::kBase);
+  AppendInternalKey(&delta, "k", 5, RecordType::kDelta);
+  AppendInternalKey(&tomb, "k", 5, RecordType::kTombstone);
+  EXPECT_LT(CompareInternalKey(base, delta), 0);
+  EXPECT_LT(CompareInternalKey(delta, tomb), 0);
+}
+
+}  // namespace
+}  // namespace blsm

@@ -1,0 +1,209 @@
+#include "memtable/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "lsm/record.h"
+#include "util/arena.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace blsm {
+namespace {
+
+// Builds an encoded record entry in the arena, as MemTable does.
+const char* MakeEntry(Arena* arena, const std::string& user_key,
+                      SequenceNumber seq, const std::string& value) {
+  std::string encoded;
+  EncodeRecord(&encoded, user_key, seq, RecordType::kBase, value);
+  char* buf = arena->Allocate(encoded.size());
+  memcpy(buf, encoded.data(), encoded.size());
+  return buf;
+}
+
+Slice EntryKey(const char* entry) {
+  uint32_t len;
+  const char* p = GetVarint32Ptr(entry, entry + 5, &len);
+  return Slice(p, len);
+}
+
+std::string UserKeyOf(const SkipList::Iterator& it) {
+  Slice ikey = EntryKey(it.entry());
+  return ExtractUserKey(ikey).ToString();
+}
+
+TEST(SkipListTest, EmptyList) {
+  Arena arena;
+  SkipList list(&arena);
+  SkipList::Iterator it(&list);
+  it.SeekToFirst();
+  EXPECT_FALSE(it.Valid());
+  it.SeekToLast();
+  EXPECT_FALSE(it.Valid());
+  EXPECT_EQ(list.ApproximateCount(), 0u);
+}
+
+TEST(SkipListTest, InsertAndIterateInOrder) {
+  Arena arena;
+  SkipList list(&arena);
+  Random rnd(42);
+  std::set<int> keys;
+  for (int i = 0; i < 2000; i++) {
+    int k = static_cast<int>(rnd.Uniform(100000));
+    if (keys.insert(k).second) {
+      char buf[16];
+      snprintf(buf, sizeof(buf), "%08d", k);
+      list.Insert(MakeEntry(&arena, buf, 1, "v"));
+    }
+  }
+  EXPECT_EQ(list.ApproximateCount(), keys.size());
+
+  SkipList::Iterator it(&list);
+  it.SeekToFirst();
+  for (int k : keys) {
+    ASSERT_TRUE(it.Valid());
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", k);
+    EXPECT_EQ(UserKeyOf(it), buf);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, SameUserKeyOrdersNewestFirst) {
+  Arena arena;
+  SkipList list(&arena);
+  list.Insert(MakeEntry(&arena, "k", 1, "old"));
+  list.Insert(MakeEntry(&arena, "k", 3, "new"));
+  list.Insert(MakeEntry(&arena, "k", 2, "mid"));
+
+  SkipList::Iterator it(&list);
+  it.SeekToFirst();
+  ParsedInternalKey parsed;
+  std::vector<SequenceNumber> seqs;
+  while (it.Valid()) {
+    ASSERT_TRUE(ParseInternalKey(EntryKey(it.entry()), &parsed));
+    seqs.push_back(parsed.seq);
+    it.Next();
+  }
+  EXPECT_EQ(seqs, (std::vector<SequenceNumber>{3, 2, 1}));
+}
+
+TEST(SkipListTest, Seek) {
+  Arena arena;
+  SkipList list(&arena);
+  for (int k : {10, 20, 30, 40}) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", k);
+    list.Insert(MakeEntry(&arena, buf, 1, "v"));
+  }
+  SkipList::Iterator it(&list);
+  it.Seek(InternalLookupKey("00000020"));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(UserKeyOf(it), "00000020");
+
+  it.Seek(InternalLookupKey("00000025"));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(UserKeyOf(it), "00000030");
+
+  it.Seek(InternalLookupKey("00000099"));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, SeekToLastAndPrev) {
+  Arena arena;
+  SkipList list(&arena);
+  for (int k : {1, 2, 3}) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", k);
+    list.Insert(MakeEntry(&arena, buf, 1, "v"));
+  }
+  SkipList::Iterator it(&list);
+  it.SeekToLast();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(UserKeyOf(it), "00000003");
+  it.Prev();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(UserKeyOf(it), "00000002");
+  it.Prev();
+  it.Prev();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, Contains) {
+  Arena arena;
+  SkipList list(&arena);
+  const char* e = MakeEntry(&arena, "present", 5, "v");
+  list.Insert(e);
+  EXPECT_TRUE(list.Contains(e));
+  const char* absent = MakeEntry(&arena, "absent", 5, "v");
+  EXPECT_FALSE(list.Contains(absent));
+}
+
+TEST(SkipListTest, ConsumedFlag) {
+  Arena arena;
+  SkipList list(&arena);
+  list.Insert(MakeEntry(&arena, "a", 1, "v"));
+  list.Insert(MakeEntry(&arena, "b", 1, "v"));
+
+  SkipList::Iterator it(&list);
+  it.SeekToFirst();
+  EXPECT_FALSE(it.IsConsumed());
+  it.MarkConsumed();
+  EXPECT_TRUE(it.IsConsumed());
+  it.Next();
+  EXPECT_FALSE(it.IsConsumed());
+
+  // Flag is visible through a fresh iterator.
+  SkipList::Iterator it2(&list);
+  it2.SeekToFirst();
+  EXPECT_TRUE(it2.IsConsumed());
+}
+
+TEST(SkipListTest, ConcurrentInsertWithReader) {
+  // One writer thread inserts while a reader repeatedly walks: the reader
+  // must always see a sorted, prefix-consistent view.
+  Arena arena;
+  SkipList list(&arena);
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  std::thread reader([&] {
+    while (!done.load()) {
+      SkipList::Iterator it(&list);
+      std::string prev;
+      int n = 0;
+      for (it.SeekToFirst(); it.Valid(); it.Next()) {
+        std::string cur = UserKeyOf(it);
+        if (!prev.empty() && cur <= prev) {
+          failed.store(true);
+          return;
+        }
+        prev = std::move(cur);
+        n++;
+      }
+    }
+  });
+
+  // Writer inserts in random order (external synchronization: single
+  // writer).
+  Random rnd(7);
+  std::set<uint64_t> used;
+  for (int i = 0; i < 20000; i++) {
+    uint64_t k = rnd.Uniform(1000000);
+    if (!used.insert(k).second) continue;
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(k));
+    list.Insert(MakeEntry(&arena, buf, 1, "v"));
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace blsm

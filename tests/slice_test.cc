@@ -1,0 +1,71 @@
+#include "util/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace blsm {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, FromCString) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_EQ(s[1], 'e');
+}
+
+TEST(SliceTest, FromStdString) {
+  std::string str("with\0embedded", 13);
+  Slice s(str);
+  EXPECT_EQ(s.size(), 13u);
+  EXPECT_EQ(s.ToString(), str);
+}
+
+TEST(SliceTest, CompareLexicographic) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("abc").compare(Slice("abcd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+  // Byte comparison is unsigned.
+  char high = static_cast<char>(0xff);
+  EXPECT_LT(Slice("a").compare(Slice(&high, 1)), 0);
+}
+
+TEST(SliceTest, EqualityOperators) {
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+  EXPECT_TRUE(Slice("x") != Slice("xx"));
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello world");
+  s.remove_prefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+  s.remove_prefix(5);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, StartsWith) {
+  Slice s("hello");
+  EXPECT_TRUE(s.starts_with("he"));
+  EXPECT_TRUE(s.starts_with(""));
+  EXPECT_TRUE(s.starts_with("hello"));
+  EXPECT_FALSE(s.starts_with("hellox"));
+  EXPECT_FALSE(s.starts_with("x"));
+}
+
+TEST(SliceTest, Clear) {
+  Slice s("abc");
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace blsm

@@ -1,0 +1,140 @@
+// Parameterized property sweep over the on-disk tree component format:
+// every (block size, value size, entry count) combination must round-trip
+// every record through Get and full iteration, with intact Bloom behaviour.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "buffer/block_cache.h"
+#include "io/mem_env.h"
+#include "lsm/record.h"
+#include "sstree/tree_builder.h"
+#include "sstree/tree_reader.h"
+#include "util/random.h"
+
+namespace blsm::sstree {
+namespace {
+
+struct TreeParams {
+  size_t block_size;
+  size_t value_size;
+  uint64_t entries;
+  bool bloom;
+};
+
+class SstreePropertyTest : public ::testing::TestWithParam<TreeParams> {};
+
+std::string KeyFor(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%010llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+TEST_P(SstreePropertyTest, RoundTripsEverything) {
+  const TreeParams& p = GetParam();
+  MemEnv env;
+  BlockCache cache(1 << 20);
+
+  // Sparse keys so absent-key probes land between real ones.
+  TreeBuilderOptions opts;
+  opts.block_size = p.block_size;
+  opts.build_bloom = p.bloom;
+  TreeBuilder builder(&env, "t", opts);
+  ASSERT_TRUE(builder.Open().ok());
+
+  Random rnd(p.entries * 31 + p.block_size);
+  std::map<std::string, std::pair<RecordType, std::string>> expected;
+  for (uint64_t i = 0; i < p.entries; i++) {
+    std::string user_key = KeyFor(i * 3);
+    RecordType type;
+    switch (rnd.Uniform(4)) {
+      case 0: type = RecordType::kTombstone; break;
+      case 1: type = RecordType::kDelta; break;
+      default: type = RecordType::kBase; break;
+    }
+    std::string value =
+        type == RecordType::kTombstone
+            ? std::string()
+            : std::string(p.value_size, static_cast<char>('a' + i % 26));
+    std::string ikey;
+    AppendInternalKey(&ikey, user_key, i + 1, type);
+    ASSERT_TRUE(builder.Add(ikey, value).ok()) << i;
+    expected[user_key] = {type, value};
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  ASSERT_EQ(builder.num_entries(), p.entries);
+
+  std::unique_ptr<TreeReader> reader;
+  ASSERT_TRUE(TreeReader::Open(&env, &cache, 1, "t", &reader).ok());
+  ASSERT_EQ(reader->num_entries(), p.entries);
+  ASSERT_EQ(reader->has_bloom(), p.bloom && p.entries > 0);
+
+  // Point lookups of every key.
+  for (const auto& [user_key, rec] : expected) {
+    auto got = reader->Get(user_key, true);
+    ASSERT_TRUE(got.has_value()) << user_key;
+    EXPECT_EQ(got->type, rec.first) << user_key;
+    EXPECT_EQ(got->value, rec.second) << user_key;
+  }
+
+  // Absent keys between and beyond the real ones.
+  for (uint64_t i = 0; i < p.entries; i += 7) {
+    EXPECT_FALSE(reader->Get(KeyFor(i * 3 + 1), true).has_value());
+  }
+  EXPECT_FALSE(reader->Get("zzzz", true).has_value());
+  EXPECT_FALSE(reader->Get("a", true).has_value());
+
+  // Full iteration returns every record, in order, in both modes.
+  for (bool sequential : {false, true}) {
+    auto it = reader->NewIterator(sequential);
+    auto model_it = expected.begin();
+    uint64_t n = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      ASSERT_NE(model_it, expected.end());
+      ParsedInternalKey parsed;
+      ASSERT_TRUE(ParseInternalKey(it->key(), &parsed));
+      EXPECT_EQ(parsed.user_key.ToString(), model_it->first);
+      EXPECT_EQ(it->value().ToString(), model_it->second.second);
+      ++model_it;
+      ++n;
+    }
+    EXPECT_TRUE(it->status().ok());
+    EXPECT_EQ(n, p.entries) << (sequential ? "sequential" : "cached");
+  }
+
+  // Seeks land on the right key or its successor.
+  auto it = reader->NewIterator();
+  for (uint64_t i = 0; i + 1 < p.entries; i += 11) {
+    it->Seek(InternalLookupKey(KeyFor(i * 3 + 1)));  // between i and i+1
+    ASSERT_TRUE(it->Valid()) << i;
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(it->key(), &parsed));
+    EXPECT_EQ(parsed.user_key.ToString(), KeyFor((i + 1) * 3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SstreePropertyTest,
+    ::testing::Values(
+        TreeParams{512, 10, 100, true}, TreeParams{512, 10, 100, false},
+        TreeParams{1024, 100, 500, true}, TreeParams{4096, 0, 300, true},
+        TreeParams{4096, 1000, 2000, true},
+        TreeParams{4096, 1000, 2000, false},
+        TreeParams{16384, 100, 3000, true},
+        TreeParams{4096, 5000, 200, true},  // records larger than a block
+        TreeParams{512, 2000, 400, true},   // many blocks, deep index
+        TreeParams{4096, 100, 1, true}, TreeParams{4096, 100, 2, true}),
+    [](const auto& info) {
+      const TreeParams& p = info.param;
+      return "B" + std::to_string(p.block_size) + "V" +
+             std::to_string(p.value_size) + "N" + std::to_string(p.entries) +
+             (p.bloom ? "Bloom" : "NoBloom");
+    });
+
+}  // namespace
+}  // namespace blsm::sstree

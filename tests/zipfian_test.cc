@@ -1,0 +1,103 @@
+#include "util/zipfian.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace blsm {
+namespace {
+
+TEST(ZipfianTest, InRange) {
+  ZipfianGenerator gen(1000, 1);
+  for (int i = 0; i < 100000; i++) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SkewTowardLowItems) {
+  ZipfianGenerator gen(100000, 42);
+  uint64_t low = 0;
+  const int kTrials = 200000;
+  for (int i = 0; i < kTrials; i++) {
+    if (gen.Next() < 1000) low++;  // hottest 1% of the keyspace
+  }
+  // Zipf(0.99): the top 1% of items draw roughly half the accesses.
+  double frac = static_cast<double>(low) / kTrials;
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(ZipfianTest, ItemZeroIsHottest) {
+  ZipfianGenerator gen(10000, 7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[gen.Next()]++;
+  int c0 = counts[0];
+  for (const auto& [item, count] : counts) {
+    if (item > 100) {
+      EXPECT_GE(c0, count) << "item " << item;
+    }
+  }
+}
+
+TEST(ZipfianTest, Deterministic) {
+  ZipfianGenerator a(1000, 5), b(1000, 5);
+  for (int i = 0; i < 1000; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfianTest, GrowItemCount) {
+  ZipfianGenerator gen(100, 3);
+  gen.SetItemCount(200);
+  EXPECT_EQ(gen.num_items(), 200u);
+  for (int i = 0; i < 10000; i++) EXPECT_LT(gen.Next(), 200u);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(100000, 9);
+  // The raw generator concentrates on item 0; scrambling should spread mass
+  // so the lowest 1% of the keyspace no longer dominates.
+  uint64_t low = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; i++) {
+    if (gen.Next() < 1000) low++;
+  }
+  double frac = static_cast<double>(low) / kTrials;
+  EXPECT_LT(frac, 0.10);
+}
+
+TEST(ScrambledZipfianTest, InRange) {
+  ScrambledZipfianGenerator gen(12345, 11);
+  for (int i = 0; i < 100000; i++) EXPECT_LT(gen.Next(), 12345u);
+}
+
+TEST(ScrambledZipfianTest, StillSkewed) {
+  // A handful of (scattered) keys should still dominate.
+  ScrambledZipfianGenerator gen(100000, 13);
+  std::map<uint64_t, int> counts;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; i++) counts[gen.Next()]++;
+  std::vector<int> freqs;
+  freqs.reserve(counts.size());
+  for (const auto& [k, c] : counts) freqs.push_back(c);
+  std::sort(freqs.rbegin(), freqs.rend());
+  int top10 = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(freqs.size()); i++) {
+    top10 += freqs[i];
+  }
+  EXPECT_GT(static_cast<double>(top10) / kTrials, 0.10);
+}
+
+TEST(LatestTest, SkewsTowardNewestItem) {
+  LatestGenerator gen(10000, 21);
+  uint64_t high = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 10000u);
+    if (v >= 9900) high++;  // newest 1%
+  }
+  EXPECT_GT(static_cast<double>(high) / kTrials, 0.3);
+}
+
+}  // namespace
+}  // namespace blsm

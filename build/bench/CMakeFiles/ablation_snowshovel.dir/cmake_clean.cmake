@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snowshovel.dir/ablation_snowshovel.cc.o"
+  "CMakeFiles/ablation_snowshovel.dir/ablation_snowshovel.cc.o.d"
+  "ablation_snowshovel"
+  "ablation_snowshovel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snowshovel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

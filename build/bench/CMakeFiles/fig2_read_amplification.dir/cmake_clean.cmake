@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_read_amplification.dir/fig2_read_amplification.cc.o"
+  "CMakeFiles/fig2_read_amplification.dir/fig2_read_amplification.cc.o.d"
+  "fig2_read_amplification"
+  "fig2_read_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_read_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

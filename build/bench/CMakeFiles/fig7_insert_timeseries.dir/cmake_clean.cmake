@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_insert_timeseries.dir/fig7_insert_timeseries.cc.o"
+  "CMakeFiles/fig7_insert_timeseries.dir/fig7_insert_timeseries.cc.o.d"
+  "fig7_insert_timeseries"
+  "fig7_insert_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_insert_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

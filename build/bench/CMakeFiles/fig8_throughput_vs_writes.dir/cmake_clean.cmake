@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_throughput_vs_writes.dir/fig8_throughput_vs_writes.cc.o"
+  "CMakeFiles/fig8_throughput_vs_writes.dir/fig8_throughput_vs_writes.cc.o.d"
+  "fig8_throughput_vs_writes"
+  "fig8_throughput_vs_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_throughput_vs_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_workload_shift.dir/fig9_workload_shift.cc.o"
+  "CMakeFiles/fig9_workload_shift.dir/fig9_workload_shift.cc.o.d"
+  "fig9_workload_shift"
+  "fig9_workload_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_workload_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

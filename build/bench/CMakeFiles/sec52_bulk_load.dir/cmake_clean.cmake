@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_bulk_load.dir/sec52_bulk_load.cc.o"
+  "CMakeFiles/sec52_bulk_load.dir/sec52_bulk_load.cc.o.d"
+  "sec52_bulk_load"
+  "sec52_bulk_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_scans.dir/sec56_scans.cc.o"
+  "CMakeFiles/sec56_scans.dir/sec56_scans.cc.o.d"
+  "sec56_scans"
+  "sec56_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

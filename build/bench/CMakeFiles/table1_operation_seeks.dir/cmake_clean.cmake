@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_operation_seeks.dir/table1_operation_seeks.cc.o"
+  "CMakeFiles/table1_operation_seeks.dir/table1_operation_seeks.cc.o.d"
+  "table1_operation_seeks"
+  "table1_operation_seeks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_operation_seeks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_operation_seeks.
+# This may be replaced when dependencies are built.

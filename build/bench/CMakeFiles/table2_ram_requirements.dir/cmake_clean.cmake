@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ram_requirements.dir/table2_ram_requirements.cc.o"
+  "CMakeFiles/table2_ram_requirements.dir/table2_ram_requirements.cc.o.d"
+  "table2_ram_requirements"
+  "table2_ram_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ram_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

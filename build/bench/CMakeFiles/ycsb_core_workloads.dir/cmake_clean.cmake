@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_core_workloads.dir/ycsb_core_workloads.cc.o"
+  "CMakeFiles/ycsb_core_workloads.dir/ycsb_core_workloads.cc.o.d"
+  "ycsb_core_workloads"
+  "ycsb_core_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_core_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_log_ingest.dir/event_log_ingest.cpp.o"
+  "CMakeFiles/event_log_ingest.dir/event_log_ingest.cpp.o.d"
+  "event_log_ingest"
+  "event_log_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_log_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

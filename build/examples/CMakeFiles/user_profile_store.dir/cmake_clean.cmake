@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_profile_store.dir/user_profile_store.cpp.o"
+  "CMakeFiles/user_profile_store.dir/user_profile_store.cpp.o.d"
+  "user_profile_store"
+  "user_profile_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_profile_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

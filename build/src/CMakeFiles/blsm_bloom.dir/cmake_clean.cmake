@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_bloom.dir/bloom/bloom_filter.cc.o"
+  "CMakeFiles/blsm_bloom.dir/bloom/bloom_filter.cc.o.d"
+  "libblsm_bloom.a"
+  "libblsm_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

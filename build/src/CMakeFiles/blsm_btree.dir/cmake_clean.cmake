@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_btree.dir/btree/btree.cc.o"
+  "CMakeFiles/blsm_btree.dir/btree/btree.cc.o.d"
+  "CMakeFiles/blsm_btree.dir/btree/btree_page.cc.o"
+  "CMakeFiles/blsm_btree.dir/btree/btree_page.cc.o.d"
+  "CMakeFiles/blsm_btree.dir/btree/buffer_pool.cc.o"
+  "CMakeFiles/blsm_btree.dir/btree/buffer_pool.cc.o.d"
+  "libblsm_btree.a"
+  "libblsm_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_buffer.dir/buffer/block_cache.cc.o"
+  "CMakeFiles/blsm_buffer.dir/buffer/block_cache.cc.o.d"
+  "libblsm_buffer.a"
+  "libblsm_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

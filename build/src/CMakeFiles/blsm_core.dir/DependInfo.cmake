@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/blsm_tree.cc" "src/CMakeFiles/blsm_core.dir/lsm/blsm_tree.cc.o" "gcc" "src/CMakeFiles/blsm_core.dir/lsm/blsm_tree.cc.o.d"
+  "/root/repo/src/lsm/collapse.cc" "src/CMakeFiles/blsm_core.dir/lsm/collapse.cc.o" "gcc" "src/CMakeFiles/blsm_core.dir/lsm/collapse.cc.o.d"
+  "/root/repo/src/lsm/manifest.cc" "src/CMakeFiles/blsm_core.dir/lsm/manifest.cc.o" "gcc" "src/CMakeFiles/blsm_core.dir/lsm/manifest.cc.o.d"
+  "/root/repo/src/lsm/merge_iterator.cc" "src/CMakeFiles/blsm_core.dir/lsm/merge_iterator.cc.o" "gcc" "src/CMakeFiles/blsm_core.dir/lsm/merge_iterator.cc.o.d"
+  "/root/repo/src/lsm/merge_operator.cc" "src/CMakeFiles/blsm_core.dir/lsm/merge_operator.cc.o" "gcc" "src/CMakeFiles/blsm_core.dir/lsm/merge_operator.cc.o.d"
+  "/root/repo/src/lsm/merge_scheduler.cc" "src/CMakeFiles/blsm_core.dir/lsm/merge_scheduler.cc.o" "gcc" "src/CMakeFiles/blsm_core.dir/lsm/merge_scheduler.cc.o.d"
+  "/root/repo/src/lsm/record.cc" "src/CMakeFiles/blsm_core.dir/lsm/record.cc.o" "gcc" "src/CMakeFiles/blsm_core.dir/lsm/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blsm_memtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_sstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_core.dir/lsm/blsm_tree.cc.o"
+  "CMakeFiles/blsm_core.dir/lsm/blsm_tree.cc.o.d"
+  "CMakeFiles/blsm_core.dir/lsm/collapse.cc.o"
+  "CMakeFiles/blsm_core.dir/lsm/collapse.cc.o.d"
+  "CMakeFiles/blsm_core.dir/lsm/manifest.cc.o"
+  "CMakeFiles/blsm_core.dir/lsm/manifest.cc.o.d"
+  "CMakeFiles/blsm_core.dir/lsm/merge_iterator.cc.o"
+  "CMakeFiles/blsm_core.dir/lsm/merge_iterator.cc.o.d"
+  "CMakeFiles/blsm_core.dir/lsm/merge_operator.cc.o"
+  "CMakeFiles/blsm_core.dir/lsm/merge_operator.cc.o.d"
+  "CMakeFiles/blsm_core.dir/lsm/merge_scheduler.cc.o"
+  "CMakeFiles/blsm_core.dir/lsm/merge_scheduler.cc.o.d"
+  "CMakeFiles/blsm_core.dir/lsm/record.cc.o"
+  "CMakeFiles/blsm_core.dir/lsm/record.cc.o.d"
+  "libblsm_core.a"
+  "libblsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/counting_env.cc" "src/CMakeFiles/blsm_io.dir/io/counting_env.cc.o" "gcc" "src/CMakeFiles/blsm_io.dir/io/counting_env.cc.o.d"
+  "/root/repo/src/io/env.cc" "src/CMakeFiles/blsm_io.dir/io/env.cc.o" "gcc" "src/CMakeFiles/blsm_io.dir/io/env.cc.o.d"
+  "/root/repo/src/io/fault_injection_env.cc" "src/CMakeFiles/blsm_io.dir/io/fault_injection_env.cc.o" "gcc" "src/CMakeFiles/blsm_io.dir/io/fault_injection_env.cc.o.d"
+  "/root/repo/src/io/mem_env.cc" "src/CMakeFiles/blsm_io.dir/io/mem_env.cc.o" "gcc" "src/CMakeFiles/blsm_io.dir/io/mem_env.cc.o.d"
+  "/root/repo/src/io/posix_env.cc" "src/CMakeFiles/blsm_io.dir/io/posix_env.cc.o" "gcc" "src/CMakeFiles/blsm_io.dir/io/posix_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

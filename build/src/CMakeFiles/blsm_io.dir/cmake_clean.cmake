@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_io.dir/io/counting_env.cc.o"
+  "CMakeFiles/blsm_io.dir/io/counting_env.cc.o.d"
+  "CMakeFiles/blsm_io.dir/io/env.cc.o"
+  "CMakeFiles/blsm_io.dir/io/env.cc.o.d"
+  "CMakeFiles/blsm_io.dir/io/fault_injection_env.cc.o"
+  "CMakeFiles/blsm_io.dir/io/fault_injection_env.cc.o.d"
+  "CMakeFiles/blsm_io.dir/io/mem_env.cc.o"
+  "CMakeFiles/blsm_io.dir/io/mem_env.cc.o.d"
+  "CMakeFiles/blsm_io.dir/io/posix_env.cc.o"
+  "CMakeFiles/blsm_io.dir/io/posix_env.cc.o.d"
+  "libblsm_io.a"
+  "libblsm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

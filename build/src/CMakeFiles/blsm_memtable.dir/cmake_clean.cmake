@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_memtable.dir/memtable/memtable.cc.o"
+  "CMakeFiles/blsm_memtable.dir/memtable/memtable.cc.o.d"
+  "CMakeFiles/blsm_memtable.dir/memtable/skiplist.cc.o"
+  "CMakeFiles/blsm_memtable.dir/memtable/skiplist.cc.o.d"
+  "libblsm_memtable.a"
+  "libblsm_memtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

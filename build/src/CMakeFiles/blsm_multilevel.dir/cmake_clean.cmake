@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_multilevel.dir/multilevel/compaction.cc.o"
+  "CMakeFiles/blsm_multilevel.dir/multilevel/compaction.cc.o.d"
+  "CMakeFiles/blsm_multilevel.dir/multilevel/multilevel_tree.cc.o"
+  "CMakeFiles/blsm_multilevel.dir/multilevel/multilevel_tree.cc.o.d"
+  "CMakeFiles/blsm_multilevel.dir/multilevel/version.cc.o"
+  "CMakeFiles/blsm_multilevel.dir/multilevel/version.cc.o.d"
+  "libblsm_multilevel.a"
+  "libblsm_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device_model.cc" "src/CMakeFiles/blsm_sim.dir/sim/device_model.cc.o" "gcc" "src/CMakeFiles/blsm_sim.dir/sim/device_model.cc.o.d"
+  "/root/repo/src/sim/ram_requirements.cc" "src/CMakeFiles/blsm_sim.dir/sim/ram_requirements.cc.o" "gcc" "src/CMakeFiles/blsm_sim.dir/sim/ram_requirements.cc.o.d"
+  "/root/repo/src/sim/read_amplification.cc" "src/CMakeFiles/blsm_sim.dir/sim/read_amplification.cc.o" "gcc" "src/CMakeFiles/blsm_sim.dir/sim/read_amplification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_sim.dir/sim/device_model.cc.o"
+  "CMakeFiles/blsm_sim.dir/sim/device_model.cc.o.d"
+  "CMakeFiles/blsm_sim.dir/sim/ram_requirements.cc.o"
+  "CMakeFiles/blsm_sim.dir/sim/ram_requirements.cc.o.d"
+  "CMakeFiles/blsm_sim.dir/sim/read_amplification.cc.o"
+  "CMakeFiles/blsm_sim.dir/sim/read_amplification.cc.o.d"
+  "libblsm_sim.a"
+  "libblsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

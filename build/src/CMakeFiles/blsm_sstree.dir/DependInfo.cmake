@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstree/block.cc" "src/CMakeFiles/blsm_sstree.dir/sstree/block.cc.o" "gcc" "src/CMakeFiles/blsm_sstree.dir/sstree/block.cc.o.d"
+  "/root/repo/src/sstree/tree_builder.cc" "src/CMakeFiles/blsm_sstree.dir/sstree/tree_builder.cc.o" "gcc" "src/CMakeFiles/blsm_sstree.dir/sstree/tree_builder.cc.o.d"
+  "/root/repo/src/sstree/tree_reader.cc" "src/CMakeFiles/blsm_sstree.dir/sstree/tree_reader.cc.o" "gcc" "src/CMakeFiles/blsm_sstree.dir/sstree/tree_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blsm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

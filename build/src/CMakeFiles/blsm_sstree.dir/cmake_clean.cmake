@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_sstree.dir/sstree/block.cc.o"
+  "CMakeFiles/blsm_sstree.dir/sstree/block.cc.o.d"
+  "CMakeFiles/blsm_sstree.dir/sstree/tree_builder.cc.o"
+  "CMakeFiles/blsm_sstree.dir/sstree/tree_builder.cc.o.d"
+  "CMakeFiles/blsm_sstree.dir/sstree/tree_reader.cc.o"
+  "CMakeFiles/blsm_sstree.dir/sstree/tree_reader.cc.o.d"
+  "libblsm_sstree.a"
+  "libblsm_sstree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_sstree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

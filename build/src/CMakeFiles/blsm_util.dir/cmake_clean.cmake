@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_util.dir/util/arena.cc.o"
+  "CMakeFiles/blsm_util.dir/util/arena.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/coding.cc.o"
+  "CMakeFiles/blsm_util.dir/util/coding.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/crc32c.cc.o"
+  "CMakeFiles/blsm_util.dir/util/crc32c.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/hash.cc.o"
+  "CMakeFiles/blsm_util.dir/util/hash.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/histogram.cc.o"
+  "CMakeFiles/blsm_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/random.cc.o"
+  "CMakeFiles/blsm_util.dir/util/random.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/slice.cc.o"
+  "CMakeFiles/blsm_util.dir/util/slice.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/status.cc.o"
+  "CMakeFiles/blsm_util.dir/util/status.cc.o.d"
+  "CMakeFiles/blsm_util.dir/util/zipfian.cc.o"
+  "CMakeFiles/blsm_util.dir/util/zipfian.cc.o.d"
+  "libblsm_util.a"
+  "libblsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_wal.dir/wal/log_reader.cc.o"
+  "CMakeFiles/blsm_wal.dir/wal/log_reader.cc.o.d"
+  "CMakeFiles/blsm_wal.dir/wal/log_writer.cc.o"
+  "CMakeFiles/blsm_wal.dir/wal/log_writer.cc.o.d"
+  "CMakeFiles/blsm_wal.dir/wal/logical_log.cc.o"
+  "CMakeFiles/blsm_wal.dir/wal/logical_log.cc.o.d"
+  "libblsm_wal.a"
+  "libblsm_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_ycsb.dir/ycsb/driver.cc.o"
+  "CMakeFiles/blsm_ycsb.dir/ycsb/driver.cc.o.d"
+  "CMakeFiles/blsm_ycsb.dir/ycsb/generator.cc.o"
+  "CMakeFiles/blsm_ycsb.dir/ycsb/generator.cc.o.d"
+  "CMakeFiles/blsm_ycsb.dir/ycsb/workload.cc.o"
+  "CMakeFiles/blsm_ycsb.dir/ycsb/workload.cc.o.d"
+  "libblsm_ycsb.a"
+  "libblsm_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_property_test.dir/blsm_property_test.cc.o"
+  "CMakeFiles/blsm_property_test.dir/blsm_property_test.cc.o.d"
+  "blsm_property_test"
+  "blsm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

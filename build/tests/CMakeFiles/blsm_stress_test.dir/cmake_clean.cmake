@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_stress_test.dir/blsm_stress_test.cc.o"
+  "CMakeFiles/blsm_stress_test.dir/blsm_stress_test.cc.o.d"
+  "blsm_stress_test"
+  "blsm_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

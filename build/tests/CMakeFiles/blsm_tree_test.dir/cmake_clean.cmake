@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_tree_test.dir/blsm_tree_test.cc.o"
+  "CMakeFiles/blsm_tree_test.dir/blsm_tree_test.cc.o.d"
+  "blsm_tree_test"
+  "blsm_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_property_test.dir/btree_property_test.cc.o"
+  "CMakeFiles/btree_property_test.dir/btree_property_test.cc.o.d"
+  "btree_property_test"
+  "btree_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

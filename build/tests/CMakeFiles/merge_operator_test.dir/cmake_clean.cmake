@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_operator_test.dir/merge_operator_test.cc.o"
+  "CMakeFiles/merge_operator_test.dir/merge_operator_test.cc.o.d"
+  "merge_operator_test"
+  "merge_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/merge_scheduler_test.cc" "tests/CMakeFiles/merge_scheduler_test.dir/merge_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/merge_scheduler_test.dir/merge_scheduler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_memtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_sstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/blsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

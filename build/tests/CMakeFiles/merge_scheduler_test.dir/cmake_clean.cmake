@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_scheduler_test.dir/merge_scheduler_test.cc.o"
+  "CMakeFiles/merge_scheduler_test.dir/merge_scheduler_test.cc.o.d"
+  "merge_scheduler_test"
+  "merge_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

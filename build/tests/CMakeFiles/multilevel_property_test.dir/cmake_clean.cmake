@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_property_test.dir/multilevel_property_test.cc.o"
+  "CMakeFiles/multilevel_property_test.dir/multilevel_property_test.cc.o.d"
+  "multilevel_property_test"
+  "multilevel_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstree_property_test.dir/sstree_property_test.cc.o"
+  "CMakeFiles/sstree_property_test.dir/sstree_property_test.cc.o.d"
+  "sstree_property_test"
+  "sstree_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstree_test.dir/sstree_test.cc.o"
+  "CMakeFiles/sstree_test.dir/sstree_test.cc.o.d"
+  "sstree_test"
+  "sstree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

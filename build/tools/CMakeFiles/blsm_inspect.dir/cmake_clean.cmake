@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blsm_inspect.dir/blsm_inspect.cc.o"
+  "CMakeFiles/blsm_inspect.dir/blsm_inspect.cc.o.d"
+  "blsm_inspect"
+  "blsm_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blsm_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,11 +7,11 @@ namespace {
 class FaultSequentialFile final : public SequentialFile {
  public:
   FaultSequentialFile(std::unique_ptr<SequentialFile> base,
-                      FaultInjectionEnv* env)
-      : base_(std::move(base)), env_(env) {}
+                      FaultInjectionEnv* env, std::string fname)
+      : base_(std::move(base)), env_(env), fname_(std::move(fname)) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
-    Status s = env_->Check();
+    Status s = env_->CheckOp(FaultOpClass::kRead, fname_);
     if (!s.ok()) return s;
     return base_->Read(n, result, scratch);
   }
@@ -20,17 +20,18 @@ class FaultSequentialFile final : public SequentialFile {
  private:
   std::unique_ptr<SequentialFile> base_;
   FaultInjectionEnv* env_;
+  std::string fname_;
 };
 
 class FaultRandomAccessFile final : public RandomAccessFile {
  public:
   FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
-                        FaultInjectionEnv* env)
-      : base_(std::move(base)), env_(env) {}
+                        FaultInjectionEnv* env, std::string fname)
+      : base_(std::move(base)), env_(env), fname_(std::move(fname)) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    Status s = env_->Check();
+    Status s = env_->CheckOp(FaultOpClass::kRead, fname_);
     if (!s.ok()) return s;
     return base_->Read(offset, n, result, scratch);
   }
@@ -38,22 +39,39 @@ class FaultRandomAccessFile final : public RandomAccessFile {
  private:
   std::unique_ptr<RandomAccessFile> base_;
   FaultInjectionEnv* env_;
+  std::string fname_;
 };
 
 class FaultWritableFile final : public WritableFile {
  public:
-  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectionEnv* env)
-      : base_(std::move(base)), env_(env) {}
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectionEnv* env,
+                    std::string fname)
+      : base_(std::move(base)), env_(env), fname_(std::move(fname)) {}
 
   Status Append(const Slice& data) override {
-    Status s = env_->Check();
-    if (!s.ok()) return s;
+    FaultInjectionEnv::WritePlan plan = env_->PlanAppend(fname_, data.size());
+    if (!plan.status.ok()) {
+      if (plan.torn_len > 0) {
+        // Torn write: the device persisted part of the payload before the
+        // failure. The base Append's own status is irrelevant — the caller
+        // already sees an error.
+        base_->Append(Slice(data.data(), plan.torn_len));
+      }
+      return plan.status;
+    }
+    if (plan.flip_bit >= 0) {
+      std::string corrupted(data.data(), data.size());
+      corrupted[static_cast<size_t>(plan.flip_bit) / 8] ^=
+          static_cast<char>(1u << (plan.flip_bit % 8));
+      return base_->Append(corrupted);
+    }
     return base_->Append(data);
   }
   Status Flush() override { return base_->Flush(); }
   Status Sync() override {
-    Status s = env_->Check();
-    if (!s.ok()) return s;
+    FaultInjectionEnv::SyncPlan plan = env_->PlanSync(fname_);
+    if (!plan.status.ok()) return plan.status;
+    if (plan.swallow) return Status::OK();  // the lie: "it's durable"
     return base_->Sync();
   }
   Status Close() override { return base_->Close(); }
@@ -61,27 +79,30 @@ class FaultWritableFile final : public WritableFile {
  private:
   std::unique_ptr<WritableFile> base_;
   FaultInjectionEnv* env_;
+  std::string fname_;
 };
 
 class FaultRandomRWFile final : public RandomRWFile {
  public:
-  FaultRandomRWFile(std::unique_ptr<RandomRWFile> base, FaultInjectionEnv* env)
-      : base_(std::move(base)), env_(env) {}
+  FaultRandomRWFile(std::unique_ptr<RandomRWFile> base, FaultInjectionEnv* env,
+                    std::string fname)
+      : base_(std::move(base)), env_(env), fname_(std::move(fname)) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    Status s = env_->Check();
+    Status s = env_->CheckOp(FaultOpClass::kRead, fname_);
     if (!s.ok()) return s;
     return base_->Read(offset, n, result, scratch);
   }
   Status Write(uint64_t offset, const Slice& data) override {
-    Status s = env_->Check();
+    Status s = env_->CheckOp(FaultOpClass::kWrite, fname_);
     if (!s.ok()) return s;
     return base_->Write(offset, data);
   }
   Status Sync() override {
-    Status s = env_->Check();
-    if (!s.ok()) return s;
+    FaultInjectionEnv::SyncPlan plan = env_->PlanSync(fname_);
+    if (!plan.status.ok()) return plan.status;
+    if (plan.swallow) return Status::OK();
     return base_->Sync();
   }
   Status Close() override { return base_->Close(); }
@@ -89,9 +110,24 @@ class FaultRandomRWFile final : public RandomRWFile {
  private:
   std::unique_ptr<RandomRWFile> base_;
   FaultInjectionEnv* env_;
+  std::string fname_;
 };
 
 }  // namespace
+
+void FaultInjectionEnv::SetPolicy(const FaultPolicy& policy) {
+  std::lock_guard<std::mutex> l(policy_mu_);
+  policy_ = policy;
+  rng_ = Random(policy.seed);
+  policy_active_.store(policy.AnyProbabilistic(), std::memory_order_release);
+}
+
+void FaultInjectionEnv::Heal() {
+  armed_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> l(policy_mu_);
+  policy_ = FaultPolicy{};
+  policy_active_.store(false, std::memory_order_release);
+}
 
 Status FaultInjectionEnv::Check() {
   if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
@@ -102,53 +138,177 @@ Status FaultInjectionEnv::Check() {
   return Status::OK();
 }
 
+bool FaultInjectionEnv::Roll(double prob) {
+  if (prob <= 0.0) return false;
+  std::lock_guard<std::mutex> l(policy_mu_);
+  return rng_.NextDouble() < prob;
+}
+
+bool FaultInjectionEnv::SilentFaultsApply(const std::string& fname) {
+  std::function<bool(const std::string&)> filter;
+  {
+    std::lock_guard<std::mutex> l(policy_mu_);
+    filter = policy_.silent_fault_filter;
+  }
+  return filter == nullptr || filter(fname);
+}
+
+Status FaultInjectionEnv::CheckOp(FaultOpClass op, const std::string& fname) {
+  Status s = Check();
+  if (!s.ok()) return s;
+  if (!policy_active_.load(std::memory_order_acquire)) return Status::OK();
+  double prob = 0.0;
+  {
+    std::lock_guard<std::mutex> l(policy_mu_);
+    switch (op) {
+      case FaultOpClass::kRead:
+        prob = policy_.read_error_prob;
+        break;
+      case FaultOpClass::kWrite:
+        prob = policy_.write_error_prob;
+        break;
+      case FaultOpClass::kSync:
+        prob = policy_.sync_error_prob;
+        break;
+      case FaultOpClass::kOpen:
+        prob = policy_.open_error_prob;
+        break;
+      case FaultOpClass::kMetadata:
+        prob = policy_.metadata_error_prob;
+        break;
+    }
+    if (prob <= 0.0 || rng_.NextDouble() >= prob) return Status::OK();
+  }
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  return Status::IOError("injected fault: " + fname);
+}
+
+FaultInjectionEnv::WritePlan FaultInjectionEnv::PlanAppend(
+    const std::string& fname, size_t len) {
+  WritePlan plan;
+  plan.status = Check();
+  if (!plan.status.ok()) return plan;
+  if (!policy_active_.load(std::memory_order_acquire)) return plan;
+
+  std::unique_lock<std::mutex> l(policy_mu_);
+  if (policy_.write_error_prob > 0 &&
+      rng_.NextDouble() < policy_.write_error_prob) {
+    l.unlock();
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    plan.status = Status::IOError("injected write error: " + fname);
+    return plan;
+  }
+  if (len > 0 && policy_.torn_write_prob > 0 &&
+      rng_.NextDouble() < policy_.torn_write_prob) {
+    plan.torn_len = static_cast<size_t>(rng_.Uniform(len));  // strict prefix
+    l.unlock();
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    plan.status = Status::IOError("injected torn write: " + fname);
+    return plan;
+  }
+  if (len > 0 && policy_.bit_flip_prob > 0 &&
+      rng_.NextDouble() < policy_.bit_flip_prob) {
+    uint64_t bit = rng_.Uniform(len * 8);
+    l.unlock();
+    if (SilentFaultsApply(fname)) {
+      bit_flips_.fetch_add(1, std::memory_order_relaxed);
+      plan.flip_bit = static_cast<int64_t>(bit);
+    }
+    return plan;
+  }
+  return plan;
+}
+
+FaultInjectionEnv::SyncPlan FaultInjectionEnv::PlanSync(
+    const std::string& fname) {
+  SyncPlan plan;
+  plan.status = Check();
+  if (!plan.status.ok()) return plan;
+  if (!policy_active_.load(std::memory_order_acquire)) return plan;
+
+  std::unique_lock<std::mutex> l(policy_mu_);
+  if (policy_.sync_error_prob > 0 &&
+      rng_.NextDouble() < policy_.sync_error_prob) {
+    l.unlock();
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    plan.status = Status::IOError("injected sync error: " + fname);
+    return plan;
+  }
+  if (policy_.swallow_sync_prob > 0 &&
+      rng_.NextDouble() < policy_.swallow_sync_prob) {
+    l.unlock();
+    if (SilentFaultsApply(fname)) {
+      swallowed_syncs_.fetch_add(1, std::memory_order_relaxed);
+      plan.swallow = true;
+    }
+    return plan;
+  }
+  return plan;
+}
+
 Status FaultInjectionEnv::NewSequentialFile(
     const std::string& fname, std::unique_ptr<SequentialFile>* result) {
-  Status s = Check();
+  Status s = CheckOp(FaultOpClass::kOpen, fname);
   if (!s.ok()) return s;
   std::unique_ptr<SequentialFile> base;
   s = base_->NewSequentialFile(fname, &base);
   if (!s.ok()) return s;
-  *result = std::make_unique<FaultSequentialFile>(std::move(base), this);
+  *result = std::make_unique<FaultSequentialFile>(std::move(base), this, fname);
   return Status::OK();
 }
 
 Status FaultInjectionEnv::NewRandomAccessFile(
     const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
-  Status s = Check();
+  Status s = CheckOp(FaultOpClass::kOpen, fname);
   if (!s.ok()) return s;
   std::unique_ptr<RandomAccessFile> base;
   s = base_->NewRandomAccessFile(fname, &base);
   if (!s.ok()) return s;
-  *result = std::make_unique<FaultRandomAccessFile>(std::move(base), this);
+  *result =
+      std::make_unique<FaultRandomAccessFile>(std::move(base), this, fname);
   return Status::OK();
 }
 
 Status FaultInjectionEnv::NewWritableFile(
     const std::string& fname, std::unique_ptr<WritableFile>* result) {
-  Status s = Check();
+  Status s = CheckOp(FaultOpClass::kOpen, fname);
   if (!s.ok()) return s;
   std::unique_ptr<WritableFile> base;
   s = base_->NewWritableFile(fname, &base);
   if (!s.ok()) return s;
-  *result = std::make_unique<FaultWritableFile>(std::move(base), this);
+  *result = std::make_unique<FaultWritableFile>(std::move(base), this, fname);
   return Status::OK();
 }
 
 Status FaultInjectionEnv::NewRandomRWFile(
     const std::string& fname, std::unique_ptr<RandomRWFile>* result) {
-  Status s = Check();
+  Status s = CheckOp(FaultOpClass::kOpen, fname);
   if (!s.ok()) return s;
   std::unique_ptr<RandomRWFile> base;
   s = base_->NewRandomRWFile(fname, &base);
   if (!s.ok()) return s;
-  *result = std::make_unique<FaultRandomRWFile>(std::move(base), this);
+  *result = std::make_unique<FaultRandomRWFile>(std::move(base), this, fname);
   return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  // A tripped device must refuse deletes too: recovery code paths depend on
+  // unlink actually happening, and a silent no-op would leak orphans.
+  Status s = CheckOp(FaultOpClass::kMetadata, fname);
+  if (!s.ok()) return s;
+  return base_->RemoveFile(fname);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
+  Status s = CheckOp(FaultOpClass::kMetadata, dirname);
+  if (!s.ok()) return s;
+  return base_->CreateDir(dirname);
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& src,
                                      const std::string& target) {
-  Status s = Check();
+  Status s = CheckOp(FaultOpClass::kMetadata, src);
   if (!s.ok()) return s;
   return base_->RenameFile(src, target);
 }

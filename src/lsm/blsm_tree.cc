@@ -67,6 +67,11 @@ Status BlsmTree::OpenImpl() {
     ComponentPtr comp;
     s = OpenComponent(entry.file_number, &comp, options_.use_bloom);
     if (!s.ok()) return s;
+    if (options_.paranoid_checks) {
+      uint64_t bad_offset = 0;
+      s = comp->reader->VerifyAllBlocks(&bad_offset);
+      if (!s.ok()) return s;
+    }
     switch (entry.slot) {
       case Manifest::Slot::kC1:
         c1_ = comp;
@@ -92,7 +97,9 @@ Status BlsmTree::OpenImpl() {
         for (const auto& entry : manifest.components) {
           if (entry.file_number == num) referenced = true;
         }
-        if (!referenced) env_->RemoveFile(dir_ + "/" + name);
+        if (!referenced && env_->RemoveFile(dir_ + "/" + name).ok()) {
+          stats_.orphans_scavenged.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
   }
@@ -237,6 +244,12 @@ void BlsmTree::ApplyBackpressure() {
   // Hard stall: wait (re-polling) while the scheduler blocks writes — C0
   // full, or (gear) the writer has outrun merge 1.
   while (!shutdown_.load(std::memory_order_relaxed)) {
+    {
+      // If merges have latched an error they will never drain C0; the write
+      // must escape the stall and report the error instead of hanging.
+      std::lock_guard<std::mutex> l(mu_);
+      if (!bg_error_.ok()) break;
+    }
     SchedulerState state = ComputeSchedulerState();
     if (!scheduler_->WriteBlocked(state)) {
       // One-shot proportional delay (the spring, §4.3).
@@ -263,6 +276,11 @@ Status BlsmTree::WriteImpl(const Slice& key, RecordType type,
     if (!bg_error_.ok()) return bg_error_;
   }
   ApplyBackpressure();
+  {
+    // Re-check after the stall: the error may have latched while we waited.
+    std::lock_guard<std::mutex> l(mu_);
+    if (!bg_error_.ok()) return bg_error_;
+  }
 
   std::shared_lock<std::shared_mutex> swap_guard(mem_swap_mu_);
   SequenceNumber seq = last_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -622,6 +640,12 @@ void ScanIterator::CollapseCurrent() {
   // The underlying iterator is positioned at the first unprocessed version.
   valid_ = false;
   while (iter_->Valid()) {
+    // A child iterator that died on an I/O or checksum error reports
+    // through status(); stopping silently here would truncate the scan.
+    if (!iter_->status().ok()) {
+      status_ = iter_->status();
+      return;
+    }
     ParsedInternalKey first;
     if (!ParseInternalKey(iter_->key(), &first)) {
       status_ = Status::Corruption("bad internal key in scan");
@@ -680,9 +704,47 @@ void ScanIterator::CollapseCurrent() {
     valid_ = true;
     return;
   }
+  // Exhausted — distinguish a clean end from a child that died on an error
+  // (e.g. a corrupt block): the scan must not look merely shorter.
+  if (status_.ok()) status_ = iter_->status();
 }
 
 // --- merges -----------------------------------------------------------------
+
+void BlsmTree::BackoffWait(int attempt) {
+  uint64_t wait = options_.retry_backoff_base_micros;
+  for (int i = 0; i < attempt && wait < options_.retry_backoff_max_micros;
+       i++) {
+    wait <<= 1;
+  }
+  wait = std::min(wait, options_.retry_backoff_max_micros);
+  // Sleep in small slices so shutdown interrupts the backoff promptly.
+  constexpr uint64_t kSliceUs = 1000;
+  while (wait > 0 && !shutdown_.load(std::memory_order_relaxed)) {
+    uint64_t slice = std::min(wait, kSliceUs);
+    env_->SleepForMicroseconds(slice);
+    wait -= slice;
+  }
+}
+
+Status BlsmTree::RunPassWithRetry(const std::function<Status()>& pass) {
+  // Transient failures (a flaky device, a full queue) are retried with
+  // capped exponential backoff instead of poisoning the tree forever; if the
+  // device heals mid-backoff the merge resumes without a reopen. Permanent
+  // errors and an exhausted budget fall through to the caller, which latches
+  // bg_error_.
+  Status s = pass();
+  int attempt = 0;
+  while (!s.ok() && s.IsTransient() &&
+         !shutdown_.load(std::memory_order_relaxed) &&
+         attempt < options_.max_background_retries) {
+    stats_.merge_retries.fetch_add(1, std::memory_order_relaxed);
+    BackoffWait(attempt++);
+    if (shutdown_.load(std::memory_order_relaxed)) break;
+    s = pass();
+  }
+  return s;
+}
 
 bool BlsmTree::MergePauseWait(int which) {
   while (!shutdown_.load(std::memory_order_relaxed)) {
@@ -734,7 +796,7 @@ void BlsmTree::Merge1Loop() {
     merge1_running_ = true;
     merge1_requested_ = false;
     l.unlock();
-    Status s = RunMerge1Pass();
+    Status s = RunPassWithRetry([this] { return RunMerge1Pass(); });
     l.lock();
     merge1_running_ = false;
     if (!s.ok() && !shutdown_.load()) bg_error_ = s;
@@ -933,7 +995,7 @@ void BlsmTree::Merge2Loop() {
     }
     merge2_running_ = true;
     l.unlock();
-    Status s = RunMerge2Pass();
+    Status s = RunPassWithRetry([this] { return RunMerge2Pass(); });
     l.lock();
     merge2_running_ = false;
     if (!s.ok() && !shutdown_.load()) bg_error_ = s;

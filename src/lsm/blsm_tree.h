@@ -62,6 +62,22 @@ struct BlsmOptions {
 
   DurabilityMode durability = DurabilityMode::kAsync;
 
+  // Open-time verification: every manifest-referenced component has each of
+  // its blocks (data, index, bloom) read and checksummed before the tree
+  // accepts writes. Turns latent media corruption into an Open error that
+  // names the damaged file instead of a surprise mid-merge.
+  bool paranoid_checks = false;
+
+  // Background fault handling. A merge pass that fails with a *transient*
+  // error (Status::IsTransient: IOError, Busy) is retried up to
+  // max_background_retries times with capped exponential backoff
+  // (base << attempt, capped at retry_backoff_max_micros) before the error
+  // latches as BackgroundError(). Permanent errors (corruption) latch
+  // immediately. Tests shrink the backoff so retries are instant.
+  int max_background_retries = 15;
+  uint64_t retry_backoff_base_micros = 1000;
+  uint64_t retry_backoff_max_micros = 256 * 1000;
+
   // Interprets delta records; default AppendMergeOperator.
   std::shared_ptr<const MergeOperator> merge_operator;
 
@@ -86,6 +102,8 @@ struct BlsmStats {
   std::atomic<uint64_t> merge2_passes{0};
   std::atomic<uint64_t> merge1_bytes_out{0};
   std::atomic<uint64_t> merge2_bytes_out{0};
+  std::atomic<uint64_t> merge_retries{0};       // transient-failure re-runs
+  std::atomic<uint64_t> orphans_scavenged{0};   // unreferenced files removed
 };
 
 // bLSM: a three-level log structured merge tree with Bloom filters, early
@@ -232,6 +250,13 @@ class BlsmTree {
   void Merge2Loop();
   Status RunMerge1Pass();
   Status RunMerge2Pass();
+  // Runs `pass` and, when it fails transiently, re-runs it with capped
+  // exponential backoff until it succeeds, the error turns permanent, the
+  // retry budget runs out, or shutdown.
+  Status RunPassWithRetry(const std::function<Status()>& pass);
+  // Sleeps min(base << attempt, cap), polling shutdown_ so the destructor
+  // never waits out a backoff.
+  void BackoffWait(int attempt);
   // Waits while the scheduler pauses the given merge; returns false on
   // shutdown.
   bool MergePauseWait(int which);

@@ -100,6 +100,35 @@ Status MultilevelTree::TruncateLog() {
   });
 }
 
+void MultilevelTree::BackoffWait(int attempt) {
+  uint64_t wait = options_.retry_backoff_base_micros;
+  for (int i = 0; i < attempt && wait < options_.retry_backoff_max_micros;
+       i++) {
+    wait <<= 1;
+  }
+  wait = std::min(wait, options_.retry_backoff_max_micros);
+  constexpr uint64_t kSliceUs = 1000;
+  while (wait > 0 && !shutdown_.load(std::memory_order_relaxed)) {
+    uint64_t slice = std::min(wait, kSliceUs);
+    env_->SleepForMicroseconds(slice);
+    wait -= slice;
+  }
+}
+
+Status MultilevelTree::RunPassWithRetry(const std::function<Status()>& pass) {
+  Status s = pass();
+  int attempt = 0;
+  while (!s.ok() && s.IsTransient() &&
+         !shutdown_.load(std::memory_order_relaxed) &&
+         attempt < options_.max_background_retries) {
+    stats_.compaction_retries.fetch_add(1, std::memory_order_relaxed);
+    BackoffWait(attempt++);
+    if (shutdown_.load(std::memory_order_relaxed)) break;
+    s = pass();
+  }
+  return s;
+}
+
 void MultilevelTree::BackgroundLoop() {
   std::unique_lock<std::mutex> l(mu_);
   while (!shutdown_.load()) {
@@ -113,7 +142,9 @@ void MultilevelTree::BackgroundLoop() {
     }
     background_running_ = true;
     l.unlock();
-    Status s = imm != nullptr ? FlushMemtable(imm) : CompactLevel(level);
+    Status s = RunPassWithRetry([&] {
+      return imm != nullptr ? FlushMemtable(imm) : CompactLevel(level);
+    });
     l.lock();
     background_running_ = false;
     if (!s.ok() && !shutdown_.load()) bg_error_ = s;

@@ -96,6 +96,10 @@ Status MultilevelTree::OpenImpl() {
       FileMetaPtr meta;
       s = NewFileMeta(number, &meta);
       if (!s.ok()) return s;
+      if (options_.paranoid_checks) {
+        s = meta->reader->VerifyAllBlocks();
+        if (!s.ok()) return s;
+      }
       meta->smallest = smallest.ToString();
       meta->largest = largest.ToString();
       version_->levels[level].push_back(std::move(meta));
@@ -116,7 +120,9 @@ Status MultilevelTree::OpenImpl() {
             if (f->number == num) referenced = true;
           }
         }
-        if (!referenced) env_->RemoveFile(dir_ + "/" + name);
+        if (!referenced && env_->RemoveFile(dir_ + "/" + name).ok()) {
+          stats_.orphans_scavenged.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
   }
@@ -213,6 +219,9 @@ void MultilevelTree::MaybeStallWrites() {
     bool mem_full_and_imm_busy;
     {
       std::lock_guard<std::mutex> l(mu_);
+      // A latched background error means compaction will never drain the
+      // backlog: escape the stall so the caller sees the error, not a hang.
+      if (!bg_error_.ok()) break;
       l0_files = version_->levels[0].size();
       mem_full_and_imm_busy =
           mem_->LiveBytes() >= options_.memtable_bytes && imm_ != nullptr;
@@ -246,6 +255,10 @@ Status MultilevelTree::WriteImpl(const Slice& key, RecordType type,
     if (!bg_error_.ok()) return bg_error_;
   }
   MaybeStallWrites();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!bg_error_.ok()) return bg_error_;
+  }
 
   {
     std::shared_lock<std::shared_mutex> swap_guard(mem_swap_mu_);

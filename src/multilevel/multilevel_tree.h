@@ -54,6 +54,15 @@ struct MultilevelOptions {
 
   DurabilityMode durability = DurabilityMode::kAsync;
   std::shared_ptr<const MergeOperator> merge_operator;
+
+  // Same fault-handling knobs as BlsmOptions: paranoid_checks verifies
+  // every block of every manifest-referenced run at Open; transient
+  // background failures retry with capped exponential backoff before
+  // latching BackgroundError().
+  bool paranoid_checks = false;
+  int max_background_retries = 15;
+  uint64_t retry_backoff_base_micros = 1000;
+  uint64_t retry_backoff_max_micros = 256 * 1000;
 };
 
 struct MultilevelStats {
@@ -65,6 +74,8 @@ struct MultilevelStats {
   std::atomic<uint64_t> memtable_flushes{0};
   std::atomic<uint64_t> compactions{0};
   std::atomic<uint64_t> compaction_bytes{0};
+  std::atomic<uint64_t> compaction_retries{0};
+  std::atomic<uint64_t> orphans_scavenged{0};
 };
 
 // LevelDB-like multi-level LSM tree. Reuses the repository's memtable and
@@ -121,6 +132,10 @@ class MultilevelTree {
 
   // Background work.
   void BackgroundLoop();
+  // Retries `pass` on transient failure with capped exponential backoff;
+  // see BlsmTree::RunPassWithRetry for the rationale.
+  Status RunPassWithRetry(const std::function<Status()>& pass);
+  void BackoffWait(int attempt);
   bool PickCompaction(int* level);
   Status FlushMemtable(std::shared_ptr<MemTable> imm);
   Status CompactLevel(int level);

@@ -63,16 +63,35 @@ class TreeReader {
   const Footer& footer() const { return footer_; }
 
   // Reads (and caches) the block at `ptr`; exposed for the iterator.
+  // Checksum failures come back as Corruption naming this component's file
+  // and the block's offset, so the damage is actionable from any read path.
   Status ReadBlock(const BlockPointer& ptr, bool fill_cache,
                    BlockCache::BlockHandle* out) const;
 
+  // Offline/paranoid verification: reads and checksums every reachable
+  // block — the index levels, every data block, and the Bloom filter —
+  // bypassing the cache, and cross-checks the record count against the
+  // footer (whose fields have no checksum of their own). On failure returns
+  // the error (Corruption for a bad checksum) and, if `bad_offset` is
+  // non-null, the file offset of the first damaged block.
+  Status VerifyAllBlocks(uint64_t* bad_offset = nullptr) const;
+
  private:
   TreeReader() = default;
+
+  // Recursive descent for VerifyAllBlocks: `depth` counts index levels
+  // consumed so far; at depth == footer_.index_levels the block is data,
+  // its records are tallied into `entries`, and `data_end` tracks the
+  // furthest data-block end seen.
+  Status VerifyBlockAt(const BlockPointer& ptr, uint32_t depth,
+                       uint64_t* bad_offset, uint64_t* entries,
+                       uint64_t* data_end) const;
 
   Env* env_ = nullptr;
   BlockCache* cache_ = nullptr;
   uint64_t file_id_ = 0;
   uint64_t file_size_ = 0;
+  std::string fname_;
   std::unique_ptr<RandomAccessFile> file_;
   Footer footer_;
   std::unique_ptr<BloomFilter> bloom_;

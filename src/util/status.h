@@ -39,6 +39,14 @@ class Status {
   }
 
   bool ok() const { return code_ == Code::kOk; }
+
+  // Transient errors are worth retrying: the device (or a lock, or a queue)
+  // may come back. Everything else — corruption, misuse — is permanent: a
+  // retry would return the same answer, so callers should latch and report.
+  bool IsTransient() const {
+    return code_ == Code::kIOError || code_ == Code::kBusy;
+  }
+
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }

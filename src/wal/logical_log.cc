@@ -19,8 +19,13 @@ Status LogicalLog::Append(const Slice& user_key, SequenceNumber seq,
   EncodeRecord(&payload, user_key, seq, type, value);
   std::lock_guard<std::mutex> l(mu_);
   if (writer_ == nullptr) return Status::IOError("logical log not open");
+  if (!bad_.ok()) return bad_;
   Status s = writer_->AddRecord(payload);
   if (s.ok() && mode_ == DurabilityMode::kSync) s = writer_->Sync();
+  // A failed (possibly torn) append leaves the tail in an unknown state;
+  // appending more records after garbage could make them unrecoverable, so
+  // refuse everything until a Restart() writes a fresh file.
+  if (!s.ok()) bad_ = s;
   return s;
 }
 
@@ -50,10 +55,11 @@ Status LogicalLog::Restart(
   // path can run inside a writer-excluding critical section.
   s = mode_ == DurabilityMode::kSync ? fresh->Sync() : fresh->Flush();
   if (!s.ok()) return s;
-  if (writer_ != nullptr) writer_->Close();
   s = env_->RenameFile(tmp, path_);
-  if (!s.ok()) return s;
+  if (!s.ok()) return s;  // old log and writer stay valid — nothing changed
+  if (writer_ != nullptr) writer_->Close();
   writer_ = std::move(fresh);
+  bad_ = Status::OK();  // fresh file: the unknown tail is gone
   return Status::OK();
 }
 

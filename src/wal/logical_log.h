@@ -32,6 +32,13 @@ class LogicalLog {
   Status Open();
 
   // Appends one logical record. Thread-safe.
+  //
+  // After any failed append or sync the log is POISONED: every further
+  // Append fails with the original error until a Restart() succeeds. This
+  // is a durability requirement, not bookkeeping — a failed (possibly torn)
+  // append leaves the file tail in an unknown state, and a later record
+  // written after garbage in the same block would be dropped by the reader,
+  // silently losing an acknowledged write.
   Status Append(const Slice& user_key, SequenceNumber seq, RecordType type,
                 const Slice& value);
 
@@ -56,12 +63,19 @@ class LogicalLog {
 
   DurabilityMode mode() const { return mode_; }
 
+  // The poisoned-state error, or OK. Cleared by a successful Restart().
+  Status bad() {
+    std::lock_guard<std::mutex> l(mu_);
+    return bad_;
+  }
+
  private:
   Env* env_;
   std::string path_;
   DurabilityMode mode_;
   std::mutex mu_;
   std::unique_ptr<wal::LogWriter> writer_;
+  Status bad_;  // set on append/sync failure; cleared on successful Restart
 };
 
 }  // namespace blsm

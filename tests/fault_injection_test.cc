@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "io/fault_injection_env.h"
 #include "io/mem_env.h"
@@ -133,6 +134,181 @@ INSTANTIATE_TEST_SUITE_P(TripPoints, FaultInjectionTest,
                          [](const auto& info) {
                            return "After" + std::to_string(info.param);
                          });
+
+// The metadata path must respect the fault state too: a tripped device that
+// silently no-ops unlink would leak orphans, and a mkdir that "succeeds"
+// would let recovery proceed against a directory that does not exist.
+TEST(FaultInjectionMetadataTest, TrippedDeviceRefusesRemoveAndCreateDir) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("d/x", &f).ok());
+  ASSERT_TRUE(f->Append("payload").ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  env.TripAfter(0);
+  EXPECT_TRUE(env.RemoveFile("d/x").IsIOError());
+  EXPECT_TRUE(env.CreateDir("d2").IsIOError());
+  EXPECT_TRUE(env.RenameFile("d/x", "d/y").IsIOError());
+  EXPECT_TRUE(base.FileExists("d/x")) << "failed unlink must not unlink";
+
+  env.Heal();
+  EXPECT_TRUE(env.RemoveFile("d/x").ok());
+  EXPECT_FALSE(base.FileExists("d/x"));
+  EXPECT_TRUE(env.CreateDir("d2").ok());
+}
+
+// Probabilistic metadata faults flow through the same check.
+TEST(FaultInjectionMetadataTest, PolicyFailsMetadataOps) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  FaultPolicy policy;
+  policy.seed = 42;
+  policy.metadata_error_prob = 1.0;
+  env.SetPolicy(policy);
+  EXPECT_TRUE(env.CreateDir("d").IsIOError());
+  EXPECT_TRUE(env.RemoveFile("nope").IsIOError());
+  env.Heal();
+  EXPECT_TRUE(env.CreateDir("d").ok());
+}
+
+// A transient device outage during a merge must not poison the tree: the
+// merge retries with backoff, and once the device heals the pass completes
+// with no background error and no reopen.
+TEST(FaultRetryTest, BlsmTransientMergeErrorRetriesAndHeals) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  BlsmOptions options;
+  options.env = &env;
+  options.c0_target_bytes = 32 << 10;
+  options.durability = DurabilityMode::kNone;  // writes never touch the env
+  options.max_background_retries = 1000000;    // outlast the outage
+  options.retry_backoff_base_micros = 100;
+  options.retry_backoff_max_micros = 1000;
+
+  std::unique_ptr<BlsmTree> tree;
+  ASSERT_TRUE(BlsmTree::Open(options, "db", &tree).ok());
+  for (uint64_t i = 0; i < 300; i++) {
+    ASSERT_TRUE(tree->Put(KeyFor(i), "v" + std::to_string(i)).ok());
+  }
+
+  env.TripAfter(0);
+  std::thread flusher([&] {
+    Status s = tree->Flush();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  // Wait until the merge has actually hit the dead device (and retried).
+  for (int i = 0; i < 10000 && env.faults_injected() == 0; i++) {
+    base.SleepForMicroseconds(100);
+  }
+  EXPECT_GT(env.faults_injected(), 0u);
+  env.Heal();
+  flusher.join();
+
+  EXPECT_TRUE(tree->BackgroundError().ok());
+  EXPECT_GT(tree->stats().merge_retries.load(), 0u);
+  // The tree is healthy without a reopen.
+  std::string value;
+  ASSERT_TRUE(tree->Get(KeyFor(7), &value).ok());
+  EXPECT_EQ(value, "v7");
+  ASSERT_TRUE(tree->Put("after-heal", "yes").ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->Get("after-heal", &value).ok());
+}
+
+TEST(FaultRetryTest, MultilevelTransientErrorRetriesAndHeals) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  multilevel::MultilevelOptions options;
+  options.env = &env;
+  options.memtable_bytes = 16 << 10;
+  options.file_bytes = 8 << 10;
+  options.durability = DurabilityMode::kNone;
+  options.max_background_retries = 1000000;
+  options.retry_backoff_base_micros = 100;
+  options.retry_backoff_max_micros = 1000;
+
+  std::unique_ptr<multilevel::MultilevelTree> tree;
+  ASSERT_TRUE(multilevel::MultilevelTree::Open(options, "ml", &tree).ok());
+  for (uint64_t i = 0; i < 300; i++) {
+    ASSERT_TRUE(tree->Put(KeyFor(i), "v").ok());
+  }
+
+  env.TripAfter(0);
+  std::thread compactor([&] {
+    Status s = tree->CompactAll();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  for (int i = 0; i < 10000 && env.faults_injected() == 0; i++) {
+    base.SleepForMicroseconds(100);
+  }
+  EXPECT_GT(env.faults_injected(), 0u);
+  env.Heal();
+  compactor.join();
+
+  EXPECT_TRUE(tree->BackgroundError().ok());
+  EXPECT_GT(tree->stats().compaction_retries.load(), 0u);
+  std::string value;
+  ASSERT_TRUE(tree->Get(KeyFor(7), &value).ok());
+  ASSERT_TRUE(tree->Put("after-heal", "yes").ok());
+}
+
+// Permanent damage (a corrupt block) must latch immediately: retrying a
+// checksum mismatch returns the same answer, so the error surfaces with the
+// component's identity instead of burning the retry budget.
+TEST(FaultRetryTest, BlsmPermanentErrorLatchesWithoutRetry) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  BlsmOptions options;
+  options.env = &env;
+  options.c0_target_bytes = 32 << 10;
+  options.block_cache_bytes = 0;  // cached blocks would skip the checksum
+  options.durability = DurabilityMode::kNone;
+  options.retry_backoff_base_micros = 100;
+  options.retry_backoff_max_micros = 1000;
+
+  std::unique_ptr<BlsmTree> tree;
+  ASSERT_TRUE(BlsmTree::Open(options, "db", &tree).ok());
+  for (uint64_t i = 0; i < 2000; i++) {
+    ASSERT_TRUE(tree->Put(KeyFor(i), "payload-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+
+  // Flip one byte early in the C1 file (a data block), behind the
+  // injector's back.
+  std::vector<std::string> children;
+  ASSERT_TRUE(base.GetChildren("db", &children).ok());
+  std::string tree_file;
+  for (const auto& name : children) {
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".tree") {
+      tree_file = "db/" + name;
+    }
+  }
+  ASSERT_FALSE(tree_file.empty());
+  {
+    std::unique_ptr<RandomRWFile> rw;
+    ASSERT_TRUE(base.NewRandomRWFile(tree_file, &rw).ok());
+    Slice byte;
+    char scratch;
+    ASSERT_TRUE(rw->Read(100, 1, &byte, &scratch).ok());
+    char flipped = static_cast<char>(byte[0] ^ 0x40);
+    ASSERT_TRUE(rw->Write(100, Slice(&flipped, 1)).ok());
+    ASSERT_TRUE(rw->Sync().ok());
+  }
+
+  // The next merge reads C1 sequentially, hits the bad checksum, and must
+  // latch Corruption (naming the file) without spending retries on it.
+  for (uint64_t i = 0; i < 200; i++) {
+    tree->Put(KeyFor(i), "fresh");
+  }
+  Status s = tree->Flush();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.ToString().find(".tree"), std::string::npos) << s.ToString();
+  EXPECT_TRUE(tree->BackgroundError().IsCorruption());
+  EXPECT_EQ(tree->stats().merge_retries.load(), 0u);
+}
 
 }  // namespace
 }  // namespace blsm

@@ -6,11 +6,16 @@
 //   blsm_inspect <dbdir> --keys N     ... plus the first N user keys per
 //                                     component
 //   blsm_inspect <dbdir> --log        ... plus a logical-log summary
+//   blsm_inspect verify <dbdir>       read and checksum every block of every
+//                                     component plus the WAL; exit non-zero
+//                                     iff damage is found, naming each
+//                                     damaged file and block offset
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <vector>
 
 #include "io/env.h"
 #include "lsm/manifest.h"
@@ -32,14 +37,143 @@ const char* SlotName(blsm::Manifest::Slot slot) {
   return "?";
 }
 
+// `blsm_inspect verify <dbdir>`: every block of every manifest-referenced
+// component is read and checksummed (bypassing any cache), then the WAL is
+// replayed. Exit status: 0 = clean, 1 = damage found. A truncated WAL tail
+// is reported as a crash artifact, not damage — recovery handles it by
+// design, so a db that merely crashed verifies clean.
+int RunVerify(const std::string& dir) {
+  using namespace blsm;
+  Env* env = Env::Default();
+  Manifest manifest;
+  Status s = Manifest::Load(env, dir, &manifest);
+  if (!s.ok()) {
+    fprintf(stderr, "DAMAGED manifest: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  int damaged = 0;
+  printf("verifying %zu component(s) in %s\n", manifest.components.size(),
+         dir.c_str());
+  for (const auto& entry : manifest.components) {
+    std::string fname = Manifest::TreeFileName(dir, entry.file_number);
+    std::unique_ptr<sstree::TreeReader> reader;
+    s = sstree::TreeReader::Open(env, /*cache=*/nullptr, entry.file_number,
+                                 fname, &reader);
+    if (!s.ok()) {
+      printf("  %-4s %s: DAMAGED (unopenable: %s)\n", SlotName(entry.slot),
+             fname.c_str(), s.ToString().c_str());
+      damaged++;
+      continue;
+    }
+    uint64_t bad_offset = 0;
+    s = reader->VerifyAllBlocks(&bad_offset);
+    if (!s.ok()) {
+      printf("  %-4s %s: DAMAGED at offset %" PRIu64 " (%s)\n",
+             SlotName(entry.slot), fname.c_str(), bad_offset,
+             s.ToString().c_str());
+      damaged++;
+    } else {
+      printf("  %-4s %s: OK (%" PRIu64 " entries)\n", SlotName(entry.slot),
+             fname.c_str(), reader->num_entries());
+    }
+  }
+
+  // The WAL: records that pass the frame CRC but fail to decode are damage;
+  // bytes the reader skipped (a torn tail, CRC-failed frames) are the
+  // expected residue of a crash — recovery drops them by design — so they
+  // are reported but do not fail the verify.
+  std::string log_path = Manifest::LogFileName(dir);
+  if (env->FileExists(log_path)) {
+    std::unique_ptr<SequentialFile> log_file;
+    s = env->NewSequentialFile(log_path, &log_file);
+    if (!s.ok()) {
+      printf("  WAL  %s: DAMAGED (unopenable: %s)\n", log_path.c_str(),
+             s.ToString().c_str());
+      damaged++;
+    } else {
+      wal::LogReader log_reader(std::move(log_file));
+      uint64_t records = 0;
+      bool decode_ok = true;
+      Slice payload;
+      std::string scratch;
+      while (log_reader.ReadRecord(&payload, &scratch)) {
+        Slice in = payload;
+        DecodedRecord rec;
+        ParsedInternalKey parsed;
+        if (!DecodeRecord(&in, &rec) ||
+            !ParseInternalKey(rec.internal_key, &parsed)) {
+          decode_ok = false;
+          break;
+        }
+        records++;
+      }
+      if (!decode_ok) {
+        printf("  WAL  %s: DAMAGED (malformed record after %" PRIu64
+               " good records)\n",
+               log_path.c_str(), records);
+        damaged++;
+      } else if (log_reader.dropped_bytes() > 0) {
+        printf("  WAL  %s: OK (%" PRIu64 " records; %" PRIu64
+               " bytes of crash residue skipped)\n",
+               log_path.c_str(), records, log_reader.dropped_bytes());
+      } else {
+        printf("  WAL  %s: OK (%" PRIu64 " records)\n", log_path.c_str(),
+               records);
+      }
+    }
+  }
+
+  // Orphans: files no manifest entry references. Not damage (recovery
+  // scavenges them), but worth reporting — they are the residue of a merge
+  // that died mid-write.
+  std::vector<std::string> children;
+  if (env->GetChildren(dir, &children).ok()) {
+    for (const std::string& name : children) {
+      if (name.size() > 5 && name.substr(name.size() - 5) == ".tree") {
+        uint64_t num = strtoull(name.c_str(), nullptr, 10);
+        bool referenced = false;
+        for (const auto& entry : manifest.components) {
+          if (entry.file_number == num) referenced = true;
+        }
+        if (!referenced) {
+          printf("  note: orphan file %s (unreferenced; open-time recovery "
+                 "will remove it)\n",
+                 name.c_str());
+        }
+      }
+    }
+  }
+
+  if (damaged > 0) {
+    printf("verify FAILED: %d damaged file(s)\n", damaged);
+    return 1;
+  }
+  printf("verify OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace blsm;
 
   if (argc < 2) {
-    fprintf(stderr, "usage: %s <dbdir> [--keys N] [--log]\n", argv[0]);
+    fprintf(stderr,
+            "usage: %s <dbdir> [--keys N] [--log]\n"
+            "       %s verify <dbdir>\n",
+            argv[0], argv[0]);
     return 2;
+  }
+  if (strcmp(argv[1], "verify") == 0) {
+    if (argc < 3) {
+      fprintf(stderr, "usage: %s verify <dbdir>\n", argv[0]);
+      return 2;
+    }
+    return RunVerify(argv[2]);
+  }
+  if (argc >= 3 && strcmp(argv[2], "verify") == 0) {
+    return RunVerify(argv[1]);
   }
   std::string dir = argv[1];
   int dump_keys = 0;

@@ -43,7 +43,7 @@ int main() {
     options.snowshovel = config.snowshovel;
     std::unique_ptr<BlsmTree> tree;
     if (!BlsmTree::Open(options, ws.Path("db"), &tree).ok()) return 1;
-    auto engine = WrapBlsm(tree.get());
+    auto engine = kv::WrapBlsm(tree.get());
 
     WorkloadSpec spec;
     spec.record_count = kRecords;

@@ -30,7 +30,7 @@ void RunConfig(const char* label, bool snowshovel, bool sequential_keys,
   if (!snowshovel) options.c0_target_bytes /= 2;
   std::unique_ptr<BlsmTree> tree;
   if (!BlsmTree::Open(options, ws.Path("db"), &tree).ok()) exit(1);
-  auto engine = WrapBlsm(tree.get());
+  auto engine = kv::WrapBlsm(tree.get());
 
   WorkloadSpec spec;
   spec.record_count = records;

@@ -54,7 +54,7 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto engine = WrapBlsm(tree.get());
+    auto engine = kv::WrapBlsm(tree.get());
     dopts.io_stats = ws.stats();
     auto result = RunLoad(engine.get(), spec, dopts, false, false);
     PrintSeries("bLSM (spring-and-gear)", result);
@@ -72,7 +72,7 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto engine = WrapMultilevel(tree.get());
+    auto engine = kv::WrapMultilevel(tree.get());
     dopts.io_stats = ws.stats();
     auto result = RunLoad(engine.get(), spec, dopts, false, false);
     PrintSeries("LevelDB-like (partition scheduler)", result);

@@ -41,7 +41,7 @@ int main() {
   load_spec.record_count = kRecords;
   load_spec.value_size = 1000;
 
-  auto run_series = [&](const std::string& name, EngineAdapter* engine,
+  auto run_series = [&](const std::string& name, kv::Engine* engine,
                         IoStats* stats, bool blind,
                         const std::function<void()>& settle) {
     Series s;
@@ -77,7 +77,7 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto engine = WrapBTree(tree.get());
+    auto engine = kv::WrapBTree(tree.get());
     DriverOptions dopts;
     dopts.threads = 8;
     // Hashed keys: the same keyspace the mixes probe. (The sorted-load
@@ -97,7 +97,7 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto engine = WrapMultilevel(tree.get());
+    auto engine = kv::WrapMultilevel(tree.get());
     DriverOptions dopts;
     dopts.threads = 8;
     RunLoad(engine.get(), load_spec, dopts, false, false);
@@ -116,7 +116,7 @@ int main() {
     if (!BlsmTree::Open(blsm_options, ws.Path("db"), &tree).ok()) {
       return 1;
     }
-    auto engine = WrapBlsm(tree.get());
+    auto engine = kv::WrapBlsm(tree.get());
     DriverOptions dopts;
     dopts.threads = 8;
     RunLoad(engine.get(), load_spec, dopts, false, false);

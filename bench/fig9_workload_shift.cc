@@ -28,7 +28,7 @@ int main() {
            .ok()) {
     return 1;
   }
-  auto engine = WrapBlsm(tree.get());
+  auto engine = kv::WrapBlsm(tree.get());
 
   WorkloadSpec load_spec;
   load_spec.record_count = kRecords;

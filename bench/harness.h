@@ -6,8 +6,6 @@
 // table printing. Each bench binary regenerates one table or figure of the
 // paper (see DESIGN.md §3 for the index and EXPERIMENTS.md for results).
 
-#include <unistd.h>
-
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +13,7 @@
 #include <string>
 
 #include "btree/btree.h"
+#include "engine/kv.h"
 #include "io/counting_env.h"
 #include "lsm/blsm_tree.h"
 #include "multilevel/multilevel_tree.h"
@@ -41,25 +40,7 @@ class Workspace {
   std::string Path(const std::string& sub) { return dir_ + "/" + sub; }
 
  private:
-  void Cleanup() {
-    std::vector<std::string> stack{dir_};
-    // Two-level scratch layout: dir plus engine subdirs.
-    std::vector<std::string> children;
-    if (Env::Default()->GetChildren(dir_, &children).ok()) {
-      for (const auto& child : children) {
-        std::string sub = dir_ + "/" + child;
-        std::vector<std::string> grandchildren;
-        if (Env::Default()->GetChildren(sub, &grandchildren).ok()) {
-          for (const auto& g : grandchildren) {
-            Env::Default()->RemoveFile(sub + "/" + g);
-          }
-        }
-        Env::Default()->RemoveFile(sub);
-        rmdir(sub.c_str());
-      }
-    }
-    rmdir(dir_.c_str());
-  }
+  void Cleanup() { Env::Default()->RemoveDirRecursive(dir_); }
 
   std::string dir_;
   IoStats stats_;

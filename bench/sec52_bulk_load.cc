@@ -50,7 +50,7 @@ int main() {
   std::vector<Row> rows;
 
   auto run_case = [&](const std::string& label, Workspace& ws,
-                      EngineAdapter* engine, uint64_t records,
+                      kv::Engine* engine, uint64_t records,
                       bool check_exists, bool sorted) {
     WorkloadSpec spec;
     spec.record_count = records;
@@ -74,7 +74,7 @@ int main() {
     options.block_cache_bytes = kCacheBytes;
     std::unique_ptr<BlsmTree> tree;
     if (!BlsmTree::Open(options, ws.Path("db"), &tree).ok()) return 1;
-    auto engine = WrapBlsm(tree.get());
+    auto engine = kv::WrapBlsm(tree.get());
     run_case("bLSM unordered+checked", ws, engine.get(), kRecords, true,
              false);
   }
@@ -87,7 +87,7 @@ int main() {
     if (!multilevel::MultilevelTree::Open(options, ws.Path("db"), &tree).ok()) {
       return 1;
     }
-    auto engine = WrapMultilevel(tree.get());
+    auto engine = kv::WrapMultilevel(tree.get());
     run_case("LevelDB-like blind", ws, engine.get(), kRecords, false, false);
     printf("  (LevelDB-like blind: %" PRIu64 " slowdowns, %" PRIu64
            " stopped writes during load)\n",
@@ -103,7 +103,7 @@ int main() {
     if (!multilevel::MultilevelTree::Open(options, ws.Path("db"), &tree).ok()) {
       return 1;
     }
-    auto engine = WrapMultilevel(tree.get());
+    auto engine = kv::WrapMultilevel(tree.get());
     run_case("LevelDB-like checked", ws, engine.get(), kRecords, true, false);
   }
 
@@ -113,7 +113,7 @@ int main() {
     options.buffer_pool_pages = kCacheBytes / 4096;
     std::unique_ptr<btree::BTree> tree;
     if (!btree::BTree::Open(options, ws.Path("db"), &tree).ok()) return 1;
-    auto engine = WrapBTree(tree.get());
+    auto engine = kv::WrapBTree(tree.get());
     run_case("B-Tree pre-sorted+checked", ws, engine.get(), kRecords, true,
              true);
   }
@@ -124,7 +124,7 @@ int main() {
     options.buffer_pool_pages = kCacheBytes / 4096;
     std::unique_ptr<btree::BTree> tree;
     if (!btree::BTree::Open(options, ws.Path("db"), &tree).ok()) return 1;
-    auto engine = WrapBTree(tree.get());
+    auto engine = kv::WrapBTree(tree.get());
     run_case("B-Tree unordered+checked (1/4)", ws, engine.get(),
              kBtreeUnorderedRecords, true, false);
   }

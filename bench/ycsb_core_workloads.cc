@@ -34,7 +34,7 @@ int main() {
   for (const auto& w : workloads) printf("%12s", w.name.c_str());
   printf("   (ops/s measured, p99 us)\n");
 
-  auto run_engine = [&](const char* name, EngineAdapter* engine) {
+  auto run_engine = [&](const char* name, kv::Engine* engine) {
     // Load once; workloads run back to back (state accumulates, as in the
     // real YCSB runs).
     WorkloadSpec load = workloads[0];
@@ -63,7 +63,7 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto engine = WrapBlsm(tree.get());
+    auto engine = kv::WrapBlsm(tree.get());
     run_engine("bLSM", engine.get());
   }
   {
@@ -74,7 +74,7 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto engine = WrapBTree(tree.get());
+    auto engine = kv::WrapBTree(tree.get());
     run_engine("B-Tree", engine.get());
   }
   {
@@ -85,7 +85,7 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto engine = WrapMultilevel(tree.get());
+    auto engine = kv::WrapMultilevel(tree.get());
     run_engine("LevelDB-like", engine.get());
   }
 

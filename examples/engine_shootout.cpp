@@ -1,5 +1,5 @@
-// Engine shootout: run the same YCSB workload against all three engines in
-// this repository — bLSM, the update-in-place B-tree, and the LevelDB-like
+// Engine shootout: run the same YCSB workload against every engine in the
+// kv registry — bLSM, the update-in-place B-tree, and the LevelDB-like
 // multilevel tree — using the workload driver the benchmark harness uses.
 // A miniature of the paper's §5 evaluation you can point at any mix.
 //
@@ -8,9 +8,7 @@
 #include <cinttypes>
 #include <cstdio>
 
-#include "btree/btree.h"
-#include "lsm/blsm_tree.h"
-#include "multilevel/multilevel_tree.h"
+#include "engine/kv.h"
 #include "ycsb/driver.h"
 #include "ycsb/workload.h"
 
@@ -44,51 +42,25 @@ int main(int argc, char** argv) {
   dopts.threads = 4;
   dopts.operations = operations;
 
-  auto report = [&](EngineAdapter* engine) {
-    auto load = RunLoad(engine, spec, dopts, false, false);
-    auto run = RunWorkload(engine, spec, dopts);
+  for (const std::string& name : kv::EngineNames()) {
+    std::string dir = "/tmp/blsm_shootout_" + name;
+    Env::Default()->RemoveDirRecursive(dir);
+    kv::CommonOptions options;
+    options.durability = DurabilityMode::kAsync;
+    std::unique_ptr<kv::Engine> engine;
+    Status s = kv::Open(name, options, dir, &engine);
+    if (!s.ok()) {
+      fprintf(stderr, "open %s: %s\n", name.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    auto load = RunLoad(engine.get(), spec, dopts, false, false);
+    auto run = RunWorkload(engine.get(), spec, dopts);
     printf("%-14s %12.0f %10.0f %10.0f %10.0f\n", engine->Name().c_str(),
            load.OpsPerSecond(), run.OpsPerSecond(),
            run.latency_us.Percentile(99), run.latency_us.Percentile(99.9));
     if (run.errors > 0) {
       printf("  !! %" PRIu64 " errors\n", run.errors);
     }
-  };
-
-  {
-    BlsmOptions options;
-    options.durability = DurabilityMode::kAsync;
-    std::unique_ptr<BlsmTree> tree;
-    system("rm -rf /tmp/blsm_shootout_lsm");
-    if (!BlsmTree::Open(options, "/tmp/blsm_shootout_lsm", &tree).ok()) {
-      return 1;
-    }
-    auto engine = WrapBlsm(tree.get());
-    report(engine.get());
-  }
-  {
-    btree::BTreeOptions options;
-    std::unique_ptr<btree::BTree> tree;
-    system("rm -f /tmp/blsm_shootout_btree.db");
-    if (!btree::BTree::Open(options, "/tmp/blsm_shootout_btree.db", &tree)
-             .ok()) {
-      return 1;
-    }
-    auto engine = WrapBTree(tree.get());
-    report(engine.get());
-  }
-  {
-    multilevel::MultilevelOptions options;
-    options.durability = DurabilityMode::kAsync;
-    std::unique_ptr<multilevel::MultilevelTree> tree;
-    system("rm -rf /tmp/blsm_shootout_ml");
-    if (!multilevel::MultilevelTree::Open(options, "/tmp/blsm_shootout_ml",
-                                          &tree)
-             .ok()) {
-      return 1;
-    }
-    auto engine = WrapMultilevel(tree.get());
-    report(engine.get());
   }
   return 0;
 }

@@ -1,0 +1,319 @@
+#include "engine/kv.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "btree/btree.h"
+#include "lsm/blsm_tree.h"
+#include "multilevel/multilevel_tree.h"
+
+namespace blsm::kv {
+
+namespace {
+
+// --- adapters ---------------------------------------------------------------
+
+// Each adapter optionally owns the tree (registry opens) or borrows it
+// (Wrap* over a tree the caller keeps for engine-specific access).
+
+class BlsmEngine : public Engine {
+ public:
+  BlsmEngine(BlsmTree* tree, std::unique_ptr<BlsmTree> owned)
+      : tree_(tree), owned_(std::move(owned)) {}
+
+  std::string Name() const override { return "bLSM"; }
+
+  Status Put(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Delete(const Slice& key) override { return tree_->Delete(key); }
+  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
+    return tree_->InsertIfNotExists(key, value);
+  }
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string&, bool)>& update)
+      override {
+    return tree_->ReadModifyWrite(key, update);
+  }
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return tree_->Scan(start, limit, out);
+  }
+  Status Flush() override { return tree_->Flush(); }
+  void WaitIdle() override { tree_->WaitForMergeIdle(); }
+  Status BackgroundError() const override { return tree_->BackgroundError(); }
+
+  std::map<std::string, uint64_t> Stats() const override {
+    const BlsmStats& s = tree_->stats();
+    return {
+        {"puts", s.puts.load()},
+        {"gets", s.gets.load()},
+        {"deletes", s.deletes.load()},
+        {"deltas", s.deltas.load()},
+        {"insert_if_not_exists", s.insert_if_not_exists.load()},
+        {"bloom_skips", s.bloom_skips.load()},
+        {"write_stall_micros", s.write_stall_micros.load()},
+        {"merge1_passes", s.merge1_passes.load()},
+        {"merge2_passes", s.merge2_passes.load()},
+        {"merge1_bytes_out", s.merge1_bytes_out.load()},
+        {"merge2_bytes_out", s.merge2_bytes_out.load()},
+        {"merge_retries", s.merge_retries.load()},
+        {"orphans_scavenged", s.orphans_scavenged.load()},
+        {"on_disk_bytes", tree_->OnDiskBytes()},
+        {"c0_live_bytes", tree_->C0LiveBytes()},
+    };
+  }
+
+ private:
+  BlsmTree* tree_;
+  std::unique_ptr<BlsmTree> owned_;
+};
+
+class MultilevelEngine : public Engine {
+ public:
+  MultilevelEngine(multilevel::MultilevelTree* tree,
+                   std::unique_ptr<multilevel::MultilevelTree> owned)
+      : tree_(tree), owned_(std::move(owned)) {}
+
+  std::string Name() const override { return "LevelDB-like"; }
+
+  Status Put(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Delete(const Slice& key) override { return tree_->Delete(key); }
+  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
+    return tree_->InsertIfNotExists(key, value);
+  }
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string&, bool)>& update)
+      override {
+    return tree_->ReadModifyWrite(key, update);
+  }
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return tree_->Scan(start, limit, out);
+  }
+  Status Flush() override { return tree_->CompactAll(); }
+  void WaitIdle() override { tree_->WaitForIdle(); }
+  Status BackgroundError() const override { return tree_->BackgroundError(); }
+
+  std::map<std::string, uint64_t> Stats() const override {
+    const multilevel::MultilevelStats& s = tree_->stats();
+    return {
+        {"puts", s.puts.load()},
+        {"gets", s.gets.load()},
+        {"write_stall_micros", s.write_stall_micros.load()},
+        {"slowdown_writes", s.slowdown_writes.load()},
+        {"stopped_writes", s.stopped_writes.load()},
+        {"memtable_flushes", s.memtable_flushes.load()},
+        {"compactions", s.compactions.load()},
+        {"compaction_bytes", s.compaction_bytes.load()},
+        {"compaction_retries", s.compaction_retries.load()},
+        {"orphans_scavenged", s.orphans_scavenged.load()},
+        {"files_l0", static_cast<uint64_t>(tree_->NumFilesAtLevel(0))},
+        {"on_disk_bytes", tree_->OnDiskBytes()},
+    };
+  }
+
+ private:
+  multilevel::MultilevelTree* tree_;
+  std::unique_ptr<multilevel::MultilevelTree> owned_;
+};
+
+class BTreeEngine : public Engine {
+ public:
+  BTreeEngine(btree::BTree* tree, std::unique_ptr<btree::BTree> owned,
+              bool read_only)
+      : tree_(tree), owned_(std::move(owned)), read_only_(read_only) {}
+
+  std::string Name() const override { return "B-Tree"; }
+
+  Status Put(const Slice& key, const Slice& value) override {
+    if (read_only_) return Status::NotSupported("engine is read-only");
+    return tree_->Insert(key, value);
+  }
+  Status Get(const Slice& key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Delete(const Slice& key) override {
+    if (read_only_) return Status::NotSupported("engine is read-only");
+    // The engine contract is the LSM one: delete is a blind tombstone, so
+    // deleting an absent key succeeds. Map the B-tree's NotFound to OK.
+    Status s = tree_->Delete(key);
+    if (s.IsNotFound()) return Status::OK();
+    return s;
+  }
+  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
+    if (read_only_) return Status::NotSupported("engine is read-only");
+    return tree_->InsertIfNotExists(key, value);
+  }
+  Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string&, bool)>& update)
+      override {
+    if (read_only_) return Status::NotSupported("engine is read-only");
+    return tree_->ReadModifyWrite(key, update);
+  }
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return tree_->Scan(start, limit, out);
+  }
+  Status Flush() override {
+    if (read_only_) return Status::NotSupported("engine is read-only");
+    return tree_->Checkpoint();
+  }
+  void WaitIdle() override {
+    // No background work; a checkpoint is the closest quiesce.
+    if (!read_only_) tree_->Checkpoint();
+  }
+  Status BackgroundError() const override { return Status::OK(); }
+
+  std::map<std::string, uint64_t> Stats() const override {
+    return {
+        {"num_entries", tree_->num_entries()},
+        {"height", tree_->height()},
+    };
+  }
+
+ private:
+  btree::BTree* tree_;
+  std::unique_ptr<btree::BTree> owned_;
+  bool read_only_;
+};
+
+// --- built-in factories -----------------------------------------------------
+
+Status OpenBlsm(const CommonOptions& common, const std::string& dir,
+                std::unique_ptr<Engine>* out) {
+  BlsmOptions o;
+  o.env = common.env;
+  o.c0_target_bytes = common.write_buffer_bytes;
+  o.block_cache_bytes = common.block_cache_bytes;
+  o.durability = common.durability;
+  o.background = common.background;
+  o.merge_operator = common.merge_operator;
+  o.read_only = common.read_only;
+  std::unique_ptr<BlsmTree> tree;
+  Status s = BlsmTree::Open(o, dir, &tree);
+  if (!s.ok()) return s;
+  BlsmTree* raw = tree.get();
+  *out = std::make_unique<BlsmEngine>(raw, std::move(tree));
+  return Status::OK();
+}
+
+Status OpenMultilevel(const CommonOptions& common, const std::string& dir,
+                      std::unique_ptr<Engine>* out) {
+  multilevel::MultilevelOptions o;
+  o.env = common.env;
+  o.memtable_bytes = common.write_buffer_bytes;
+  o.block_cache_bytes = common.block_cache_bytes;
+  o.durability = common.durability;
+  o.background = common.background;
+  o.merge_operator = common.merge_operator;
+  o.read_only = common.read_only;
+  std::unique_ptr<multilevel::MultilevelTree> tree;
+  Status s = multilevel::MultilevelTree::Open(o, dir, &tree);
+  if (!s.ok()) return s;
+  multilevel::MultilevelTree* raw = tree.get();
+  *out = std::make_unique<MultilevelEngine>(raw, std::move(tree));
+  return Status::OK();
+}
+
+Status OpenBTree(const CommonOptions& common, const std::string& dir,
+                 std::unique_ptr<Engine>* out) {
+  Env* env = common.env != nullptr ? common.env : Env::Default();
+  std::string fname = dir + "/btree.db";
+  if (common.read_only) {
+    // The B-tree has no native read-only mode; refuse to create a database
+    // and reject writes at the adapter.
+    if (!env->FileExists(fname)) {
+      return Status::NotFound("no B-tree database at " + dir);
+    }
+  } else {
+    Status s = env->CreateDir(dir);
+    if (!s.ok()) return s;
+  }
+  btree::BTreeOptions o;
+  o.env = common.env;
+  size_t page_bytes = 4096;
+  o.buffer_pool_pages = std::max<size_t>(16, common.block_cache_bytes / page_bytes);
+  std::unique_ptr<btree::BTree> tree;
+  Status s = btree::BTree::Open(o, fname, &tree);
+  if (!s.ok()) return s;
+  btree::BTree* raw = tree.get();
+  *out = std::make_unique<BTreeEngine>(raw, std::move(tree), common.read_only);
+  return Status::OK();
+}
+
+// --- registry ---------------------------------------------------------------
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, EngineFactory> factories;
+
+  Registry() {
+    factories["blsm"] = OpenBlsm;
+    factories["multilevel"] = OpenMultilevel;
+    factories["btree"] = OpenBTree;
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterEngine(const std::string& name, EngineFactory factory) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> l(r.mu);
+  r.factories[name] = std::move(factory);
+}
+
+Status Open(const std::string& name, const CommonOptions& options,
+            const std::string& dir, std::unique_ptr<Engine>* out) {
+  EngineFactory factory;
+  {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> l(r.mu);
+    auto it = r.factories.find(name);
+    if (it == r.factories.end()) {
+      return Status::NotFound("no engine registered as '" + name + "'");
+    }
+    factory = it->second;
+  }
+  return factory(options, dir, out);
+}
+
+std::vector<std::string> EngineNames() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> l(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<Engine> WrapBlsm(BlsmTree* tree) {
+  return std::make_unique<BlsmEngine>(tree, nullptr);
+}
+
+std::unique_ptr<Engine> WrapBTree(btree::BTree* tree) {
+  return std::make_unique<BTreeEngine>(tree, nullptr, /*read_only=*/false);
+}
+
+std::unique_ptr<Engine> WrapMultilevel(multilevel::MultilevelTree* tree) {
+  return std::make_unique<MultilevelEngine>(tree, nullptr);
+}
+
+}  // namespace blsm::kv

@@ -1,0 +1,110 @@
+#ifndef BLSM_ENGINE_KV_H_
+#define BLSM_ENGINE_KV_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/background_runner.h"
+#include "io/env.h"
+#include "lsm/merge_operator.h"
+#include "util/status.h"
+#include "wal/logical_log.h"
+
+namespace blsm {
+class BlsmTree;
+namespace btree {
+class BTree;
+}
+namespace multilevel {
+class MultilevelTree;
+}
+}  // namespace blsm
+
+namespace blsm::kv {
+
+// Options every engine understands; engine-specific tuning keeps its
+// concrete options struct (open the tree directly for that). The fields map
+// onto each engine's closest equivalent: write_buffer_bytes is bLSM's C0
+// target, the multilevel tree's memtable, and sizes the B-tree's buffer
+// pool; durability and the background policy are ignored by the B-tree
+// (no WAL, no background work).
+struct CommonOptions {
+  Env* env = nullptr;  // nullptr -> Env::Default()
+  size_t write_buffer_bytes = 8 << 20;
+  size_t block_cache_bytes = 32 << 20;
+  DurabilityMode durability = DurabilityMode::kAsync;
+  engine::BackgroundPolicy background;
+  std::shared_ptr<const MergeOperator> merge_operator;
+  // Open an existing database without mutating it (no creation, no
+  // recovery rewrites, no background threads); writes fail NotSupported.
+  bool read_only = false;
+};
+
+// The unified engine interface: one API over bLSM, the multilevel LevelDB
+// stand-in, and the B-tree, so drivers, benches, and tools exercise all
+// three through identical code paths (the paper's whole evaluation setup).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Blind upsert (LSMs) / update-in-place upsert (B-tree).
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  // Blind delete: removing an absent key succeeds (LSM tombstone
+  // semantics; the B-tree adapter normalizes its NotFound to OK).
+  virtual Status Delete(const Slice& key) = 0;
+  // Returns KeyExists without writing if the key is present.
+  virtual Status InsertIfNotExists(const Slice& key, const Slice& value) = 0;
+  virtual Status ReadModifyWrite(
+      const Slice& key,
+      const std::function<std::string(const std::string& old, bool absent)>&
+          update) = 0;
+  virtual Status Scan(
+      const Slice& start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  // Pushes buffered writes down one durable step (memtable flush /
+  // checkpoint) and waits for it.
+  virtual Status Flush() = 0;
+  // Quiesces all background work (merges / compactions / checkpoints).
+  virtual void WaitIdle() = 0;
+  // The latched background error, or OK (always OK for engines without
+  // background work).
+  virtual Status BackgroundError() const = 0;
+
+  // Named counters for tests, benches, and `blsm_inspect stats`. Keys are
+  // engine-specific but stable (e.g. "puts", "merge1_passes").
+  virtual std::map<std::string, uint64_t> Stats() const = 0;
+};
+
+// String-keyed factory registry. Built-ins: "blsm", "multilevel", "btree".
+using EngineFactory = std::function<Status(
+    const CommonOptions&, const std::string& dir, std::unique_ptr<Engine>*)>;
+
+// Registers (or replaces) a factory under `name`.
+void RegisterEngine(const std::string& name, EngineFactory factory);
+
+// Opens the named engine on `dir` (created if absent, unless read_only).
+// NotFound for an unregistered name.
+Status Open(const std::string& name, const CommonOptions& options,
+            const std::string& dir, std::unique_ptr<Engine>* out);
+
+// Registered names, sorted.
+std::vector<std::string> EngineNames();
+
+// Non-owning adapters over already-open trees: the bench harness keeps the
+// concrete tree for engine-specific stats/scheduler access while driving
+// the workload through the unified interface. The tree must outlive the
+// returned Engine.
+std::unique_ptr<Engine> WrapBlsm(BlsmTree* tree);
+std::unique_ptr<Engine> WrapBTree(btree::BTree* tree);
+std::unique_ptr<Engine> WrapMultilevel(multilevel::MultilevelTree* tree);
+
+}  // namespace blsm::kv
+
+#endif  // BLSM_ENGINE_KV_H_

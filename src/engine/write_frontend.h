@@ -1,0 +1,122 @@
+#ifndef BLSM_ENGINE_WRITE_FRONTEND_H_
+#define BLSM_ENGINE_WRITE_FRONTEND_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "io/env.h"
+#include "lsm/record.h"
+#include "memtable/memtable.h"
+#include "util/status.h"
+#include "wal/logical_log.h"
+
+namespace blsm::engine {
+
+// The WAL + memtable write path shared by both LSM engines. Owns the logical
+// log, the sequence counter, the active memtable, the optional frozen
+// memtable (bLSM's C0' / the multilevel tree's imm_), and the writer/swap
+// exclusion that lets a background merge swap or consume the active memtable
+// safely. The engines compose this with their level structure and hang their
+// admission control (backpressure, stalls) and merge scheduling on the two
+// hooks.
+//
+// Concurrency: Write() may be called from any number of threads. Writers
+// hold swap_mu_ shared while appending+inserting; Freeze/TruncateToActive
+// take it exclusively. A reader wanting a consistent view calls Memtables()
+// FIRST and then snapshots the engine's on-disk structure: merges install
+// the output component *before* swapping the memtable, so that order can see
+// a record twice but never lose one.
+class WriteFrontend {
+ public:
+  struct Options {
+    Env* env = nullptr;
+    DurabilityMode durability = DurabilityMode::kAsync;
+    // Read-only open: recovery replays the log into memory but never creates
+    // or rewrites the log file, and Write() fails with NotSupported.
+    bool read_only = false;
+    // Called before the WAL append, outside all front-end locks: admission
+    // control (backpressure/stall loops, background-error checks). A non-OK
+    // return fails the write.
+    std::function<Status()> before_write;
+    // Called after a successful write, outside all front-end locks:
+    // scheduling (wake merges, freeze a full memtable).
+    std::function<void()> after_write;
+  };
+
+  WriteFrontend(const Options& options, std::string log_path);
+  ~WriteFrontend();
+  WriteFrontend(const WriteFrontend&) = delete;
+  WriteFrontend& operator=(const WriteFrontend&) = delete;
+
+  // Replays the log into the active memtable (advancing the sequence counter
+  // past both replayed records and `manifest_last_seq`), then opens the log
+  // for appending, compacting it to the surviving records. A missing log
+  // file is a clean start, not an error.
+  Status Recover(SequenceNumber manifest_last_seq);
+
+  // Log append + memtable insert; assigns the sequence number. Runs the
+  // before/after hooks around the critical section.
+  Status Write(const Slice& key, RecordType type, const Slice& value);
+
+  // Moves the active memtable to the frozen slot and installs a fresh active
+  // one. Fails with Busy if a frozen memtable already exists (the caller
+  // retries after its merge completes). When `block` is false, also fails
+  // with Busy instead of waiting for in-flight writers to drain.
+  Status Freeze(bool block);
+
+  // Drops the frozen memtable (its contents are durable in a component).
+  void DropFrozen();
+
+  // Restarts the log so it covers exactly the live memtable contents.
+  // When `consume` is set (snowshovel), the active memtable is first
+  // replaced by its unconsumed residue (MemTable::CompactUnconsumed).
+  // Under kSync the log restart happens inside the writer exclusion, so a
+  // synchronously-acknowledged write can never fall between the truncated
+  // log and the new one; kAsync releases writers first and tolerates the
+  // (already unacknowledged-durability) race.
+  Status TruncateToActive(bool consume);
+
+  // Reader snapshot of the memtable pair; call before snapshotting disk
+  // state (see class comment). `frozen` may be null.
+  void Memtables(std::shared_ptr<MemTable>* active,
+                 std::shared_ptr<MemTable>* frozen) const;
+
+  std::shared_ptr<MemTable> ActiveMemtable() const;
+  std::shared_ptr<MemTable> FrozenMemtable() const;
+  bool HasFrozen() const;
+  size_t ActiveLiveBytes() const;
+
+  SequenceNumber LastSequence() const {
+    return last_seq_.load(std::memory_order_acquire);
+  }
+  DurabilityMode durability() const { return options_.durability; }
+
+  // Closes the log (flushing buffered async records). Call before tearing
+  // down the engine; the destructor also does it.
+  void Close();
+
+ private:
+  Status RestartLogLocked(const std::shared_ptr<MemTable>& survivors);
+
+  Options options_;
+  Env* env_;
+  std::string log_path_;
+  std::unique_ptr<LogicalLog> log_;
+
+  // Writers shared, memtable swaps exclusive.
+  mutable std::shared_mutex swap_mu_;
+
+  mutable std::mutex mu_;  // protects the two pointers
+  std::shared_ptr<MemTable> active_;
+  std::shared_ptr<MemTable> frozen_;
+
+  std::atomic<uint64_t> last_seq_{0};
+};
+
+}  // namespace blsm::engine
+
+#endif  // BLSM_ENGINE_WRITE_FRONTEND_H_

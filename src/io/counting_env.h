@@ -81,6 +81,12 @@ class CountingEnv final : public Env {
   Status CreateDir(const std::string& dirname) override {
     return base_->CreateDir(dirname);
   }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status RemoveDirRecursive(const std::string& dirname) override {
+    return base_->RemoveDirRecursive(dirname);
+  }
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
     return base_->GetFileSize(fname, size);
   }

@@ -2,6 +2,23 @@
 
 namespace blsm {
 
+Status Env::RemoveDirRecursive(const std::string& dirname) {
+  std::vector<std::string> children;
+  Status s = GetChildren(dirname, &children);
+  if (s.IsNotFound()) return Status::OK();
+  if (!s.ok()) return s;
+  for (const auto& child : children) {
+    std::string path = dirname + "/" + child;
+    Status rs = RemoveFile(path);
+    if (!rs.ok()) {
+      // Not a plain file (or already gone): treat it as a subdirectory.
+      rs = RemoveDirRecursive(path);
+      if (!rs.ok()) return rs;
+    }
+  }
+  return RemoveDir(dirname);
+}
+
 Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
                          bool sync) {
   std::unique_ptr<WritableFile> file;

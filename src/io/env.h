@@ -78,6 +78,13 @@ class Env {
                              std::vector<std::string>* result) = 0;
   virtual Status RemoveFile(const std::string& fname) = 0;
   virtual Status CreateDir(const std::string& dirname) = 0;
+  // Removes an empty directory; NotFound if it does not exist.
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  // Removes `dirname` and everything under it, to any depth. A missing
+  // directory is success (the desired state already holds). The default
+  // walks GetChildren depth-first; environments whose GetChildren does not
+  // surface subdirectories (MemEnv) override it.
+  virtual Status RemoveDirRecursive(const std::string& dirname);
   virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;

@@ -306,6 +306,12 @@ Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
   return base_->CreateDir(dirname);
 }
 
+Status FaultInjectionEnv::RemoveDir(const std::string& dirname) {
+  Status s = CheckOp(FaultOpClass::kMetadata, dirname);
+  if (!s.ok()) return s;
+  return base_->RemoveDir(dirname);
+}
+
 Status FaultInjectionEnv::RenameFile(const std::string& src,
                                      const std::string& target) {
   Status s = CheckOp(FaultOpClass::kMetadata, src);

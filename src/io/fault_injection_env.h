@@ -131,6 +131,9 @@ class FaultInjectionEnv final : public Env {
   }
   Status RemoveFile(const std::string& fname) override;
   Status CreateDir(const std::string& dirname) override;
+  // Recursion uses the base-class GetChildren walk, so each RemoveFile /
+  // RemoveDir along the way rolls the metadata fault dice individually.
+  Status RemoveDir(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
     return base_->GetFileSize(fname, size);
   }

@@ -211,6 +211,33 @@ Status MemEnv::CreateDir(const std::string& dirname) {
   return Status::OK();
 }
 
+Status MemEnv::RemoveDir(const std::string& dirname) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (dirs_.erase(dirname) == 0) return Status::NotFound(dirname);
+  return Status::OK();
+}
+
+Status MemEnv::RemoveDirRecursive(const std::string& dirname) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::string prefix = dirname;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    if (*it == dirname || it->compare(0, prefix.size(), prefix) == 0) {
+      it = dirs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
 Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = files_.find(fname);

@@ -34,6 +34,11 @@ class MemEnv final : public Env {
                      std::vector<std::string>* result) override;
   Status RemoveFile(const std::string& fname) override;
   Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  // Overridden because GetChildren only lists direct files (dirs_ is a flat
+  // set, nested files are invisible to the default walk): erase everything
+  // under the path prefix instead.
+  Status RemoveDirRecursive(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src,
                     const std::string& target) override;

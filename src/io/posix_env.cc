@@ -259,6 +259,11 @@ class PosixEnv final : public Env {
     return Status::OK();
   }
 
+  Status RemoveDir(const std::string& dirname) override {
+    if (rmdir(dirname.c_str()) != 0) return PosixError(dirname, errno);
+    return Status::OK();
+  }
+
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
     struct stat st;
     if (stat(fname.c_str(), &st) != 0) {

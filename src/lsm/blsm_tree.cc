@@ -36,7 +36,6 @@ BlsmTree::BlsmTree(const BlsmOptions& options, std::string dir)
   merge_op_ = options_.merge_operator != nullptr
                   ? options_.merge_operator
                   : std::make_shared<const AppendMergeOperator>();
-  mem_ = std::make_shared<MemTable>();
 }
 
 Status BlsmTree::Open(const BlsmOptions& options, const std::string& dir,
@@ -49,25 +48,27 @@ Status BlsmTree::Open(const BlsmOptions& options, const std::string& dir,
 }
 
 Status BlsmTree::OpenImpl() {
-  Status s = env_->CreateDir(dir_);
-  if (!s.ok()) return s;
+  Status s;
+  if (!options_.read_only) {
+    s = env_->CreateDir(dir_);
+    if (!s.ok()) return s;
+  }
 
   Manifest manifest;
   s = Manifest::Load(env_, dir_, &manifest);
-  if (s.IsNotFound()) {
+  if (s.IsNotFound() && !options_.read_only) {
     manifest = Manifest{};
     s = manifest.Save(env_, dir_);
   }
   if (!s.ok()) return s;
 
   next_file_number_ = manifest.next_file_number;
-  last_seq_.store(manifest.last_sequence);
 
   for (const auto& entry : manifest.components) {
     ComponentPtr comp;
     s = OpenComponent(entry.file_number, &comp, options_.use_bloom);
     if (!s.ok()) return s;
-    if (options_.paranoid_checks) {
+    if (options_.background.paranoid_checks) {
       uint64_t bad_offset = 0;
       s = comp->reader->VerifyAllBlocks(&bad_offset);
       if (!s.ok()) return s;
@@ -88,55 +89,60 @@ Status BlsmTree::OpenImpl() {
 
   // Garbage from merges in flight at crash time: any .tree file the manifest
   // does not reference.
-  std::vector<std::string> children;
-  if (env_->GetChildren(dir_, &children).ok()) {
-    for (const std::string& name : children) {
-      if (name.size() > 5 && name.substr(name.size() - 5) == ".tree") {
-        uint64_t num = strtoull(name.c_str(), nullptr, 10);
-        bool referenced = false;
-        for (const auto& entry : manifest.components) {
-          if (entry.file_number == num) referenced = true;
-        }
-        if (!referenced && env_->RemoveFile(dir_ + "/" + name).ok()) {
-          stats_.orphans_scavenged.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.read_only) {
+    std::vector<std::string> children;
+    if (env_->GetChildren(dir_, &children).ok()) {
+      for (const std::string& name : children) {
+        if (name.size() > 5 && name.substr(name.size() - 5) == ".tree") {
+          uint64_t num = strtoull(name.c_str(), nullptr, 10);
+          bool referenced = false;
+          for (const auto& entry : manifest.components) {
+            if (entry.file_number == num) referenced = true;
+          }
+          if (!referenced && env_->RemoveFile(dir_ + "/" + name).ok()) {
+            stats_.orphans_scavenged.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
     }
   }
 
-  // Recover recent writes from the logical log, then restart it with the
-  // survivors so the new log is self-contained.
-  std::string log_path = Manifest::LogFileName(dir_);
-  uint64_t max_seq = last_seq_.load();
-  s = LogicalLog::Replay(
-      env_, log_path,
-      [&](const Slice& key, SequenceNumber seq, RecordType type,
-          const Slice& value) {
-        mem_->Add(seq, type, key, value);
-        max_seq = std::max(max_seq, seq);
-      });
+  runner_ =
+      std::make_unique<engine::BackgroundRunner>(env_, options_.background);
+
+  engine::WriteFrontend::Options fopts;
+  fopts.env = env_;
+  fopts.durability = options_.durability;
+  fopts.read_only = options_.read_only;
+  fopts.before_write = [this]() -> Status {
+    Status bg = runner_->BackgroundError();
+    if (!bg.ok()) return bg;
+    ApplyBackpressure();
+    // Re-check after the stall: the error may have latched while we waited.
+    return runner_->BackgroundError();
+  };
+  fopts.after_write = [this] { MaybeScheduleMerge1(); };
+  frontend_ = std::make_unique<engine::WriteFrontend>(
+      fopts, Manifest::LogFileName(dir_));
+
+  // Recover recent writes from the logical log; the front-end restarts the
+  // log with the survivors so the new log is self-contained.
+  s = frontend_->Recover(manifest.last_sequence);
   if (!s.ok()) return s;
-  last_seq_.store(max_seq);
 
-  log_ = std::make_unique<LogicalLog>(env_, log_path, options_.durability);
-  if (options_.durability != DurabilityMode::kNone) {
-    s = log_->Restart([&](wal::LogWriter* w) -> Status {
-      MemTable::Iterator it(mem_.get());
-      std::string payload;
-      for (it.SeekToFirst(); it.Valid(); it.Next()) {
-        payload.clear();
-        PutLengthPrefixedSlice(&payload, it.internal_key());
-        PutLengthPrefixedSlice(&payload, it.value());
-        Status ws = w->AddRecord(payload);
-        if (!ws.ok()) return ws;
-      }
-      return Status::OK();
-    });
-    if (!s.ok()) return s;
+  if (!options_.read_only) {
+    runner_->AddJob({.name = "merge1",
+                     .pending = [this] { return Merge1Pending(); },
+                     .run = [this] { return RunMerge1Pass(); },
+                     .passes = &stats_.merge1_passes,
+                     .retries = &stats_.merge_retries});
+    runner_->AddJob({.name = "merge2",
+                     .pending = [this] { return Merge2Pending(); },
+                     .run = [this] { return RunMerge2Pass(); },
+                     .passes = &stats_.merge2_passes,
+                     .retries = &stats_.merge_retries});
+    runner_->Start();
   }
-
-  merge1_thread_ = std::thread(&BlsmTree::Merge1Loop, this);
-  merge2_thread_ = std::thread(&BlsmTree::Merge2Loop, this);
   return Status::OK();
 }
 
@@ -155,20 +161,19 @@ Status BlsmTree::OpenComponent(uint64_t file_number, ComponentPtr* out,
 }
 
 BlsmTree::~BlsmTree() {
-  shutdown_.store(true);
-  work_cv_.notify_all();
-  if (merge1_thread_.joinable()) merge1_thread_.join();
-  if (merge2_thread_.joinable()) merge2_thread_.join();
-  if (log_ != nullptr) log_->Close();
+  if (runner_ != nullptr) runner_->Stop();
+  if (frontend_ != nullptr) frontend_->Close();
 }
 
 // --- snapshots / state --------------------------------------------------------
 
 BlsmTree::Snapshot BlsmTree::GetSnapshot() const {
-  std::lock_guard<std::mutex> l(mu_);
   Snapshot snap;
-  snap.mem = mem_;
-  snap.mem_old = mem_old_;
+  // Memtables BEFORE the disk components: a merge installs its output
+  // component before swapping/dropping the memtable it consumed, so this
+  // order can observe a record twice but never lose one.
+  frontend_->Memtables(&snap.mem, &snap.mem_old);
+  std::lock_guard<std::mutex> l(mu_);
   snap.c1 = c1_;
   snap.c1_prime = c1_prime_;
   snap.c2 = c2_;
@@ -187,9 +192,9 @@ double BlsmTree::CurrentR() const {
 }
 
 SchedulerState BlsmTree::ComputeSchedulerState() const {
-  std::lock_guard<std::mutex> l(mu_);
   SchedulerState s;
-  s.c0_live_bytes = mem_->LiveBytes();
+  s.c0_live_bytes = frontend_->ActiveLiveBytes();
+  std::lock_guard<std::mutex> l(mu_);
   s.c0_target_bytes = options_.c0_target_bytes;
   s.merge1_active = progress1_.active.load(std::memory_order_relaxed);
   s.merge1_inprogress = progress1_.inprogress();
@@ -220,21 +225,14 @@ uint64_t BlsmTree::OnDiskBytes() const {
 }
 
 uint64_t BlsmTree::C0LiveBytes() const {
-  std::lock_guard<std::mutex> l(mu_);
-  uint64_t total = mem_->LiveBytes();
-  if (mem_old_ != nullptr) total += mem_old_->LiveBytes();
+  std::shared_ptr<MemTable> active, frozen;
+  frontend_->Memtables(&active, &frozen);
+  uint64_t total = active->LiveBytes();
+  if (frozen != nullptr) total += frozen->LiveBytes();
   return total;
 }
 
-Status BlsmTree::BackgroundError() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return bg_error_;
-}
-
-void BlsmTree::RecordBackgroundError(const Status& s) {
-  std::lock_guard<std::mutex> l(mu_);
-  if (bg_error_.ok()) bg_error_ = s;
-}
+Status BlsmTree::BackgroundError() const { return runner_->BackgroundError(); }
 
 // --- writes ---------------------------------------------------------------
 
@@ -243,13 +241,10 @@ void BlsmTree::ApplyBackpressure() {
   uint64_t stalled = 0;
   // Hard stall: wait (re-polling) while the scheduler blocks writes — C0
   // full, or (gear) the writer has outrun merge 1.
-  while (!shutdown_.load(std::memory_order_relaxed)) {
-    {
-      // If merges have latched an error they will never drain C0; the write
-      // must escape the stall and report the error instead of hanging.
-      std::lock_guard<std::mutex> l(mu_);
-      if (!bg_error_.ok()) break;
-    }
+  while (!runner_->shutting_down()) {
+    // If merges have latched an error they will never drain C0; the write
+    // must escape the stall and report the error instead of hanging.
+    if (!runner_->BackgroundError().ok()) break;
     SchedulerState state = ComputeSchedulerState();
     if (!scheduler_->WriteBlocked(state)) {
       // One-shot proportional delay (the spring, §4.3).
@@ -271,51 +266,22 @@ void BlsmTree::ApplyBackpressure() {
 
 Status BlsmTree::WriteImpl(const Slice& key, RecordType type,
                            const Slice& value) {
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    if (!bg_error_.ok()) return bg_error_;
-  }
-  ApplyBackpressure();
-  {
-    // Re-check after the stall: the error may have latched while we waited.
-    std::lock_guard<std::mutex> l(mu_);
-    if (!bg_error_.ok()) return bg_error_;
-  }
-
-  std::shared_lock<std::shared_mutex> swap_guard(mem_swap_mu_);
-  SequenceNumber seq = last_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (log_ != nullptr) {
-    Status s = log_->Append(key, seq, type, value);
-    if (!s.ok()) return s;
-  }
-  // mem_ is only replaced while mem_swap_mu_ is held exclusively, so the
-  // shared lock makes this read stable.
-  std::shared_ptr<MemTable> mem;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    mem = mem_;
-  }
-  mem->Add(seq, type, key, value);
-  swap_guard.unlock();
-
-  MaybeScheduleMerge1();
-  return Status::OK();
+  // The front-end runs the backpressure/error hooks, assigns the sequence
+  // number, appends to the log, and inserts into C0.
+  return frontend_->Write(key, type, value);
 }
 
 void BlsmTree::MaybeScheduleMerge1() {
+  uint64_t live = frontend_->ActiveLiveBytes();
   bool trigger;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    uint64_t live = mem_->LiveBytes();
-    if (options_.snowshovel) {
-      trigger = live >= static_cast<uint64_t>(
-                            options_.low_watermark *
-                            static_cast<double>(options_.c0_target_bytes));
-    } else {
-      trigger = mem_old_ != nullptr || live >= options_.c0_target_bytes;
-    }
+  if (options_.snowshovel) {
+    trigger = live >= static_cast<uint64_t>(
+                          options_.low_watermark *
+                          static_cast<double>(options_.c0_target_bytes));
+  } else {
+    trigger = frontend_->HasFrozen() || live >= options_.c0_target_bytes;
   }
-  if (trigger) work_cv_.notify_all();
+  if (trigger) runner_->Notify();
 }
 
 Status BlsmTree::Put(const Slice& key, const Slice& value) {
@@ -711,43 +677,8 @@ void ScanIterator::CollapseCurrent() {
 
 // --- merges -----------------------------------------------------------------
 
-void BlsmTree::BackoffWait(int attempt) {
-  uint64_t wait = options_.retry_backoff_base_micros;
-  for (int i = 0; i < attempt && wait < options_.retry_backoff_max_micros;
-       i++) {
-    wait <<= 1;
-  }
-  wait = std::min(wait, options_.retry_backoff_max_micros);
-  // Sleep in small slices so shutdown interrupts the backoff promptly.
-  constexpr uint64_t kSliceUs = 1000;
-  while (wait > 0 && !shutdown_.load(std::memory_order_relaxed)) {
-    uint64_t slice = std::min(wait, kSliceUs);
-    env_->SleepForMicroseconds(slice);
-    wait -= slice;
-  }
-}
-
-Status BlsmTree::RunPassWithRetry(const std::function<Status()>& pass) {
-  // Transient failures (a flaky device, a full queue) are retried with
-  // capped exponential backoff instead of poisoning the tree forever; if the
-  // device heals mid-backoff the merge resumes without a reopen. Permanent
-  // errors and an exhausted budget fall through to the caller, which latches
-  // bg_error_.
-  Status s = pass();
-  int attempt = 0;
-  while (!s.ok() && s.IsTransient() &&
-         !shutdown_.load(std::memory_order_relaxed) &&
-         attempt < options_.max_background_retries) {
-    stats_.merge_retries.fetch_add(1, std::memory_order_relaxed);
-    BackoffWait(attempt++);
-    if (shutdown_.load(std::memory_order_relaxed)) break;
-    s = pass();
-  }
-  return s;
-}
-
 bool BlsmTree::MergePauseWait(int which) {
-  while (!shutdown_.load(std::memory_order_relaxed)) {
+  while (!runner_->shutting_down()) {
     if (force_promote_.load(std::memory_order_relaxed) ||
         pacing_override_.load(std::memory_order_relaxed) > 0) {
       return true;  // foreground compaction / drain override
@@ -761,66 +692,60 @@ bool BlsmTree::MergePauseWait(int which) {
   return false;
 }
 
-void BlsmTree::Merge1Loop() {
-  std::unique_lock<std::mutex> l(mu_);
-  while (!shutdown_.load()) {
-    uint64_t live = mem_->LiveBytes();
-    bool trigger;
-    if (options_.snowshovel) {
-      trigger = merge1_requested_ ||
-                live >= static_cast<uint64_t>(
-                            options_.low_watermark *
-                            static_cast<double>(options_.c0_target_bytes));
-    } else {
-      trigger = merge1_requested_ || mem_old_ != nullptr ||
-                live >= options_.c0_target_bytes;
-    }
-    if (!trigger) {
-      work_cv_.wait_for(l, std::chrono::milliseconds(20));
-      continue;
-    }
-
-    // Non-snowshovel modes partition C0: freeze the current memtable as C0'
-    // and open a fresh C0 for incoming writes (§4.2.1).
-    if (!options_.snowshovel && mem_old_ == nullptr) {
-      l.unlock();
-      {
-        std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
-        std::lock_guard<std::mutex> relock(mu_);
-        mem_old_ = mem_;
-        mem_ = std::make_shared<MemTable>();
-      }
-      l.lock();
-    }
-
-    merge1_running_ = true;
-    merge1_requested_ = false;
-    l.unlock();
-    Status s = RunPassWithRetry([this] { return RunMerge1Pass(); });
-    l.lock();
-    merge1_running_ = false;
-    if (!s.ok() && !shutdown_.load()) bg_error_ = s;
-    stats_.merge1_passes.fetch_add(1, std::memory_order_relaxed);
-    idle_cv_.notify_all();
+bool BlsmTree::Merge1Pending() {
+  bool requested;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    requested = merge1_done_gen_ < merge1_request_gen_;
   }
+  uint64_t live = frontend_->ActiveLiveBytes();
+  if (options_.snowshovel) {
+    return requested ||
+           live >= static_cast<uint64_t>(
+                       options_.low_watermark *
+                       static_cast<double>(options_.c0_target_bytes));
+  }
+  return requested || frontend_->HasFrozen() ||
+         live >= options_.c0_target_bytes;
+}
+
+bool BlsmTree::Merge2Pending() {
+  std::lock_guard<std::mutex> l(mu_);
+  return c1_prime_ != nullptr;
 }
 
 Status BlsmTree::RunMerge1Pass() {
-  std::shared_ptr<MemTable> input_mem;
+  // Reading the request generation BEFORE snapshotting the inputs is what
+  // makes the Flush() handshake sound: everything written before the request
+  // was issued is in the inputs this pass merges.
+  uint64_t pass_gen;
   ComponentPtr old_c1;
   {
     std::lock_guard<std::mutex> l(mu_);
-    input_mem = options_.snowshovel ? mem_ : mem_old_;
+    pass_gen = merge1_request_gen_;
     old_c1 = c1_;
   }
+
+  // Non-snowshovel modes partition C0: freeze the current memtable as C0'
+  // and open a fresh C0 for incoming writes (§4.2.1). A frozen memtable left
+  // over from a retried pass is reused.
+  if (!options_.snowshovel && !frontend_->HasFrozen()) {
+    Status fs = frontend_->Freeze(/*block=*/true);
+    if (!fs.ok()) return fs;
+  }
+  std::shared_ptr<MemTable> input_mem = options_.snowshovel
+                                            ? frontend_->ActiveMemtable()
+                                            : frontend_->FrozenMemtable();
   if (input_mem == nullptr) return Status::OK();
 
   uint64_t input_total = input_mem->LiveBytes() +
                          (old_c1 != nullptr ? old_c1->reader->data_bytes() : 0);
   if (input_total == 0) {
-    // Nothing to do; clear C0' so the loop does not spin.
+    // Nothing to do; clear C0' so the job does not spin, and count the empty
+    // pass toward the flush handshake (a flush of an empty tree succeeds).
+    if (!options_.snowshovel) frontend_->DropFrozen();
     std::lock_guard<std::mutex> l(mu_);
-    if (!options_.snowshovel) mem_old_.reset();
+    merge1_done_gen_ = std::max(merge1_done_gen_, pass_gen);
     return Status::OK();
   }
   progress1_.bytes_read.store(0);
@@ -912,7 +837,6 @@ Status BlsmTree::RunMerge1Pass() {
     std::lock_guard<std::mutex> l(mu_);
     c1_ = fresh;
     c1_data_bytes_.store(fresh->reader->data_bytes());
-    if (!options_.snowshovel) mem_old_.reset();
 
     double r = CurrentR();
     bool promote =
@@ -929,79 +853,29 @@ Status BlsmTree::RunMerge1Pass() {
     }
     manifest = BuildManifestLocked(&manifest_version);
   }
+  // The consumed C0' becomes droppable only after its component is
+  // installed (readers snapshot memtables before components, so this order
+  // can duplicate a record but never lose one).
+  if (!options_.snowshovel) frontend_->DropFrozen();
   s = SaveManifest(manifest, manifest_version);
   if (!s.ok()) {
     progress1_.active.store(false);
     return s;
   }
   if (old_c1 != nullptr) old_c1->obsolete.store(true);
-  work_cv_.notify_all();  // wake merge2 if we promoted
+  runner_->Notify();  // wake merge2 if we promoted
 
-  // Snowshovel: drop the consumed entries and reclaim arena memory, then
-  // truncate the log to the survivors.
-  //
-  // In kSync mode the writer exclusion must span the log restart too: a
-  // write whose old-log record is discarded by the truncation must be
-  // guaranteed to appear in the relogged survivor set. In kAsync mode the
-  // durability contract already tolerates losing an unsynced tail, so
-  // writers are excluded only for the (short) memtable swap and the fsync-
-  // bearing restart happens with writes flowing.
-  {
-    std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
-    std::shared_ptr<MemTable> survivors;
-    if (options_.snowshovel) {
-      survivors = input_mem->CompactUnconsumed();
-      std::lock_guard<std::mutex> l(mu_);
-      mem_ = survivors;
-    } else {
-      std::lock_guard<std::mutex> l(mu_);
-      survivors = mem_;
-    }
-    if (options_.durability == DurabilityMode::kSync) {
-      s = TruncateLog(survivors);
-    } else {
-      swap.unlock();
-      s = TruncateLog(survivors);
-    }
+  // Truncate the log to cover exactly the surviving memtable contents. The
+  // snowshovel variant first replaces C0 by its unconsumed residue
+  // (reclaiming arena memory); the front-end owns the writer-exclusion /
+  // durability subtleties of the restart.
+  s = frontend_->TruncateToActive(/*consume=*/options_.snowshovel);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(mu_);
+    merge1_done_gen_ = std::max(merge1_done_gen_, pass_gen);
   }
   progress1_.active.store(false);
   return s;
-}
-
-Status BlsmTree::TruncateLog(const std::shared_ptr<MemTable>& survivors) {
-  if (log_ == nullptr || log_->mode() == DurabilityMode::kNone) {
-    return Status::OK();
-  }
-  return log_->Restart([&](wal::LogWriter* w) -> Status {
-    MemTable::Iterator it(survivors.get());
-    std::string payload;
-    for (it.SeekToFirst(); it.Valid(); it.Next()) {
-      payload.clear();
-      PutLengthPrefixedSlice(&payload, it.internal_key());
-      PutLengthPrefixedSlice(&payload, it.value());
-      Status s = w->AddRecord(payload);
-      if (!s.ok()) return s;
-    }
-    return Status::OK();
-  });
-}
-
-void BlsmTree::Merge2Loop() {
-  std::unique_lock<std::mutex> l(mu_);
-  while (!shutdown_.load()) {
-    if (c1_prime_ == nullptr) {
-      work_cv_.wait_for(l, std::chrono::milliseconds(20));
-      continue;
-    }
-    merge2_running_ = true;
-    l.unlock();
-    Status s = RunPassWithRetry([this] { return RunMerge2Pass(); });
-    l.lock();
-    merge2_running_ = false;
-    if (!s.ok() && !shutdown_.load()) bg_error_ = s;
-    stats_.merge2_passes.fetch_add(1, std::memory_order_relaxed);
-    idle_cv_.notify_all();
-  }
 }
 
 Status BlsmTree::RunMerge2Pass() {
@@ -1117,14 +991,14 @@ Status BlsmTree::RunMerge2Pass() {
   if (old_c2 != nullptr) old_c2->obsolete.store(true);
   input_c1p->obsolete.store(true);
   progress2_.active.store(false);
-  work_cv_.notify_all();
+  runner_->Notify();
   return Status::OK();
 }
 
 Manifest BlsmTree::BuildManifestLocked(uint64_t* version) {
   Manifest manifest;
   manifest.next_file_number = next_file_number_;
-  manifest.last_sequence = last_seq_.load();
+  manifest.last_sequence = frontend_->LastSequence();
   if (c1_ != nullptr) {
     manifest.components.push_back(
         {Manifest::Slot::kC1, c1_->file_number});
@@ -1156,28 +1030,28 @@ Status BlsmTree::SaveManifest(const Manifest& manifest, uint64_t version) {
 // --- maintenance entry points -------------------------------------------------
 
 Status BlsmTree::Flush() {
+  if (options_.read_only) return Status::NotSupported("engine is read-only");
   pacing_override_.fetch_add(1);
-  uint64_t target;
+  Status s = runner_->BackgroundError();
+  if (!s.ok()) {
+    pacing_override_.fetch_sub(1);
+    return s;
+  }
+  // Handshake with the merge-1 job: a pass already in flight snapshotted its
+  // inputs (and its generation) before this request; only a pass that starts
+  // at our generation or later is guaranteed to cover everything.
+  uint64_t my_gen;
   {
-    std::unique_lock<std::mutex> l(mu_);
-    if (!bg_error_.ok()) {
-      pacing_override_.fetch_sub(1);
-      return bg_error_;
-    }
-    merge1_requested_ = true;
-    // A pass already in flight snapshotted its inputs before this request;
-    // only a pass that starts afterwards is guaranteed to cover everything.
-    target = stats_.merge1_passes.load() + (merge1_running_ ? 2 : 1);
+    std::lock_guard<std::mutex> l(mu_);
+    my_gen = ++merge1_request_gen_;
   }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> l(mu_);
-  while (!(shutdown_.load() || !bg_error_.ok() ||
-           stats_.merge1_passes.load() >= target)) {
-    work_cv_.notify_all();
-    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
-  }
+  runner_->Notify();
+  s = runner_->WaitUntil([this, my_gen] {
+    std::lock_guard<std::mutex> l(mu_);
+    return merge1_done_gen_ >= my_gen;
+  });
   pacing_override_.fetch_sub(1);
-  return bg_error_;
+  return s;
 }
 
 Status BlsmTree::CompactToBottom() {
@@ -1192,39 +1066,25 @@ Status BlsmTree::CompactToBottom() {
   }
   // Wait for merge2 to drain C1'.
   pacing_override_.fetch_add(1);
-  std::unique_lock<std::mutex> l(mu_);
-  while (!(shutdown_.load() || !bg_error_.ok() ||
-           (c1_prime_ == nullptr && !merge2_running_))) {
-    work_cv_.notify_all();
-    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
-  }
+  s = runner_->WaitUntil([this] {
+    std::lock_guard<std::mutex> l(mu_);
+    return c1_prime_ == nullptr && !runner_->Running("merge2");
+  });
   force_promote_.store(false);
   pacing_override_.fetch_sub(1);
-  return bg_error_;
+  return s;
 }
 
 void BlsmTree::WaitForMergeIdle() {
+  if (options_.read_only) return;
   // Drain at full speed: pacing is meant to shape concurrent workloads, not
   // to make an idle wait last forever.
   pacing_override_.fetch_add(1);
-  std::unique_lock<std::mutex> l(mu_);
-  while (true) {
-    bool done = [&] {
-      if (shutdown_.load() || !bg_error_.ok()) return true;
-      if (merge1_running_ || merge2_running_) return false;
-      uint64_t live = mem_->LiveBytes();
-      bool pending1 =
-          options_.snowshovel
-              ? live >= static_cast<uint64_t>(
-                            options_.low_watermark *
-                            static_cast<double>(options_.c0_target_bytes))
-              : (mem_old_ != nullptr || live >= options_.c0_target_bytes);
-      return !pending1 && c1_prime_ == nullptr;
-    }();
-    if (done) break;
-    work_cv_.notify_all();
-    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
-  }
+  runner_->WaitUntil([this] {
+    if (runner_->AnyRunning() || Merge1Pending()) return false;
+    std::lock_guard<std::mutex> l(mu_);
+    return c1_prime_ == nullptr;
+  });
   pacing_override_.fetch_sub(1);
 }
 

@@ -2,16 +2,15 @@
 #define BLSM_LSM_BLSM_TREE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "buffer/block_cache.h"
+#include "engine/background_runner.h"
+#include "engine/write_frontend.h"
 #include "io/env.h"
 #include "lsm/manifest.h"
 #include "lsm/merge_iterator.h"
@@ -62,21 +61,14 @@ struct BlsmOptions {
 
   DurabilityMode durability = DurabilityMode::kAsync;
 
-  // Open-time verification: every manifest-referenced component has each of
-  // its blocks (data, index, bloom) read and checksummed before the tree
-  // accepts writes. Turns latent media corruption into an Open error that
-  // names the damaged file instead of a surprise mid-merge.
-  bool paranoid_checks = false;
+  // Background fault handling + open-time verification, shared with the
+  // other engines (see engine::BackgroundPolicy).
+  engine::BackgroundPolicy background;
 
-  // Background fault handling. A merge pass that fails with a *transient*
-  // error (Status::IsTransient: IOError, Busy) is retried up to
-  // max_background_retries times with capped exponential backoff
-  // (base << attempt, capped at retry_backoff_max_micros) before the error
-  // latches as BackgroundError(). Permanent errors (corruption) latch
-  // immediately. Tests shrink the backoff so retries are instant.
-  int max_background_retries = 15;
-  uint64_t retry_backoff_base_micros = 1000;
-  uint64_t retry_backoff_max_micros = 256 * 1000;
+  // Open an existing database without mutating it: no directory or manifest
+  // creation, no orphan scavenge, no log rewrite, no merge threads; writes
+  // and Flush fail with NotSupported. For offline inspection tooling.
+  bool read_only = false;
 
   // Interprets delta records; default AppendMergeOperator.
   std::shared_ptr<const MergeOperator> merge_operator;
@@ -245,24 +237,16 @@ class BlsmTree {
   double CurrentR() const;
   void MaybeScheduleMerge1();
 
-  // Background threads.
-  void Merge1Loop();
-  void Merge2Loop();
+  // Background passes, run by the engine::BackgroundRunner jobs "merge1"
+  // and "merge2" (which own the threads, transient-retry, and the error
+  // latch).
+  bool Merge1Pending();
+  bool Merge2Pending();
   Status RunMerge1Pass();
   Status RunMerge2Pass();
-  // Runs `pass` and, when it fails transiently, re-runs it with capped
-  // exponential backoff until it succeeds, the error turns permanent, the
-  // retry budget runs out, or shutdown.
-  Status RunPassWithRetry(const std::function<Status()>& pass);
-  // Sleeps min(base << attempt, cap), polling shutdown_ so the destructor
-  // never waits out a backoff.
-  void BackoffWait(int attempt);
   // Waits while the scheduler pauses the given merge; returns false on
   // shutdown.
   bool MergePauseWait(int which);
-  void RecordBackgroundError(const Status& s);
-
-  Status TruncateLog(const std::shared_ptr<MemTable>& survivors);
 
   // Manifest writes happen OUTSIDE mu_ (an fsync under mu_ would stall every
   // writer): the tree state is snapshotted under mu_ with a version number,
@@ -276,24 +260,25 @@ class BlsmTree {
   std::shared_ptr<BlockCache> cache_;
   std::unique_ptr<MergeScheduler> scheduler_;
   std::shared_ptr<const MergeOperator> merge_op_;
-  std::unique_ptr<LogicalLog> log_;
+
+  // The shared WAL+memtable write path (C0 and C0' live here) and the
+  // background-job runner (merge threads, retry, error latch).
+  std::unique_ptr<engine::WriteFrontend> frontend_;
+  std::unique_ptr<engine::BackgroundRunner> runner_;
 
   mutable std::mutex mu_;  // protects the fields below
-  std::shared_ptr<MemTable> mem_;
-  std::shared_ptr<MemTable> mem_old_;  // C0' (non-snowshovel modes)
   ComponentPtr c1_, c1_prime_, c2_;
   uint64_t next_file_number_ = 1;
-  Status bg_error_;
+  // Flush() handshake: a flush bumps the request generation; a merge-1 pass
+  // that *started* at generation g advances the done generation to g when it
+  // completes successfully, so a waiter knows its data was covered.
+  uint64_t merge1_request_gen_ = 0;
+  uint64_t merge1_done_gen_ = 0;
   // Overrides merge pacing: set while a foreground compaction or idle-wait
   // must drain the tree at full speed.
   std::atomic<bool> force_promote_{false};
   std::atomic<int> pacing_override_{0};
 
-  // Writers hold this shared while inserting into mem_ so the snowshovel
-  // compaction (which swaps mem_) can exclude them briefly.
-  mutable std::shared_mutex mem_swap_mu_;
-
-  std::atomic<uint64_t> last_seq_{0};
   std::atomic<uint64_t> c1_data_bytes_{0};  // cached for the scheduler
 
   MergeProgress progress1_;
@@ -302,16 +287,6 @@ class BlsmTree {
   uint64_t manifest_build_version_ = 0;  // under mu_
   std::mutex manifest_io_mu_;
   uint64_t manifest_written_version_ = 0;  // under manifest_io_mu_
-
-  std::condition_variable work_cv_;   // wakes merge threads
-  std::condition_variable idle_cv_;   // signals pass completion
-  bool merge1_requested_ = false;
-  bool merge1_running_ = false;
-  bool merge2_running_ = false;
-  std::atomic<bool> shutdown_{false};
-
-  std::thread merge1_thread_;
-  std::thread merge2_thread_;
 
   BlsmStats stats_;
 

@@ -43,7 +43,7 @@ std::string MultilevelTree::BuildManifestLocked(uint64_t* version) {
   std::string body;
   PutFixed32(&body, kManifestMagic);
   PutVarint64(&body, next_file_number_);
-  PutVarint64(&body, last_seq_.load());
+  PutVarint64(&body, frontend_->LastSequence());
   uint32_t count = 0;
   for (int l = 0; l < kNumLevels; l++) {
     count += static_cast<uint32_t>(version_->levels[l].size());
@@ -75,81 +75,26 @@ Status MultilevelTree::SaveManifest(const std::string& body,
   return s;
 }
 
-Status MultilevelTree::TruncateLog() {
-  if (log_ == nullptr || log_->mode() == DurabilityMode::kNone) {
-    return Status::OK();
-  }
-  // Exclude writers so no append straddles the restart.
-  std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
-  std::shared_ptr<MemTable> mem;
+// The "compact" job's pending() predicate: a frozen memtable to flush, or a
+// level over target.
+bool MultilevelTree::CompactionPending() {
+  if (frontend_->HasFrozen()) return true;
+  int level;
+  std::lock_guard<std::mutex> l(mu_);
+  return PickCompaction(&level);
+}
+
+// One background pass: a frozen memtable wins over a level compaction
+// (LevelDB's priority). Retry/backoff and error latching live in the runner.
+Status MultilevelTree::RunCompactionPass() {
+  std::shared_ptr<MemTable> imm = frontend_->FrozenMemtable();
+  if (imm != nullptr) return FlushMemtable(std::move(imm));
+  int level = -1;
   {
     std::lock_guard<std::mutex> l(mu_);
-    mem = mem_;
+    if (!PickCompaction(&level)) return Status::OK();
   }
-  return log_->Restart([&](wal::LogWriter* w) -> Status {
-    MemTable::Iterator it(mem.get());
-    std::string payload;
-    for (it.SeekToFirst(); it.Valid(); it.Next()) {
-      payload.clear();
-      PutLengthPrefixedSlice(&payload, it.internal_key());
-      PutLengthPrefixedSlice(&payload, it.value());
-      Status s = w->AddRecord(payload);
-      if (!s.ok()) return s;
-    }
-    return Status::OK();
-  });
-}
-
-void MultilevelTree::BackoffWait(int attempt) {
-  uint64_t wait = options_.retry_backoff_base_micros;
-  for (int i = 0; i < attempt && wait < options_.retry_backoff_max_micros;
-       i++) {
-    wait <<= 1;
-  }
-  wait = std::min(wait, options_.retry_backoff_max_micros);
-  constexpr uint64_t kSliceUs = 1000;
-  while (wait > 0 && !shutdown_.load(std::memory_order_relaxed)) {
-    uint64_t slice = std::min(wait, kSliceUs);
-    env_->SleepForMicroseconds(slice);
-    wait -= slice;
-  }
-}
-
-Status MultilevelTree::RunPassWithRetry(const std::function<Status()>& pass) {
-  Status s = pass();
-  int attempt = 0;
-  while (!s.ok() && s.IsTransient() &&
-         !shutdown_.load(std::memory_order_relaxed) &&
-         attempt < options_.max_background_retries) {
-    stats_.compaction_retries.fetch_add(1, std::memory_order_relaxed);
-    BackoffWait(attempt++);
-    if (shutdown_.load(std::memory_order_relaxed)) break;
-    s = pass();
-  }
-  return s;
-}
-
-void MultilevelTree::BackgroundLoop() {
-  std::unique_lock<std::mutex> l(mu_);
-  while (!shutdown_.load()) {
-    std::shared_ptr<MemTable> imm = imm_;
-    int level = -1;
-    bool have_compaction = imm == nullptr && PickCompaction(&level);
-    if (imm == nullptr && !have_compaction) {
-      idle_cv_.notify_all();
-      work_cv_.wait_for(l, std::chrono::milliseconds(20));
-      continue;
-    }
-    background_running_ = true;
-    l.unlock();
-    Status s = RunPassWithRetry([&] {
-      return imm != nullptr ? FlushMemtable(imm) : CompactLevel(level);
-    });
-    l.lock();
-    background_running_ = false;
-    if (!s.ok() && !shutdown_.load()) bg_error_ = s;
-    idle_cv_.notify_all();
-  }
+  return CompactLevel(level);
 }
 
 // Requires mu_. The partition scheduler's pick: L0 by file count, deeper
@@ -233,7 +178,7 @@ Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
       s = close_builder();
       if (!s.ok()) break;
     }
-    if (shutdown_.load(std::memory_order_relaxed)) {
+    if (runner_->shutting_down()) {
       s = Status::Busy("shutdown during compaction");
       break;
     }
@@ -281,13 +226,16 @@ Status MultilevelTree::FlushMemtable(std::shared_ptr<MemTable> imm) {
       fresh->levels[0].insert(fresh->levels[0].begin(), *it);
     }
     version_ = std::move(fresh);
-    imm_.reset();
     stats_.memtable_flushes.fetch_add(1, std::memory_order_relaxed);
     manifest = BuildManifestLocked(&manifest_version);
   }
+  // Drop the frozen memtable only after the L0 run is installed: readers
+  // snapshot memtables first, so they see the data in one place or both,
+  // never neither.
+  frontend_->DropFrozen();
   s = SaveManifest(manifest, manifest_version);
   if (!s.ok()) return s;
-  return TruncateLog();
+  return frontend_->TruncateToActive(/*consume=*/false);
 }
 
 Status MultilevelTree::CompactLevel(int level) {
@@ -376,44 +324,41 @@ Status MultilevelTree::CompactLevel(int level) {
 }
 
 Status MultilevelTree::CompactAll() {
+  if (options_.read_only) {
+    return Status::NotSupported("engine is read-only");
+  }
   while (true) {
-    {
-      std::lock_guard<std::mutex> l(mu_);
-      if (!bg_error_.ok()) return bg_error_;
+    Status bg = runner_->BackgroundError();
+    if (!bg.ok()) return bg;
+    // Freeze a non-empty memtable (nothing else freezes a non-full one).
+    if (!frontend_->ActiveMemtable()->Empty() && !frontend_->HasFrozen()) {
+      frontend_->Freeze(/*block=*/true);  // Busy (lost race) is fine
     }
-    // Freeze a non-empty memtable.
-    bool frozen = false;
-    {
-      std::unique_lock<std::shared_mutex> swap(mem_swap_mu_);
+    runner_->Notify();
+    // Wait for the current backlog (frozen memtable + over-target levels)
+    // to drain, then re-check the active memtable: writes racing with this
+    // call may have refilled it.
+    bg = runner_->WaitUntil([this] {
+      if (frontend_->HasFrozen() || runner_->AnyRunning()) return false;
+      int level;
       std::lock_guard<std::mutex> l(mu_);
-      if (!mem_->Empty() && imm_ == nullptr) {
-        imm_ = mem_;
-        mem_ = std::make_shared<MemTable>();
-        frozen = true;
-      }
-    }
-    (void)frozen;
-    work_cv_.notify_all();
-    // Wait for quiescence.
-    std::unique_lock<std::mutex> l(mu_);
-    idle_cv_.wait_for(l, std::chrono::milliseconds(50));
-    int level;
-    bool pending = imm_ != nullptr || background_running_ ||
-                   PickCompaction(&level) || !mem_->Empty();
-    if (!pending) return bg_error_;
+      return !PickCompaction(&level);
+    });
+    if (!bg.ok()) return bg;
+    if (frontend_->ActiveMemtable()->Empty()) return Status::OK();
   }
 }
 
 void MultilevelTree::WaitForIdle() {
-  std::unique_lock<std::mutex> l(mu_);
-  while (!shutdown_.load()) {
+  if (options_.read_only) return;
+  // Returns early if a background error latches (WaitUntil's contract):
+  // a faulted compactor never drains its backlog.
+  runner_->WaitUntil([this] {
+    if (frontend_->HasFrozen() || runner_->AnyRunning()) return false;
     int level;
-    bool pending =
-        imm_ != nullptr || background_running_ || PickCompaction(&level);
-    if (!pending || !bg_error_.ok()) return;
-    work_cv_.notify_all();
-    idle_cv_.wait_for(l, std::chrono::milliseconds(20));
-  }
+    std::lock_guard<std::mutex> l(mu_);
+    return !PickCompaction(&level);
+  });
 }
 
 }  // namespace blsm::multilevel

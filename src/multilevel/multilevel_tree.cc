@@ -41,7 +41,6 @@ MultilevelTree::MultilevelTree(const MultilevelOptions& options,
   merge_op_ = options_.merge_operator != nullptr
                   ? options_.merge_operator
                   : std::make_shared<const AppendMergeOperator>();
-  mem_ = std::make_shared<MemTable>();
   version_ = std::make_shared<Version>();
 }
 
@@ -57,8 +56,12 @@ Status MultilevelTree::Open(const MultilevelOptions& options,
 }
 
 Status MultilevelTree::OpenImpl() {
-  Status s = env_->CreateDir(dir_);
-  if (!s.ok()) return s;
+  Status s;
+  if (!options_.read_only) {
+    s = env_->CreateDir(dir_);
+    if (!s.ok()) return s;
+  }
+  uint64_t manifest_last_seq = 0;
 
   // Manifest: [magic][next_file][last_seq][count]
   //           ([level u8][number][smallest][largest][data_bytes])* [crc]
@@ -80,7 +83,7 @@ Status MultilevelTree::OpenImpl() {
       return Status::Corruption("bad manifest header");
     }
     next_file_number_ = next_file;
-    last_seq_.store(last_seq);
+    manifest_last_seq = last_seq;
     for (uint32_t i = 0; i < count; i++) {
       if (body.empty()) return Status::Corruption("truncated manifest");
       int level = static_cast<uint8_t>(body[0]);
@@ -96,7 +99,7 @@ Status MultilevelTree::OpenImpl() {
       FileMetaPtr meta;
       s = NewFileMeta(number, &meta);
       if (!s.ok()) return s;
-      if (options_.paranoid_checks) {
+      if (options_.background.paranoid_checks) {
         s = meta->reader->VerifyAllBlocks();
         if (!s.ok()) return s;
       }
@@ -110,7 +113,7 @@ Status MultilevelTree::OpenImpl() {
 
   // Delete unreferenced runs (in-flight compactions at crash time).
   std::vector<std::string> children;
-  if (env_->GetChildren(dir_, &children).ok()) {
+  if (!options_.read_only && env_->GetChildren(dir_, &children).ok()) {
     for (const std::string& name : children) {
       if (name.size() > 4 && name.substr(name.size() - 4) == ".run") {
         uint64_t num = strtoull(name.c_str(), nullptr, 10);
@@ -127,36 +130,42 @@ Status MultilevelTree::OpenImpl() {
     }
   }
 
-  // Replay the logical log into the memtable.
-  uint64_t max_seq = last_seq_.load();
-  s = LogicalLog::Replay(env_, LogName(dir_),
-                         [&](const Slice& key, SequenceNumber seq,
-                             RecordType type, const Slice& value) {
-                           mem_->Add(seq, type, key, value);
-                           max_seq = std::max(max_seq, seq);
-                         });
+  runner_ =
+      std::make_unique<engine::BackgroundRunner>(env_, options_.background);
+
+  engine::WriteFrontend::Options fopts;
+  fopts.env = env_;
+  fopts.durability = options_.durability;
+  fopts.read_only = options_.read_only;
+  fopts.before_write = [this]() -> Status {
+    Status bg = runner_->BackgroundError();
+    if (!bg.ok()) return bg;
+    MaybeStallWrites();
+    return runner_->BackgroundError();
+  };
+  fopts.after_write = [this] {
+    // Memtable full: freeze it for flushing if the previous one is done.
+    // Non-blocking — if another writer holds the swap lock (or has already
+    // frozen), its freeze covers us.
+    if (frontend_->ActiveLiveBytes() >= options_.memtable_bytes &&
+        !frontend_->HasFrozen()) {
+      if (frontend_->Freeze(/*block=*/false).ok()) runner_->Notify();
+    }
+  };
+  frontend_ =
+      std::make_unique<engine::WriteFrontend>(fopts, LogName(dir_));
+  s = frontend_->Recover(manifest_last_seq);
   if (!s.ok()) return s;
-  last_seq_.store(max_seq);
 
-  log_ = std::make_unique<LogicalLog>(env_, LogName(dir_),
-                                      options_.durability);
-  if (options_.durability != DurabilityMode::kNone) {
-    s = log_->Restart([&](wal::LogWriter* w) -> Status {
-      MemTable::Iterator it(mem_.get());
-      std::string payload;
-      for (it.SeekToFirst(); it.Valid(); it.Next()) {
-        payload.clear();
-        PutLengthPrefixedSlice(&payload, it.internal_key());
-        PutLengthPrefixedSlice(&payload, it.value());
-        Status ws = w->AddRecord(payload);
-        if (!ws.ok()) return ws;
-      }
-      return Status::OK();
-    });
-    if (!s.ok()) return s;
+  if (!options_.read_only) {
+    engine::BackgroundRunner::JobSpec job;
+    job.name = "compact";
+    job.pending = [this] { return CompactionPending(); };
+    job.run = [this] { return RunCompactionPass(); };
+    job.retries = &stats_.compaction_retries;
+    runner_->AddJob(std::move(job));
+    runner_->Start();
   }
-
-  background_thread_ = std::thread(&MultilevelTree::BackgroundLoop, this);
   return Status::OK();
 }
 
@@ -174,10 +183,8 @@ Status MultilevelTree::NewFileMeta(uint64_t number, FileMetaPtr* out) {
 }
 
 MultilevelTree::~MultilevelTree() {
-  shutdown_.store(true);
-  work_cv_.notify_all();
-  if (background_thread_.joinable()) background_thread_.join();
-  if (log_ != nullptr) log_->Close();
+  if (runner_ != nullptr) runner_->Stop();
+  if (frontend_ != nullptr) frontend_->Close();
 }
 
 uint64_t MultilevelTree::LevelTargetBytes(int level) const {
@@ -194,8 +201,7 @@ VersionPtr MultilevelTree::CurrentVersion() const {
 }
 
 Status MultilevelTree::BackgroundError() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return bg_error_;
+  return runner_->BackgroundError();
 }
 
 int MultilevelTree::NumFilesAtLevel(int level) const {
@@ -214,24 +220,24 @@ uint64_t MultilevelTree::OnDiskBytes() const {
 
 void MultilevelTree::MaybeStallWrites() {
   uint64_t stalled = 0;
-  while (!shutdown_.load(std::memory_order_relaxed)) {
+  while (!runner_->shutting_down()) {
+    // A latched background error means compaction will never drain the
+    // backlog: escape the stall so the caller sees the error, not a hang.
+    if (!runner_->BackgroundError().ok()) break;
     size_t l0_files;
-    bool mem_full_and_imm_busy;
     {
       std::lock_guard<std::mutex> l(mu_);
-      // A latched background error means compaction will never drain the
-      // backlog: escape the stall so the caller sees the error, not a hang.
-      if (!bg_error_.ok()) break;
       l0_files = version_->levels[0].size();
-      mem_full_and_imm_busy =
-          mem_->LiveBytes() >= options_.memtable_bytes && imm_ != nullptr;
     }
+    bool mem_full_and_imm_busy =
+        frontend_->ActiveLiveBytes() >= options_.memtable_bytes &&
+        frontend_->HasFrozen();
     if (static_cast<int>(l0_files) >= options_.l0_stop_trigger ||
         mem_full_and_imm_busy) {
       // Hard stop: the L0 pile (or the frozen memtable) must drain first.
       // This is the unbounded write pause the paper measures in LevelDB.
       stats_.stopped_writes.fetch_add(1, std::memory_order_relaxed);
-      work_cv_.notify_all();
+      runner_->Notify();
       env_->SleepForMicroseconds(1000);
       stalled += 1000;
       continue;
@@ -250,46 +256,10 @@ void MultilevelTree::MaybeStallWrites() {
 
 Status MultilevelTree::WriteImpl(const Slice& key, RecordType type,
                                  const Slice& value) {
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    if (!bg_error_.ok()) return bg_error_;
-  }
-  MaybeStallWrites();
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    if (!bg_error_.ok()) return bg_error_;
-  }
-
-  {
-    std::shared_lock<std::shared_mutex> swap_guard(mem_swap_mu_);
-    SequenceNumber seq = last_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (log_ != nullptr) {
-      Status s = log_->Append(key, seq, type, value);
-      if (!s.ok()) return s;
-    }
-    std::shared_ptr<MemTable> mem;
-    {
-      std::lock_guard<std::mutex> l(mu_);
-      mem = mem_;
-    }
-    mem->Add(seq, type, key, value);
-  }
-
-  // Memtable full: freeze it for flushing if the previous one is done.
-  bool notify = false;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    if (mem_->LiveBytes() >= options_.memtable_bytes && imm_ == nullptr) {
-      std::unique_lock<std::shared_mutex> swap(mem_swap_mu_, std::try_to_lock);
-      if (swap.owns_lock()) {
-        imm_ = mem_;
-        mem_ = std::make_shared<MemTable>();
-        notify = true;
-      }
-    }
-  }
-  if (notify) work_cv_.notify_all();
-  return Status::OK();
+  // The front-end runs the backpressure / error checks (before_write) and the
+  // full-memtable freeze (after_write) around the log+memtable critical
+  // section.
+  return frontend_->Write(key, type, value);
 }
 
 Status MultilevelTree::Put(const Slice& key, const Slice& value) {
@@ -329,14 +299,12 @@ Status MultilevelTree::ReadModifyWrite(
 
 Status MultilevelTree::Get(const Slice& key, std::string* value) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  // Memtables BEFORE the version: a flush installs its L0 run before
+  // dropping the frozen memtable, so this order can see a record twice
+  // (shadowed by sequence) but never miss one.
   std::shared_ptr<MemTable> mem, imm;
-  VersionPtr version;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    mem = mem_;
-    imm = imm_;
-    version = version_;
-  }
+  frontend_->Memtables(&mem, &imm);
+  VersionPtr version = CurrentVersion();
 
   std::vector<std::string> deltas;  // newest first
   bool terminated = false;
@@ -423,14 +391,10 @@ Status MultilevelTree::Scan(
     const Slice& start, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
+  // Memtables before the version, as in Get().
   std::shared_ptr<MemTable> mem, imm;
-  VersionPtr version;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    mem = mem_;
-    imm = imm_;
-    version = version_;
-  }
+  frontend_->Memtables(&mem, &imm);
+  VersionPtr version = CurrentVersion();
 
   std::vector<std::unique_ptr<InternalIterator>> children;
   std::vector<std::shared_ptr<void>> pins;

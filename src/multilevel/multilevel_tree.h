@@ -2,16 +2,15 @@
 #define BLSM_MULTILEVEL_MULTILEVEL_TREE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "buffer/block_cache.h"
+#include "engine/background_runner.h"
+#include "engine/write_frontend.h"
 #include "io/env.h"
 #include "lsm/merge_iterator.h"
 #include "lsm/merge_operator.h"
@@ -55,14 +54,16 @@ struct MultilevelOptions {
   DurabilityMode durability = DurabilityMode::kAsync;
   std::shared_ptr<const MergeOperator> merge_operator;
 
-  // Same fault-handling knobs as BlsmOptions: paranoid_checks verifies
-  // every block of every manifest-referenced run at Open; transient
-  // background failures retry with capped exponential backoff before
-  // latching BackgroundError().
-  bool paranoid_checks = false;
-  int max_background_retries = 15;
-  uint64_t retry_backoff_base_micros = 1000;
-  uint64_t retry_backoff_max_micros = 256 * 1000;
+  // Shared fault-handling policy (same struct BlsmOptions embeds):
+  // paranoid_checks verifies every block of every manifest-referenced run
+  // at Open; transient background failures retry with capped exponential
+  // backoff before latching BackgroundError().
+  engine::BackgroundPolicy background;
+
+  // Open an existing database without mutating it: no directory creation,
+  // no orphan scavenging, no log restart, no background thread; writes
+  // fail NotSupported.
+  bool read_only = false;
 };
 
 struct MultilevelStats {
@@ -130,12 +131,10 @@ class MultilevelTree {
   Status WriteImpl(const Slice& key, RecordType type, const Slice& value);
   void MaybeStallWrites();
 
-  // Background work.
-  void BackgroundLoop();
-  // Retries `pass` on transient failure with capped exponential backoff;
-  // see BlsmTree::RunPassWithRetry for the rationale.
-  Status RunPassWithRetry(const std::function<Status()>& pass);
-  void BackoffWait(int attempt);
+  // Background work, run as the "compact" job on the BackgroundRunner
+  // (which owns retry/backoff and the error latch).
+  bool CompactionPending();
+  Status RunCompactionPass();
   bool PickCompaction(int* level);
   Status FlushMemtable(std::shared_ptr<MemTable> imm);
   Status CompactLevel(int level);
@@ -147,7 +146,6 @@ class MultilevelTree {
   // Snapshot the manifest contents under mu_; write (fsync) outside it.
   std::string BuildManifestLocked(uint64_t* version);
   Status SaveManifest(const std::string& body, uint64_t version);
-  Status TruncateLog();
 
   VersionPtr CurrentVersion() const;
 
@@ -156,29 +154,20 @@ class MultilevelTree {
   Env* env_ = nullptr;
   std::shared_ptr<BlockCache> cache_;
   std::shared_ptr<const MergeOperator> merge_op_;
-  std::unique_ptr<LogicalLog> log_;
+
+  // WAL + memtable pair + sequence allocation + freeze/swap exclusion.
+  std::unique_ptr<engine::WriteFrontend> frontend_;
+  // Worker thread, retry/backoff, error latch, quiesce waits.
+  std::unique_ptr<engine::BackgroundRunner> runner_;
 
   mutable std::mutex mu_;
-  // Writers hold this shared across (log append + memtable insert); the
-  // memtable freeze takes it exclusively, so no write straddles a swap.
-  mutable std::shared_mutex mem_swap_mu_;
-  std::shared_ptr<MemTable> mem_;
-  std::shared_ptr<MemTable> imm_;  // being flushed
   VersionPtr version_;
   uint64_t next_file_number_ = 1;
-  Status bg_error_;
   // Round-robin compaction cursors (LevelDB's partition scheduler state).
   std::string compact_cursor_[kNumLevels];
   uint64_t manifest_build_version_ = 0;  // under mu_
   std::mutex manifest_io_mu_;
   uint64_t manifest_written_version_ = 0;  // under manifest_io_mu_
-
-  std::atomic<uint64_t> last_seq_{0};
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  bool background_running_ = false;
-  std::atomic<bool> shutdown_{false};
-  std::thread background_thread_;
 
   MultilevelStats stats_;
 };

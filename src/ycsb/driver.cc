@@ -6,10 +6,6 @@
 #include <mutex>
 #include <thread>
 
-#include "btree/btree.h"
-#include "lsm/blsm_tree.h"
-#include "multilevel/multilevel_tree.h"
-
 namespace blsm::ycsb {
 
 namespace {
@@ -20,104 +16,6 @@ uint64_t NowMicros() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
-
-class BlsmAdapter final : public EngineAdapter {
- public:
-  explicit BlsmAdapter(BlsmTree* tree) : tree_(tree) {}
-  std::string Name() const override { return "bLSM"; }
-  Status Insert(const Slice& key, const Slice& value) override {
-    return tree_->Put(key, value);
-  }
-  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
-    return tree_->InsertIfNotExists(key, value);
-  }
-  Status Read(const Slice& key, std::string* value) override {
-    return tree_->Get(key, value);
-  }
-  Status Update(const Slice& key, const Slice& value) override {
-    return tree_->Put(key, value);  // blind write: zero seeks
-  }
-  Status ReadModifyWrite(
-      const Slice& key,
-      const std::function<std::string(const std::string&, bool)>& fn) override {
-    return tree_->ReadModifyWrite(key, fn);
-  }
-  Status Scan(const Slice& start, size_t n,
-              std::vector<std::pair<std::string, std::string>>* out) override {
-    return tree_->Scan(start, n, out);
-  }
-  Status Delete(const Slice& key) override { return tree_->Delete(key); }
-  void WaitIdle() override { tree_->WaitForMergeIdle(); }
-
- private:
-  BlsmTree* tree_;
-};
-
-class BTreeAdapter final : public EngineAdapter {
- public:
-  explicit BTreeAdapter(btree::BTree* tree) : tree_(tree) {}
-  std::string Name() const override { return "B-Tree"; }
-  Status Insert(const Slice& key, const Slice& value) override {
-    return tree_->Insert(key, value);
-  }
-  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
-    return tree_->InsertIfNotExists(key, value);
-  }
-  Status Read(const Slice& key, std::string* value) override {
-    return tree_->Get(key, value);
-  }
-  Status Update(const Slice& key, const Slice& value) override {
-    // Update-in-place: the engine has no blind write; every update faults
-    // the leaf (§2.2).
-    return tree_->Insert(key, value);
-  }
-  Status ReadModifyWrite(
-      const Slice& key,
-      const std::function<std::string(const std::string&, bool)>& fn) override {
-    return tree_->ReadModifyWrite(key, fn);
-  }
-  Status Scan(const Slice& start, size_t n,
-              std::vector<std::pair<std::string, std::string>>* out) override {
-    return tree_->Scan(start, n, out);
-  }
-  Status Delete(const Slice& key) override { return tree_->Delete(key); }
-  void WaitIdle() override { tree_->Checkpoint(); }
-
- private:
-  btree::BTree* tree_;
-};
-
-class MultilevelAdapter final : public EngineAdapter {
- public:
-  explicit MultilevelAdapter(multilevel::MultilevelTree* tree) : tree_(tree) {}
-  std::string Name() const override { return "LevelDB-like"; }
-  Status Insert(const Slice& key, const Slice& value) override {
-    return tree_->Put(key, value);
-  }
-  Status InsertIfNotExists(const Slice& key, const Slice& value) override {
-    return tree_->InsertIfNotExists(key, value);
-  }
-  Status Read(const Slice& key, std::string* value) override {
-    return tree_->Get(key, value);
-  }
-  Status Update(const Slice& key, const Slice& value) override {
-    return tree_->Put(key, value);
-  }
-  Status ReadModifyWrite(
-      const Slice& key,
-      const std::function<std::string(const std::string&, bool)>& fn) override {
-    return tree_->ReadModifyWrite(key, fn);
-  }
-  Status Scan(const Slice& start, size_t n,
-              std::vector<std::pair<std::string, std::string>>* out) override {
-    return tree_->Scan(start, n, out);
-  }
-  Status Delete(const Slice& key) override { return tree_->Delete(key); }
-  void WaitIdle() override { tree_->WaitForIdle(); }
-
- private:
-  multilevel::MultilevelTree* tree_;
-};
 
 // Shared accumulator for the per-interval timeseries.
 class TimeSeries {
@@ -151,18 +49,7 @@ class TimeSeries {
 
 }  // namespace
 
-std::unique_ptr<EngineAdapter> WrapBlsm(BlsmTree* tree) {
-  return std::make_unique<BlsmAdapter>(tree);
-}
-std::unique_ptr<EngineAdapter> WrapBTree(btree::BTree* tree) {
-  return std::make_unique<BTreeAdapter>(tree);
-}
-std::unique_ptr<EngineAdapter> WrapMultilevel(
-    multilevel::MultilevelTree* tree) {
-  return std::make_unique<MultilevelAdapter>(tree);
-}
-
-RunResult RunWorkload(EngineAdapter* engine, const WorkloadSpec& spec,
+RunResult RunWorkload(kv::Engine* engine, const WorkloadSpec& spec,
                       const DriverOptions& options) {
   RunResult result;
   result.label = engine->Name() + "/" + spec.name;
@@ -195,13 +82,13 @@ RunResult RunWorkload(EngineAdapter* engine, const WorkloadSpec& spec,
         Status s;
         if (dice < spec.update_proportion) {
           uint64_t id = chooser.Next();
-          s = engine->Update(FormatKey(id, true),
-                             values.Next(id, spec.value_size));
+          s = engine->Put(FormatKey(id, true),
+                          values.Next(id, spec.value_size));
         } else if (dice < spec.update_proportion + spec.insert_proportion) {
           uint64_t id =
               spec.record_count + inserts.fetch_add(1, std::memory_order_relaxed);
-          s = engine->Insert(FormatKey(id, true),
-                             values.Next(id, spec.value_size));
+          s = engine->Put(FormatKey(id, true),
+                          values.Next(id, spec.value_size));
         } else if (dice < spec.update_proportion + spec.insert_proportion +
                               spec.rmw_proportion) {
           uint64_t id = chooser.Next();
@@ -217,7 +104,7 @@ RunResult RunWorkload(EngineAdapter* engine, const WorkloadSpec& spec,
         } else {
           uint64_t id = chooser.Next();
           std::string value;
-          s = engine->Read(FormatKey(id, true), &value);
+          s = engine->Get(FormatKey(id, true), &value);
           if (s.IsNotFound()) s = Status::OK();  // unloaded key: fine
         }
         uint64_t end = NowMicros();
@@ -243,7 +130,7 @@ RunResult RunWorkload(EngineAdapter* engine, const WorkloadSpec& spec,
   return result;
 }
 
-RunResult RunLoad(EngineAdapter* engine, const WorkloadSpec& spec,
+RunResult RunLoad(kv::Engine* engine, const WorkloadSpec& spec,
                   const DriverOptions& options, bool check_exists,
                   bool sorted) {
   RunResult result;
@@ -270,7 +157,7 @@ RunResult RunLoad(EngineAdapter* engine, const WorkloadSpec& spec,
         std::string value = values.Next(id, spec.value_size);
         uint64_t begin = NowMicros();
         Status s = check_exists ? engine->InsertIfNotExists(key, value)
-                                : engine->Insert(key, value);
+                                : engine->Put(key, value);
         uint64_t end = NowMicros();
         if (!s.ok() && !s.IsKeyExists()) {
           errors.fetch_add(1, std::memory_order_relaxed);

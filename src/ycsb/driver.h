@@ -1,54 +1,16 @@
 #ifndef BLSM_YCSB_DRIVER_H_
 #define BLSM_YCSB_DRIVER_H_
 
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/kv.h"
 #include "io/counting_env.h"
 #include "util/histogram.h"
 #include "util/status.h"
 #include "ycsb/workload.h"
 
-namespace blsm {
-class BlsmTree;
-namespace btree {
-class BTree;
-}
-namespace multilevel {
-class MultilevelTree;
-}
-}  // namespace blsm
-
 namespace blsm::ycsb {
-
-// Uniform facade over the three engines so one driver exercises them all.
-class EngineAdapter {
- public:
-  virtual ~EngineAdapter() = default;
-
-  virtual std::string Name() const = 0;
-  virtual Status Insert(const Slice& key, const Slice& value) = 0;
-  virtual Status InsertIfNotExists(const Slice& key, const Slice& value) = 0;
-  virtual Status Read(const Slice& key, std::string* value) = 0;
-  // Blind overwrite where the engine supports it (LSMs); read-modify-write
-  // otherwise isn't implied — the B-tree's Insert is already the update-in-
-  // place path.
-  virtual Status Update(const Slice& key, const Slice& value) = 0;
-  virtual Status ReadModifyWrite(
-      const Slice& key,
-      const std::function<std::string(const std::string&, bool)>& fn) = 0;
-  virtual Status Scan(const Slice& start, size_t n,
-                      std::vector<std::pair<std::string, std::string>>* out) = 0;
-  virtual Status Delete(const Slice& key) = 0;
-  // Quiesce background work (merges / compactions / checkpoints).
-  virtual void WaitIdle() = 0;
-};
-
-std::unique_ptr<EngineAdapter> WrapBlsm(BlsmTree* tree);
-std::unique_ptr<EngineAdapter> WrapBTree(btree::BTree* tree);
-std::unique_ptr<EngineAdapter> WrapMultilevel(multilevel::MultilevelTree* tree);
 
 // One interval of the run's timeseries (Figures 7 and 9).
 struct TimeBucket {
@@ -81,14 +43,18 @@ struct DriverOptions {
   IoStats* io_stats = nullptr;
 };
 
-// Runs `spec.operations` mixed operations against a pre-loaded engine.
-RunResult RunWorkload(EngineAdapter* engine, const WorkloadSpec& spec,
+// Runs `spec.operations` mixed operations against a pre-loaded engine. The
+// driver is engine-agnostic: every engine is exercised through the unified
+// kv::Engine interface (use kv::Open or the kv::Wrap* adapters). Updates and
+// inserts are both Put — for the LSMs that is the blind zero-seek write, for
+// the B-tree it is the update-in-place leaf fault the paper contrasts (§2.2).
+RunResult RunWorkload(kv::Engine* engine, const WorkloadSpec& spec,
                       const DriverOptions& options);
 
 // Loads `spec.record_count` records. `check_exists` uses the engine's
 // insert-if-not-exists primitive (the §5.2 semantics comparison); `sorted`
 // loads keys in key order (the pre-sorted load InnoDB needs).
-RunResult RunLoad(EngineAdapter* engine, const WorkloadSpec& spec,
+RunResult RunLoad(kv::Engine* engine, const WorkloadSpec& spec,
                   const DriverOptions& options, bool check_exists,
                   bool sorted);
 

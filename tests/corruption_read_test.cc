@@ -132,7 +132,7 @@ TEST_F(CorruptionReadTest, ParanoidOpenRefusesCorruptDb) {
   tree.reset();
 
   // ... paranoid open walks every block and refuses, naming the file.
-  options_.paranoid_checks = true;
+  options_.background.paranoid_checks = true;
   Status s = BlsmTree::Open(options_, "db", &tree);
   ASSERT_FALSE(s.ok());
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
@@ -177,7 +177,7 @@ TEST(MultilevelCorruptionTest, GetAndScanSurfaceCorruption) {
 
   // Paranoid reopen refuses the damaged run.
   tree.reset();
-  options.paranoid_checks = true;
+  options.background.paranoid_checks = true;
   s = multilevel::MultilevelTree::Open(options, "ml", &tree);
   ASSERT_FALSE(s.ok());
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();

@@ -73,6 +73,25 @@ TEST_P(EnvTest, RemoveFile) {
   EXPECT_TRUE(env_->RemoveFile("f").IsNotFound());
 }
 
+TEST_P(EnvTest, RemoveDirRecursive) {
+  ASSERT_TRUE(env_->CreateDir("d").ok());
+  ASSERT_TRUE(env_->CreateDir("d/sub").ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "x", "d/a", false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "y", "d/sub/b", false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "z", "other", false).ok());
+
+  ASSERT_TRUE(env_->RemoveDirRecursive("d").ok());
+  EXPECT_FALSE(env_->FileExists("d/a"));
+  EXPECT_FALSE(env_->FileExists("d/sub/b"));
+  // Gone: either NotFound or an empty listing, depending on the env.
+  std::vector<std::string> children;
+  Status s = env_->GetChildren("d", &children);
+  EXPECT_TRUE(s.IsNotFound() || (s.ok() && children.empty())) << s.ToString();
+  // Siblings survive, and removing a missing dir is success (idempotent).
+  EXPECT_TRUE(env_->FileExists("other"));
+  EXPECT_TRUE(env_->RemoveDirRecursive("d").ok());
+}
+
 TEST_P(EnvTest, RandomAccessRead) {
   ASSERT_TRUE(WriteStringToFile(env_, "0123456789", "f", false).ok());
   std::unique_ptr<RandomAccessFile> f;

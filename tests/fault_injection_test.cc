@@ -183,9 +183,9 @@ TEST(FaultRetryTest, BlsmTransientMergeErrorRetriesAndHeals) {
   options.env = &env;
   options.c0_target_bytes = 32 << 10;
   options.durability = DurabilityMode::kNone;  // writes never touch the env
-  options.max_background_retries = 1000000;    // outlast the outage
-  options.retry_backoff_base_micros = 100;
-  options.retry_backoff_max_micros = 1000;
+  options.background.max_background_retries = 1000000;  // outlast the outage
+  options.background.retry_backoff_base_micros = 100;
+  options.background.retry_backoff_max_micros = 1000;
 
   std::unique_ptr<BlsmTree> tree;
   ASSERT_TRUE(BlsmTree::Open(options, "db", &tree).ok());
@@ -225,9 +225,9 @@ TEST(FaultRetryTest, MultilevelTransientErrorRetriesAndHeals) {
   options.memtable_bytes = 16 << 10;
   options.file_bytes = 8 << 10;
   options.durability = DurabilityMode::kNone;
-  options.max_background_retries = 1000000;
-  options.retry_backoff_base_micros = 100;
-  options.retry_backoff_max_micros = 1000;
+  options.background.max_background_retries = 1000000;
+  options.background.retry_backoff_base_micros = 100;
+  options.background.retry_backoff_max_micros = 1000;
 
   std::unique_ptr<multilevel::MultilevelTree> tree;
   ASSERT_TRUE(multilevel::MultilevelTree::Open(options, "ml", &tree).ok());
@@ -265,8 +265,8 @@ TEST(FaultRetryTest, BlsmPermanentErrorLatchesWithoutRetry) {
   options.c0_target_bytes = 32 << 10;
   options.block_cache_bytes = 0;  // cached blocks would skip the checksum
   options.durability = DurabilityMode::kNone;
-  options.retry_backoff_base_micros = 100;
-  options.retry_backoff_max_micros = 1000;
+  options.background.retry_backoff_base_micros = 100;
+  options.background.retry_backoff_max_micros = 1000;
 
   std::unique_ptr<BlsmTree> tree;
   ASSERT_TRUE(BlsmTree::Open(options, "db", &tree).ok());

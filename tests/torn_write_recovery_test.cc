@@ -48,9 +48,9 @@ struct BlsmAdapter {
     o.env = env;
     o.c0_target_bytes = 16 << 10;
     o.durability = mode;
-    o.max_background_retries = 3;  // fail fast; the monkey heals per epoch
-    o.retry_backoff_base_micros = 100;
-    o.retry_backoff_max_micros = 500;
+    o.background.max_background_retries = 3;  // fail fast; heals per epoch
+    o.background.retry_backoff_base_micros = 100;
+    o.background.retry_backoff_max_micros = 500;
     return BlsmTree::Open(o, "db", out);
   }
   static Status Put(const TreePtr& t, const std::string& k,
@@ -74,9 +74,9 @@ struct MultilevelAdapter {
     o.memtable_bytes = 16 << 10;
     o.file_bytes = 8 << 10;
     o.durability = mode;
-    o.max_background_retries = 3;
-    o.retry_backoff_base_micros = 100;
-    o.retry_backoff_max_micros = 500;
+    o.background.max_background_retries = 3;
+    o.background.retry_backoff_base_micros = 100;
+    o.background.retry_backoff_max_micros = 500;
     return multilevel::MultilevelTree::Open(o, "db", out);
   }
   static Status Put(const TreePtr& t, const std::string& k,

@@ -101,7 +101,7 @@ TEST_F(DriverTest, BlsmLoadAndMixedWorkload) {
   options.durability = DurabilityMode::kNone;
   std::unique_ptr<BlsmTree> tree;
   ASSERT_TRUE(BlsmTree::Open(options, "db", &tree).ok());
-  auto engine = WrapBlsm(tree.get());
+  auto engine = kv::WrapBlsm(tree.get());
 
   WorkloadSpec spec = WorkloadA(2000);
   spec.value_size = 100;
@@ -128,7 +128,7 @@ TEST_F(DriverTest, BTreeAdapter) {
   options.env = &env_;
   std::unique_ptr<btree::BTree> tree;
   ASSERT_TRUE(btree::BTree::Open(options, "bt.db", &tree).ok());
-  auto engine = WrapBTree(tree.get());
+  auto engine = kv::WrapBTree(tree.get());
 
   WorkloadSpec spec = WorkloadB(1000);
   spec.value_size = 100;
@@ -148,7 +148,7 @@ TEST_F(DriverTest, MultilevelAdapter) {
   options.durability = DurabilityMode::kNone;
   std::unique_ptr<multilevel::MultilevelTree> tree;
   ASSERT_TRUE(multilevel::MultilevelTree::Open(options, "ml", &tree).ok());
-  auto engine = WrapMultilevel(tree.get());
+  auto engine = kv::WrapMultilevel(tree.get());
 
   WorkloadSpec spec = WorkloadF(1000);
   spec.value_size = 100;
@@ -170,7 +170,7 @@ TEST_F(DriverTest, ScanWorkload) {
   options.durability = DurabilityMode::kNone;
   std::unique_ptr<BlsmTree> tree;
   ASSERT_TRUE(BlsmTree::Open(options, "db2", &tree).ok());
-  auto engine = WrapBlsm(tree.get());
+  auto engine = kv::WrapBlsm(tree.get());
 
   WorkloadSpec spec = WorkloadE(1000);
   spec.value_size = 100;

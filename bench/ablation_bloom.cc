@@ -50,6 +50,7 @@ int main() {
   printf("\n%-32s %12s %12s %14s\n", "configuration", "hit", "miss",
          "insert-if-new");
 
+  JsonReport report("ablation_bloom");
   for (const Config& config : configs) {
     Workspace ws(std::string("bloom_") + std::to_string(config.use_bloom) +
                  std::to_string(config.bloom_on_largest) +
@@ -111,6 +112,11 @@ int main() {
 
     printf("%-32s %12.2f %12.2f %14.2f\n", config.name, probe.hit_seeks,
            probe.miss_seeks, probe.iine_seeks);
+    report.AddRow()
+        .Str("configuration", config.name)
+        .Num("hit_seeks_per_op", probe.hit_seeks)
+        .Num("miss_seeks_per_op", probe.miss_seeks)
+        .Num("insert_if_new_seeks_per_op", probe.iine_seeks);
   }
 
   printf("\nPaper check (§3.1): filters cut lookup amplification from N to\n"

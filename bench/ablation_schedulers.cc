@@ -36,6 +36,7 @@ int main() {
   printf("\n%-26s %10s %12s %12s %12s %14s\n", "scheduler", "ops/s",
          "p99(us)", "p99.9(us)", "max(ms)", "stall-total(ms)");
 
+  JsonReport report("ablation_schedulers");
   for (const Config& config : configs) {
     Workspace ws(std::string("sched_") + config.name);
     auto options = DefaultBlsmOptions(ws.env());
@@ -60,6 +61,12 @@ int main() {
            static_cast<double>(result.latency_us.max()) / 1000.0,
            static_cast<double>(tree->stats().write_stall_micros.load()) /
                1000.0);
+    report.AddRun(result)
+        .Str("scheduler", config.name)
+        .Num("latency_p999_us", result.latency_us.Percentile(99.9))
+        .Num("latency_max_us", static_cast<double>(result.latency_us.max()))
+        .Num("write_stall_micros",
+             static_cast<double>(tree->stats().write_stall_micros.load()));
   }
 
   printf("\nPaper check: only the level schedulers (gear, spring-and-gear)\n"

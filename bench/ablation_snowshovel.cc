@@ -13,8 +13,8 @@
 
 namespace {
 
-void RunConfig(const char* label, bool snowshovel, bool sequential_keys,
-               uint64_t records) {
+void RunConfig(blsm::bench::JsonReport* report, const char* label,
+               bool snowshovel, bool sequential_keys, uint64_t records) {
   using namespace blsm;
   using namespace blsm::bench;
   using namespace blsm::ycsb;
@@ -50,6 +50,11 @@ void RunConfig(const char* label, bool snowshovel, bool sequential_keys,
   printf("%-34s %10.0f %8" PRIu64 " %14.1f %12.2f\n", label,
          result.OpsPerSecond(), passes,
          static_cast<double>(merge_out) / 1e6, write_amp);
+  report->AddRun(result)
+      .Str("configuration", label)
+      .Num("merge1_passes", static_cast<double>(passes))
+      .Num("merge_bytes_out", static_cast<double>(merge_out))
+      .Num("write_amplification", write_amp);
 }
 
 }  // namespace
@@ -63,10 +68,12 @@ int main() {
   printf("\n%-34s %10s %8s %14s %12s\n", "configuration", "ops/s",
          "merges", "merge-out(MB)", "write-amp");
 
-  RunConfig("snowshovel, random keys", true, false, kRecords);
-  RunConfig("partitioned C0/C0', random keys", false, false, kRecords);
-  RunConfig("snowshovel, sequential keys", true, true, kRecords);
-  RunConfig("partitioned C0/C0', sequential", false, true, kRecords);
+  JsonReport report("ablation_snowshovel");
+  RunConfig(&report, "snowshovel, random keys", true, false, kRecords);
+  RunConfig(&report, "partitioned C0/C0', random keys", false, false,
+            kRecords);
+  RunConfig(&report, "snowshovel, sequential keys", true, true, kRecords);
+  RunConfig(&report, "partitioned C0/C0', sequential", false, true, kRecords);
 
   printf("\nPaper check (§4.2): snowshoveling raises C0's effective size\n"
          "(fewer merge passes for the same data) and cuts write\n"

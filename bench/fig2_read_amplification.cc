@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness.h"
 #include "sim/read_amplification.h"
 
 namespace blsm {
@@ -53,6 +54,30 @@ int main() {
   printf("Figure 2 reproduction: Bloom filters vs fractional cascading\n");
   blsm::PrintPanel(/*seeks=*/true);
   blsm::PrintPanel(/*seeks=*/false);
+
+  {
+    const double max_multiple = 16.0, step = 2.0;
+    blsm::bench::JsonReport report("fig2_read_amplification");
+    blsm::ReadAmpParams params;
+    auto add_curve = [&](const std::string& name, const auto& curve) {
+      double multiple = step;
+      for (const auto& pt : curve) {
+        report.AddRow()
+            .Str("curve", name)
+            .Num("data_size_x_ram", multiple)
+            .Num("seeks", pt.seeks)
+            .Num("bandwidth_pages", pt.bandwidth_pages);
+        multiple += step;
+      }
+    };
+    add_curve("bloom_three_level",
+              blsm::BloomThreeLevelCurve(max_multiple, step, params));
+    for (int r = 2; r <= 10; r++) {
+      add_curve(
+          "fractional_cascading_r" + std::to_string(r),
+          blsm::FractionalCascadingCurve(r, max_multiple, step, params));
+    }
+  }
   printf("\nPaper check: no setting of R gives fractional cascading reads\n"
          "competitive with Bloom filters (max Bloom amplification 1.03).\n");
   return 0;

@@ -34,6 +34,7 @@ int main() {
   using namespace blsm::ycsb;
 
   const uint64_t kRecords = Scaled(80000);  // ~80 MB of 1000 B values
+  JsonReport report("fig7_insert_timeseries");
 
   PrintHeader("Figure 7 reproduction: random-order insert timeseries");
   printf("load: %" PRIu64 " records x 1000 B, 8 unthrottled writers, "
@@ -62,6 +63,9 @@ int main() {
            static_cast<double>(tree->stats().write_stall_micros.load()) /
                1000.0);
     PrintModeledThroughput("bLSM", result.ops, result.io);
+    report.AddRun(result).Num(
+        "write_stall_micros",
+        static_cast<double>(tree->stats().write_stall_micros.load()));
   }
 
   {
@@ -83,6 +87,9 @@ int main() {
            static_cast<double>(tree->stats().write_stall_micros.load()) /
                1000.0);
     PrintModeledThroughput("LevelDB-like", result.ops, result.io);
+    report.AddRun(result).Num(
+        "write_stall_micros",
+        static_cast<double>(tree->stats().write_stall_micros.load()));
   }
 
   printf("\nPaper check: bLSM's throughput is more predictable and it\n"

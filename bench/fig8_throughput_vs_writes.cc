@@ -150,6 +150,18 @@ int main() {
   print_panel("(reference) locally measured wall-clock",
               [](const Series& s, size_t i) { return s.measured[i]; });
 
+  JsonReport report("fig8_throughput_vs_writes");
+  for (const auto& s : series) {
+    for (size_t i = 0; i < kWritePcts.size(); i++) {
+      report.AddRow()
+          .Str("series", s.name)
+          .Num("write_pct", kWritePcts[i])
+          .Num("hdd_model_ops_per_second", s.hdd[i])
+          .Num("ssd_model_ops_per_second", s.ssd[i])
+          .Num("measured_ops_per_second", s.measured[i]);
+    }
+  }
+
   printf("\nPaper check: RMW is strictly more expensive than reads; blind\n"
          "LSM writes pull away sharply as the write fraction grows; the\n"
          "B-tree loses at high write fractions on both device classes.\n");

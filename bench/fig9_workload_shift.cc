@@ -68,6 +68,10 @@ int main() {
          phase2.OpsPerSecond(), phase2.latency_us.ToString().c_str());
   PrintModeledThroughput("post-shift mix", phase2.ops, phase2.io);
 
+  JsonReport report("fig9_workload_shift");
+  report.AddRun(phase1).Str("phase", "pre_shift_uniform_writes");
+  report.AddRun(phase2).Str("phase", "post_shift_zipfian_serving");
+
   printf("\nPaper check: throughput ramps up after the shift as the cache\n"
          "warms, then levels off; latencies stay stable (paper: ~2 ms).\n");
   return 0;

@@ -7,10 +7,13 @@
 // paper (see DESIGN.md §3 for the index and EXPERIMENTS.md for results).
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "btree/btree.h"
 #include "engine/kv.h"
@@ -99,6 +102,116 @@ inline multilevel::MultilevelOptions DefaultMultilevelOptions(Env* env) {
   options.durability = DurabilityMode::kAsync;
   return options;
 }
+
+// --- machine-readable reporting ------------------------------------------
+
+// Accumulates one row of metrics per (engine, config) cell and writes
+// BENCH_<name>.json into the working directory when destroyed (or on an
+// explicit Write()). On by default so CI and scripts can scrape results;
+// BLSM_BENCH_JSON=0 disables the file.
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& Str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, Quote(value));
+      return *this;
+    }
+    Row& Num(const std::string& key, double value) {
+      char buf[64];
+      if (!std::isfinite(value)) {
+        snprintf(buf, sizeof(buf), "null");
+      } else if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+      } else {
+        snprintf(buf, sizeof(buf), "%.6g", value);
+      }
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+      }
+      out += '"';
+      return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    const char* flag = getenv("BLSM_BENCH_JSON");
+    enabled_ = flag == nullptr || std::string(flag) != "0";
+  }
+  ~JsonReport() { Write(); }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Common shape for driver results: label + throughput + latency + I/O.
+  Row& AddRun(const ycsb::RunResult& r) {
+    Row& row = AddRow();
+    row.Str("label", r.label)
+        .Num("ops", static_cast<double>(r.ops))
+        .Num("elapsed_seconds", r.elapsed_seconds)
+        .Num("ops_per_second", r.OpsPerSecond())
+        .Num("errors", static_cast<double>(r.errors))
+        .Num("latency_p50_us", r.latency_us.Percentile(50))
+        .Num("latency_p99_us", r.latency_us.Percentile(99))
+        .Num("read_seeks", static_cast<double>(r.io.read_seeks))
+        .Num("read_bytes", static_cast<double>(r.io.read_bytes))
+        .Num("write_bytes", static_cast<double>(r.io.write_bytes))
+        .Num("syncs", static_cast<double>(r.io.syncs));
+    return row;
+  }
+
+  // Idempotent: the first call writes the file, later calls are no-ops.
+  void Write() {
+    if (!enabled_ || written_) return;
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    fprintf(f, "{\n  \"bench\": %s,\n  \"rows\": [\n",
+            Row::Quote(name_).c_str());
+    for (size_t i = 0; i < rows_.size(); i++) {
+      fprintf(f, "    {");
+      const auto& fields = rows_[i].fields_;
+      for (size_t j = 0; j < fields.size(); j++) {
+        fprintf(f, "%s%s: %s", j == 0 ? "" : ", ",
+                Row::Quote(fields[j].first).c_str(), fields[j].second.c_str());
+      }
+      fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  bool enabled_;
+  bool written_ = false;
+  std::vector<Row> rows_;
+};
 
 // --- reporting -----------------------------------------------------------
 

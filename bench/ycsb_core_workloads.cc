@@ -29,6 +29,7 @@ int main() {
   std::vector<WorkloadSpec> workloads = {
       WorkloadA(kRecords), WorkloadB(kRecords), WorkloadC(kRecords),
       WorkloadD(kRecords), WorkloadE(kRecords), WorkloadF(kRecords)};
+  JsonReport report("ycsb_core_workloads");
 
   printf("%-14s", "engine");
   for (const auto& w : workloads) printf("%12s", w.name.c_str());
@@ -41,11 +42,13 @@ int main() {
     DriverOptions dopts;
     dopts.threads = 8;
     auto lr = RunLoad(engine, load, dopts, false, false);
+    report.AddRun(lr).Str("engine", name).Str("workload", "load");
     printf("%-14s", name);
     std::vector<double> p99s;
     for (const auto& w : workloads) {
       dopts.operations = kOps;
       auto r = RunWorkload(engine, w, dopts);
+      report.AddRun(r).Str("engine", name).Str("workload", w.name);
       printf("%12.0f", r.OpsPerSecond());
       p99s.push_back(r.latency_us.Percentile(99));
       if (r.errors > 0) printf("(!%llu)", (unsigned long long)r.errors);

@@ -27,6 +27,9 @@ class BlsmEngine : public Engine {
   Status Put(const Slice& key, const Slice& value) override {
     return tree_->Put(key, value);
   }
+  Status Write(const WriteBatch& batch) override {
+    return tree_->Write(batch);
+  }
   Status Get(const Slice& key, std::string* value) override {
     return tree_->Get(key, value);
   }
@@ -50,6 +53,7 @@ class BlsmEngine : public Engine {
 
   std::map<std::string, uint64_t> Stats() const override {
     const BlsmStats& s = tree_->stats();
+    const LogicalLog::Counters wal = tree_->WalCounters();
     return {
         {"puts", s.puts.load()},
         {"gets", s.gets.load()},
@@ -66,6 +70,13 @@ class BlsmEngine : public Engine {
         {"orphans_scavenged", s.orphans_scavenged.load()},
         {"on_disk_bytes", tree_->OnDiskBytes()},
         {"c0_live_bytes", tree_->C0LiveBytes()},
+        {"wal.records", wal.records},
+        {"wal.batches", wal.batches},
+        {"wal.syncs", wal.syncs},
+        {"wal.records_per_batch",
+         wal.batches != 0 ? wal.records / wal.batches : 0},
+        {"block_cache.hits", tree_->CacheHits()},
+        {"block_cache.misses", tree_->CacheMisses()},
     };
   }
 
@@ -84,6 +95,9 @@ class MultilevelEngine : public Engine {
 
   Status Put(const Slice& key, const Slice& value) override {
     return tree_->Put(key, value);
+  }
+  Status Write(const WriteBatch& batch) override {
+    return tree_->Write(batch);
   }
   Status Get(const Slice& key, std::string* value) override {
     return tree_->Get(key, value);
@@ -108,6 +122,7 @@ class MultilevelEngine : public Engine {
 
   std::map<std::string, uint64_t> Stats() const override {
     const multilevel::MultilevelStats& s = tree_->stats();
+    const LogicalLog::Counters wal = tree_->WalCounters();
     return {
         {"puts", s.puts.load()},
         {"gets", s.gets.load()},
@@ -121,6 +136,13 @@ class MultilevelEngine : public Engine {
         {"orphans_scavenged", s.orphans_scavenged.load()},
         {"files_l0", static_cast<uint64_t>(tree_->NumFilesAtLevel(0))},
         {"on_disk_bytes", tree_->OnDiskBytes()},
+        {"wal.records", wal.records},
+        {"wal.batches", wal.batches},
+        {"wal.syncs", wal.syncs},
+        {"wal.records_per_batch",
+         wal.batches != 0 ? wal.records / wal.batches : 0},
+        {"block_cache.hits", tree_->CacheHits()},
+        {"block_cache.misses", tree_->CacheMisses()},
     };
   }
 
@@ -140,6 +162,29 @@ class BTreeEngine : public Engine {
   Status Put(const Slice& key, const Slice& value) override {
     if (read_only_) return Status::NotSupported("engine is read-only");
     return tree_->Insert(key, value);
+  }
+  Status Write(const WriteBatch& batch) override {
+    if (read_only_) return Status::NotSupported("engine is read-only");
+    // No WAL and no batch atomicity here: apply the entries in order under
+    // the tree's own operation mutex. Deltas need a merge operator the
+    // B-tree doesn't have.
+    for (const auto& e : batch.entries()) {
+      Status s;
+      switch (e.type) {
+        case RecordType::kBase:
+          s = tree_->Insert(e.key, e.value);
+          break;
+        case RecordType::kTombstone:
+          s = tree_->Delete(e.key);
+          if (s.IsNotFound()) s = Status::OK();
+          break;
+        default:
+          s = Status::NotSupported("B-tree batches do not support deltas");
+          break;
+      }
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
   }
   Status Get(const Slice& key, std::string* value) override {
     return tree_->Get(key, value);

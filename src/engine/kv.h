@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/background_runner.h"
+#include "engine/write_batch.h"
 #include "io/env.h"
 #include "lsm/merge_operator.h"
 #include "util/status.h"
@@ -54,6 +55,11 @@ class Engine {
 
   // Blind upsert (LSMs) / update-in-place upsert (B-tree).
   virtual Status Put(const Slice& key, const Slice& value) = 0;
+  // Applies a WriteBatch as one write: the LSM engines commit it under one
+  // sequence-number range and one WAL record group (a single group-commit
+  // sync pays for the whole batch); the B-tree applies the entries in order
+  // under its operation mutex. Atomic for durability, not for readers.
+  virtual Status Write(const WriteBatch& batch) = 0;
   virtual Status Get(const Slice& key, std::string* value) = 0;
   // Blind delete: removing an absent key succeeds (LSM tombstone
   // semantics; the B-tree adapter normalizes its NotFound to OK).

@@ -1,0 +1,62 @@
+#ifndef BLSM_ENGINE_WRITE_BATCH_H_
+#define BLSM_ENGINE_WRITE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "lsm/record.h"
+#include "util/slice.h"
+
+namespace blsm::kv {
+
+// An ordered sequence of Put/Delete operations applied as one write: the
+// engine assigns the batch a contiguous sequence-number range and commits it
+// to the WAL as a single record group under one group-commit sync, so after
+// a crash either the whole batch is recovered or (if it was never
+// acknowledged) a prefix of it. Readers racing the apply may observe the
+// batch partially inserted into C0 — the engines promise atomic durability,
+// not snapshot isolation.
+//
+// Deltas ride through WriteBatch too (the LSM engines interpret them with
+// their MergeOperator); the B-tree adapter rejects them like WriteDelta.
+class WriteBatch {
+ public:
+  struct Entry {
+    RecordType type;
+    std::string key;
+    std::string value;
+  };
+
+  void Put(const Slice& key, const Slice& value) {
+    entries_.push_back({RecordType::kBase, key.ToString(), value.ToString()});
+  }
+
+  void Delete(const Slice& key) {
+    entries_.push_back({RecordType::kTombstone, key.ToString(), {}});
+  }
+
+  void Merge(const Slice& key, const Slice& delta) {
+    entries_.push_back({RecordType::kDelta, key.ToString(), delta.ToString()});
+  }
+
+  void Clear() { entries_.clear(); }
+
+  size_t Count() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+
+  // Payload bytes queued (keys + values), for batching heuristics.
+  size_t ApproximateBytes() const {
+    size_t total = 0;
+    for (const auto& e : entries_) total += e.key.size() + e.value.size();
+    return total;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace blsm::kv
+
+#endif  // BLSM_ENGINE_WRITE_BATCH_H_

@@ -73,6 +73,49 @@ Status WriteFrontend::Write(const Slice& key, RecordType type,
   return Status::OK();
 }
 
+Status WriteFrontend::Write(const kv::WriteBatch& batch) {
+  if (options_.read_only) {
+    return Status::NotSupported("engine is read-only");
+  }
+  if (batch.Empty()) return Status::OK();
+  if (options_.before_write) {
+    Status s = options_.before_write();
+    if (!s.ok()) return s;
+  }
+
+  {
+    std::shared_lock<std::shared_mutex> swap_guard(swap_mu_);
+    const uint64_t n = batch.Count();
+    // One contiguous range: the batch owns [first, first + n).
+    SequenceNumber first =
+        last_seq_.fetch_add(n, std::memory_order_relaxed) + 1;
+    if (log_ != nullptr) {
+      std::vector<std::string> payloads;
+      payloads.reserve(n);
+      SequenceNumber seq = first;
+      for (const auto& e : batch.entries()) {
+        std::string payload;
+        EncodeRecord(&payload, e.key, seq++, e.type, e.value);
+        payloads.push_back(std::move(payload));
+      }
+      Status s = log_->AppendGroup(payloads);
+      if (!s.ok()) return s;
+    }
+    std::shared_ptr<MemTable> mem;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      mem = active_;
+    }
+    SequenceNumber seq = first;
+    for (const auto& e : batch.entries()) {
+      mem->Add(seq++, e.type, e.key, e.value);
+    }
+  }
+
+  if (options_.after_write) options_.after_write();
+  return Status::OK();
+}
+
 Status WriteFrontend::Freeze(bool block) {
   std::unique_lock<std::shared_mutex> swap(swap_mu_, std::defer_lock);
   if (block) {

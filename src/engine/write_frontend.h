@@ -8,6 +8,7 @@
 #include <shared_mutex>
 #include <string>
 
+#include "engine/write_batch.h"
 #include "io/env.h"
 #include "lsm/record.h"
 #include "memtable/memtable.h"
@@ -62,6 +63,13 @@ class WriteFrontend {
   // before/after hooks around the critical section.
   Status Write(const Slice& key, RecordType type, const Slice& value);
 
+  // Applies a WriteBatch: one contiguous sequence-number range, one WAL
+  // record group (committed under a single group-commit sync), then every
+  // entry inserted into the active memtable. Durability is all-or-nothing;
+  // concurrent readers may see the batch partially applied while it is
+  // being inserted.
+  Status Write(const kv::WriteBatch& batch);
+
   // Moves the active memtable to the frozen slot and installs a fresh active
   // one. Fails with Busy if a frozen memtable already exists (the caller
   // retries after its merge completes). When `block` is false, also fails
@@ -94,6 +102,11 @@ class WriteFrontend {
     return last_seq_.load(std::memory_order_acquire);
   }
   DurabilityMode durability() const { return options_.durability; }
+
+  // Group-commit counters of the underlying log (zeros when logging is off).
+  LogicalLog::Counters WalCounters() const {
+    return log_ != nullptr ? log_->counters() : LogicalLog::Counters{};
+  }
 
   // Closes the log (flushing buffered async records). Call before tearing
   // down the engine; the destructor also does it.

@@ -289,6 +289,23 @@ Status BlsmTree::Put(const Slice& key, const Slice& value) {
   return WriteImpl(key, RecordType::kBase, value);
 }
 
+Status BlsmTree::Write(const kv::WriteBatch& batch) {
+  for (const auto& e : batch.entries()) {
+    switch (e.type) {
+      case RecordType::kBase:
+        stats_.puts.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RecordType::kTombstone:
+        stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RecordType::kDelta:
+        stats_.deltas.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  return frontend_->Write(batch);
+}
+
 Status BlsmTree::Delete(const Slice& key) {
   stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   return WriteImpl(key, RecordType::kTombstone, Slice());

@@ -10,6 +10,7 @@
 
 #include "buffer/block_cache.h"
 #include "engine/background_runner.h"
+#include "engine/write_batch.h"
 #include "engine/write_frontend.h"
 #include "io/env.h"
 #include "lsm/manifest.h"
@@ -117,6 +118,10 @@ class BlsmTree {
   // Blind write of a complete value: zero seeks (Table 1).
   Status Put(const Slice& key, const Slice& value);
 
+  // Applies a batch of blind writes atomically for durability: one sequence
+  // range, one WAL record group, one group-commit sync.
+  Status Write(const kv::WriteBatch& batch);
+
   // Blind delete (tombstone).
   Status Delete(const Slice& key);
 
@@ -166,6 +171,16 @@ class BlsmTree {
   SchedulerState ComputeSchedulerState() const;
 
   const BlsmStats& stats() const { return stats_; }
+
+  // WAL group-commit counters (wal.* in kv::Engine::Stats()).
+  LogicalLog::Counters WalCounters() const {
+    return frontend_->WalCounters();
+  }
+  // Block-cache hit/miss counters.
+  uint64_t CacheHits() const { return cache_ != nullptr ? cache_->hits() : 0; }
+  uint64_t CacheMisses() const {
+    return cache_ != nullptr ? cache_->misses() : 0;
+  }
 
   // Current on-disk footprint (bytes of data blocks across components).
   uint64_t OnDiskBytes() const;

@@ -26,7 +26,6 @@ void MemTable::Add(SequenceNumber seq, RecordType type, const Slice& user_key,
   const size_t ikey_size = user_key.size() + 8;
   const size_t encoded_len = VarintLength(ikey_size) + ikey_size +
                              VarintLength(value.size()) + value.size();
-  std::lock_guard<std::mutex> l(write_mu_);
   char* buf = arena_.Allocate(encoded_len);
   char* p = EncodeVarint32(buf, static_cast<uint32_t>(ikey_size));
   memcpy(p, user_key.data(), user_key.size());

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "lsm/record.h"
 #include "memtable/skiplist.h"
@@ -13,8 +12,11 @@
 namespace blsm {
 
 // C0: the in-memory tree component. A skiplist of encoded records in an
-// arena. Writers synchronize on an internal mutex; readers and iterators are
-// lock-free and may run concurrently with writers.
+// arena. Writers are lock-free: Add allocates from the thread-safe arena and
+// splices into the skiplist with CAS inserts, so any number of writer
+// threads proceed without contending on a memtable mutex (they serialize
+// only on the — group-committed — log upstream). Readers and iterators are
+// lock-free too and may run concurrently with writers.
 //
 // The snowshovel merge (§4.2) consumes entries through an Iterator, marking
 // each as consumed once it is durable downstream; CompactUnconsumed() then
@@ -86,7 +88,6 @@ class MemTable {
 
   Arena arena_;
   SkipList list_;
-  std::mutex write_mu_;
   std::atomic<size_t> inserted_bytes_{0};
   std::atomic<size_t> consumed_bytes_{0};
 };

@@ -20,6 +20,14 @@ struct SkipList::Node {
   void NoBarrierSetNext(int n, Node* x) {
     next_[n].store(x, std::memory_order_relaxed);
   }
+  // Splices this node's level-n successor in: succeeds only if the
+  // predecessor still points at `expected`, publishing `x` with release
+  // ordering so readers that reach it see its own next pointers.
+  bool CasNext(int n, Node* expected, Node* x) {
+    return next_[n].compare_exchange_strong(expected, x,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+  }
 
   // Variable-length tail: next_[0..height-1]; allocated inline by NewNode.
   std::atomic<Node*> next_[1];
@@ -40,7 +48,7 @@ SkipList::SkipList(Arena* arena)
     : arena_(arena),
       head_(NewNode(nullptr, kMaxHeight)),
       max_height_(1),
-      rnd_(0xdeadbeef),
+      rnd_state_(0xdeadbeef),
       count_(0) {
   for (int i = 0; i < kMaxHeight; i++) head_->SetNext(i, nullptr);
 }
@@ -52,9 +60,19 @@ SkipList::Node* SkipList::NewNode(const char* entry, int height) {
 }
 
 int SkipList::RandomHeight() {
-  static constexpr unsigned kBranching = 4;
+  // splitmix64 over an atomic counter: each caller draws an independent
+  // 64-bit value without sharing mutable RNG state. Two bits per level give
+  // the usual 1-in-4 branching; 12 levels consume 24 of the 64 bits.
+  uint64_t z = rnd_state_.fetch_add(0x9E3779B97F4A7C15ull,
+                                    std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
   int height = 1;
-  while (height < kMaxHeight && rnd_.OneIn(kBranching)) height++;
+  while (height < kMaxHeight && (z & 3) == 0) {
+    height++;
+    z >>= 2;
+  }
   return height;
 }
 
@@ -106,28 +124,59 @@ SkipList::Node* SkipList::FindLast() const {
   }
 }
 
+void SkipList::FindSpliceForLevel(const Slice& target, Node* before,
+                                  int level, Node** out_prev,
+                                  Node** out_next) const {
+  while (true) {
+    Node* next = before->Next(level);
+    if (next == nullptr || Compare(next->entry, target) >= 0) {
+      *out_prev = before;
+      *out_next = next;
+      return;
+    }
+    before = next;
+  }
+}
+
 void SkipList::Insert(const char* entry) {
   Node* prev[kMaxHeight];
+  Node* next[kMaxHeight];
   Slice ikey = EntryInternalKey(entry);
-  Node* x = FindGreaterOrEqual(ikey, prev);
-
-  // Sequence numbers make internal keys unique.
-  assert(x == nullptr || Compare(x->entry, ikey) != 0);
-  (void)x;
 
   int height = RandomHeight();
+  // Raise the list height with a CAS-max loop. Racing readers will see
+  // either the old or new height; both are safe because new levels point
+  // through head_.
   int cur_max = max_height_.load(std::memory_order_relaxed);
-  if (height > cur_max) {
-    for (int i = cur_max; i < height; i++) prev[i] = head_;
-    // Racing readers will see either the old or new height; both are safe
-    // because new levels point through head_.
-    max_height_.store(height, std::memory_order_relaxed);
+  while (height > cur_max &&
+         !max_height_.compare_exchange_weak(cur_max, height,
+                                            std::memory_order_relaxed)) {
   }
 
-  Node* n = NewNode(entry, height);
-  for (int i = 0; i < height; i++) {
-    n->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
-    prev[i]->SetNext(i, n);  // release: publishes the node
+  // Full splice: descend from the top, keeping the predecessor at every
+  // level. Levels above the list height fall through head_ immediately.
+  Node* before = head_;
+  for (int level = kMaxHeight - 1; level >= 0; level--) {
+    FindSpliceForLevel(ikey, before, level, &prev[level], &next[level]);
+    before = prev[level];
+  }
+
+  // Sequence numbers make internal keys unique.
+  assert(next[0] == nullptr || Compare(next[0]->entry, ikey) != 0);
+
+  // Link bottom-up, CASing each level in; a failed CAS means a concurrent
+  // insert moved the splice, so re-find from the stale predecessor (never
+  // from head_ — predecessors only move forward in an insert-only list).
+  Node* x = NewNode(entry, height);
+  for (int level = 0; level < height; level++) {
+    while (true) {
+      x->NoBarrierSetNext(level, next[level]);
+      if (prev[level]->CasNext(level, next[level], x)) break;
+      FindSpliceForLevel(ikey, prev[level], level, &prev[level],
+                         &next[level]);
+      assert(level > 0 || next[level] == nullptr ||
+             Compare(next[level]->entry, ikey) != 0);
+    }
   }
   count_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -7,16 +7,19 @@
 
 #include "lsm/record.h"
 #include "util/arena.h"
-#include "util/random.h"
 #include "util/slice.h"
 
 namespace blsm {
 
 // Concurrent insert-only skiplist over encoded records (see lsm/record.h for
-// the entry encoding), ordered by internal key. Modeled on the LevelDB
-// skiplist: writers are externally synchronized (the MemTable holds a write
-// mutex); readers and iterators are lock-free and may run concurrently with
-// inserts, observing a prefix-consistent view.
+// the entry encoding), ordered by internal key. Modeled on the LevelDB /
+// RocksDB skiplists, with RocksDB's concurrent-insert extension: Insert is
+// CAS-based (each level splices in with a compare-exchange, retrying from
+// the failed predecessor on contention), so any number of writer threads may
+// insert without external locking. Readers and iterators are lock-free and
+// may run concurrently with inserts, observing a prefix-consistent view:
+// a node is published bottom-up, so once visible at level L it is reachable
+// at every level below.
 //
 // Each node additionally carries a monotonic `consumed` flag used by
 // snowshoveling (§4.2): the C0:C1 merge marks entries as it emits them, and
@@ -28,9 +31,10 @@ class SkipList {
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
-  // Inserts an encoded record. The internal key must not already be present
-  // (sequence numbers make every internal key unique). entry must point into
-  // memory that outlives the list (normally the same arena).
+  // Inserts an encoded record; safe to call from any number of threads
+  // concurrently. The internal key must not already be present (sequence
+  // numbers make every internal key unique). entry must point into memory
+  // that outlives the list (normally the same arena).
   void Insert(const char* entry);
 
   bool Contains(const char* entry) const;
@@ -73,13 +77,17 @@ class SkipList {
   Node* FindGreaterOrEqual(const Slice& target, Node** prev) const;
   Node* FindLessThan(const Slice& target) const;
   Node* FindLast() const;
+  // Walks forward from `before` at `level` until the next node is >= target
+  // (or null); returns the splice pair for that level.
+  void FindSpliceForLevel(const Slice& target, Node* before, int level,
+                          Node** out_prev, Node** out_next) const;
 
   static int Compare(const char* entry_a, const Slice& ikey_b);
 
   Arena* const arena_;
   Node* const head_;
   std::atomic<int> max_height_;
-  Random rnd_;
+  std::atomic<uint64_t> rnd_state_;  // lock-free height generator
   std::atomic<size_t> count_;
 };
 

@@ -267,6 +267,15 @@ Status MultilevelTree::Put(const Slice& key, const Slice& value) {
   return WriteImpl(key, RecordType::kBase, value);
 }
 
+Status MultilevelTree::Write(const kv::WriteBatch& batch) {
+  for (const auto& e : batch.entries()) {
+    if (e.type == RecordType::kBase) {
+      stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return frontend_->Write(batch);
+}
+
 Status MultilevelTree::Delete(const Slice& key) {
   return WriteImpl(key, RecordType::kTombstone, Slice());
 }

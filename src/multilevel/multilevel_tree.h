@@ -10,6 +10,7 @@
 
 #include "buffer/block_cache.h"
 #include "engine/background_runner.h"
+#include "engine/write_batch.h"
 #include "engine/write_frontend.h"
 #include "io/env.h"
 #include "lsm/merge_iterator.h"
@@ -94,6 +95,9 @@ class MultilevelTree {
   MultilevelTree& operator=(const MultilevelTree&) = delete;
 
   Status Put(const Slice& key, const Slice& value);
+  // Applies a batch of writes atomically for durability: one sequence range,
+  // one WAL record group, one group-commit sync.
+  Status Write(const kv::WriteBatch& batch);
   Status Delete(const Slice& key);
   Status WriteDelta(const Slice& key, const Slice& delta);
 
@@ -121,6 +125,16 @@ class MultilevelTree {
   Status BackgroundError() const;
   int NumFilesAtLevel(int level) const;
   uint64_t OnDiskBytes() const;
+
+  // WAL group-commit counters (wal.* in kv::Engine::Stats()).
+  LogicalLog::Counters WalCounters() const {
+    return frontend_->WalCounters();
+  }
+  // Block-cache hit/miss counters.
+  uint64_t CacheHits() const { return cache_ != nullptr ? cache_->hits() : 0; }
+  uint64_t CacheMisses() const {
+    return cache_ != nullptr ? cache_->misses() : 0;
+  }
 
  private:
   MultilevelTree(const MultilevelOptions& options, std::string dir);

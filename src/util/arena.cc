@@ -2,42 +2,40 @@
 
 namespace blsm {
 
-char* Arena::AllocateFallback(size_t bytes) {
-  if (bytes > kBlockSize / 4) {
-    // Large objects get their own block so we don't waste the rest of the
-    // current block's headroom.
-    return AllocateNewBlock(bytes);
+char* Arena::AllocateSlow(size_t needed) {
+  std::lock_guard<std::mutex> l(mu_);
+  // Another thread may have installed a fresh block while we waited.
+  Block* b = current_.load(std::memory_order_relaxed);
+  if (b != nullptr) {
+    size_t off = b->used.fetch_add(needed, std::memory_order_relaxed);
+    if (off + needed <= b->size) return b->data.get() + off;
   }
-  alloc_ptr_ = AllocateNewBlock(kBlockSize);
-  alloc_bytes_remaining_ = kBlockSize;
-  char* result = alloc_ptr_;
-  alloc_ptr_ += bytes;
-  alloc_bytes_remaining_ -= bytes;
-  return result;
-}
 
-char* Arena::AllocateAligned(size_t bytes) {
-  constexpr size_t kAlign = alignof(void*);
-  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be power of 2");
-  size_t mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
-  size_t slop = (mod == 0 ? 0 : kAlign - mod);
-  size_t needed = bytes + slop;
-  if (needed <= alloc_bytes_remaining_) {
-    char* result = alloc_ptr_ + slop;
-    alloc_ptr_ += needed;
-    alloc_bytes_remaining_ -= needed;
+  if (needed > kBlockSize / 4) {
+    // Large objects get their own block so we don't waste the rest of the
+    // current block's headroom; current_ stays as-is for small allocations.
+    auto block = std::make_unique<Block>();
+    block->data = std::make_unique<char[]>(needed);
+    block->size = needed;
+    block->used.store(needed, std::memory_order_relaxed);
+    char* result = block->data.get();
+    memory_usage_.fetch_add(needed + sizeof(Block),
+                            std::memory_order_relaxed);
+    blocks_.push_back(std::move(block));
     return result;
   }
-  // Fallback blocks from new[] are already suitably aligned.
-  return AllocateFallback(bytes);
-}
 
-char* Arena::AllocateNewBlock(size_t block_bytes) {
-  auto block = std::make_unique<char[]>(block_bytes);
-  char* result = block.get();
-  blocks_.push_back(std::move(block));
-  memory_usage_.fetch_add(block_bytes + sizeof(blocks_.back()),
+  auto block = std::make_unique<Block>();
+  block->data = std::make_unique<char[]>(kBlockSize);
+  block->size = kBlockSize;
+  block->used.store(needed, std::memory_order_relaxed);
+  char* result = block->data.get();
+  memory_usage_.fetch_add(kBlockSize + sizeof(Block),
                           std::memory_order_relaxed);
+  // Publish after the block is fully initialized: the release pairs with
+  // the acquire load in Allocate.
+  current_.store(block.get(), std::memory_order_release);
+  blocks_.push_back(std::move(block));
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace blsm {
@@ -14,25 +15,32 @@ namespace blsm {
 // live until the arena is destroyed; there is no per-allocation free, which
 // matches the LSM memtable lifecycle (entries die when the component is
 // merged away). MemoryUsage() is the signal the merge schedulers throttle on.
+//
+// Thread-safe: concurrent writers allocate through a lock-free fetch_add on
+// the current block's offset (every allocation is rounded up to pointer
+// alignment, so offsets stay aligned); only installing a replacement block
+// takes a mutex. Blocks are immutable once created, so a pointer handed out
+// stays valid without synchronization.
 class Arena {
  public:
-  Arena() : alloc_ptr_(nullptr), alloc_bytes_remaining_(0), memory_usage_(0) {}
+  Arena() : current_(nullptr), memory_usage_(0) {}
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
   char* Allocate(size_t bytes) {
     assert(bytes > 0);
-    if (bytes <= alloc_bytes_remaining_) {
-      char* result = alloc_ptr_;
-      alloc_ptr_ += bytes;
-      alloc_bytes_remaining_ -= bytes;
-      return result;
+    const size_t needed = RoundUp(bytes);
+    Block* b = current_.load(std::memory_order_acquire);
+    if (b != nullptr) {
+      size_t off = b->used.fetch_add(needed, std::memory_order_relaxed);
+      if (off + needed <= b->size) return b->data.get() + off;
     }
-    return AllocateFallback(bytes);
+    return AllocateSlow(needed);
   }
 
-  // Aligned for pointer-sized loads (skiplist nodes).
-  char* AllocateAligned(size_t bytes);
+  // All allocations are pointer-aligned (sizes round up), so this is the
+  // same path; kept for call-site clarity (skiplist nodes).
+  char* AllocateAligned(size_t bytes) { return Allocate(bytes); }
 
   // Total bytes reserved by the arena (including block headroom), suitable
   // for backpressure decisions.
@@ -42,13 +50,26 @@ class Arena {
 
  private:
   static constexpr size_t kBlockSize = 1 << 20;  // 1 MiB
+  static constexpr size_t kAlign = alignof(void*);
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be power of 2");
 
-  char* AllocateFallback(size_t bytes);
-  char* AllocateNewBlock(size_t block_bytes);
+  static size_t RoundUp(size_t bytes) {
+    return (bytes + kAlign - 1) & ~(kAlign - 1);
+  }
 
-  char* alloc_ptr_;
-  size_t alloc_bytes_remaining_;
-  std::vector<std::unique_ptr<char[]>> blocks_;
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    // Bump offset; may race past `size`, in which case the loser retries on
+    // a fresh block. Never wraps in practice (size_t vs ~MiB blocks).
+    std::atomic<size_t> used{0};
+  };
+
+  char* AllocateSlow(size_t needed);  // `needed` already rounded up
+
+  std::atomic<Block*> current_;
+  mutable std::mutex mu_;  // guards blocks_ and current_ replacement
+  std::vector<std::unique_ptr<Block>> blocks_;
   std::atomic<size_t> memory_usage_;
 };
 

@@ -4,10 +4,11 @@ namespace blsm {
 
 Status LogicalLog::Open() {
   if (mode_ == DurabilityMode::kNone) return Status::OK();
-  std::lock_guard<std::mutex> l(mu_);
   std::unique_ptr<WritableFile> file;
   Status s = env_->NewWritableFile(path_, &file);
   if (!s.ok()) return s;
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::lock_guard<std::mutex> l(mu_);
   writer_ = std::make_unique<wal::LogWriter>(std::move(file));
   return Status::OK();
 }
@@ -15,31 +16,109 @@ Status LogicalLog::Open() {
 Status LogicalLog::Append(const Slice& user_key, SequenceNumber seq,
                           RecordType type, const Slice& value) {
   if (mode_ == DurabilityMode::kNone) return Status::OK();
-  std::string payload;
-  EncodeRecord(&payload, user_key, seq, type, value);
-  std::lock_guard<std::mutex> l(mu_);
-  if (writer_ == nullptr) return Status::IOError("logical log not open");
-  if (!bad_.ok()) return bad_;
-  Status s = writer_->AddRecord(payload);
-  if (s.ok() && mode_ == DurabilityMode::kSync) s = writer_->Sync();
-  // A failed (possibly torn) append leaves the tail in an unknown state;
-  // appending more records after garbage could make them unrecoverable, so
-  // refuse everything until a Restart() writes a fresh file.
-  if (!s.ok()) bad_ = s;
+  Waiter w;
+  EncodeRecord(&w.single, user_key, seq, type, value);
+  w.record_count = 1;
+  return Commit(&w);
+}
+
+Status LogicalLog::AppendGroup(const std::vector<std::string>& payloads) {
+  if (mode_ == DurabilityMode::kNone || payloads.empty()) return Status::OK();
+  Waiter w;
+  w.group = &payloads;
+  w.record_count = payloads.size();
+  return Commit(&w);
+}
+
+// Leader/follower group commit. Every caller enqueues; the thread that finds
+// itself at the front becomes the leader for everything queued at that
+// moment, writes the whole batch under io_mu_ (mu_ released, so later
+// writers keep queuing up behind it — they form the next batch), then
+// completes every waiter with the shared status and wakes the next leader.
+Status LogicalLog::Commit(Waiter* w) {
+  std::unique_lock<std::mutex> l(mu_);
+  queue_.push_back(w);
+  while (!w->done && queue_.front() != w) cv_.wait(l);
+  if (w->done) return w->status;  // a leader committed (or failed) us
+
+  // Leader. Snapshot the batch; it stays on the queue so arrivals during
+  // the write wait behind us instead of electing a second leader.
+  std::vector<Waiter*> batch(queue_.begin(), queue_.end());
+  uint64_t batch_records = 0;
+  for (Waiter* m : batch) batch_records += m->record_count;
+
+  l.unlock();
+  Status s;
+  bool attempted = false;
+  {
+    std::lock_guard<std::mutex> io(io_mu_);
+    {
+      // writer_ and bad_ can only change under io_mu_ (Restart/Close hold
+      // it), so this check stays valid for the whole write below.
+      std::lock_guard<std::mutex> l2(mu_);
+      if (writer_ == nullptr) {
+        s = Status::IOError("logical log not open");
+      } else if (!bad_.ok()) {
+        s = bad_;
+      }
+    }
+    if (s.ok()) {
+      attempted = true;
+      for (Waiter* m : batch) {
+        if (m->group != nullptr) {
+          for (const std::string& payload : *m->group) {
+            s = writer_->AddRecord(payload);
+            if (!s.ok()) break;
+          }
+        } else {
+          s = writer_->AddRecord(m->single);
+        }
+        if (!s.ok()) break;
+      }
+      if (s.ok() && mode_ == DurabilityMode::kSync) {
+        s = writer_->Sync();
+        syncs_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  l.lock();
+  if (attempted) {
+    if (s.ok()) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      records_.fetch_add(batch_records, std::memory_order_relaxed);
+    } else {
+      // A failed (possibly torn) batch leaves the tail in an unknown state;
+      // appending more records after garbage could make them unrecoverable,
+      // so refuse everything until a Restart() writes a fresh file. Every
+      // waiter in this batch fails with the identical status.
+      bad_ = s;
+    }
+  }
+  for (Waiter* m : batch) {
+    queue_.pop_front();
+    m->status = s;
+    m->done = true;
+  }
+  cv_.notify_all();
   return s;
 }
 
 Status LogicalLog::Flush() {
   if (mode_ == DurabilityMode::kNone) return Status::OK();
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> io(io_mu_);
   if (writer_ == nullptr) return Status::OK();
-  return mode_ == DurabilityMode::kSync ? writer_->Sync() : writer_->Flush();
+  if (mode_ == DurabilityMode::kSync) {
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    return writer_->Sync();
+  }
+  return writer_->Flush();
 }
 
 Status LogicalLog::Restart(
     const std::function<Status(wal::LogWriter*)>& relog) {
   if (mode_ == DurabilityMode::kNone) return Status::OK();
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> io(io_mu_);
   // Write the replacement log beside the old one, then atomically swap.
   std::string tmp = path_ + ".new";
   std::unique_ptr<WritableFile> file;
@@ -53,22 +132,31 @@ Status LogicalLog::Restart(
   // Only strict-durability mode pays an fsync here; in kAsync the log's
   // contract already tolerates losing the unsynced tail (§4.4.2), and this
   // path can run inside a writer-excluding critical section.
-  s = mode_ == DurabilityMode::kSync ? fresh->Sync() : fresh->Flush();
+  if (mode_ == DurabilityMode::kSync) {
+    s = fresh->Sync();
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s = fresh->Flush();
+  }
   if (!s.ok()) return s;
   s = env_->RenameFile(tmp, path_);
   if (!s.ok()) return s;  // old log and writer stay valid — nothing changed
   if (writer_ != nullptr) writer_->Close();
+  std::lock_guard<std::mutex> l(mu_);
   writer_ = std::move(fresh);
   bad_ = Status::OK();  // fresh file: the unknown tail is gone
   return Status::OK();
 }
 
 Status LogicalLog::Close() {
-  std::lock_guard<std::mutex> l(mu_);
-  if (writer_ == nullptr) return Status::OK();
-  Status s = writer_->Close();
-  writer_.reset();
-  return s;
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::unique_ptr<wal::LogWriter> writer;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    writer = std::move(writer_);
+  }
+  if (writer == nullptr) return Status::OK();
+  return writer->Close();
 }
 
 Status LogicalLog::Replay(

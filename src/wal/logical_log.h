@@ -1,10 +1,14 @@
 #ifndef BLSM_WAL_LOGICAL_LOG_H_
 #define BLSM_WAL_LOGICAL_LOG_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "io/env.h"
 #include "lsm/record.h"
@@ -16,31 +20,53 @@ namespace blsm {
 // Durability for individual writes (§4.4.2). The physical manifest keeps the
 // tree physically consistent; this logical log replays recent updates into
 // C0 after a crash. Durability modes:
-//   kSync  — fsync after every append (strict durability),
+//   kSync  — fsync before acknowledging every append (strict durability),
 //   kAsync — append without sync, as the paper's benchmarks run ("none of
 //            the systems sync their logs at commit", §5.1),
 //   kNone  — degraded mode: no logging at all; after a crash, updates since
 //            the last merge are lost (useful for replication sinks).
 enum class DurabilityMode { kSync, kAsync, kNone };
 
+// Append commits through GROUP COMMIT: concurrent callers enqueue their
+// encoded records, the thread at the front of the queue becomes the leader,
+// drains everything queued into one physical write, issues a single Sync
+// (kSync), and completes every queued waiter with the shared batch status.
+// A lone writer therefore still pays exactly one sync per append, while N
+// concurrent writers share one sync per batch — the commit path the paper
+// assumes when it treats log bandwidth, not log latency, as the write
+// bottleneck (§4.4.2).
 class LogicalLog {
  public:
+  // Group-commit observability (wal.* in kv::Engine::Stats()).
+  struct Counters {
+    uint64_t records = 0;  // records acknowledged through Append/AppendGroup
+    uint64_t batches = 0;  // physical group-commit batches written
+    uint64_t syncs = 0;    // fsyncs issued by the log
+  };
+
   LogicalLog(Env* env, std::string path, DurabilityMode mode)
       : env_(env), path_(std::move(path)), mode_(mode) {}
 
   // Opens (truncating) a fresh log file.
   Status Open();
 
-  // Appends one logical record. Thread-safe.
+  // Appends one logical record. Thread-safe; may commit as part of a group.
   //
-  // After any failed append or sync the log is POISONED: every further
-  // Append fails with the original error until a Restart() succeeds. This
-  // is a durability requirement, not bookkeeping — a failed (possibly torn)
-  // append leaves the file tail in an unknown state, and a later record
-  // written after garbage in the same block would be dropped by the reader,
-  // silently losing an acknowledged write.
+  // After any failed append or sync the log is POISONED: every waiter in the
+  // failed batch receives the same error, and every further Append fails
+  // with the original error until a Restart() succeeds. This is a durability
+  // requirement, not bookkeeping — a failed (possibly torn) append leaves
+  // the file tail in an unknown state, and a later record written after
+  // garbage in the same block would be dropped by the reader, silently
+  // losing an acknowledged write.
   Status Append(const Slice& user_key, SequenceNumber seq, RecordType type,
                 const Slice& value);
+
+  // Appends a pre-encoded group of records (see EncodeRecord) as ONE commit
+  // unit: the group is written contiguously by a single leader, covered by
+  // at most one sync, and acknowledged with one shared status. This is the
+  // WriteBatch log path.
+  Status AppendGroup(const std::vector<std::string>& payloads);
 
   // Forces buffered appends to the OS (and to disk in kSync mode).
   Status Flush();
@@ -55,7 +81,10 @@ class LogicalLog {
 
   // Replays every record in `path` through the callback (applied in log
   // order). Safe on truncated tails. Missing file is not an error (fresh
-  // database or kNone mode).
+  // database or kNone mode). Note group commit may interleave records from
+  // concurrent writers out of sequence-number order; replay targets (the
+  // memtable) order by sequence number, so log order only has to preserve
+  // batch atomicity, not global ordering.
   static Status Replay(
       Env* env, const std::string& path,
       const std::function<void(const Slice& user_key, SequenceNumber seq,
@@ -69,13 +98,48 @@ class LogicalLog {
     return bad_;
   }
 
+  Counters counters() const {
+    Counters c;
+    c.records = records_.load(std::memory_order_relaxed);
+    c.batches = batches_.load(std::memory_order_relaxed);
+    c.syncs = syncs_.load(std::memory_order_relaxed);
+    return c;
+  }
+
  private:
+  // One queued commit: either a single encoded record (owned) or a borrowed
+  // group. Stack-allocated by the appending thread; the leader completes it
+  // under mu_ before waking the owner.
+  struct Waiter {
+    const std::vector<std::string>* group = nullptr;
+    std::string single;
+    size_t record_count = 1;
+    Status status;
+    bool done = false;
+  };
+
+  Status Commit(Waiter* w);
+
   Env* env_;
   std::string path_;
   DurabilityMode mode_;
+
+  // mu_ guards the commit queue, bad_, and writer_ *pointer* changes; the
+  // leader performs file I/O under io_mu_ only, so followers can keep
+  // enqueuing while a batch is being written. Writer swaps (Open/Restart/
+  // Close) hold io_mu_ then mu_, so reading the pointer under either mutex
+  // is stable. Lock order: io_mu_ before mu_; the leader never holds both.
   std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;
   std::unique_ptr<wal::LogWriter> writer_;
   Status bad_;  // set on append/sync failure; cleared on successful Restart
+
+  std::mutex io_mu_;
+
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> syncs_{0};
 };
 
 }  // namespace blsm

@@ -23,11 +23,11 @@ class TimeSeries {
   explicit TimeSeries(double bucket_seconds)
       : bucket_us_(static_cast<uint64_t>(bucket_seconds * 1e6)) {}
 
-  void Record(uint64_t elapsed_us, uint64_t latency_us) {
+  void Record(uint64_t elapsed_us, uint64_t latency_us, uint64_t ops = 1) {
     size_t idx = elapsed_us / bucket_us_;
     std::lock_guard<std::mutex> l(mu_);
     if (buckets_.size() <= idx) buckets_.resize(idx + 1);
-    buckets_[idx].ops++;
+    buckets_[idx].ops += ops;
     buckets_[idx].max_latency_us =
         std::max(buckets_[idx].max_latency_us, latency_us);
   }
@@ -142,6 +142,10 @@ RunResult RunLoad(kv::Engine* engine, const WorkloadSpec& spec,
   std::atomic<uint64_t> errors{0};
   TimeSeries series(options.bucket_seconds);
   std::vector<Histogram> histograms(options.threads);
+  // The existence probe is inherently per-record, so batching only applies
+  // to the blind-insert load.
+  const uint64_t batch_size =
+      check_exists ? 1 : std::max<uint64_t>(1, options.batch_size);
 
   const uint64_t start_us = NowMicros();
   std::vector<std::thread> threads;
@@ -150,20 +154,37 @@ RunResult RunLoad(kv::Engine* engine, const WorkloadSpec& spec,
     threads.emplace_back([&, t] {
       ValueGenerator values(options.seed * 7919 + static_cast<uint64_t>(t));
       Histogram& hist = histograms[t];
+      kv::WriteBatch batch;
       while (true) {
-        uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
-        if (id >= spec.record_count) break;
-        std::string key = FormatKey(id, /*hashed=*/!sorted);
-        std::string value = values.Next(id, spec.value_size);
+        // Claim a contiguous range of ids so a batch stays one Write call.
+        uint64_t first =
+            next_id.fetch_add(batch_size, std::memory_order_relaxed);
+        if (first >= spec.record_count) break;
+        uint64_t limit = std::min(first + batch_size, spec.record_count);
         uint64_t begin = NowMicros();
-        Status s = check_exists ? engine->InsertIfNotExists(key, value)
-                                : engine->Put(key, value);
+        Status s;
+        if (batch_size == 1) {
+          std::string key = FormatKey(first, /*hashed=*/!sorted);
+          std::string value = values.Next(first, spec.value_size);
+          s = check_exists ? engine->InsertIfNotExists(key, value)
+                           : engine->Put(key, value);
+        } else {
+          batch.Clear();
+          for (uint64_t id = first; id < limit; id++) {
+            batch.Put(FormatKey(id, /*hashed=*/!sorted),
+                      values.Next(id, spec.value_size));
+          }
+          s = engine->Write(batch);
+        }
         uint64_t end = NowMicros();
         if (!s.ok() && !s.IsKeyExists()) {
           errors.fetch_add(1, std::memory_order_relaxed);
         }
-        hist.Add(end - begin);
-        series.Record(end - start_us, end - begin);
+        // One latency sample per record so histograms stay comparable
+        // across batch sizes.
+        uint64_t per_record = (end - begin) / (limit - first);
+        for (uint64_t id = first; id < limit; id++) hist.Add(per_record);
+        series.Record(end - start_us, end - begin, limit - first);
       }
     });
   }

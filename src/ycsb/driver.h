@@ -41,6 +41,11 @@ struct DriverOptions {
   uint64_t seed = 42;
   // When set, the run's I/O delta is captured into RunResult::io.
   IoStats* io_stats = nullptr;
+  // RunLoad only: group this many records into one kv::WriteBatch per
+  // engine->Write call (one group-commit sync pays for the whole batch).
+  // 1 means plain Put per record; ignored when check_exists is set (the
+  // existence probe is inherently per-record).
+  uint64_t batch_size = 1;
 };
 
 // Runs `spec.operations` mixed operations against a pre-loaded engine. The

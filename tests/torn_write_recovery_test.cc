@@ -22,7 +22,10 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "engine/write_batch.h"
 #include "io/fault_injection_env.h"
 #include "io/mem_env.h"
 #include "lsm/blsm_tree.h"
@@ -63,6 +66,9 @@ struct BlsmAdapter {
   static Status Get(const TreePtr& t, const std::string& k, std::string* v) {
     return t->Get(k, v);
   }
+  static Status Write(const TreePtr& t, const kv::WriteBatch& b) {
+    return t->Write(b);
+  }
   static void Churn(const TreePtr& t) { t->Flush().ok(); }
 };
 
@@ -88,6 +94,9 @@ struct MultilevelAdapter {
   }
   static Status Get(const TreePtr& t, const std::string& k, std::string* v) {
     return t->Get(k, v);
+  }
+  static Status Write(const TreePtr& t, const kv::WriteBatch& b) {
+    return t->Write(b);
   }
   static void Churn(const TreePtr& t) { t->CompactAll().ok(); }
 };
@@ -196,6 +205,114 @@ void RunCrashMonkey(uint64_t seed, DurabilityMode mode) {
   }
 }
 
+// Multi-writer epochs: concurrent writers with disjoint key stripes (a mix
+// of single Puts, Deletes, and WriteBatches) race each other into the
+// group-committed WAL while faults fire, then a power cut hits. The kSync
+// contract extends naturally: per stripe, the state recovers to exactly the
+// writer's acked writes — and an acked BATCH is all-or-nothing, since its
+// records share one physical batch and one sync. A sync failure inside a
+// group commit fails every writer in that batch identically (the log
+// poisons itself), so an un-acked write never silently survives as acked.
+template <typename Adapter>
+void RunConcurrentCrashMonkey(uint64_t seed) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kStripeKeys = 12;
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+
+  // Per-stripe acked state; only stripe w's thread writes models[w].
+  struct StripeModel {
+    std::map<std::string, std::string> live;
+    std::set<std::string> dead;
+  };
+  std::vector<StripeModel> models(kWriters);
+
+  auto stripe_key = [](int w, uint64_t i) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "w%d-k%03llu", w,
+             static_cast<unsigned long long>(i));
+    return std::string(buf);
+  };
+
+  for (int epoch = 0; epoch < kEpochs; epoch++) {
+    typename Adapter::TreePtr tree;
+    Status s = Adapter::Open(&env, DurabilityMode::kSync, &tree);
+    ASSERT_TRUE(s.ok()) << "seed " << seed << " epoch " << epoch
+                        << ": reopen after crash failed: " << s.ToString();
+
+    // Device healthy: every stripe must read back exactly its acked state.
+    for (int w = 0; w < kWriters; w++) {
+      for (const auto& [key, value] : models[w].live) {
+        std::string got;
+        s = Adapter::Get(tree, key, &got);
+        ASSERT_TRUE(s.ok()) << "seed " << seed << " epoch " << epoch
+                            << ": acked key " << key << " lost: "
+                            << s.ToString();
+        ASSERT_EQ(got, value) << "seed " << seed << " epoch " << epoch
+                              << ": acked key " << key << " stale";
+      }
+      for (const auto& key : models[w].dead) {
+        std::string got;
+        s = Adapter::Get(tree, key, &got);
+        ASSERT_TRUE(s.IsNotFound())
+            << "seed " << seed << " epoch " << epoch << ": acked delete of "
+            << key << " resurrected";
+      }
+    }
+
+    env.SetPolicy(PolicyFor(seed, epoch, DurabilityMode::kSync));
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; w++) {
+      writers.emplace_back([&, w] {
+        Random rng(seed * 104729 + static_cast<uint64_t>(epoch) * 31 +
+                   static_cast<uint64_t>(w));
+        auto& model = models[w];
+        int ops = 30 + static_cast<int>(rng.Uniform(40));
+        for (int op = 0; op < ops; op++) {
+          std::string key = stripe_key(w, rng.Uniform(kStripeKeys));
+          uint64_t roll = rng.Uniform(100);
+          if (roll < 20) {
+            // Batch: acked => every record in it is durable together.
+            kv::WriteBatch batch;
+            std::vector<std::pair<std::string, std::string>> staged;
+            for (int b = 0; b < 3; b++) {
+              std::string bkey = stripe_key(w, rng.Uniform(kStripeKeys));
+              std::string bval = "b" + std::to_string(rng.Uniform(1000000));
+              batch.Put(bkey, bval);
+              staged.emplace_back(std::move(bkey), std::move(bval));
+            }
+            if (Adapter::Write(tree, batch).ok()) {
+              for (auto& [bkey, bval] : staged) {
+                model.live[bkey] = bval;
+                model.dead.erase(bkey);
+              }
+            }
+          } else if (roll < 70) {
+            std::string value = "v" + std::to_string(rng.Uniform(1000000));
+            if (Adapter::Put(tree, key, value).ok()) {
+              model.live[key] = value;
+              model.dead.erase(key);
+            }
+          } else if (roll < 90) {
+            if (Adapter::Del(tree, key).ok()) {
+              model.live.erase(key);
+              model.dead.insert(key);
+            }
+          } else {
+            std::string value;
+            Adapter::Get(tree, key, &value).ok();
+          }
+        }
+      });
+    }
+    for (auto& th : writers) th.join();
+
+    tree.reset();
+    env.Heal();
+    base.DropUnsynced();
+  }
+}
+
 class TornWriteRecoveryTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(TornWriteRecoveryTest, BlsmSyncPrefixConsistent) {
@@ -212,6 +329,14 @@ TEST_P(TornWriteRecoveryTest, MultilevelSyncPrefixConsistent) {
 
 TEST_P(TornWriteRecoveryTest, MultilevelAsyncRecoversWithoutFabrication) {
   RunCrashMonkey<MultilevelAdapter>(GetParam(), DurabilityMode::kAsync);
+}
+
+TEST_P(TornWriteRecoveryTest, BlsmConcurrentWritersPrefixConsistent) {
+  RunConcurrentCrashMonkey<BlsmAdapter>(GetParam());
+}
+
+TEST_P(TornWriteRecoveryTest, MultilevelConcurrentWritersPrefixConsistent) {
+  RunConcurrentCrashMonkey<MultilevelAdapter>(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TornWriteRecoveryTest,

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "io/mem_env.h"
@@ -242,6 +246,235 @@ TEST(LogicalLogTest, LargeValuesRoundTrip) {
   auto records = ReplayAll(&env, "wal");
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].value, big);
+}
+
+// --- group commit -----------------------------------------------------------
+
+// Forwards to a MemEnv (which is final) but runs a hook inside every
+// WritableFile::Sync: a sleep makes syncs slow enough for group commit to
+// form real batches (MemEnv syncs are near-instant, which would degrade
+// every batch to size 1); an error return injects a sync failure.
+class SyncHookEnv : public Env {
+ public:
+  explicit SyncHookEnv(std::function<Status()> hook)
+      : hook_(std::move(hook)) {}
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::unique_ptr<WritableFile> base;
+    Status s = mem_.NewWritableFile(fname, &base);
+    if (!s.ok()) return s;
+    *result = std::make_unique<HookedFile>(std::move(base), this);
+    return Status::OK();
+  }
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return mem_.NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    return mem_.NewRandomAccessFile(fname, result);
+  }
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* result) override {
+    return mem_.NewRandomRWFile(fname, result);
+  }
+  bool FileExists(const std::string& fname) override {
+    return mem_.FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return mem_.GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return mem_.RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return mem_.CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return mem_.RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return mem_.GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return mem_.RenameFile(src, target);
+  }
+  uint64_t NowMicros() override { return mem_.NowMicros(); }
+  void SleepForMicroseconds(uint64_t micros) override {
+    mem_.SleepForMicroseconds(micros);
+  }
+
+  uint64_t syncs() const { return syncs_.load(); }
+  MemEnv* mem() { return &mem_; }
+
+ private:
+  class HookedFile : public WritableFile {
+   public:
+    HookedFile(std::unique_ptr<WritableFile> base, SyncHookEnv* env)
+        : base_(std::move(base)), env_(env) {}
+    Status Append(const Slice& data) override { return base_->Append(data); }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override {
+      env_->syncs_.fetch_add(1);
+      Status s = env_->hook_();
+      if (!s.ok()) return s;
+      return base_->Sync();
+    }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    std::unique_ptr<WritableFile> base_;
+    SyncHookEnv* env_;
+  };
+
+  MemEnv mem_;
+  std::function<Status()> hook_;
+  std::atomic<uint64_t> syncs_{0};
+};
+
+TEST(GroupCommitTest, SingleWriterPaysOneSyncPerAppend) {
+  SyncHookEnv env([] { return Status::OK(); });
+  LogicalLog log(&env, "wal", DurabilityMode::kSync);
+  ASSERT_TRUE(log.Open().ok());
+  const int kAppends = 25;
+  for (int i = 0; i < kAppends; i++) {
+    ASSERT_TRUE(log.Append("k" + std::to_string(i), i + 1, RecordType::kBase,
+                           "v")
+                    .ok());
+  }
+  // A lone writer must never batch with itself: strict one-sync-per-commit.
+  auto c = log.counters();
+  EXPECT_EQ(c.records, static_cast<uint64_t>(kAppends));
+  EXPECT_EQ(c.batches, static_cast<uint64_t>(kAppends));
+  EXPECT_EQ(c.syncs, static_cast<uint64_t>(kAppends));
+  EXPECT_EQ(env.syncs(), static_cast<uint64_t>(kAppends));
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST(GroupCommitTest, ConcurrentWritersShareSyncs) {
+  // The sleep keeps each sync long enough that followers pile up behind the
+  // leader, so batches form the way they do behind a real fsync.
+  SyncHookEnv env([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Status::OK();
+  });
+  LogicalLog log(&env, "wal", DurabilityMode::kSync);
+  ASSERT_TRUE(log.Open().ok());
+
+  const int kThreads = 8;
+  const int kPerThread = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        SequenceNumber seq =
+            static_cast<SequenceNumber>(t * kPerThread + i + 1);
+        Status s = log.Append("t" + std::to_string(t) + "k" +
+                                  std::to_string(i),
+                              seq, RecordType::kBase, "v");
+        if (!s.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const uint64_t total = kThreads * kPerThread;
+  auto c = log.counters();
+  EXPECT_EQ(c.records, total);
+  EXPECT_EQ(c.batches, c.syncs);
+  // The amortization bar: well under one sync per acked write.
+  EXPECT_LT(static_cast<double>(c.syncs), 0.5 * static_cast<double>(total))
+      << "group commit failed to amortize syncs: " << c.syncs << " syncs for "
+      << total << " appends";
+
+  ASSERT_TRUE(log.Close().ok());
+  // Every acked write must be in the replayed log exactly once.
+  auto records = ReplayAll(env.mem(), "wal");
+  EXPECT_EQ(records.size(), total);
+  std::vector<bool> seen(total + 1, false);
+  for (const auto& r : records) {
+    ASSERT_GE(r.seq, 1u);
+    ASSERT_LE(r.seq, total);
+    EXPECT_FALSE(seen[r.seq]) << "duplicate seq " << r.seq;
+    seen[r.seq] = true;
+  }
+}
+
+TEST(GroupCommitTest, AppendGroupIsOneCommitUnit) {
+  SyncHookEnv env([] { return Status::OK(); });
+  LogicalLog log(&env, "wal", DurabilityMode::kSync);
+  ASSERT_TRUE(log.Open().ok());
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 10; i++) {
+    std::string p;
+    EncodeRecord(&p, "g" + std::to_string(i), i + 1, RecordType::kBase, "v");
+    payloads.push_back(std::move(p));
+  }
+  ASSERT_TRUE(log.AppendGroup(payloads).ok());
+  auto c = log.counters();
+  EXPECT_EQ(c.records, 10u);
+  EXPECT_EQ(c.batches, 1u);
+  EXPECT_EQ(c.syncs, 1u);
+  ASSERT_TRUE(log.Close().ok());
+  auto records = ReplayAll(env.mem(), "wal");
+  ASSERT_EQ(records.size(), 10u);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(records[i].key, "g" + std::to_string(i));
+  }
+}
+
+TEST(GroupCommitTest, FailedBatchSyncPoisonsEveryWaiter) {
+  std::atomic<bool> fail{false};
+  SyncHookEnv env([&]() -> Status {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (fail.load()) return Status::IOError("injected sync failure");
+    return Status::OK();
+  });
+  LogicalLog log(&env, "wal", DurabilityMode::kSync);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append("before", 1, RecordType::kBase, "v").ok());
+
+  fail.store(true);
+  const int kThreads = 8;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  std::vector<std::string> messages(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Status s = log.Append("k" + std::to_string(t), t + 2, RecordType::kBase,
+                            "v");
+      if (s.ok()) {
+        ok_count.fetch_add(1);
+      } else {
+        messages[t] = s.ToString();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // No writer may be acknowledged: whichever batch hit the failing sync
+  // fails every waiter in it, and the poison fails all later appends.
+  EXPECT_EQ(ok_count.load(), 0);
+  for (int t = 0; t < kThreads; t++) {
+    EXPECT_NE(messages[t].find("injected sync failure"), std::string::npos)
+        << "writer " << t << " got: " << messages[t];
+  }
+  EXPECT_FALSE(log.bad().ok());
+  Status again = log.Append("after", 100, RecordType::kBase, "v");
+  EXPECT_FALSE(again.ok());
+
+  // A successful Restart clears the poison and appends flow again.
+  fail.store(false);
+  ASSERT_TRUE(log.Restart([](wal::LogWriter*) { return Status::OK(); }).ok());
+  EXPECT_TRUE(log.bad().ok());
+  EXPECT_TRUE(log.Append("recovered", 101, RecordType::kBase, "v").ok());
+  ASSERT_TRUE(log.Close().ok());
 }
 
 }  // namespace

@@ -65,30 +65,35 @@ int main() {
 
     ycsb::ValueGenerator values(5);
     for (uint64_t i = 0; i < kRecords; i++) {
-      tree->Put(ycsb::FormatKey(i, true), values.Next(i, 1000));
+      CheckOk(tree->Put(ycsb::FormatKey(i, true), values.Next(i, 1000)),
+              "load put");
     }
-    tree->CompactToBottom();
+    CheckOk(tree->CompactToBottom(), "compact to bottom");
     // Fresher versions of a slice of keys into C1 and C0 so early
     // termination has something to terminate on.
     for (uint64_t i = 0; i < kRecords / 10; i++) {
-      tree->Put(ycsb::FormatKey(i, true), values.Next(i, 1000));
+      CheckOk(tree->Put(ycsb::FormatKey(i, true), values.Next(i, 1000)),
+              "load put");
     }
-    tree->Flush();
+    CheckOk(tree->Flush(), "flush");
     for (uint64_t i = kRecords / 10; i < kRecords / 5; i++) {
-      tree->Put(ycsb::FormatKey(i, true), values.Next(i, 1000));
+      CheckOk(tree->Put(ycsb::FormatKey(i, true), values.Next(i, 1000)),
+              "load put");
     }
     // Warm index blocks.
     Random warm(2);
     std::string v;
     for (int i = 0; i < 1500; i++) {
-      tree->Get(ycsb::FormatKey(warm.Uniform(kRecords), true), &v);
+      tree->Get(ycsb::FormatKey(warm.Uniform(kRecords), true), &v)
+          .IgnoreError("warming probe; hits and misses both warm the cache");
     }
 
     Probe probe;
     Random rnd(0xab1e);
     auto before = ws.stats()->snapshot();
     for (int i = 0; i < kProbes; i++) {
-      tree->Get(ycsb::FormatKey(rnd.Uniform(kRecords), true), &v);
+      CheckOk(tree->Get(ycsb::FormatKey(rnd.Uniform(kRecords), true), &v),
+              "probe get");
     }
     auto mid = ws.stats()->snapshot();
     probe.hit_seeks =
@@ -96,14 +101,16 @@ int main() {
     for (int i = 0; i < kProbes; i++) {
       // Hashed ids beyond the loaded range: absent keys scattered across
       // the whole keyspace (a fixed prefix would hit one cached leaf).
-      tree->Get(ycsb::FormatKey(kRecords + 1000000 + i, true), &v);
+      tree->Get(ycsb::FormatKey(kRecords + 1000000 + i, true), &v)
+          .IgnoreError("NotFound is the point of the miss probe");
     }
     auto after_miss = ws.stats()->snapshot();
     probe.miss_seeks =
         static_cast<double>((after_miss - mid).read_seeks) / kProbes;
     for (int i = 0; i < kProbes; i++) {
-      tree->InsertIfNotExists(ycsb::FormatKey(kRecords + 2000000 + i, true),
-                              "value");
+      CheckOk(tree->InsertIfNotExists(
+                  ycsb::FormatKey(kRecords + 2000000 + i, true), "value"),
+              "insert-if-not-exists probe");
     }
     tree->WaitForMergeIdle();
     auto after_iine = ws.stats()->snapshot();

@@ -83,9 +83,9 @@ int main() {
     // Hashed keys: the same keyspace the mixes probe. (The sorted-load
     // fast path is Sec 5.2's experiment, not this one.)
     RunLoad(engine.get(), load_spec, dopts, false, false);
-    tree->Checkpoint();
+    CheckOk(tree->Checkpoint(), "post-load checkpoint");
     run_series("InnoDB-like B-Tree", engine.get(), ws.stats(), /*blind=*/false,
-               [&] { tree->Checkpoint(); });
+               [&] { CheckOk(tree->Checkpoint(), "quiesce checkpoint"); });
   }
 
   {  // LevelDB-like: RMW and blind.
@@ -101,7 +101,7 @@ int main() {
     DriverOptions dopts;
     dopts.threads = 8;
     RunLoad(engine.get(), load_spec, dopts, false, false);
-    tree->CompactAll();
+    CheckOk(tree->CompactAll(), "post-load compaction");
     run_series("LevelDB-like (RMW)", engine.get(), ws.stats(), false,
                [&] { tree->WaitForIdle(); });
     run_series("LevelDB-like (blind)", engine.get(), ws.stats(), true,
@@ -120,7 +120,7 @@ int main() {
     DriverOptions dopts;
     dopts.threads = 8;
     RunLoad(engine.get(), load_spec, dopts, false, false);
-    tree->CompactToBottom();
+    CheckOk(tree->CompactToBottom(), "post-load compaction");
     run_series("bLSM (RMW)", engine.get(), ws.stats(), false,
                [&] { tree->WaitForMergeIdle(); });
     run_series("bLSM (blind)", engine.get(), ws.stats(), true,

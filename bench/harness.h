@@ -25,6 +25,15 @@
 
 namespace blsm::bench {
 
+// Aborts on failure. Benchmarks have no error channel, and numbers produced
+// after a silently failed operation are worse than no numbers.
+inline void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    fprintf(stderr, "bench: %s: %s\n", what, s.ToString().c_str());
+    abort();
+  }
+}
+
 // Benchmarks run against real files in a scratch directory; the CountingEnv
 // measures seeks and bytes, which the device models convert into the
 // HDD/SSD-equivalent numbers the paper reports (DESIGN.md §1).
@@ -33,7 +42,7 @@ class Workspace {
   explicit Workspace(const std::string& name)
       : dir_("/tmp/blsm_bench_" + name), counting_(Env::Default(), &stats_) {
     Cleanup();
-    Env::Default()->CreateDir(dir_);
+    CheckOk(Env::Default()->CreateDir(dir_), "create scratch dir");
   }
 
   ~Workspace() { Cleanup(); }
@@ -43,7 +52,10 @@ class Workspace {
   std::string Path(const std::string& sub) { return dir_ + "/" + sub; }
 
  private:
-  void Cleanup() { Env::Default()->RemoveDirRecursive(dir_); }
+  void Cleanup() {
+    Env::Default()->RemoveDirRecursive(dir_).IgnoreError(
+        "scratch scrub; nothing to remove on the first run");
+  }
 
   std::string dir_;
   IoStats stats_;

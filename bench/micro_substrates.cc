@@ -125,11 +125,18 @@ BENCHMARK(BM_BlockCacheHit);
 void BM_WalAppend(benchmark::State& state) {
   MemEnv env;
   std::unique_ptr<WritableFile> file;
-  env.NewWritableFile("log", &file);
+  if (!env.NewWritableFile("log", &file).ok()) {
+    state.SkipWithError("NewWritableFile failed");
+    return;
+  }
   wal::LogWriter writer(std::move(file));
   std::string record(state.range(0), 'r');
   for (auto _ : state) {
-    writer.AddRecord(record);
+    Status s = writer.AddRecord(record);
+    if (!s.ok()) {
+      state.SkipWithError("wal append failed");
+      break;
+    }
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }

@@ -73,19 +73,21 @@ int main() {
     // prefix make sense while the B-tree still fragments.
     std::string key = ycsb::FormatKey(id, false);
     std::string value = values.Next(id, 1000);
-    bt->Insert(key, value);
-    lsm->Put(key, value);
+    CheckOk(bt->Insert(key, value), "load insert");
+    CheckOk(lsm->Put(key, value), "load put");
   }
-  bt->Checkpoint();
+  CheckOk(bt->Checkpoint(), "post-load checkpoint");
   // Spread bLSM data across all three components: most in C2, a slice in
   // C1 and C0 (the three-seek configuration of §3.3).
-  lsm->CompactToBottom();
+  CheckOk(lsm->CompactToBottom(), "compact to bottom");
   for (uint64_t i = 0; i < kRecords / 20; i++) {
-    lsm->Put(ycsb::FormatKey(ids[i], false), values.Next(ids[i], 1000));
+    CheckOk(lsm->Put(ycsb::FormatKey(ids[i], false), values.Next(ids[i], 1000)),
+            "overwrite put");
   }
-  lsm->Flush();
+  CheckOk(lsm->Flush(), "flush");
   for (uint64_t i = kRecords / 20; i < kRecords / 10; i++) {
-    lsm->Put(ycsb::FormatKey(ids[i], false), values.Next(ids[i], 1000));
+    CheckOk(lsm->Put(ycsb::FormatKey(ids[i], false), values.Next(ids[i], 1000)),
+            "overwrite put");
   }
 
   // Warm the index layers.
@@ -93,20 +95,24 @@ int main() {
   Random warm(3);
   for (int i = 0; i < 1000; i++) {
     std::string v;
-    bt->Get(ycsb::FormatKey(warm.Uniform(kRecords), false), &v);
-    lsm->Get(ycsb::FormatKey(warm.Uniform(kRecords), false), &v);
+    CheckOk(bt->Get(ycsb::FormatKey(warm.Uniform(kRecords), false), &v),
+            "warming get");
+    CheckOk(lsm->Get(ycsb::FormatKey(warm.Uniform(kRecords), false), &v),
+            "warming get");
   }
 
   auto bt_scan = [&](uint64_t len) {
     return [&, len](Random& rnd) {
       uint64_t n = len == 0 ? 1 + rnd.Uniform(4) : 1 + rnd.Uniform(len);
-      bt->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), false), n, &out);
+      CheckOk(bt->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), false), n, &out),
+              "scan");
     };
   };
   auto lsm_scan = [&](uint64_t len) {
     return [&, len](Random& rnd) {
       uint64_t n = len == 0 ? 1 + rnd.Uniform(4) : 1 + rnd.Uniform(len);
-      lsm->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), false), n, &out);
+      CheckOk(lsm->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), false), n, &out),
+              "scan");
     };
   };
 

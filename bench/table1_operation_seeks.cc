@@ -100,8 +100,8 @@ int main() {
   for (uint64_t i = 0; i < kRecords; i++) {
     std::string key = ycsb::FormatKey(i, true);
     std::string value = values.Next(i, kValueSize);
-    blsm_tree->Put(key, value);
-    ml->Put(key, value);
+    CheckOk(blsm_tree->Put(key, value), "load put");
+    CheckOk(ml->Put(key, value), "load put");
   }
   // The B-tree gets the same random (hashed) insertion order, which
   // fragments its leaves — the state Table 1's worst-case scan column
@@ -115,18 +115,24 @@ int main() {
       std::swap(ids[i], ids[shuffle_rnd.Uniform(i + 1)]);
     }
     for (uint64_t id : ids) {
-      bt->Insert(ycsb::FormatKey(id, false), values.Next(id, kValueSize));
+      CheckOk(bt->Insert(ycsb::FormatKey(id, false),
+                         values.Next(id, kValueSize)),
+              "load insert");
     }
   }
   // bLSM steady state: bulk in C2, fresher slices in C1 and C0 (the
   // three-component configuration §3.3 describes).
-  blsm_tree->CompactToBottom();
+  CheckOk(blsm_tree->CompactToBottom(), "compact to bottom");
   for (uint64_t i = 0; i < kRecords / 10; i++) {
-    blsm_tree->Put(ycsb::FormatKey(i, true), values.Next(i, kValueSize));
+    CheckOk(blsm_tree->Put(ycsb::FormatKey(i, true),
+                           values.Next(i, kValueSize)),
+            "overwrite put");
   }
-  blsm_tree->Flush();
+  CheckOk(blsm_tree->Flush(), "flush");
   for (uint64_t i = kRecords / 10; i < kRecords / 7; i++) {
-    blsm_tree->Put(ycsb::FormatKey(i, true), values.Next(i, kValueSize));
+    CheckOk(blsm_tree->Put(ycsb::FormatKey(i, true),
+                           values.Next(i, kValueSize)),
+            "overwrite put");
   }
   // The multilevel tree keeps its natural multi-level shape (compacting it
   // fully would collapse it to one level and hide its read amplification).
@@ -140,26 +146,27 @@ int main() {
     uint64_t written = 0;
     while (written < budget) {
       uint64_t id = refresh.Uniform(kRecords);
-      ml->Put(ycsb::FormatKey(id, true), values.Next(id, kValueSize));
+      CheckOk(ml->Put(ycsb::FormatKey(id, true), values.Next(id, kValueSize)),
+              "refresh put");
       written += kValueSize;
     }
     Env::Default()->SleepForMicroseconds(200000);  // let flushes finish
   }
-  bt->Checkpoint();
+  CheckOk(bt->Checkpoint(), "post-load checkpoint");
 
   // Warm index structures (the paper's read-amplification convention caches
   // bottom-level index pages, §2.1).
   WarmIndex([&](uint64_t id) {
     std::string v;
-    blsm_tree->Get(ycsb::FormatKey(id, true), &v);
+    CheckOk(blsm_tree->Get(ycsb::FormatKey(id, true), &v), "warming get");
   }, kRecords, 2000);
   WarmIndex([&](uint64_t id) {
     std::string v;
-    ml->Get(ycsb::FormatKey(id, true), &v);
+    CheckOk(ml->Get(ycsb::FormatKey(id, true), &v), "warming get");
   }, kRecords, 2000);
   WarmIndex([&](uint64_t id) {
     std::string v;
-    bt->Get(ycsb::FormatKey(id, false), &v);
+    CheckOk(bt->Get(ycsb::FormatKey(id, false), &v), "warming get");
   }, kRecords, 2000);
 
   auto fresh_value = [&](Random& rnd) {
@@ -192,25 +199,31 @@ int main() {
       "bLSM",
       [&](Random& rnd) {
         std::string v;
-        blsm_tree->Get(ycsb::FormatKey(rnd.Uniform(kRecords), true), &v);
+        CheckOk(
+            blsm_tree->Get(ycsb::FormatKey(rnd.Uniform(kRecords), true), &v),
+            "probe get");
       },
       [&](Random& rnd) {
         std::string nv = fresh_value(rnd);
-        blsm_tree->ReadModifyWrite(
-            ycsb::FormatKey(rnd.Uniform(kRecords), true),
-            [&](const std::string&, bool) { return nv; });
+        CheckOk(blsm_tree->ReadModifyWrite(
+                    ycsb::FormatKey(rnd.Uniform(kRecords), true),
+                    [&](const std::string&, bool) { return nv; }),
+                "probe rmw");
       },
       [&](Random& rnd) {
-        blsm_tree->WriteDelta(ycsb::FormatKey(rnd.Uniform(kRecords), true),
-                              "+delta");
+        CheckOk(blsm_tree->WriteDelta(
+                    ycsb::FormatKey(rnd.Uniform(kRecords), true), "+delta"),
+                "probe delta");
       },
       [&](Random& rnd) {
-        blsm_tree->Put(ycsb::FormatKey(rnd.Uniform(kRecords), true),
-                       fresh_value(rnd));
+        CheckOk(blsm_tree->Put(ycsb::FormatKey(rnd.Uniform(kRecords), true),
+                               fresh_value(rnd)),
+                "probe put");
       },
       [&](Random& rnd, uint64_t n) {
-        blsm_tree->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), true), n,
-                        &scan_out);
+        CheckOk(blsm_tree->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), true),
+                                n, &scan_out),
+                "probe scan");
       },
       [&] { blsm_tree->WaitForMergeIdle(); });
 
@@ -218,50 +231,66 @@ int main() {
       "B-Tree",
       [&](Random& rnd) {
         std::string v;
-        bt->Get(ycsb::FormatKey(rnd.Uniform(kRecords), false), &v);
+        CheckOk(bt->Get(ycsb::FormatKey(rnd.Uniform(kRecords), false), &v),
+                "probe get");
       },
       [&](Random& rnd) {
         std::string nv = fresh_value(rnd);
-        bt->ReadModifyWrite(ycsb::FormatKey(rnd.Uniform(kRecords), false),
-                            [&](const std::string&, bool) { return nv; });
+        CheckOk(bt->ReadModifyWrite(
+                    ycsb::FormatKey(rnd.Uniform(kRecords), false),
+                    [&](const std::string&, bool) { return nv; }),
+                "probe rmw");
       },
       [&](Random& rnd) {
         // No delta primitive: deltas require read-modify-write (Table 1
         // charges the B-tree 2 seeks for "apply delta to record").
-        bt->ReadModifyWrite(ycsb::FormatKey(rnd.Uniform(kRecords), false),
-                            [&](const std::string& old, bool) {
-                              return old.substr(0, kValueSize);
-                            });
+        CheckOk(bt->ReadModifyWrite(
+                    ycsb::FormatKey(rnd.Uniform(kRecords), false),
+                    [&](const std::string& old, bool) {
+                      return old.substr(0, kValueSize);
+                    }),
+                "probe delta-rmw");
       },
       [&](Random& rnd) {
-        bt->Insert(ycsb::FormatKey(rnd.Uniform(kRecords), false),
-                   fresh_value(rnd));
+        CheckOk(bt->Insert(ycsb::FormatKey(rnd.Uniform(kRecords), false),
+                           fresh_value(rnd)),
+                "probe insert");
       },
       [&](Random& rnd, uint64_t n) {
-        bt->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), false), n, &scan_out);
+        CheckOk(bt->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), false), n,
+                         &scan_out),
+                "probe scan");
       },
-      [&] { bt->Checkpoint(); });
+      [&] { CheckOk(bt->Checkpoint(), "quiesce checkpoint"); });
 
   run_engine(
       "LevelDB-like",
       [&](Random& rnd) {
         std::string v;
-        ml->Get(ycsb::FormatKey(rnd.Uniform(kRecords), true), &v);
+        CheckOk(ml->Get(ycsb::FormatKey(rnd.Uniform(kRecords), true), &v),
+                "probe get");
       },
       [&](Random& rnd) {
         std::string nv = fresh_value(rnd);
-        ml->ReadModifyWrite(ycsb::FormatKey(rnd.Uniform(kRecords), true),
-                            [&](const std::string&, bool) { return nv; });
+        CheckOk(ml->ReadModifyWrite(
+                    ycsb::FormatKey(rnd.Uniform(kRecords), true),
+                    [&](const std::string&, bool) { return nv; }),
+                "probe rmw");
       },
       [&](Random& rnd) {
-        ml->WriteDelta(ycsb::FormatKey(rnd.Uniform(kRecords), true), "+d");
+        CheckOk(ml->WriteDelta(ycsb::FormatKey(rnd.Uniform(kRecords), true),
+                               "+d"),
+                "probe delta");
       },
       [&](Random& rnd) {
-        ml->Put(ycsb::FormatKey(rnd.Uniform(kRecords), true),
-                fresh_value(rnd));
+        CheckOk(ml->Put(ycsb::FormatKey(rnd.Uniform(kRecords), true),
+                        fresh_value(rnd)),
+                "probe put");
       },
       [&](Random& rnd, uint64_t n) {
-        ml->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), true), n, &scan_out);
+        CheckOk(ml->Scan(ycsb::FormatKey(rnd.Uniform(kRecords), true), n,
+                         &scan_out),
+                "probe scan");
       },
       [&] { ml->WaitForIdle(); });
 

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
 
   for (const std::string& name : kv::EngineNames()) {
     std::string dir = "/tmp/blsm_shootout_" + name;
-    Env::Default()->RemoveDirRecursive(dir);
+    Env::Default()->RemoveDirRecursive(dir).IgnoreError(
+        "fresh-run scrub; nothing to remove on the first run");
     kv::CommonOptions options;
     options.durability = DurabilityMode::kAsync;
     std::unique_ptr<kv::Engine> engine;

@@ -125,7 +125,8 @@ int main(int argc, char** argv) {
 
   // Point queries on the ingested log (the "targeted point queries" of §1).
   std::vector<std::pair<std::string, std::string>> first;
-  tree->Scan("ev:", 1, &first);
+  s = tree->Scan("ev:", 1, &first);
+  if (!s.ok()) fprintf(stderr, "scan: %s\n", s.ToString().c_str());
   if (!first.empty()) {
     std::string value;
     s = tree->Get(first[0].first, &value);

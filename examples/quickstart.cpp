@@ -11,6 +11,14 @@
 
 #include "lsm/blsm_tree.h"
 
+// Aborts on unexpected failure, keeping the example focused on the API.
+static void Require(const blsm::Status& s, const char* what) {
+  if (!s.ok()) {
+    fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    exit(1);
+  }
+}
+
 int main(int argc, char** argv) {
   using namespace blsm;
 
@@ -31,9 +39,9 @@ int main(int argc, char** argv) {
   printf("opened bLSM tree at %s\n", dir.c_str());
 
   // --- blind writes: zero seeks (Table 1) ---------------------------------
-  tree->Put("user:alice", "alice@example.com");
-  tree->Put("user:bob", "bob@example.com");
-  tree->Put("user:carol", "carol@example.com");
+  Require(tree->Put("user:alice", "alice@example.com"), "Put");
+  Require(tree->Put("user:bob", "bob@example.com"), "Put");
+  Require(tree->Put("user:carol", "carol@example.com"), "Put");
 
   std::string value;
   s = tree->Get("user:alice", &value);
@@ -46,31 +54,34 @@ int main(int argc, char** argv) {
 
   // --- deltas: zero-seek partial updates (§2.3) ----------------------------
   // The default merge operator appends; reads see base + deltas applied.
-  tree->WriteDelta("user:alice", " +newsletter");
-  tree->Get("user:alice", &value);
+  Require(tree->WriteDelta("user:alice", " +newsletter"), "WriteDelta");
+  Require(tree->Get("user:alice", &value), "Get");
   printf("after delta -> %s\n", value.c_str());
 
   // --- deletes and re-inserts ----------------------------------------------
-  tree->Delete("user:bob");
+  Require(tree->Delete("user:bob"), "Delete");
   s = tree->Get("user:bob", &value);
   printf("Get(user:bob) after delete -> %s\n", s.ToString().c_str());
 
   // --- read-modify-write ----------------------------------------------------
-  tree->ReadModifyWrite("user:carol", [](const std::string& old, bool absent) {
-    return absent ? std::string("fresh") : old + " (verified)";
-  });
-  tree->Get("user:carol", &value);
+  Require(tree->ReadModifyWrite(
+              "user:carol",
+              [](const std::string& old, bool absent) {
+                return absent ? std::string("fresh") : old + " (verified)";
+              }),
+          "ReadModifyWrite");
+  Require(tree->Get("user:carol", &value), "Get");
   printf("after RMW -> %s\n", value.c_str());
 
   // --- range scans: 2-3 seeks regardless of length (§3.3) ------------------
   std::vector<std::pair<std::string, std::string>> rows;
-  tree->Scan("user:", 10, &rows);
+  Require(tree->Scan("user:", 10, &rows), "Scan");
   printf("scan from 'user:':\n");
   for (const auto& [k, v] : rows) printf("  %s = %s\n", k.c_str(), v.c_str());
 
   // --- force the merge pipeline and look at the tree shape -----------------
-  tree->Flush();            // C0 -> C1
-  tree->CompactToBottom();  // C1 -> C1' -> C2
+  Require(tree->Flush(), "Flush");            // C0 -> C1
+  Require(tree->CompactToBottom(), "CompactToBottom");  // C1 -> C1' -> C2
   printf("on-disk bytes after compaction: %" PRIu64 "\n", tree->OnDiskBytes());
 
   SchedulerState sched = tree->ComputeSchedulerState();

@@ -116,7 +116,8 @@ int main(int argc, char** argv) {
       edits++;
     } else {
       uint64_t id = next_user++;
-      tree->InsertIfNotExists(ProfileKey(id), InitialProfile(id));
+      Status is = tree->InsertIfNotExists(ProfileKey(id), InitialProfile(id));
+      if (!is.ok()) fprintf(stderr, "register: %s\n", is.ToString().c_str());
       write_lat.Add(NowMicros() - begin);
       registrations++;
     }
@@ -134,7 +135,8 @@ int main(int argc, char** argv) {
 
   // Short scans power "list my friends"-style pages (§3.3).
   std::vector<std::pair<std::string, std::string>> page;
-  tree->Scan(ProfileKey(0), 4, &page);
+  Status ps = tree->Scan(ProfileKey(0), 4, &page);
+  if (!ps.ok()) fprintf(stderr, "scan: %s\n", ps.ToString().c_str());
   printf("  sample page of %zu profiles starting at %s\n", page.size(),
          page.empty() ? "(none)" : page[0].first.c_str());
   return 0;

@@ -9,7 +9,9 @@ BTree::BTree(const BTreeOptions& options, const std::string& fname)
       env_(options.env != nullptr ? options.env : Env::Default()),
       pool_(env_, fname, options.buffer_pool_pages) {}
 
-BTree::~BTree() { Checkpoint(); }
+BTree::~BTree() {
+  Checkpoint().IgnoreError("destructor has no caller to report to");
+}
 
 Status BTree::Open(const BTreeOptions& options, const std::string& fname,
                    std::unique_ptr<BTree>* out) {
@@ -21,6 +23,9 @@ Status BTree::Open(const BTreeOptions& options, const std::string& fname,
 }
 
 Status BTree::OpenImpl() {
+  // No concurrent users exist until Open returns; the lock keeps the
+  // guarded-field discipline uniform.
+  util::MutexLock l(&mu_);
   Status s = pool_.Open();
   if (!s.ok()) return s;
   if (pool_.page_count() == 0) {
@@ -224,17 +229,17 @@ Status BTree::InsertImpl(const Slice& key, const Slice& value,
 }
 
 Status BTree::Insert(const Slice& key, const Slice& value) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return InsertImpl(key, value, /*must_be_absent=*/false);
 }
 
 Status BTree::InsertIfNotExists(const Slice& key, const Slice& value) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return InsertImpl(key, value, /*must_be_absent=*/true);
 }
 
 Status BTree::Get(const Slice& key, std::string* value) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   if (meta_.height == 0) return Status::NotFound(key);
   PageId leaf_id;
   LeafNode leaf;
@@ -249,7 +254,7 @@ Status BTree::Get(const Slice& key, std::string* value) {
 }
 
 Status BTree::Delete(const Slice& key) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   if (meta_.height == 0) return Status::NotFound(key);
   PageId leaf_id;
   LeafNode leaf;
@@ -270,7 +275,7 @@ Status BTree::ReadModifyWrite(
     const Slice& key,
     const std::function<std::string(const std::string& old, bool absent)>&
         update) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   std::string old;
   bool absent = true;
   if (meta_.height > 0) {
@@ -289,7 +294,7 @@ Status BTree::ReadModifyWrite(
 
 Status BTree::Scan(const Slice& start, size_t limit,
                    std::vector<std::pair<std::string, std::string>>* out) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   out->clear();
   if (meta_.height == 0) return Status::OK();
   PageId leaf_id;
@@ -315,7 +320,7 @@ Status BTree::Scan(const Slice& start, size_t limit,
 }
 
 Status BTree::Checkpoint() {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   Status s = WriteMeta();
   if (!s.ok()) return s;
   return pool_.FlushAll();

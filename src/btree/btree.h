@@ -2,14 +2,15 @@
 #define BLSM_BTREE_BTREE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "btree/btree_page.h"
 #include "btree/buffer_pool.h"
 #include "io/env.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace blsm::btree {
 
@@ -44,41 +45,52 @@ class BTree {
 
   // Upsert: replaces the value if the key exists. Two seeks uncached: the
   // traversal's leaf read, plus the eventual dirty-page writeback.
-  Status Insert(const Slice& key, const Slice& value);
+  Status Insert(const Slice& key, const Slice& value) EXCLUDES(mu_);
 
   // Returns KeyExists without modifying if present. Unlike bLSM's
   // Bloom-filter path (§3.1.2), the existence check is the same leaf read
   // the insert needs anyway — but that read is a seek.
-  Status InsertIfNotExists(const Slice& key, const Slice& value);
+  Status InsertIfNotExists(const Slice& key, const Slice& value)
+      EXCLUDES(mu_);
 
-  Status Get(const Slice& key, std::string* value);
+  Status Get(const Slice& key, std::string* value) EXCLUDES(mu_);
 
-  Status Delete(const Slice& key);
+  Status Delete(const Slice& key) EXCLUDES(mu_);
 
   // Read-modify-write: one traversal for the read; the write dirties the
   // same (now cached) leaf.
   Status ReadModifyWrite(
       const Slice& key,
       const std::function<std::string(const std::string& old, bool absent)>&
-          update);
+          update) EXCLUDES(mu_);
 
   // Range scan from `start`: up to `limit` records. Unfragmented trees scan
   // with ~1 seek; after random inserts, leaves scatter and long scans seek
   // per leaf (§5.6).
   Status Scan(const Slice& start, size_t limit,
-              std::vector<std::pair<std::string, std::string>>* out);
+              std::vector<std::pair<std::string, std::string>>* out)
+      EXCLUDES(mu_);
 
   // Writes back all dirty pages and syncs.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mu_);
 
-  uint64_t num_entries() const { return meta_.num_entries; }
-  uint32_t height() const { return meta_.height; }
+  // Stats accessors take the tree lock: Insert/Delete mutate meta_ under
+  // mu_, and a torn read of num_entries mid-increment is a data race even
+  // if the value is "just a counter".
+  uint64_t num_entries() const EXCLUDES(mu_) {
+    util::MutexLock l(&mu_);
+    return meta_.num_entries;
+  }
+  uint32_t height() const EXCLUDES(mu_) {
+    util::MutexLock l(&mu_);
+    return meta_.height;
+  }
 
  private:
   BTree(const BTreeOptions& options, const std::string& fname);
 
-  Status OpenImpl();
-  Status WriteMeta();
+  Status OpenImpl() EXCLUDES(mu_);
+  Status WriteMeta() REQUIRES(mu_);
 
   // Descends to the leaf for `key`; fills `path` with the internal pages
   // visited (page id + parsed node) from root downwards.
@@ -87,22 +99,23 @@ class BTree {
     InternalNode node;
   };
   Status DescendToLeaf(const Slice& key, std::vector<PathEntry>* path,
-                       PageId* leaf_id, LeafNode* leaf);
+                       PageId* leaf_id, LeafNode* leaf) REQUIRES(mu_);
 
-  Status WriteLeaf(PageId id, const LeafNode& node);
-  Status WriteInternal(PageId id, const InternalNode& node);
+  Status WriteLeaf(PageId id, const LeafNode& node) REQUIRES(mu_);
+  Status WriteInternal(PageId id, const InternalNode& node) REQUIRES(mu_);
 
   // Inserts (separator, right_child) into the parent chain after a split.
   Status PropagateSplit(std::vector<PathEntry>& path, std::string separator,
-                        PageId right_child);
+                        PageId right_child) REQUIRES(mu_);
 
-  Status InsertImpl(const Slice& key, const Slice& value, bool must_be_absent);
+  Status InsertImpl(const Slice& key, const Slice& value, bool must_be_absent)
+      REQUIRES(mu_);
 
   BTreeOptions options_;
   Env* env_;
-  MetaPage meta_;
-  BufferPool pool_;
-  std::mutex mu_;
+  mutable util::Mutex mu_;
+  MetaPage meta_ GUARDED_BY(mu_);
+  BufferPool pool_ GUARDED_BY(mu_);
 };
 
 }  // namespace blsm::btree

@@ -11,8 +11,8 @@ BufferPool::BufferPool(Env* env, std::string fname, size_t capacity_pages)
 
 BufferPool::~BufferPool() {
   if (file_ != nullptr) {
-    FlushAll();
-    file_->Close();
+    FlushAll().IgnoreError("destructor has no caller to report to");
+    file_->Close().IgnoreError("destructor has no caller to report to");
   }
 }
 
@@ -20,7 +20,8 @@ Status BufferPool::Open() {
   Status s = env_->NewRandomRWFile(fname_, &file_);
   if (!s.ok()) return s;
   uint64_t size = 0;
-  env_->GetFileSize(fname_, &size);
+  s = env_->GetFileSize(fname_, &size);
+  if (!s.ok()) return s;
   page_count_ = size / kPageSize;
   return Status::OK();
 }

@@ -22,7 +22,7 @@ BlockCache::Shard* BlockCache::ShardFor(uint64_t packed) {
 BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
   uint64_t key = PackKey(file_id, offset);
   Shard* shard = ShardFor(key);
-  std::lock_guard<std::mutex> l(shard->mu);
+  util::MutexLock l(&shard->mu);
   auto it = shard->index.find(key);
   if (it == shard->index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -39,7 +39,7 @@ void BlockCache::Insert(uint64_t file_id, uint64_t offset, BlockHandle block) {
   size_t charge = block->size() + sizeof(Entry);
   uint64_t key = PackKey(file_id, offset);
   Shard* shard = ShardFor(key);
-  std::lock_guard<std::mutex> l(shard->mu);
+  util::MutexLock l(&shard->mu);
 
   auto it = shard->index.find(key);
   if (it != shard->index.end()) {
@@ -108,7 +108,7 @@ void BlockCache::EvictSome(Shard* shard, size_t needed) {
 void BlockCache::EraseFile(uint64_t file_id) {
   for (auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
-    std::lock_guard<std::mutex> l(shard->mu);
+    util::MutexLock l(&shard->mu);
     for (auto& ep : shard->ring) {
       Entry* e = ep.get();
       if (e->occupied && e->file_id == file_id) {
@@ -125,7 +125,7 @@ size_t BlockCache::usage() const {
   size_t total = 0;
   for (const auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
-    std::lock_guard<std::mutex> l(shard->mu);
+    util::MutexLock l(&shard->mu);
     total += shard->usage;
   }
   return total;

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace blsm {
 
@@ -56,13 +58,14 @@ class BlockCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    util::Mutex mu;
     // CLOCK ring: slots are reused in place; `hand` sweeps looking for an
     // unreferenced victim.
-    std::vector<std::unique_ptr<Entry>> ring;
-    size_t hand = 0;
-    size_t usage = 0;
-    std::unordered_map<uint64_t, size_t> index;  // packed key -> slot
+    std::vector<std::unique_ptr<Entry>> ring GUARDED_BY(mu);
+    size_t hand GUARDED_BY(mu) = 0;
+    size_t usage GUARDED_BY(mu) = 0;
+    // packed key -> slot
+    std::unordered_map<uint64_t, size_t> index GUARDED_BY(mu);
   };
 
   static uint64_t PackKey(uint64_t file_id, uint64_t offset) {
@@ -71,7 +74,7 @@ class BlockCache {
   }
 
   Shard* ShardFor(uint64_t packed);
-  void EvictSome(Shard* shard, size_t needed);
+  void EvictSome(Shard* shard, size_t needed) REQUIRES(shard->mu);
 
   const size_t capacity_;
   const size_t per_shard_capacity_;

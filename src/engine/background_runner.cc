@@ -24,7 +24,7 @@ void BackgroundRunner::AddJob(JobSpec spec) {
 }
 
 void BackgroundRunner::Start() {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   if (started_) return;
   started_ = true;
   for (auto& job : jobs_) {
@@ -35,9 +35,9 @@ void BackgroundRunner::Start() {
 void BackgroundRunner::Stop() {
   shutdown_.store(true, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> l(mu_);
-    work_cv_.notify_all();
-    idle_cv_.notify_all();
+    util::MutexLock l(&mu_);
+    work_cv_.NotifyAll();
+    idle_cv_.NotifyAll();
   }
   for (auto& job : jobs_) {
     if (job->thread.joinable()) job->thread.join();
@@ -45,27 +45,27 @@ void BackgroundRunner::Stop() {
 }
 
 void BackgroundRunner::Notify() {
-  std::lock_guard<std::mutex> l(mu_);
-  work_cv_.notify_all();
+  util::MutexLock l(&mu_);
+  work_cv_.NotifyAll();
 }
 
 Status BackgroundRunner::BackgroundError() const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return bg_error_;
 }
 
 void BackgroundRunner::SetBackgroundError(const Status& s) {
   if (s.ok()) return;
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   if (bg_error_.ok()) bg_error_ = s;
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 void BackgroundRunner::Heal() {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   bg_error_ = Status::OK();
-  work_cv_.notify_all();
-  idle_cv_.notify_all();
+  work_cv_.NotifyAll();
+  idle_cv_.NotifyAll();
 }
 
 bool BackgroundRunner::Running(const std::string& name) const {
@@ -90,14 +90,14 @@ Status BackgroundRunner::WaitUntil(const std::function<bool()>& done) {
       return Status::Busy("shutting down");
     }
     {
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       if (!bg_error_.ok()) return bg_error_;
-      work_cv_.notify_all();
+      work_cv_.NotifyAll();
     }
     // The predicate may take engine locks; evaluate it outside mu_.
     if (done()) return Status::OK();
-    std::unique_lock<std::mutex> l(mu_);
-    idle_cv_.wait_for(l, kPollInterval);
+    util::MutexLock l(&mu_);
+    idle_cv_.WaitFor(&mu_, kPollInterval);
   }
 }
 
@@ -108,31 +108,32 @@ void BackgroundRunner::WaitIdle() {
       if (job->spec.pending && job->spec.pending()) return false;
     }
     return true;
-  });
+  }).IgnoreError("WaitIdle is void by contract; a latched error also ends "
+                 "the wait and stays visible through BackgroundError()");
 }
 
 void BackgroundRunner::WorkerLoop(Job* job) {
   while (!shutdown_.load(std::memory_order_relaxed)) {
     // Paused while an error is latched: Heal() resumes us.
     {
-      std::unique_lock<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       if (!bg_error_.ok()) {
-        work_cv_.wait_for(l, kPollInterval);
+        work_cv_.WaitFor(&mu_, kPollInterval);
         continue;
       }
     }
     // pending() takes engine locks — never call it holding mu_.
     if (!job->spec.pending()) {
-      std::unique_lock<std::mutex> l(mu_);
-      idle_cv_.notify_all();
-      work_cv_.wait_for(l, kPollInterval);
+      util::MutexLock l(&mu_);
+      idle_cv_.NotifyAll();
+      work_cv_.WaitFor(&mu_, kPollInterval);
       continue;
     }
 
     job->running.store(true, std::memory_order_release);
     Status s = RunWithRetry(job);
     {
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       if (!s.ok() && !shutdown_.load(std::memory_order_relaxed) &&
           bg_error_.ok()) {
         bg_error_ = s;
@@ -143,7 +144,7 @@ void BackgroundRunner::WorkerLoop(Job* job) {
         job->spec.passes->fetch_add(1, std::memory_order_relaxed);
       }
       job->running.store(false, std::memory_order_release);
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
   }
 }

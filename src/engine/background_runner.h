@@ -2,16 +2,16 @@
 #define BLSM_ENGINE_BACKGROUND_RUNNER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "io/env.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace blsm::engine {
 
@@ -64,25 +64,25 @@ class BackgroundRunner {
 
   // Register jobs before Start(); each job gets its own worker thread.
   void AddJob(JobSpec spec);
-  void Start();
+  void Start() EXCLUDES(mu_);
   // Requests shutdown, wakes every sleeper (workers and waiters), joins.
   // Idempotent.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   // Wakes the workers to re-evaluate their pending() predicates.
-  void Notify();
+  void Notify() EXCLUDES(mu_);
 
   bool shutting_down() const {
     return shutdown_.load(std::memory_order_relaxed);
   }
 
   // The latched background error (first error wins), or OK.
-  Status BackgroundError() const;
+  Status BackgroundError() const EXCLUDES(mu_);
   // Latches `s` unless an error is already latched (no-op for OK).
-  void SetBackgroundError(const Status& s);
+  void SetBackgroundError(const Status& s) EXCLUDES(mu_);
   // Clears the latch and resumes paused workers. The caller is responsible
   // for having actually fixed the fault (e.g. FaultInjectionEnv::Heal).
-  void Heal();
+  void Heal() EXCLUDES(mu_);
 
   // True while the named job is inside run() (retries included).
   bool Running(const std::string& name) const;
@@ -90,10 +90,10 @@ class BackgroundRunner {
 
   // Blocks until done() returns true, an error latches, or shutdown; wakes
   // workers while waiting. Returns the background error (OK on clean exit).
-  Status WaitUntil(const std::function<bool()>& done);
+  Status WaitUntil(const std::function<bool()>& done) EXCLUDES(mu_);
 
   // Quiesce: waits until no job is running and no job reports pending work.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -102,7 +102,7 @@ class BackgroundRunner {
     std::thread thread;
   };
 
-  void WorkerLoop(Job* job);
+  void WorkerLoop(Job* job) EXCLUDES(mu_);
   // Runs the job once, re-running on transient failure per the policy.
   Status RunWithRetry(Job* job);
   // Sleeps min(base << attempt, cap) in 1 ms slices, polling shutdown so the
@@ -112,13 +112,15 @@ class BackgroundRunner {
   Env* env_;
   BackgroundPolicy policy_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // wakes workers
-  std::condition_variable idle_cv_;  // signals pass completion to waiters
-  Status bg_error_;                  // under mu_
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;  // wakes workers
+  util::CondVar idle_cv_;  // signals pass completion to waiters
+  Status bg_error_ GUARDED_BY(mu_);
   std::atomic<bool> shutdown_{false};
-  bool started_ = false;
+  bool started_ GUARDED_BY(mu_) = false;
 
+  // Grown only before Start() (single-threaded setup phase); the vector is
+  // immutable once workers exist, so per-job state is in Job's atomics.
   std::vector<std::unique_ptr<Job>> jobs_;
 };
 

@@ -1,12 +1,13 @@
 #include "engine/kv.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "btree/btree.h"
 #include "lsm/blsm_tree.h"
 #include "multilevel/multilevel_tree.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace blsm::kv {
 
@@ -217,8 +218,13 @@ class BTreeEngine : public Engine {
     return tree_->Checkpoint();
   }
   void WaitIdle() override {
-    // No background work; a checkpoint is the closest quiesce.
-    if (!read_only_) tree_->Checkpoint();
+    // No background work; a checkpoint is the closest quiesce. WaitIdle has
+    // no error channel by contract — a checkpoint failure here resurfaces on
+    // the next Flush(), which does report.
+    if (!read_only_) {
+      tree_->Checkpoint().IgnoreError(
+          "WaitIdle is void by contract; Flush reports checkpoint failures");
+    }
   }
   Status BackgroundError() const override { return Status::OK(); }
 
@@ -302,8 +308,8 @@ Status OpenBTree(const CommonOptions& common, const std::string& dir,
 // --- registry ---------------------------------------------------------------
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, EngineFactory> factories;
+  util::Mutex mu;
+  std::map<std::string, EngineFactory> factories GUARDED_BY(mu);
 
   Registry() {
     factories["blsm"] = OpenBlsm;
@@ -321,7 +327,7 @@ Registry& GetRegistry() {
 
 void RegisterEngine(const std::string& name, EngineFactory factory) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> l(r.mu);
+  util::MutexLock l(&r.mu);
   r.factories[name] = std::move(factory);
 }
 
@@ -330,7 +336,7 @@ Status Open(const std::string& name, const CommonOptions& options,
   EngineFactory factory;
   {
     Registry& r = GetRegistry();
-    std::lock_guard<std::mutex> l(r.mu);
+    util::MutexLock l(&r.mu);
     auto it = r.factories.find(name);
     if (it == r.factories.end()) {
       return Status::NotFound("no engine registered as '" + name + "'");
@@ -342,7 +348,7 @@ Status Open(const std::string& name, const CommonOptions& options,
 
 std::vector<std::string> EngineNames() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> l(r.mu);
+  util::MutexLock l(&r.mu);
   std::vector<std::string> names;
   names.reserve(r.factories.size());
   for (const auto& [name, factory] : r.factories) names.push_back(name);

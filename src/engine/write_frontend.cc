@@ -10,22 +10,29 @@ WriteFrontend::WriteFrontend(const Options& options, std::string log_path)
       log_path_(std::move(log_path)),
       active_(std::make_shared<MemTable>()) {}
 
-WriteFrontend::~WriteFrontend() { Close(); }
+WriteFrontend::~WriteFrontend() {
+  Close().IgnoreError("destructor has no caller to report to");
+}
 
-void WriteFrontend::Close() {
-  if (log_ != nullptr) {
-    log_->Close();
-    log_.reset();
-  }
+Status WriteFrontend::Close() {
+  if (log_ == nullptr) return Status::OK();
+  Status s = log_->Close();
+  log_.reset();
+  return s;
 }
 
 Status WriteFrontend::Recover(SequenceNumber manifest_last_seq) {
   uint64_t max_seq = manifest_last_seq;
+  std::shared_ptr<MemTable> mem;
+  {
+    util::MutexLock l(&mu_);
+    mem = active_;
+  }
   Status s = LogicalLog::Replay(
       env_, log_path_,
       [&](const Slice& key, SequenceNumber seq, RecordType type,
           const Slice& value) {
-        active_->Add(seq, type, key, value);
+        mem->Add(seq, type, key, value);
         max_seq = std::max(max_seq, seq);
       });
   if (!s.ok()) return s;
@@ -35,7 +42,7 @@ Status WriteFrontend::Recover(SequenceNumber manifest_last_seq) {
 
   log_ = std::make_unique<LogicalLog>(env_, log_path_, options_.durability);
   if (options_.durability != DurabilityMode::kNone) {
-    s = RestartLogLocked(active_);
+    s = RestartLog(mem);
     if (!s.ok()) return s;
   }
   return Status::OK();
@@ -52,7 +59,7 @@ Status WriteFrontend::Write(const Slice& key, RecordType type,
   }
 
   {
-    std::shared_lock<std::shared_mutex> swap_guard(swap_mu_);
+    util::ReaderLock swap_guard(&swap_mu_);
     SequenceNumber seq =
         last_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (log_ != nullptr) {
@@ -63,7 +70,7 @@ Status WriteFrontend::Write(const Slice& key, RecordType type,
     // shared lock makes this read stable.
     std::shared_ptr<MemTable> mem;
     {
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       mem = active_;
     }
     mem->Add(seq, type, key, value);
@@ -84,7 +91,7 @@ Status WriteFrontend::Write(const kv::WriteBatch& batch) {
   }
 
   {
-    std::shared_lock<std::shared_mutex> swap_guard(swap_mu_);
+    util::ReaderLock swap_guard(&swap_mu_);
     const uint64_t n = batch.Count();
     // One contiguous range: the batch owns [first, first + n).
     SequenceNumber first =
@@ -103,7 +110,7 @@ Status WriteFrontend::Write(const kv::WriteBatch& batch) {
     }
     std::shared_ptr<MemTable> mem;
     {
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       mem = active_;
     }
     SequenceNumber seq = first;
@@ -117,13 +124,18 @@ Status WriteFrontend::Write(const kv::WriteBatch& batch) {
 }
 
 Status WriteFrontend::Freeze(bool block) {
-  std::unique_lock<std::shared_mutex> swap(swap_mu_, std::defer_lock);
   if (block) {
-    swap.lock();
-  } else if (!swap.try_lock()) {
+    swap_mu_.Lock();
+  } else if (!swap_mu_.TryLock()) {
     return Status::Busy("writers in flight");
   }
-  std::lock_guard<std::mutex> l(mu_);
+  Status s = FreezeHeld();
+  swap_mu_.Unlock();
+  return s;
+}
+
+Status WriteFrontend::FreezeHeld() {
+  util::MutexLock l(&mu_);
   if (frozen_ != nullptr) {
     return Status::Busy("frozen memtable already pending");
   }
@@ -133,24 +145,24 @@ Status WriteFrontend::Freeze(bool block) {
 }
 
 void WriteFrontend::DropFrozen() {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   frozen_.reset();
 }
 
 Status WriteFrontend::TruncateToActive(bool consume) {
-  std::unique_lock<std::shared_mutex> swap(swap_mu_);
+  swap_mu_.Lock();
   std::shared_ptr<MemTable> survivors;
   if (consume) {
     std::shared_ptr<MemTable> current;
     {
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       current = active_;
     }
     survivors = current->CompactUnconsumed();
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     active_ = survivors;
   } else {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     survivors = active_;
   }
   // kSync: the writer exclusion must span the log restart too — a write
@@ -158,11 +170,16 @@ Status WriteFrontend::TruncateToActive(bool consume) {
   // to appear in the relogged survivor set. kAsync already tolerates losing
   // an unsynced tail, so the fsync-bearing restart happens with writes
   // flowing (LogicalLog::Restart serializes against Append internally).
-  if (options_.durability != DurabilityMode::kSync) swap.unlock();
-  return RestartLogLocked(survivors);
+  if (options_.durability == DurabilityMode::kSync) {
+    Status s = RestartLog(survivors);
+    swap_mu_.Unlock();
+    return s;
+  }
+  swap_mu_.Unlock();
+  return RestartLog(survivors);
 }
 
-Status WriteFrontend::RestartLogLocked(
+Status WriteFrontend::RestartLog(
     const std::shared_ptr<MemTable>& survivors) {
   if (log_ == nullptr || log_->mode() == DurabilityMode::kNone) {
     return Status::OK();
@@ -183,30 +200,30 @@ Status WriteFrontend::RestartLogLocked(
 
 void WriteFrontend::Memtables(std::shared_ptr<MemTable>* active,
                               std::shared_ptr<MemTable>* frozen) const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   *active = active_;
   *frozen = frozen_;
 }
 
 std::shared_ptr<MemTable> WriteFrontend::ActiveMemtable() const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return active_;
 }
 
 std::shared_ptr<MemTable> WriteFrontend::FrozenMemtable() const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return frozen_;
 }
 
 bool WriteFrontend::HasFrozen() const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return frozen_ != nullptr;
 }
 
 size_t WriteFrontend::ActiveLiveBytes() const {
   std::shared_ptr<MemTable> mem;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     mem = active_;
   }
   return mem->LiveBytes();

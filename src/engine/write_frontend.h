@@ -4,15 +4,15 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "engine/write_batch.h"
 #include "io/env.h"
 #include "lsm/record.h"
 #include "memtable/memtable.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/logical_log.h"
 
 namespace blsm::engine {
@@ -61,23 +61,24 @@ class WriteFrontend {
 
   // Log append + memtable insert; assigns the sequence number. Runs the
   // before/after hooks around the critical section.
-  Status Write(const Slice& key, RecordType type, const Slice& value);
+  Status Write(const Slice& key, RecordType type, const Slice& value)
+      EXCLUDES(swap_mu_, mu_);
 
   // Applies a WriteBatch: one contiguous sequence-number range, one WAL
   // record group (committed under a single group-commit sync), then every
   // entry inserted into the active memtable. Durability is all-or-nothing;
   // concurrent readers may see the batch partially applied while it is
   // being inserted.
-  Status Write(const kv::WriteBatch& batch);
+  Status Write(const kv::WriteBatch& batch) EXCLUDES(swap_mu_, mu_);
 
   // Moves the active memtable to the frozen slot and installs a fresh active
   // one. Fails with Busy if a frozen memtable already exists (the caller
   // retries after its merge completes). When `block` is false, also fails
   // with Busy instead of waiting for in-flight writers to drain.
-  Status Freeze(bool block);
+  Status Freeze(bool block) EXCLUDES(swap_mu_, mu_);
 
   // Drops the frozen memtable (its contents are durable in a component).
-  void DropFrozen();
+  void DropFrozen() EXCLUDES(mu_);
 
   // Restarts the log so it covers exactly the live memtable contents.
   // When `consume` is set (snowshovel), the active memtable is first
@@ -86,17 +87,17 @@ class WriteFrontend {
   // synchronously-acknowledged write can never fall between the truncated
   // log and the new one; kAsync releases writers first and tolerates the
   // (already unacknowledged-durability) race.
-  Status TruncateToActive(bool consume);
+  Status TruncateToActive(bool consume) EXCLUDES(swap_mu_, mu_);
 
   // Reader snapshot of the memtable pair; call before snapshotting disk
   // state (see class comment). `frozen` may be null.
   void Memtables(std::shared_ptr<MemTable>* active,
-                 std::shared_ptr<MemTable>* frozen) const;
+                 std::shared_ptr<MemTable>* frozen) const EXCLUDES(mu_);
 
-  std::shared_ptr<MemTable> ActiveMemtable() const;
-  std::shared_ptr<MemTable> FrozenMemtable() const;
-  bool HasFrozen() const;
-  size_t ActiveLiveBytes() const;
+  std::shared_ptr<MemTable> ActiveMemtable() const EXCLUDES(mu_);
+  std::shared_ptr<MemTable> FrozenMemtable() const EXCLUDES(mu_);
+  bool HasFrozen() const EXCLUDES(mu_);
+  size_t ActiveLiveBytes() const EXCLUDES(mu_);
 
   SequenceNumber LastSequence() const {
     return last_seq_.load(std::memory_order_acquire);
@@ -108,24 +109,31 @@ class WriteFrontend {
     return log_ != nullptr ? log_->counters() : LogicalLog::Counters{};
   }
 
-  // Closes the log (flushing buffered async records). Call before tearing
-  // down the engine; the destructor also does it.
-  void Close();
+  // Closes the log (flushing buffered async records) and reports the flush
+  // outcome. Call before tearing down the engine so the error is seen; the
+  // destructor also closes, but can only swallow a late failure.
+  Status Close();
 
  private:
-  Status RestartLogLocked(const std::shared_ptr<MemTable>& survivors);
+  // The freeze itself, once the caller holds the writer exclusion.
+  Status FreezeHeld() REQUIRES(swap_mu_) EXCLUDES(mu_);
+
+  Status RestartLog(const std::shared_ptr<MemTable>& survivors);
 
   Options options_;
   Env* env_;
   std::string log_path_;
+  // Set once in Recover and cleared in Close — the open/close phases are
+  // single-threaded by the engine lifecycle, so the pointer itself needs no
+  // lock; LogicalLog serializes all operation-phase use internally.
   std::unique_ptr<LogicalLog> log_;
 
   // Writers shared, memtable swaps exclusive.
-  mutable std::shared_mutex swap_mu_;
+  mutable util::SharedMutex swap_mu_;
 
-  mutable std::mutex mu_;  // protects the two pointers
-  std::shared_ptr<MemTable> active_;
-  std::shared_ptr<MemTable> frozen_;
+  mutable util::Mutex mu_;  // protects the two pointers
+  std::shared_ptr<MemTable> active_ GUARDED_BY(mu_);
+  std::shared_ptr<MemTable> frozen_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> last_seq_{0};
 };

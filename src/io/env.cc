@@ -27,7 +27,10 @@ Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
   s = file->Append(data);
   if (s.ok() && sync) s = file->Sync();
   if (s.ok()) s = file->Close();
-  if (!s.ok()) env->RemoveFile(fname);
+  if (!s.ok()) {
+    env->RemoveFile(fname).IgnoreError(
+        "best-effort cleanup; the write failure below is the real error");
+  }
   return s;
 }
 

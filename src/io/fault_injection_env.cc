@@ -55,7 +55,9 @@ class FaultWritableFile final : public WritableFile {
         // Torn write: the device persisted part of the payload before the
         // failure. The base Append's own status is irrelevant — the caller
         // already sees an error.
-        base_->Append(Slice(data.data(), plan.torn_len));
+        base_->Append(Slice(data.data(), plan.torn_len))
+            .IgnoreError("the injected IOError below is what the caller "
+                         "must see, whatever the partial write did");
       }
       return plan.status;
     }
@@ -116,7 +118,7 @@ class FaultRandomRWFile final : public RandomRWFile {
 }  // namespace
 
 void FaultInjectionEnv::SetPolicy(const FaultPolicy& policy) {
-  std::lock_guard<std::mutex> l(policy_mu_);
+  util::MutexLock l(&policy_mu_);
   policy_ = policy;
   rng_ = Random(policy.seed);
   policy_active_.store(policy.AnyProbabilistic(), std::memory_order_release);
@@ -124,7 +126,7 @@ void FaultInjectionEnv::SetPolicy(const FaultPolicy& policy) {
 
 void FaultInjectionEnv::Heal() {
   armed_.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> l(policy_mu_);
+  util::MutexLock l(&policy_mu_);
   policy_ = FaultPolicy{};
   policy_active_.store(false, std::memory_order_release);
 }
@@ -140,14 +142,14 @@ Status FaultInjectionEnv::Check() {
 
 bool FaultInjectionEnv::Roll(double prob) {
   if (prob <= 0.0) return false;
-  std::lock_guard<std::mutex> l(policy_mu_);
+  util::MutexLock l(&policy_mu_);
   return rng_.NextDouble() < prob;
 }
 
 bool FaultInjectionEnv::SilentFaultsApply(const std::string& fname) {
   std::function<bool(const std::string&)> filter;
   {
-    std::lock_guard<std::mutex> l(policy_mu_);
+    util::MutexLock l(&policy_mu_);
     filter = policy_.silent_fault_filter;
   }
   return filter == nullptr || filter(fname);
@@ -159,7 +161,7 @@ Status FaultInjectionEnv::CheckOp(FaultOpClass op, const std::string& fname) {
   if (!policy_active_.load(std::memory_order_acquire)) return Status::OK();
   double prob = 0.0;
   {
-    std::lock_guard<std::mutex> l(policy_mu_);
+    util::MutexLock l(&policy_mu_);
     switch (op) {
       case FaultOpClass::kRead:
         prob = policy_.read_error_prob;
@@ -190,10 +192,13 @@ FaultInjectionEnv::WritePlan FaultInjectionEnv::PlanAppend(
   if (!plan.status.ok()) return plan;
   if (!policy_active_.load(std::memory_order_acquire)) return plan;
 
-  std::unique_lock<std::mutex> l(policy_mu_);
+  // Manual lock discipline: every branch drops policy_mu_ before the
+  // fetch_add / filter callback so the dice rolls stay serialized but no
+  // side effect runs under the lock.
+  policy_mu_.Lock();
   if (policy_.write_error_prob > 0 &&
       rng_.NextDouble() < policy_.write_error_prob) {
-    l.unlock();
+    policy_mu_.Unlock();
     faults_.fetch_add(1, std::memory_order_relaxed);
     plan.status = Status::IOError("injected write error: " + fname);
     return plan;
@@ -201,7 +206,7 @@ FaultInjectionEnv::WritePlan FaultInjectionEnv::PlanAppend(
   if (len > 0 && policy_.torn_write_prob > 0 &&
       rng_.NextDouble() < policy_.torn_write_prob) {
     plan.torn_len = static_cast<size_t>(rng_.Uniform(len));  // strict prefix
-    l.unlock();
+    policy_mu_.Unlock();
     faults_.fetch_add(1, std::memory_order_relaxed);
     torn_writes_.fetch_add(1, std::memory_order_relaxed);
     plan.status = Status::IOError("injected torn write: " + fname);
@@ -210,13 +215,14 @@ FaultInjectionEnv::WritePlan FaultInjectionEnv::PlanAppend(
   if (len > 0 && policy_.bit_flip_prob > 0 &&
       rng_.NextDouble() < policy_.bit_flip_prob) {
     uint64_t bit = rng_.Uniform(len * 8);
-    l.unlock();
+    policy_mu_.Unlock();
     if (SilentFaultsApply(fname)) {
       bit_flips_.fetch_add(1, std::memory_order_relaxed);
       plan.flip_bit = static_cast<int64_t>(bit);
     }
     return plan;
   }
+  policy_mu_.Unlock();
   return plan;
 }
 
@@ -227,23 +233,24 @@ FaultInjectionEnv::SyncPlan FaultInjectionEnv::PlanSync(
   if (!plan.status.ok()) return plan;
   if (!policy_active_.load(std::memory_order_acquire)) return plan;
 
-  std::unique_lock<std::mutex> l(policy_mu_);
+  policy_mu_.Lock();
   if (policy_.sync_error_prob > 0 &&
       rng_.NextDouble() < policy_.sync_error_prob) {
-    l.unlock();
+    policy_mu_.Unlock();
     faults_.fetch_add(1, std::memory_order_relaxed);
     plan.status = Status::IOError("injected sync error: " + fname);
     return plan;
   }
   if (policy_.swallow_sync_prob > 0 &&
       rng_.NextDouble() < policy_.swallow_sync_prob) {
-    l.unlock();
+    policy_mu_.Unlock();
     if (SilentFaultsApply(fname)) {
       swallowed_syncs_.fetch_add(1, std::memory_order_relaxed);
       plan.swallow = true;
     }
     return plan;
   }
+  policy_mu_.Unlock();
   return plan;
 }
 

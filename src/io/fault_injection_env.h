@@ -4,11 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "io/env.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace blsm {
 
@@ -181,10 +182,10 @@ class FaultInjectionEnv final : public Env {
   std::atomic<uint64_t> bit_flips_{0};
   std::atomic<uint64_t> swallowed_syncs_{0};
 
-  std::mutex policy_mu_;  // guards policy_ and rng_
-  FaultPolicy policy_;
+  util::Mutex policy_mu_;
+  FaultPolicy policy_ GUARDED_BY(policy_mu_);
   std::atomic<bool> policy_active_{false};
-  Random rng_{0};
+  Random rng_ GUARDED_BY(policy_mu_) = Random(0);
 };
 
 }  // namespace blsm

@@ -8,9 +8,9 @@
 namespace blsm {
 
 struct MemEnv::FileState {
-  std::mutex mu;
-  std::string data;
-  size_t synced_len = 0;
+  util::Mutex mu;
+  std::string data GUARDED_BY(mu);
+  size_t synced_len GUARDED_BY(mu) = 0;
 };
 
 namespace {
@@ -28,7 +28,7 @@ class MemSequentialFile final : public SequentialFile {
   explicit MemSequentialFile(FileStatePtr fs) : fs_(std::move(fs)) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
-    std::lock_guard<std::mutex> l(fs_->mu);
+    util::MutexLock l(&fs_->mu);
     size_t avail = fs_->data.size() - std::min(pos_, fs_->data.size());
     size_t len = std::min(n, avail);
     memcpy(scratch, fs_->data.data() + pos_, len);
@@ -53,7 +53,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    std::lock_guard<std::mutex> l(fs_->mu);
+    util::MutexLock l(&fs_->mu);
     if (offset >= fs_->data.size()) {
       *result = Slice(scratch, 0);
       return Status::OK();
@@ -73,7 +73,7 @@ class MemWritableFile final : public WritableFile {
   explicit MemWritableFile(FileStatePtr fs) : fs_(std::move(fs)) {}
 
   Status Append(const Slice& data) override {
-    std::lock_guard<std::mutex> l(fs_->mu);
+    util::MutexLock l(&fs_->mu);
     fs_->data.append(data.data(), data.size());
     return Status::OK();
   }
@@ -81,7 +81,7 @@ class MemWritableFile final : public WritableFile {
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> l(fs_->mu);
+    util::MutexLock l(&fs_->mu);
     fs_->synced_len = fs_->data.size();
     return Status::OK();
   }
@@ -98,7 +98,7 @@ class MemRandomRWFile final : public RandomRWFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    std::lock_guard<std::mutex> l(fs_->mu);
+    util::MutexLock l(&fs_->mu);
     if (offset >= fs_->data.size()) {
       *result = Slice(scratch, 0);
       return Status::OK();
@@ -110,7 +110,7 @@ class MemRandomRWFile final : public RandomRWFile {
   }
 
   Status Write(uint64_t offset, const Slice& data) override {
-    std::lock_guard<std::mutex> l(fs_->mu);
+    util::MutexLock l(&fs_->mu);
     size_t end = static_cast<size_t>(offset) + data.size();
     if (fs_->data.size() < end) fs_->data.resize(end, '\0');
     memcpy(fs_->data.data() + offset, data.data(), data.size());
@@ -118,7 +118,7 @@ class MemRandomRWFile final : public RandomRWFile {
   }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> l(fs_->mu);
+    util::MutexLock l(&fs_->mu);
     fs_->synced_len = fs_->data.size();
     return Status::OK();
   }
@@ -138,7 +138,7 @@ MemEnv::~MemEnv() = default;
 
 Status MemEnv::NewSequentialFile(const std::string& fname,
                                  std::unique_ptr<SequentialFile>* result) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) return Status::NotFound(fname);
   *result = std::make_unique<MemSequentialFile>(it->second);
@@ -147,7 +147,7 @@ Status MemEnv::NewSequentialFile(const std::string& fname,
 
 Status MemEnv::NewRandomAccessFile(const std::string& fname,
                                    std::unique_ptr<RandomAccessFile>* result) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) return Status::NotFound(fname);
   *result = std::make_unique<MemRandomAccessFile>(it->second);
@@ -156,7 +156,7 @@ Status MemEnv::NewRandomAccessFile(const std::string& fname,
 
 Status MemEnv::NewWritableFile(const std::string& fname,
                                std::unique_ptr<WritableFile>* result) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   auto fs = std::make_shared<FileState>();
   files_[fname] = fs;
   *result = std::make_unique<MemWritableFile>(std::move(fs));
@@ -165,7 +165,7 @@ Status MemEnv::NewWritableFile(const std::string& fname,
 
 Status MemEnv::NewRandomRWFile(const std::string& fname,
                                std::unique_ptr<RandomRWFile>* result) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   auto it = files_.find(fname);
   std::shared_ptr<FileState> fs;
   if (it == files_.end()) {
@@ -179,13 +179,13 @@ Status MemEnv::NewRandomRWFile(const std::string& fname,
 }
 
 bool MemEnv::FileExists(const std::string& fname) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return files_.count(fname) > 0;
 }
 
 Status MemEnv::GetChildren(const std::string& dir,
                            std::vector<std::string>* result) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   result->clear();
   std::string prefix = dir;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
@@ -200,25 +200,25 @@ Status MemEnv::GetChildren(const std::string& dir,
 }
 
 Status MemEnv::RemoveFile(const std::string& fname) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   if (files_.erase(fname) == 0) return Status::NotFound(fname);
   return Status::OK();
 }
 
 Status MemEnv::CreateDir(const std::string& dirname) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   dirs_.insert(dirname);
   return Status::OK();
 }
 
 Status MemEnv::RemoveDir(const std::string& dirname) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   if (dirs_.erase(dirname) == 0) return Status::NotFound(dirname);
   return Status::OK();
 }
 
 Status MemEnv::RemoveDirRecursive(const std::string& dirname) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   std::string prefix = dirname;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   for (auto it = files_.begin(); it != files_.end();) {
@@ -239,19 +239,19 @@ Status MemEnv::RemoveDirRecursive(const std::string& dirname) {
 }
 
 Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) {
     *size = 0;
     return Status::NotFound(fname);
   }
-  std::lock_guard<std::mutex> fl(it->second->mu);
+  util::MutexLock fl(&it->second->mu);
   *size = it->second->data.size();
   return Status::OK();
 }
 
 Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   auto it = files_.find(src);
   if (it == files_.end()) return Status::NotFound(src);
   files_[target] = it->second;
@@ -271,10 +271,10 @@ void MemEnv::SleepForMicroseconds(uint64_t micros) {
 }
 
 void MemEnv::DropUnsynced() {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   for (auto& [name, fs] : files_) {
     (void)name;
-    std::lock_guard<std::mutex> fl(fs->mu);
+    util::MutexLock fl(&fs->mu);
     fs->data.resize(fs->synced_len);
   }
 }

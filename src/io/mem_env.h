@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "io/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace blsm {
 
@@ -52,10 +53,9 @@ class MemEnv final : public Env {
   struct FileState;  // public so file implementations in the .cc can use it
 
  private:
-
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<FileState>> files_;
-  std::set<std::string> dirs_;
+  util::Mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_ GUARDED_BY(mu_);
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
 };
 
 }  // namespace blsm

@@ -78,7 +78,9 @@ class PosixWritableFile final : public WritableFile {
     buf_.reserve(kBufferSize);
   }
   ~PosixWritableFile() override {
-    if (fd_ >= 0) Close();
+    if (fd_ >= 0) {
+      Close().IgnoreError("destructor has no caller to report to");
+    }
   }
 
   Status Append(const Slice& data) override {

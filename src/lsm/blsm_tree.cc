@@ -62,28 +62,33 @@ Status BlsmTree::OpenImpl() {
   }
   if (!s.ok()) return s;
 
-  next_file_number_ = manifest.next_file_number;
+  {
+    // No background threads exist yet, but the guarded fields are touched
+    // under mu_ anyway so the locking discipline holds everywhere.
+    util::MutexLock l(&mu_);
+    next_file_number_ = manifest.next_file_number;
 
-  for (const auto& entry : manifest.components) {
-    ComponentPtr comp;
-    s = OpenComponent(entry.file_number, &comp, options_.use_bloom);
-    if (!s.ok()) return s;
-    if (options_.background.paranoid_checks) {
-      uint64_t bad_offset = 0;
-      s = comp->reader->VerifyAllBlocks(&bad_offset);
+    for (const auto& entry : manifest.components) {
+      ComponentPtr comp;
+      s = OpenComponent(entry.file_number, &comp, options_.use_bloom);
       if (!s.ok()) return s;
-    }
-    switch (entry.slot) {
-      case Manifest::Slot::kC1:
-        c1_ = comp;
-        c1_data_bytes_.store(comp->reader->data_bytes());
-        break;
-      case Manifest::Slot::kC1Prime:
-        c1_prime_ = comp;
-        break;
-      case Manifest::Slot::kC2:
-        c2_ = comp;
-        break;
+      if (options_.background.paranoid_checks) {
+        uint64_t bad_offset = 0;
+        s = comp->reader->VerifyAllBlocks(&bad_offset);
+        if (!s.ok()) return s;
+      }
+      switch (entry.slot) {
+        case Manifest::Slot::kC1:
+          c1_ = comp;
+          c1_data_bytes_.store(comp->reader->data_bytes());
+          break;
+        case Manifest::Slot::kC1Prime:
+          c1_prime_ = comp;
+          break;
+        case Manifest::Slot::kC2:
+          c2_ = comp;
+          break;
+      }
     }
   }
 
@@ -162,7 +167,9 @@ Status BlsmTree::OpenComponent(uint64_t file_number, ComponentPtr* out,
 
 BlsmTree::~BlsmTree() {
   if (runner_ != nullptr) runner_->Stop();
-  if (frontend_ != nullptr) frontend_->Close();
+  if (frontend_ != nullptr) {
+    frontend_->Close().IgnoreError("destructor has no caller to report to");
+  }
 }
 
 // --- snapshots / state --------------------------------------------------------
@@ -173,7 +180,7 @@ BlsmTree::Snapshot BlsmTree::GetSnapshot() const {
   // component before swapping/dropping the memtable it consumed, so this
   // order can observe a record twice but never lose one.
   frontend_->Memtables(&snap.mem, &snap.mem_old);
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   snap.c1 = c1_;
   snap.c1_prime = c1_prime_;
   snap.c2 = c2_;
@@ -194,7 +201,7 @@ double BlsmTree::CurrentR() const {
 SchedulerState BlsmTree::ComputeSchedulerState() const {
   SchedulerState s;
   s.c0_live_bytes = frontend_->ActiveLiveBytes();
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   s.c0_target_bytes = options_.c0_target_bytes;
   s.merge1_active = progress1_.active.load(std::memory_order_relaxed);
   s.merge1_inprogress = progress1_.inprogress();
@@ -216,7 +223,7 @@ SchedulerState BlsmTree::ComputeSchedulerState() const {
 }
 
 uint64_t BlsmTree::OnDiskBytes() const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   uint64_t total = 0;
   if (c1_ != nullptr) total += c1_->reader->data_bytes();
   if (c1_prime_ != nullptr) total += c1_prime_->reader->data_bytes();
@@ -712,7 +719,7 @@ bool BlsmTree::MergePauseWait(int which) {
 bool BlsmTree::Merge1Pending() {
   bool requested;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     requested = merge1_done_gen_ < merge1_request_gen_;
   }
   uint64_t live = frontend_->ActiveLiveBytes();
@@ -727,7 +734,7 @@ bool BlsmTree::Merge1Pending() {
 }
 
 bool BlsmTree::Merge2Pending() {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return c1_prime_ != nullptr;
 }
 
@@ -738,7 +745,7 @@ Status BlsmTree::RunMerge1Pass() {
   uint64_t pass_gen;
   ComponentPtr old_c1;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     pass_gen = merge1_request_gen_;
     old_c1 = c1_;
   }
@@ -761,7 +768,7 @@ Status BlsmTree::RunMerge1Pass() {
     // Nothing to do; clear C0' so the job does not spin, and count the empty
     // pass toward the flush handshake (a flush of an empty tree succeeds).
     if (!options_.snowshovel) frontend_->DropFrozen();
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     merge1_done_gen_ = std::max(merge1_done_gen_, pass_gen);
     return Status::OK();
   }
@@ -771,7 +778,7 @@ Status BlsmTree::RunMerge1Pass() {
 
   uint64_t file_number;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     file_number = next_file_number_++;
   }
   std::string fname = Manifest::TreeFileName(dir_, file_number);
@@ -814,7 +821,8 @@ Status BlsmTree::RunMerge1Pass() {
       since_check = 0;
       if (!MergePauseWait(1)) {  // shutdown
         builder.Abandon();
-        env_->RemoveFile(fname);
+        env_->RemoveFile(fname).IgnoreError(
+            "partial merge output; orphan scavenge reclaims it");
         progress1_.active.store(false);
         return Status::OK();
       }
@@ -823,14 +831,16 @@ Status BlsmTree::RunMerge1Pass() {
   if (s.ok()) s = merged.status();
   if (!s.ok()) {
     builder.Abandon();
-    env_->RemoveFile(fname);
+    env_->RemoveFile(fname).IgnoreError(
+        "failed merge output; orphan scavenge reclaims it");
     progress1_.active.store(false);
     return s;
   }
 
   s = builder.Finish();
   if (!s.ok()) {
-    env_->RemoveFile(fname);
+    env_->RemoveFile(fname).IgnoreError(
+        "failed merge output; orphan scavenge reclaims it");
     progress1_.active.store(false);
     return s;
   }
@@ -840,7 +850,8 @@ Status BlsmTree::RunMerge1Pass() {
   ComponentPtr fresh;
   s = OpenComponent(file_number, &fresh, options_.use_bloom);
   if (!s.ok()) {
-    env_->RemoveFile(fname);
+    env_->RemoveFile(fname).IgnoreError(
+        "failed merge output; orphan scavenge reclaims it");
     progress1_.active.store(false);
     return s;
   }
@@ -851,7 +862,7 @@ Status BlsmTree::RunMerge1Pass() {
   Manifest manifest;
   uint64_t manifest_version;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     c1_ = fresh;
     c1_data_bytes_.store(fresh->reader->data_bytes());
 
@@ -888,7 +899,7 @@ Status BlsmTree::RunMerge1Pass() {
   // durability subtleties of the restart.
   s = frontend_->TruncateToActive(/*consume=*/options_.snowshovel);
   if (s.ok()) {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     merge1_done_gen_ = std::max(merge1_done_gen_, pass_gen);
   }
   progress1_.active.store(false);
@@ -898,7 +909,7 @@ Status BlsmTree::RunMerge1Pass() {
 Status BlsmTree::RunMerge2Pass() {
   ComponentPtr input_c1p, old_c2;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     input_c1p = c1_prime_;
     old_c2 = c2_;
   }
@@ -912,7 +923,7 @@ Status BlsmTree::RunMerge2Pass() {
 
   uint64_t file_number;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     file_number = next_file_number_++;
   }
   std::string fname = Manifest::TreeFileName(dir_, file_number);
@@ -959,7 +970,8 @@ Status BlsmTree::RunMerge2Pass() {
       since_check = 0;
       if (!MergePauseWait(2)) {
         builder.Abandon();
-        env_->RemoveFile(fname);
+        env_->RemoveFile(fname).IgnoreError(
+            "partial merge output; orphan scavenge reclaims it");
         progress2_.active.store(false);
         return Status::OK();
       }
@@ -968,14 +980,16 @@ Status BlsmTree::RunMerge2Pass() {
   if (s.ok()) s = merged.status();
   if (!s.ok()) {
     builder.Abandon();
-    env_->RemoveFile(fname);
+    env_->RemoveFile(fname).IgnoreError(
+        "failed merge output; orphan scavenge reclaims it");
     progress2_.active.store(false);
     return s;
   }
 
   s = builder.Finish();
   if (!s.ok()) {
-    env_->RemoveFile(fname);
+    env_->RemoveFile(fname).IgnoreError(
+        "failed merge output; orphan scavenge reclaims it");
     progress2_.active.store(false);
     return s;
   }
@@ -985,7 +999,8 @@ Status BlsmTree::RunMerge2Pass() {
   ComponentPtr fresh;
   s = OpenComponent(file_number, &fresh, options_.use_bloom);
   if (!s.ok()) {
-    env_->RemoveFile(fname);
+    env_->RemoveFile(fname).IgnoreError(
+        "failed merge output; orphan scavenge reclaims it");
     progress2_.active.store(false);
     return s;
   }
@@ -993,7 +1008,7 @@ Status BlsmTree::RunMerge2Pass() {
   Manifest manifest;
   uint64_t manifest_version;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     c2_ = fresh;
     c1_prime_.reset();
     manifest = BuildManifestLocked(&manifest_version);
@@ -1033,7 +1048,7 @@ Manifest BlsmTree::BuildManifestLocked(uint64_t* version) {
 }
 
 Status BlsmTree::SaveManifest(const Manifest& manifest, uint64_t version) {
-  std::lock_guard<std::mutex> l(manifest_io_mu_);
+  util::MutexLock l(&manifest_io_mu_);
   if (version <= manifest_written_version_) {
     // A newer snapshot has already been written (the other merge thread
     // installed after us but reached the file first).
@@ -1059,12 +1074,12 @@ Status BlsmTree::Flush() {
   // at our generation or later is guaranteed to cover everything.
   uint64_t my_gen;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     my_gen = ++merge1_request_gen_;
   }
   runner_->Notify();
   s = runner_->WaitUntil([this, my_gen] {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     return merge1_done_gen_ >= my_gen;
   });
   pacing_override_.fetch_sub(1);
@@ -1084,7 +1099,7 @@ Status BlsmTree::CompactToBottom() {
   // Wait for merge2 to drain C1'.
   pacing_override_.fetch_add(1);
   s = runner_->WaitUntil([this] {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     return c1_prime_ == nullptr && !runner_->Running("merge2");
   });
   force_promote_.store(false);
@@ -1098,11 +1113,13 @@ void BlsmTree::WaitForMergeIdle() {
   // to make an idle wait last forever.
   pacing_override_.fetch_add(1);
   runner_->WaitUntil([this] {
-    if (runner_->AnyRunning() || Merge1Pending()) return false;
-    std::lock_guard<std::mutex> l(mu_);
-    return c1_prime_ == nullptr;
-  });
-  pacing_override_.fetch_sub(1);
+        if (runner_->AnyRunning() || Merge1Pending()) return false;
+        util::MutexLock l(&mu_);
+        return c1_prime_ == nullptr;
+      })
+      .IgnoreError(
+          "idle-wait cut short by shutdown or a latched error; callers "
+          "observe the latter via BackgroundError()");
 }
 
 }  // namespace blsm

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,7 +19,9 @@
 #include "lsm/record.h"
 #include "memtable/memtable.h"
 #include "sstree/tree_reader.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/logical_log.h"
 
 namespace blsm {
@@ -165,10 +166,10 @@ class BlsmTree {
   Status CompactToBottom();
 
   // Blocks until both merge threads are idle and no trigger is pending.
-  void WaitForMergeIdle();
+  void WaitForMergeIdle() EXCLUDES(mu_);
 
   // Progress/estimator snapshot (also how tests validate the schedulers).
-  SchedulerState ComputeSchedulerState() const;
+  SchedulerState ComputeSchedulerState() const EXCLUDES(mu_);
 
   const BlsmStats& stats() const { return stats_; }
 
@@ -183,7 +184,7 @@ class BlsmTree {
   }
 
   // Current on-disk footprint (bytes of data blocks across components).
-  uint64_t OnDiskBytes() const;
+  uint64_t OnDiskBytes() const EXCLUDES(mu_);
   uint64_t C0LiveBytes() const;
 
   Status BackgroundError() const;
@@ -200,7 +201,12 @@ class BlsmTree {
     std::atomic<bool> obsolete{false};
 
     ~Component() {
-      if (obsolete.load()) env->RemoveFile(fname);
+      if (obsolete.load()) {
+        // The manifest that dropped this file is already durable; a failed
+        // unlink only leaks disk until the next orphan scavenge at Open.
+        env->RemoveFile(fname).IgnoreError(
+            "orphan scavenge reclaims the file on next open");
+      }
     }
   };
   using ComponentPtr = std::shared_ptr<Component>;
@@ -228,10 +234,10 @@ class BlsmTree {
 
   BlsmTree(const BlsmOptions& options, std::string dir);
 
-  Status OpenImpl();
+  Status OpenImpl() EXCLUDES(mu_);
   Status OpenComponent(uint64_t file_number, ComponentPtr* out,
                        bool with_bloom_expected) const;
-  Snapshot GetSnapshot() const;
+  Snapshot GetSnapshot() const EXCLUDES(mu_);
 
   Status WriteImpl(const Slice& key, RecordType type, const Slice& value);
   void ApplyBackpressure();
@@ -249,16 +255,16 @@ class BlsmTree {
                       std::vector<std::string>& deltas_newest_first,
                       std::string* value) const;
 
-  double CurrentR() const;
+  double CurrentR() const REQUIRES(mu_);
   void MaybeScheduleMerge1();
 
   // Background passes, run by the engine::BackgroundRunner jobs "merge1"
   // and "merge2" (which own the threads, transient-retry, and the error
   // latch).
-  bool Merge1Pending();
-  bool Merge2Pending();
-  Status RunMerge1Pass();
-  Status RunMerge2Pass();
+  bool Merge1Pending() EXCLUDES(mu_);
+  bool Merge2Pending() EXCLUDES(mu_);
+  Status RunMerge1Pass() EXCLUDES(mu_);
+  Status RunMerge2Pass() EXCLUDES(mu_);
   // Waits while the scheduler pauses the given merge; returns false on
   // shutdown.
   bool MergePauseWait(int which);
@@ -266,8 +272,9 @@ class BlsmTree {
   // Manifest writes happen OUTSIDE mu_ (an fsync under mu_ would stall every
   // writer): the tree state is snapshotted under mu_ with a version number,
   // and writes are serialized/deduplicated under manifest_io_mu_.
-  Manifest BuildManifestLocked(uint64_t* version);
-  Status SaveManifest(const Manifest& manifest, uint64_t version);
+  Manifest BuildManifestLocked(uint64_t* version) REQUIRES(mu_);
+  Status SaveManifest(const Manifest& manifest, uint64_t version)
+      EXCLUDES(manifest_io_mu_);
 
   BlsmOptions options_;
   std::string dir_;
@@ -281,14 +288,16 @@ class BlsmTree {
   std::unique_ptr<engine::WriteFrontend> frontend_;
   std::unique_ptr<engine::BackgroundRunner> runner_;
 
-  mutable std::mutex mu_;  // protects the fields below
-  ComponentPtr c1_, c1_prime_, c2_;
-  uint64_t next_file_number_ = 1;
+  mutable util::Mutex mu_;
+  ComponentPtr c1_ GUARDED_BY(mu_);
+  ComponentPtr c1_prime_ GUARDED_BY(mu_);
+  ComponentPtr c2_ GUARDED_BY(mu_);
+  uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
   // Flush() handshake: a flush bumps the request generation; a merge-1 pass
   // that *started* at generation g advances the done generation to g when it
   // completes successfully, so a waiter knows its data was covered.
-  uint64_t merge1_request_gen_ = 0;
-  uint64_t merge1_done_gen_ = 0;
+  uint64_t merge1_request_gen_ GUARDED_BY(mu_) = 0;
+  uint64_t merge1_done_gen_ GUARDED_BY(mu_) = 0;
   // Overrides merge pacing: set while a foreground compaction or idle-wait
   // must drain the tree at full speed.
   std::atomic<bool> force_promote_{false};
@@ -299,9 +308,9 @@ class BlsmTree {
   MergeProgress progress1_;
   MergeProgress progress2_;
 
-  uint64_t manifest_build_version_ = 0;  // under mu_
-  std::mutex manifest_io_mu_;
-  uint64_t manifest_written_version_ = 0;  // under manifest_io_mu_
+  uint64_t manifest_build_version_ GUARDED_BY(mu_) = 0;
+  util::Mutex manifest_io_mu_;
+  uint64_t manifest_written_version_ GUARDED_BY(manifest_io_mu_) = 0;
 
   BlsmStats stats_;
 

@@ -65,7 +65,7 @@ std::string MultilevelTree::BuildManifestLocked(uint64_t* version) {
 
 Status MultilevelTree::SaveManifest(const std::string& body,
                                     uint64_t version) {
-  std::lock_guard<std::mutex> l(manifest_io_mu_);
+  util::MutexLock l(&manifest_io_mu_);
   if (version <= manifest_written_version_) return Status::OK();
   std::string tmp = dir_ + "/CURRENT.tmp";
   Status s = WriteStringToFile(env_, body, tmp, /*sync=*/true);
@@ -80,7 +80,7 @@ Status MultilevelTree::SaveManifest(const std::string& body,
 bool MultilevelTree::CompactionPending() {
   if (frontend_->HasFrozen()) return true;
   int level;
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   return PickCompaction(&level);
 }
 
@@ -91,14 +91,14 @@ Status MultilevelTree::RunCompactionPass() {
   if (imm != nullptr) return FlushMemtable(std::move(imm));
   int level = -1;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     if (!PickCompaction(&level)) return Status::OK();
   }
   return CompactLevel(level);
 }
 
-// Requires mu_. The partition scheduler's pick: L0 by file count, deeper
-// levels by size-over-target score.
+// The partition scheduler's pick: L0 by file count, deeper levels by
+// size-over-target score. REQUIRES(mu_) — see the declaration.
 bool MultilevelTree::PickCompaction(int* level) {
   if (static_cast<int>(version_->levels[0].size()) >=
       options_.l0_compaction_trigger) {
@@ -132,7 +132,7 @@ Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
 
   auto open_builder = [&]() -> Status {
     {
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       current_number = next_file_number_++;
     }
     sstree::TreeBuilderOptions bopts;
@@ -188,7 +188,8 @@ Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
     s = close_builder();
   } else if (builder != nullptr) {
     builder->Abandon();
-    env_->RemoveFile(TreeFileName(dir_, current_number));
+    env_->RemoveFile(TreeFileName(dir_, current_number))
+        .IgnoreError("partial compaction output; orphan scavenge reclaims it");
   }
   if (!s.ok()) {
     // Clean up any outputs we already finished.
@@ -219,7 +220,7 @@ Status MultilevelTree::FlushMemtable(std::shared_ptr<MemTable> imm) {
   std::string manifest;
   uint64_t manifest_version;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     auto fresh = version_->Clone();
     // Newest first.
     for (auto it = outputs.rbegin(); it != outputs.rend(); ++it) {
@@ -243,7 +244,7 @@ Status MultilevelTree::CompactLevel(int level) {
   std::vector<FileMetaPtr> inputs_this, inputs_next;
   bool bottom;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     if (level == 0) {
       // L0 runs overlap arbitrarily: take them all.
       inputs_this = version_->levels[0];
@@ -293,7 +294,7 @@ Status MultilevelTree::CompactLevel(int level) {
   std::string manifest;
   uint64_t manifest_version;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     auto fresh = version_->Clone();
     auto remove = [&](int lvl, const std::vector<FileMetaPtr>& gone) {
       auto& files = fresh->levels[lvl];
@@ -332,7 +333,9 @@ Status MultilevelTree::CompactAll() {
     if (!bg.ok()) return bg;
     // Freeze a non-empty memtable (nothing else freezes a non-full one).
     if (!frontend_->ActiveMemtable()->Empty() && !frontend_->HasFrozen()) {
-      frontend_->Freeze(/*block=*/true);  // Busy (lost race) is fine
+      frontend_->Freeze(/*block=*/true)
+          .IgnoreError("Busy means another thread froze first, which is "
+                       "exactly the state this freeze wanted");
     }
     runner_->Notify();
     // Wait for the current backlog (frozen memtable + over-target levels)
@@ -341,7 +344,7 @@ Status MultilevelTree::CompactAll() {
     bg = runner_->WaitUntil([this] {
       if (frontend_->HasFrozen() || runner_->AnyRunning()) return false;
       int level;
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(&mu_);
       return !PickCompaction(&level);
     });
     if (!bg.ok()) return bg;
@@ -354,11 +357,14 @@ void MultilevelTree::WaitForIdle() {
   // Returns early if a background error latches (WaitUntil's contract):
   // a faulted compactor never drains its backlog.
   runner_->WaitUntil([this] {
-    if (frontend_->HasFrozen() || runner_->AnyRunning()) return false;
-    int level;
-    std::lock_guard<std::mutex> l(mu_);
-    return !PickCompaction(&level);
-  });
+        if (frontend_->HasFrozen() || runner_->AnyRunning()) return false;
+        int level;
+        util::MutexLock l(&mu_);
+        return !PickCompaction(&level);
+      })
+      .IgnoreError(
+          "idle-wait cut short by shutdown or a latched error; callers "
+          "observe the latter via BackgroundError()");
 }
 
 }  // namespace blsm::multilevel

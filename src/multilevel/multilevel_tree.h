@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,7 +17,9 @@
 #include "lsm/record.h"
 #include "memtable/memtable.h"
 #include "multilevel/version.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/logical_log.h"
 
 namespace blsm::multilevel {
@@ -118,13 +119,13 @@ class MultilevelTree {
               std::vector<std::pair<std::string, std::string>>* out);
 
   // Flushes the memtable and compacts until every level is within target.
-  Status CompactAll();
-  void WaitForIdle();
+  Status CompactAll() EXCLUDES(mu_);
+  void WaitForIdle() EXCLUDES(mu_);
 
   const MultilevelStats& stats() const { return stats_; }
   Status BackgroundError() const;
-  int NumFilesAtLevel(int level) const;
-  uint64_t OnDiskBytes() const;
+  int NumFilesAtLevel(int level) const EXCLUDES(mu_);
+  uint64_t OnDiskBytes() const EXCLUDES(mu_);
 
   // WAL group-commit counters (wal.* in kv::Engine::Stats()).
   LogicalLog::Counters WalCounters() const {
@@ -139,29 +140,31 @@ class MultilevelTree {
  private:
   MultilevelTree(const MultilevelOptions& options, std::string dir);
 
-  Status OpenImpl();
+  Status OpenImpl() EXCLUDES(mu_);
   uint64_t LevelTargetBytes(int level) const;
 
   Status WriteImpl(const Slice& key, RecordType type, const Slice& value);
-  void MaybeStallWrites();
+  void MaybeStallWrites() EXCLUDES(mu_);
 
   // Background work, run as the "compact" job on the BackgroundRunner
   // (which owns retry/backoff and the error latch).
-  bool CompactionPending();
-  Status RunCompactionPass();
-  bool PickCompaction(int* level);
-  Status FlushMemtable(std::shared_ptr<MemTable> imm);
-  Status CompactLevel(int level);
+  bool CompactionPending() EXCLUDES(mu_);
+  Status RunCompactionPass() EXCLUDES(mu_);
+  bool PickCompaction(int* level) REQUIRES(mu_);
+  Status FlushMemtable(std::shared_ptr<MemTable> imm) EXCLUDES(mu_);
+  Status CompactLevel(int level) EXCLUDES(mu_);
   // Writes the sorted stream from `input` into <= file_bytes output files at
   // `output_level`; `bottom` enables tombstone dropping.
   Status WriteOutputFiles(InternalIterator* input, int output_level,
-                          bool bottom, std::vector<FileMetaPtr>* outputs);
+                          bool bottom, std::vector<FileMetaPtr>* outputs)
+      EXCLUDES(mu_);
   Status NewFileMeta(uint64_t number, FileMetaPtr* out);
   // Snapshot the manifest contents under mu_; write (fsync) outside it.
-  std::string BuildManifestLocked(uint64_t* version);
-  Status SaveManifest(const std::string& body, uint64_t version);
+  std::string BuildManifestLocked(uint64_t* version) REQUIRES(mu_);
+  Status SaveManifest(const std::string& body, uint64_t version)
+      EXCLUDES(manifest_io_mu_);
 
-  VersionPtr CurrentVersion() const;
+  VersionPtr CurrentVersion() const EXCLUDES(mu_);
 
   MultilevelOptions options_;
   std::string dir_;
@@ -174,14 +177,14 @@ class MultilevelTree {
   // Worker thread, retry/backoff, error latch, quiesce waits.
   std::unique_ptr<engine::BackgroundRunner> runner_;
 
-  mutable std::mutex mu_;
-  VersionPtr version_;
-  uint64_t next_file_number_ = 1;
+  mutable util::Mutex mu_;
+  VersionPtr version_ GUARDED_BY(mu_);
+  uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
   // Round-robin compaction cursors (LevelDB's partition scheduler state).
-  std::string compact_cursor_[kNumLevels];
-  uint64_t manifest_build_version_ = 0;  // under mu_
-  std::mutex manifest_io_mu_;
-  uint64_t manifest_written_version_ = 0;  // under manifest_io_mu_
+  std::string compact_cursor_[kNumLevels] GUARDED_BY(mu_);
+  uint64_t manifest_build_version_ GUARDED_BY(mu_) = 0;
+  util::Mutex manifest_io_mu_;
+  uint64_t manifest_written_version_ GUARDED_BY(manifest_io_mu_) = 0;
 
   MultilevelStats stats_;
 };

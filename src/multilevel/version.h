@@ -27,7 +27,12 @@ struct FileMeta {
   std::atomic<bool> obsolete{false};
 
   ~FileMeta() {
-    if (obsolete.load()) env->RemoveFile(fname);
+    if (obsolete.load()) {
+      // The manifest that dropped this run is already durable; a failed
+      // unlink only leaks disk until the next orphan scavenge at Open.
+      env->RemoveFile(fname).IgnoreError(
+          "orphan scavenge reclaims the file on next open");
+    }
   }
 
   bool MayContainKeyRange(const Slice& user_key) const {

@@ -145,7 +145,8 @@ Status TreeBuilder::Finish() {
 void TreeBuilder::Abandon() {
   finished_ = true;
   if (file_ != nullptr) {
-    file_->Close();
+    file_->Close().IgnoreError(
+        "abandoned output is deleted by the caller either way");
     file_.reset();
   }
 }

@@ -3,7 +3,7 @@
 namespace blsm {
 
 char* Arena::AllocateSlow(size_t needed) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(&mu_);
   // Another thread may have installed a fresh block while we waited.
   Block* b = current_.load(std::memory_order_relaxed);
   if (b != nullptr) {

@@ -6,8 +6,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace blsm {
 
@@ -65,11 +67,14 @@ class Arena {
     std::atomic<size_t> used{0};
   };
 
-  char* AllocateSlow(size_t needed);  // `needed` already rounded up
+  // `needed` already rounded up
+  char* AllocateSlow(size_t needed) EXCLUDES(mu_);
 
+  // current_ is an atomic (not GUARDED_BY): the fast path reads it lock-free;
+  // only installing a replacement serializes on mu_.
   std::atomic<Block*> current_;
-  mutable std::mutex mu_;  // guards blocks_ and current_ replacement
-  std::vector<std::unique_ptr<Block>> blocks_;
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<Block>> blocks_ GUARDED_BY(mu_);
   std::atomic<size_t> memory_usage_;
 };
 

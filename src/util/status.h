@@ -11,7 +11,12 @@ namespace blsm {
 // Status carries the outcome of an operation: OK or an error code with a
 // message. All fallible public APIs in this library return Status (or wrap
 // one); exceptions are not used, per the project style.
-class Status {
+//
+// The class is [[nodiscard]]: dropping a returned Status on the floor is a
+// compile error (-Werror=unused-result). Where ignoring an error really is
+// the contract, say so explicitly with IgnoreError("why") so the exemption
+// is named at the call site.
+class [[nodiscard]] Status {
  public:
   Status() : code_(Code::kOk) {}
 
@@ -56,6 +61,12 @@ class Status {
   bool IsKeyExists() const { return code_ == Code::kKeyExists; }
 
   std::string ToString() const;
+
+  // Deliberately discards this Status. The reason is documentation only
+  // (never compiled into the binary), but it is mandatory: an un-argued
+  // IgnoreError() will not compile, so every dropped error in the tree
+  // carries its justification at the call site.
+  void IgnoreError(const char* reason) const { (void)reason; }
 
  private:
   enum class Code {

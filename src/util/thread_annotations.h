@@ -1,0 +1,69 @@
+#ifndef BLSM_UTIL_THREAD_ANNOTATIONS_H_
+#define BLSM_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros. Under Clang with
+// -Wthread-safety these let the compiler prove, at build time, that every
+// GUARDED_BY field is only touched with its lock held and that every
+// REQUIRES method is only called under the right capability. On other
+// compilers (GCC in the default build) they expand to nothing, so the
+// annotations cost nothing outside the analysis lane.
+//
+// Conventions for this codebase are documented in docs/static_analysis.md.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BLSM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BLSM_THREAD_ANNOTATION(x)
+#endif
+
+#define CAPABILITY(x) BLSM_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY BLSM_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) BLSM_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) BLSM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  BLSM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) BLSM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  BLSM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  BLSM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) BLSM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  BLSM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) BLSM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  BLSM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  BLSM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  BLSM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  BLSM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) BLSM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) BLSM_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  BLSM_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) BLSM_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BLSM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // BLSM_UTIL_THREAD_ANNOTATIONS_H_

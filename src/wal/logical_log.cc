@@ -7,8 +7,8 @@ Status LogicalLog::Open() {
   std::unique_ptr<WritableFile> file;
   Status s = env_->NewWritableFile(path_, &file);
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> io(io_mu_);
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock io(&io_mu_);
+  util::MutexLock l(&mu_);
   writer_ = std::make_unique<wal::LogWriter>(std::move(file));
   return Status::OK();
 }
@@ -36,26 +36,31 @@ Status LogicalLog::AppendGroup(const std::vector<std::string>& payloads) {
 // writers keep queuing up behind it — they form the next batch), then
 // completes every waiter with the shared status and wakes the next leader.
 Status LogicalLog::Commit(Waiter* w) {
-  std::unique_lock<std::mutex> l(mu_);
+  mu_.Lock();
   queue_.push_back(w);
-  while (!w->done && queue_.front() != w) cv_.wait(l);
-  if (w->done) return w->status;  // a leader committed (or failed) us
+  while (!w->done && queue_.front() != w) cv_.Wait(&mu_);
+  if (w->done) {  // a leader committed (or failed) us
+    Status done_status = w->status;
+    mu_.Unlock();
+    return done_status;
+  }
 
   // Leader. Snapshot the batch; it stays on the queue so arrivals during
   // the write wait behind us instead of electing a second leader.
   std::vector<Waiter*> batch(queue_.begin(), queue_.end());
   uint64_t batch_records = 0;
   for (Waiter* m : batch) batch_records += m->record_count;
+  mu_.Unlock();
 
-  l.unlock();
   Status s;
   bool attempted = false;
   {
-    std::lock_guard<std::mutex> io(io_mu_);
+    util::MutexLock io(&io_mu_);
     {
-      // writer_ and bad_ can only change under io_mu_ (Restart/Close hold
-      // it), so this check stays valid for the whole write below.
-      std::lock_guard<std::mutex> l2(mu_);
+      // writer_ can only change under io_mu_ (Restart/Close hold it), so
+      // this check stays valid for the whole write below; bad_ is re-read
+      // under mu_ here and only cleared under both locks.
+      util::MutexLock l2(&mu_);
       if (writer_ == nullptr) {
         s = Status::IOError("logical log not open");
       } else if (!bad_.ok()) {
@@ -82,7 +87,7 @@ Status LogicalLog::Commit(Waiter* w) {
     }
   }
 
-  l.lock();
+  mu_.Lock();
   if (attempted) {
     if (s.ok()) {
       batches_.fetch_add(1, std::memory_order_relaxed);
@@ -100,13 +105,14 @@ Status LogicalLog::Commit(Waiter* w) {
     m->status = s;
     m->done = true;
   }
-  cv_.notify_all();
+  mu_.Unlock();
+  cv_.NotifyAll();
   return s;
 }
 
 Status LogicalLog::Flush() {
   if (mode_ == DurabilityMode::kNone) return Status::OK();
-  std::lock_guard<std::mutex> io(io_mu_);
+  util::MutexLock io(&io_mu_);
   if (writer_ == nullptr) return Status::OK();
   if (mode_ == DurabilityMode::kSync) {
     syncs_.fetch_add(1, std::memory_order_relaxed);
@@ -118,7 +124,7 @@ Status LogicalLog::Flush() {
 Status LogicalLog::Restart(
     const std::function<Status(wal::LogWriter*)>& relog) {
   if (mode_ == DurabilityMode::kNone) return Status::OK();
-  std::lock_guard<std::mutex> io(io_mu_);
+  util::MutexLock io(&io_mu_);
   // Write the replacement log beside the old one, then atomically swap.
   std::string tmp = path_ + ".new";
   std::unique_ptr<WritableFile> file;
@@ -141,20 +147,21 @@ Status LogicalLog::Restart(
   if (!s.ok()) return s;
   s = env_->RenameFile(tmp, path_);
   if (!s.ok()) return s;  // old log and writer stay valid — nothing changed
-  if (writer_ != nullptr) writer_->Close();
-  std::lock_guard<std::mutex> l(mu_);
+  if (writer_ != nullptr) {
+    // The replacement already holds everything that must survive and the
+    // rename has landed; a close failure on the superseded file changes
+    // nothing the reader will ever look at.
+    writer_->Close().IgnoreError("superseded log file already renamed away");
+  }
+  util::MutexLock l(&mu_);
   writer_ = std::move(fresh);
   bad_ = Status::OK();  // fresh file: the unknown tail is gone
   return Status::OK();
 }
 
 Status LogicalLog::Close() {
-  std::lock_guard<std::mutex> io(io_mu_);
-  std::unique_ptr<wal::LogWriter> writer;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    writer = std::move(writer_);
-  }
+  util::MutexLock io(&io_mu_);
+  std::unique_ptr<wal::LogWriter> writer = std::move(writer_);
   if (writer == nullptr) return Status::OK();
   return writer->Close();
 }

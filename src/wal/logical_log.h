@@ -2,16 +2,16 @@
 #define BLSM_WAL_LOGICAL_LOG_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "io/env.h"
 #include "lsm/record.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
 
@@ -48,7 +48,7 @@ class LogicalLog {
       : env_(env), path_(std::move(path)), mode_(mode) {}
 
   // Opens (truncating) a fresh log file.
-  Status Open();
+  Status Open() EXCLUDES(io_mu_, mu_);
 
   // Appends one logical record. Thread-safe; may commit as part of a group.
   //
@@ -60,24 +60,26 @@ class LogicalLog {
   // garbage in the same block would be dropped by the reader, silently
   // losing an acknowledged write.
   Status Append(const Slice& user_key, SequenceNumber seq, RecordType type,
-                const Slice& value);
+                const Slice& value) EXCLUDES(mu_, io_mu_);
 
   // Appends a pre-encoded group of records (see EncodeRecord) as ONE commit
   // unit: the group is written contiguously by a single leader, covered by
   // at most one sync, and acknowledged with one shared status. This is the
   // WriteBatch log path.
-  Status AppendGroup(const std::vector<std::string>& payloads);
+  Status AppendGroup(const std::vector<std::string>& payloads)
+      EXCLUDES(mu_, io_mu_);
 
   // Forces buffered appends to the OS (and to disk in kSync mode).
-  Status Flush();
+  Status Flush() EXCLUDES(io_mu_);
 
   // Truncation: merges make C0's prefix durable in C1, after which the log
   // can be restarted. (Snowshoveling delays this — §4.4.2 — because C0 is
   // never fully drained; the LSM truncates only after a compaction that
   // leaves C0 empty or re-logs survivors.)
-  Status Restart(const std::function<Status(wal::LogWriter*)>& relog);
+  Status Restart(const std::function<Status(wal::LogWriter*)>& relog)
+      EXCLUDES(io_mu_, mu_);
 
-  Status Close();
+  Status Close() EXCLUDES(io_mu_, mu_);
 
   // Replays every record in `path` through the callback (applied in log
   // order). Safe on truncated tails. Missing file is not an error (fresh
@@ -93,8 +95,8 @@ class LogicalLog {
   DurabilityMode mode() const { return mode_; }
 
   // The poisoned-state error, or OK. Cleared by a successful Restart().
-  Status bad() {
-    std::lock_guard<std::mutex> l(mu_);
+  Status bad() EXCLUDES(mu_) {
+    util::MutexLock l(&mu_);
     return bad_;
   }
 
@@ -118,24 +120,25 @@ class LogicalLog {
     bool done = false;
   };
 
-  Status Commit(Waiter* w);
+  Status Commit(Waiter* w) EXCLUDES(mu_, io_mu_);
 
   Env* env_;
   std::string path_;
   DurabilityMode mode_;
 
-  // mu_ guards the commit queue, bad_, and writer_ *pointer* changes; the
-  // leader performs file I/O under io_mu_ only, so followers can keep
-  // enqueuing while a batch is being written. Writer swaps (Open/Restart/
-  // Close) hold io_mu_ then mu_, so reading the pointer under either mutex
-  // is stable. Lock order: io_mu_ before mu_; the leader never holds both.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Waiter*> queue_;
-  std::unique_ptr<wal::LogWriter> writer_;
-  Status bad_;  // set on append/sync failure; cleared on successful Restart
+  // mu_ guards the commit queue and bad_; the leader performs file I/O under
+  // io_mu_ only, so followers can keep enqueuing while a batch is being
+  // written. Writer swaps (Open/Restart/Close) hold io_mu_ then mu_, so the
+  // pointer is stable for any reader holding io_mu_. Lock order: io_mu_
+  // before mu_; the leader never holds both across the write itself.
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Waiter*> queue_ GUARDED_BY(mu_);
+  Status bad_ GUARDED_BY(mu_);  // set on append/sync failure; cleared by
+                                // a successful Restart
 
-  std::mutex io_mu_;
+  util::Mutex io_mu_ ACQUIRED_BEFORE(mu_);
+  std::unique_ptr<wal::LogWriter> writer_ GUARDED_BY(io_mu_);
 
   std::atomic<uint64_t> records_{0};
   std::atomic<uint64_t> batches_{0};

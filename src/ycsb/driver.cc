@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace blsm::ycsb {
 
@@ -23,17 +25,18 @@ class TimeSeries {
   explicit TimeSeries(double bucket_seconds)
       : bucket_us_(static_cast<uint64_t>(bucket_seconds * 1e6)) {}
 
-  void Record(uint64_t elapsed_us, uint64_t latency_us, uint64_t ops = 1) {
+  void Record(uint64_t elapsed_us, uint64_t latency_us, uint64_t ops = 1)
+      EXCLUDES(mu_) {
     size_t idx = elapsed_us / bucket_us_;
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(&mu_);
     if (buckets_.size() <= idx) buckets_.resize(idx + 1);
     buckets_[idx].ops += ops;
     buckets_[idx].max_latency_us =
         std::max(buckets_[idx].max_latency_us, latency_us);
   }
 
-  std::vector<TimeBucket> Finish() {
-    std::lock_guard<std::mutex> l(mu_);
+  std::vector<TimeBucket> Finish() EXCLUDES(mu_) {
+    util::MutexLock l(&mu_);
     for (size_t i = 0; i < buckets_.size(); i++) {
       buckets_[i].start_seconds =
           static_cast<double>(i) * static_cast<double>(bucket_us_) / 1e6;
@@ -43,8 +46,8 @@ class TimeSeries {
 
  private:
   uint64_t bucket_us_;
-  std::mutex mu_;
-  std::vector<TimeBucket> buckets_;
+  util::Mutex mu_;
+  std::vector<TimeBucket> buckets_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -134,9 +134,11 @@ TEST_P(BlsmStressTest, ConcurrentMixedLoadStaysConsistent) {
     Random rnd(4000);
     while (!done && !failed) {
       if (rnd.OneIn(3)) {
-        tree->CompactToBottom();
+        tree->CompactToBottom().IgnoreError(
+            "races the writer threads; Busy losses are part of the churn");
       } else {
-        tree->Flush();
+        tree->Flush().IgnoreError(
+            "races the writer threads; Busy losses are part of the churn");
       }
       env.SleepForMicroseconds(2000);
     }

@@ -218,11 +218,17 @@ TEST_P(BlsmTreeTest, LargeLoadAndPointReads) {
 
 TEST_P(BlsmTreeTest, ScanReturnsSortedMergedView) {
   // Spread data across all levels.
-  for (uint64_t i = 0; i < 300; i += 3) tree_->Put(PaddedKey(i), "c2");
+  for (uint64_t i = 0; i < 300; i += 3) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "c2").ok());
+  }
   ASSERT_TRUE(tree_->CompactToBottom().ok());
-  for (uint64_t i = 1; i < 300; i += 3) tree_->Put(PaddedKey(i), "c1");
+  for (uint64_t i = 1; i < 300; i += 3) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "c1").ok());
+  }
   ASSERT_TRUE(tree_->Flush().ok());
-  for (uint64_t i = 2; i < 300; i += 3) tree_->Put(PaddedKey(i), "c0");
+  for (uint64_t i = 2; i < 300; i += 3) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "c0").ok());
+  }
 
   std::vector<std::pair<std::string, std::string>> rows;
   ASSERT_TRUE(tree_->Scan(PaddedKey(0), 1000, &rows).ok());
@@ -245,7 +251,9 @@ TEST_P(BlsmTreeTest, ScanSeesNewestVersionAcrossLevels) {
 }
 
 TEST_P(BlsmTreeTest, ScanSkipsDeleted) {
-  for (uint64_t i = 0; i < 10; i++) tree_->Put(PaddedKey(i), "v");
+  for (uint64_t i = 0; i < 10; i++) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "v").ok());
+  }
   ASSERT_TRUE(tree_->CompactToBottom().ok());
   ASSERT_TRUE(tree_->Delete(PaddedKey(5)).ok());
   std::vector<std::pair<std::string, std::string>> rows;
@@ -265,7 +273,9 @@ TEST_P(BlsmTreeTest, ScanAppliesDeltas) {
 }
 
 TEST_P(BlsmTreeTest, ScanWithLimitAndStart) {
-  for (uint64_t i = 0; i < 100; i++) tree_->Put(PaddedKey(i), "v");
+  for (uint64_t i = 0; i < 100; i++) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "v").ok());
+  }
   std::vector<std::pair<std::string, std::string>> rows;
   ASSERT_TRUE(tree_->Scan(PaddedKey(50), 10, &rows).ok());
   ASSERT_EQ(rows.size(), 10u);
@@ -364,12 +374,11 @@ TEST_P(BlsmTreeTest, ConcurrentWritersAndReaders) {
 }
 
 TEST_P(BlsmTreeTest, StatsAreMaintained) {
-  tree_->Put("a", "v");
-  tree_->Get("a", nullptr != nullptr ? nullptr : new std::string());
+  ASSERT_TRUE(tree_->Put("a", "v").ok());
   std::string v;
-  tree_->Get("a", &v);
-  tree_->Delete("a");
-  tree_->WriteDelta("b", "+");
+  ASSERT_TRUE(tree_->Get("a", &v).ok());
+  ASSERT_TRUE(tree_->Delete("a").ok());
+  ASSERT_TRUE(tree_->WriteDelta("b", "+").ok());
   EXPECT_GE(tree_->stats().puts.load(), 1u);
   EXPECT_GE(tree_->stats().gets.load(), 1u);
   EXPECT_GE(tree_->stats().deletes.load(), 1u);
@@ -545,7 +554,8 @@ TEST(BlsmTreeMultiGetTest, EmptyBatchAndAgreementWithGet) {
 
   Random rnd(5);
   for (int i = 0; i < 500; i++) {
-    tree->Put(PaddedKey(rnd.Uniform(200)), "v" + std::to_string(i));
+    ASSERT_TRUE(
+        tree->Put(PaddedKey(rnd.Uniform(200)), "v" + std::to_string(i)).ok());
   }
   std::vector<std::string> key_storage;
   key_storage.reserve(300);

@@ -120,7 +120,9 @@ TEST_F(BTreeTest, SortedInsertThenScan) {
 
 TEST_F(BTreeTest, ScanFromMissingKeyStartsAtSuccessor) {
   Open();
-  for (uint64_t i = 0; i < 100; i += 2) tree_->Insert(PaddedKey(i), "v");
+  for (uint64_t i = 0; i < 100; i += 2) {
+    ASSERT_TRUE(tree_->Insert(PaddedKey(i), "v").ok());
+  }
   std::vector<std::pair<std::string, std::string>> rows;
   ASSERT_TRUE(tree_->Scan(PaddedKey(11), 3, &rows).ok());
   ASSERT_EQ(rows.size(), 3u);

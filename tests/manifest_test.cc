@@ -63,7 +63,7 @@ TEST(ManifestTest, TruncationDetected) {
 
 TEST(ManifestTest, SaveAndLoad) {
   MemEnv env;
-  env.CreateDir("db");
+  ASSERT_TRUE(env.CreateDir("db").ok());
   Manifest m;
   m.next_file_number = 9;
   m.last_sequence = 77;
@@ -85,7 +85,7 @@ TEST(ManifestTest, LoadMissingIsNotFound) {
 
 TEST(ManifestTest, SaveReplacesAtomically) {
   MemEnv env;
-  env.CreateDir("db");
+  ASSERT_TRUE(env.CreateDir("db").ok());
   Manifest a;
   a.next_file_number = 1;
   ASSERT_TRUE(a.Save(&env, "db").ok());

@@ -134,9 +134,13 @@ TEST_F(MultilevelTest, DeltasApply) {
 
 TEST_F(MultilevelTest, ScanMergedAcrossLevels) {
   Open(SmallOptions());
-  for (uint64_t i = 0; i < 300; i += 2) tree_->Put(PaddedKey(i), "even");
+  for (uint64_t i = 0; i < 300; i += 2) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "even").ok());
+  }
   ASSERT_TRUE(tree_->CompactAll().ok());
-  for (uint64_t i = 1; i < 300; i += 2) tree_->Put(PaddedKey(i), "odd");
+  for (uint64_t i = 1; i < 300; i += 2) {
+    ASSERT_TRUE(tree_->Put(PaddedKey(i), "odd").ok());
+  }
   std::vector<std::pair<std::string, std::string>> rows;
   ASSERT_TRUE(tree_->Scan(PaddedKey(0), 1000, &rows).ok());
   ASSERT_EQ(rows.size(), 300u);

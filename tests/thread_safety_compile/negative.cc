@@ -1,0 +1,30 @@
+// Negative-compilation test: this file MUST FAIL to compile under
+// -Wthread-safety -Werror. It reads and writes a GUARDED_BY field without
+// holding the mutex. The ctest entry is registered with WILL_FAIL, so a
+// successful compile — e.g. after someone neuters thread_annotations.h or
+// strips the GUARDED_BY below — turns the test red.
+//
+// Compiled with -fsyntax-only under Clang only; see tests/CMakeLists.txt.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Missing MutexLock: the thread-safety analysis must reject this.
+  void Bump() { value_++; }
+
+ private:
+  blsm::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

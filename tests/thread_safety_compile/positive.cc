@@ -1,0 +1,36 @@
+// Positive control for the thread-safety negative-compilation test: the
+// same guarded counter as negative.cc with correct locking. If this file
+// stops compiling, the harness (not the annotations) is broken.
+//
+// Compiled with -fsyntax-only -Wthread-safety -Werror under Clang only;
+// see tests/CMakeLists.txt.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() EXCLUDES(mu_) {
+    blsm::util::MutexLock l(&mu_);
+    value_++;
+  }
+
+  int Get() EXCLUDES(mu_) {
+    blsm::util::MutexLock l(&mu_);
+    return value_;
+  }
+
+ private:
+  blsm::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get();
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Repo-specific source lint: invariants clang-tidy cannot express.
+
+Rules (see docs/static_analysis.md):
+
+  raw-lock      Raw std::mutex / std::shared_mutex / std::lock_guard /
+                std::unique_lock / std::shared_lock / std::scoped_lock /
+                std::condition_variable anywhere outside src/util/. All
+                locking goes through the annotated wrappers in
+                src/util/mutex.h so Clang's thread-safety analysis sees it.
+
+  libc-unsafe   rand() (unseeded, global-state) and sprintf (unbounded).
+                Use util::Random and snprintf.
+
+  bench-include bench/*.cc must not include engine internals (lsm/,
+                multilevel/, btree/, engine/ headers) directly; they go
+                through bench/harness.h so the engine surface the
+                benchmarks exercise stays in one reviewable place.
+
+A line may opt out with a justification:  // lint:allow(<rule>) <reason>
+The reason is mandatory; a bare allow is itself an error.
+
+Exit status 0 when clean; 1 with one "file:line: [rule] message" per
+violation otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
+SOURCE_SUFFIXES = {".h", ".cc", ".cpp"}
+
+RAW_LOCK = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock|condition_variable)\b"
+)
+LIBC_UNSAFE = re.compile(r"(?<![\w:.])(rand|sprintf)\s*\(")
+ENGINE_INTERNAL_INCLUDE = re.compile(
+    r'#\s*include\s+"(lsm|multilevel|btree|engine)/'
+)
+ALLOW = re.compile(r"//\s*lint:allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
+
+
+def allowed(line: str, rule: str, violations, path, lineno) -> bool:
+    m = ALLOW.search(line)
+    if not m:
+        return False
+    if m.group("rule") != rule:
+        return False
+    if not m.group("reason").strip():
+        violations.append(
+            (path, lineno, "lint-allow", "lint:allow needs a reason")
+        )
+    return True
+
+
+def lint_file(path: Path, violations) -> None:
+    rel = path.relative_to(REPO)
+    rel_str = str(rel)
+    in_util = rel_str.startswith("src/util/")
+    in_bench_cc = rel_str.startswith("bench/") and path.suffix != ".h"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code = line.split("//", 1)[0]
+        if not in_util and RAW_LOCK.search(code):
+            if not allowed(line, "raw-lock", violations, rel_str, lineno):
+                violations.append(
+                    (rel_str, lineno, "raw-lock",
+                     "raw std lock primitive; use the annotated wrappers "
+                     "in src/util/mutex.h")
+                )
+        if LIBC_UNSAFE.search(code):
+            if not allowed(line, "libc-unsafe", violations, rel_str, lineno):
+                violations.append(
+                    (rel_str, lineno, "libc-unsafe",
+                     "rand()/sprintf banned; use util::Random / snprintf")
+                )
+        if in_bench_cc and ENGINE_INTERNAL_INCLUDE.search(code):
+            if not allowed(line, "bench-include", violations, rel_str,
+                           lineno):
+                violations.append(
+                    (rel_str, lineno, "bench-include",
+                     "bench sources reach engines via bench/harness.h, "
+                     "not engine-internal headers")
+                )
+
+
+def main() -> int:
+    violations = []
+    for d in SOURCE_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                lint_file(path, violations)
+    for path, lineno, rule, msg in violations:
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,12 +25,12 @@ BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
   util::MutexLock l(&shard->mu);
   auto it = shard->index.find(key);
   if (it == shard->index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    shard->misses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   Entry* e = shard->ring[it->second].get();
   e->referenced.store(true, std::memory_order_relaxed);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard->hits.fetch_add(1, std::memory_order_relaxed);
   return e->block;
 }
 
@@ -119,6 +119,22 @@ void BlockCache::EraseFile(uint64_t file_id) {
       }
     }
   }
+}
+
+uint64_t BlockCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    total += shard_ptr->hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t BlockCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    total += shard_ptr->misses.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 size_t BlockCache::usage() const {

@@ -41,8 +41,9 @@ class BlockCache {
 
   size_t capacity() const { return capacity_; }
   size_t usage() const;
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Sums the per-shard counters; approximate under concurrent lookups.
+  uint64_t hits() const;
+  uint64_t misses() const;
 
  private:
   struct Entry {
@@ -57,7 +58,11 @@ class BlockCache {
     Entry& operator=(const Entry&) = delete;
   };
 
-  struct Shard {
+  // Each shard starts on its own cache line and keeps its hit/miss counters
+  // local: with global adjacent counters every Lookup on every shard bounced
+  // the same line between cores (false sharing); now a lookup only touches
+  // state the shard's mutex already made core-local.
+  struct alignas(64) Shard {
     util::Mutex mu;
     // CLOCK ring: slots are reused in place; `hand` sweeps looking for an
     // unreferenced victim.
@@ -66,6 +71,8 @@ class BlockCache {
     size_t usage GUARDED_BY(mu) = 0;
     // packed key -> slot
     std::unordered_map<uint64_t, size_t> index GUARDED_BY(mu);
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
   };
 
   static uint64_t PackKey(uint64_t file_id, uint64_t offset) {
@@ -79,8 +86,6 @@ class BlockCache {
   const size_t capacity_;
   const size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace blsm

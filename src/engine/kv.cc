@@ -11,6 +11,18 @@
 
 namespace blsm::kv {
 
+std::vector<Status> Engine::MultiGet(const std::vector<Slice>& keys,
+                                     std::vector<std::string>* values) {
+  // Default: a Get loop. No single-view guarantee beyond what consecutive
+  // Gets give; engines with a real batched path override this.
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    statuses[i] = Get(keys[i], &(*values)[i]);
+  }
+  return statuses;
+}
+
 namespace {
 
 // --- adapters ---------------------------------------------------------------
@@ -33,6 +45,10 @@ class BlsmEngine : public Engine {
   }
   Status Get(const Slice& key, std::string* value) override {
     return tree_->Get(key, value);
+  }
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override {
+    return tree_->MultiGet(keys, values);
   }
   Status Delete(const Slice& key) override { return tree_->Delete(key); }
   Status InsertIfNotExists(const Slice& key, const Slice& value) override {
@@ -78,6 +94,9 @@ class BlsmEngine : public Engine {
          wal.batches != 0 ? wal.records / wal.batches : 0},
         {"block_cache.hits", tree_->CacheHits()},
         {"block_cache.misses", tree_->CacheMisses()},
+        {"read.views_pinned", s.views_pinned.load()},
+        {"read.multiget_batches", s.multiget_batches.load()},
+        {"read.blocks_coalesced", s.blocks_coalesced.load()},
     };
   }
 
@@ -102,6 +121,10 @@ class MultilevelEngine : public Engine {
   }
   Status Get(const Slice& key, std::string* value) override {
     return tree_->Get(key, value);
+  }
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override {
+    return tree_->MultiGet(keys, values);
   }
   Status Delete(const Slice& key) override { return tree_->Delete(key); }
   Status InsertIfNotExists(const Slice& key, const Slice& value) override {
@@ -144,6 +167,11 @@ class MultilevelEngine : public Engine {
          wal.batches != 0 ? wal.records / wal.batches : 0},
         {"block_cache.hits", tree_->CacheHits()},
         {"block_cache.misses", tree_->CacheMisses()},
+        {"read.views_pinned", s.views_pinned.load()},
+        {"read.multiget_batches", s.multiget_batches.load()},
+        // No cross-key block coalescing in the multilevel read path; the
+        // key is reported for cross-engine symmetry.
+        {"read.blocks_coalesced", 0},
     };
   }
 

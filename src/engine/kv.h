@@ -61,6 +61,12 @@ class Engine {
   // under its operation mutex. Atomic for durability, not for readers.
   virtual Status Write(const WriteBatch& batch) = 0;
   virtual Status Get(const Slice& key, std::string* value) = 0;
+  // Batched point lookups: statuses/values align with keys, all answered
+  // against one consistent view of the store. The LSM engines pin a single
+  // read view for the whole batch (bLSM additionally sorts the probe set
+  // and coalesces block reads); the default implementation is a Get loop.
+  virtual std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values);
   // Blind delete: removing an absent key succeeds (LSM tombstone
   // semantics; the B-tree adapter normalizes its NotFound to OK).
   virtual Status Delete(const Slice& key) = 0;

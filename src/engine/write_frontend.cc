@@ -4,11 +4,23 @@
 
 namespace blsm::engine {
 
+namespace {
+
+MemtablePairPtr MakePair(std::shared_ptr<MemTable> active,
+                         std::shared_ptr<MemTable> frozen) {
+  auto pair = std::make_shared<MemtablePair>();
+  pair->active = std::move(active);
+  pair->frozen = std::move(frozen);
+  return pair;
+}
+
+}  // namespace
+
 WriteFrontend::WriteFrontend(const Options& options, std::string log_path)
     : options_(options),
       env_(options.env),
       log_path_(std::move(log_path)),
-      active_(std::make_shared<MemTable>()) {}
+      pair_(MakePair(std::make_shared<MemTable>(), nullptr)) {}
 
 WriteFrontend::~WriteFrontend() {
   Close().IgnoreError("destructor has no caller to report to");
@@ -23,11 +35,7 @@ Status WriteFrontend::Close() {
 
 Status WriteFrontend::Recover(SequenceNumber manifest_last_seq) {
   uint64_t max_seq = manifest_last_seq;
-  std::shared_ptr<MemTable> mem;
-  {
-    util::MutexLock l(&mu_);
-    mem = active_;
-  }
+  std::shared_ptr<MemTable> mem = Pair()->active;
   Status s = LogicalLog::Replay(
       env_, log_path_,
       [&](const Slice& key, SequenceNumber seq, RecordType type,
@@ -66,14 +74,10 @@ Status WriteFrontend::Write(const Slice& key, RecordType type,
       Status s = log_->Append(key, seq, type, value);
       if (!s.ok()) return s;
     }
-    // active_ is only replaced while swap_mu_ is held exclusively, so the
-    // shared lock makes this read stable.
-    std::shared_ptr<MemTable> mem;
-    {
-      util::MutexLock l(&mu_);
-      mem = active_;
-    }
-    mem->Add(seq, type, key, value);
+    // The active memtable is only replaced while swap_mu_ is held
+    // exclusively, so under the shared lock the published pair's active
+    // slot is stable.
+    Pair()->active->Add(seq, type, key, value);
   }
 
   if (options_.after_write) options_.after_write();
@@ -108,11 +112,7 @@ Status WriteFrontend::Write(const kv::WriteBatch& batch) {
       Status s = log_->AppendGroup(payloads);
       if (!s.ok()) return s;
     }
-    std::shared_ptr<MemTable> mem;
-    {
-      util::MutexLock l(&mu_);
-      mem = active_;
-    }
+    std::shared_ptr<MemTable> mem = Pair()->active;
     SequenceNumber seq = first;
     for (const auto& e : batch.entries()) {
       mem->Add(seq++, e.type, e.key, e.value);
@@ -136,34 +136,35 @@ Status WriteFrontend::Freeze(bool block) {
 
 Status WriteFrontend::FreezeHeld() {
   util::MutexLock l(&mu_);
-  if (frozen_ != nullptr) {
+  MemtablePairPtr cur = Pair();
+  if (cur->frozen != nullptr) {
     return Status::Busy("frozen memtable already pending");
   }
-  frozen_ = active_;
-  active_ = std::make_shared<MemTable>();
+  // The hook fires inside this writer exclusion, so the view containing the
+  // new empty active memtable is published before any write can be
+  // acknowledged into it — read-your-writes is preserved.
+  PublishPair(std::make_shared<MemTable>(), cur->active);
   return Status::OK();
 }
 
 void WriteFrontend::DropFrozen() {
   util::MutexLock l(&mu_);
-  frozen_.reset();
+  MemtablePairPtr cur = Pair();
+  if (cur->frozen == nullptr) return;
+  PublishPair(cur->active, nullptr);
 }
 
 Status WriteFrontend::TruncateToActive(bool consume) {
   swap_mu_.Lock();
   std::shared_ptr<MemTable> survivors;
   if (consume) {
-    std::shared_ptr<MemTable> current;
-    {
-      util::MutexLock l(&mu_);
-      current = active_;
-    }
-    survivors = current->CompactUnconsumed();
+    survivors = Pair()->active->CompactUnconsumed();
     util::MutexLock l(&mu_);
-    active_ = survivors;
+    // Re-load under mu_: a concurrent DropFrozen may have changed the
+    // frozen slot since the compaction started.
+    PublishPair(survivors, Pair()->frozen);
   } else {
-    util::MutexLock l(&mu_);
-    survivors = active_;
+    survivors = Pair()->active;
   }
   // kSync: the writer exclusion must span the log restart too — a write
   // whose old-log record is discarded by the truncation must be guaranteed
@@ -177,6 +178,12 @@ Status WriteFrontend::TruncateToActive(bool consume) {
   }
   swap_mu_.Unlock();
   return RestartLog(survivors);
+}
+
+void WriteFrontend::PublishPair(std::shared_ptr<MemTable> active,
+                                std::shared_ptr<MemTable> frozen) {
+  pair_.store(MakePair(std::move(active), std::move(frozen)));
+  if (options_.on_memtable_change) options_.on_memtable_change();
 }
 
 Status WriteFrontend::RestartLog(
@@ -200,33 +207,23 @@ Status WriteFrontend::RestartLog(
 
 void WriteFrontend::Memtables(std::shared_ptr<MemTable>* active,
                               std::shared_ptr<MemTable>* frozen) const {
-  util::MutexLock l(&mu_);
-  *active = active_;
-  *frozen = frozen_;
+  MemtablePairPtr pair = Pair();
+  *active = pair->active;
+  *frozen = pair->frozen;
 }
 
 std::shared_ptr<MemTable> WriteFrontend::ActiveMemtable() const {
-  util::MutexLock l(&mu_);
-  return active_;
+  return Pair()->active;
 }
 
 std::shared_ptr<MemTable> WriteFrontend::FrozenMemtable() const {
-  util::MutexLock l(&mu_);
-  return frozen_;
+  return Pair()->frozen;
 }
 
-bool WriteFrontend::HasFrozen() const {
-  util::MutexLock l(&mu_);
-  return frozen_ != nullptr;
-}
+bool WriteFrontend::HasFrozen() const { return Pair()->frozen != nullptr; }
 
 size_t WriteFrontend::ActiveLiveBytes() const {
-  std::shared_ptr<MemTable> mem;
-  {
-    util::MutexLock l(&mu_);
-    mem = active_;
-  }
-  return mem->LiveBytes();
+  return Pair()->active->LiveBytes();
 }
 
 }  // namespace blsm::engine

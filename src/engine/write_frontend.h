@@ -10,6 +10,7 @@
 #include "io/env.h"
 #include "lsm/record.h"
 #include "memtable/memtable.h"
+#include "util/atomic_shared_ptr.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -17,9 +18,18 @@
 
 namespace blsm::engine {
 
+// The immutable memtable pair a reader sees: the active memtable and the
+// optional frozen one (bLSM's C0' / the multilevel tree's imm_). A new pair
+// object is published on every structural change; the pair itself never
+// mutates, so readers can hold one across a lookup without any lock.
+struct MemtablePair {
+  std::shared_ptr<MemTable> active;
+  std::shared_ptr<MemTable> frozen;  // may be null
+};
+using MemtablePairPtr = std::shared_ptr<const MemtablePair>;
+
 // The WAL + memtable write path shared by both LSM engines. Owns the logical
-// log, the sequence counter, the active memtable, the optional frozen
-// memtable (bLSM's C0' / the multilevel tree's imm_), and the writer/swap
+// log, the sequence counter, the memtable pair, and the writer/swap
 // exclusion that lets a background merge swap or consume the active memtable
 // safely. The engines compose this with their level structure and hang their
 // admission control (backpressure, stalls) and merge scheduling on the two
@@ -27,10 +37,13 @@ namespace blsm::engine {
 //
 // Concurrency: Write() may be called from any number of threads. Writers
 // hold swap_mu_ shared while appending+inserting; Freeze/TruncateToActive
-// take it exclusively. A reader wanting a consistent view calls Memtables()
-// FIRST and then snapshots the engine's on-disk structure: merges install
-// the output component *before* swapping the memtable, so that order can see
-// a record twice but never lose one.
+// take it exclusively. The memtable pair is RCU-published through an atomic
+// shared_ptr: readers pin it with one atomic load + one refcount bump and
+// never take a mutex; pair swaps are serialized by mu_ and announced through
+// the on_memtable_change hook so the owning tree can republish its read
+// view. For swaps that install a new active memtable (freeze, snowshovel
+// truncation) the hook fires while the writer exclusion is still held, so no
+// write can be acknowledged into a memtable the readers' view cannot reach.
 class WriteFrontend {
  public:
   struct Options {
@@ -46,6 +59,13 @@ class WriteFrontend {
     // Called after a successful write, outside all front-end locks:
     // scheduling (wake merges, freeze a full memtable).
     std::function<void()> after_write;
+    // Called after every memtable-pair swap (freeze, frozen drop, snowshovel
+    // truncation) with the new pair already published. Runs under the
+    // front-end's swap serialization, so invocations are ordered; it must
+    // not call back into the front-end's mutators (Freeze, DropFrozen,
+    // TruncateToActive). The owning tree uses this to republish its read
+    // view.
+    std::function<void()> on_memtable_change;
   };
 
   WriteFrontend(const Options& options, std::string log_path);
@@ -89,15 +109,19 @@ class WriteFrontend {
   // (already unacknowledged-durability) race.
   Status TruncateToActive(bool consume) EXCLUDES(swap_mu_, mu_);
 
-  // Reader snapshot of the memtable pair; call before snapshotting disk
-  // state (see class comment). `frozen` may be null.
-  void Memtables(std::shared_ptr<MemTable>* active,
-                 std::shared_ptr<MemTable>* frozen) const EXCLUDES(mu_);
+  // The published memtable pair: one atomic load, one refcount bump, no
+  // locks. This is the hot read path.
+  MemtablePairPtr Pair() const {
+    return pair_.load();
+  }
 
-  std::shared_ptr<MemTable> ActiveMemtable() const EXCLUDES(mu_);
-  std::shared_ptr<MemTable> FrozenMemtable() const EXCLUDES(mu_);
-  bool HasFrozen() const EXCLUDES(mu_);
-  size_t ActiveLiveBytes() const EXCLUDES(mu_);
+  // Convenience accessors over Pair(); all lock-free.
+  void Memtables(std::shared_ptr<MemTable>* active,
+                 std::shared_ptr<MemTable>* frozen) const;
+  std::shared_ptr<MemTable> ActiveMemtable() const;
+  std::shared_ptr<MemTable> FrozenMemtable() const;
+  bool HasFrozen() const;
+  size_t ActiveLiveBytes() const;
 
   SequenceNumber LastSequence() const {
     return last_seq_.load(std::memory_order_acquire);
@@ -118,6 +142,12 @@ class WriteFrontend {
   // The freeze itself, once the caller holds the writer exclusion.
   Status FreezeHeld() REQUIRES(swap_mu_) EXCLUDES(mu_);
 
+  // Builds, stores, and announces a new pair. mu_ serializes publishers so
+  // the store order matches the mutation order and the hook never observes
+  // pairs out of order.
+  void PublishPair(std::shared_ptr<MemTable> active,
+                   std::shared_ptr<MemTable> frozen) REQUIRES(mu_);
+
   Status RestartLog(const std::shared_ptr<MemTable>& survivors);
 
   Options options_;
@@ -131,9 +161,13 @@ class WriteFrontend {
   // Writers shared, memtable swaps exclusive.
   mutable util::SharedMutex swap_mu_;
 
-  mutable util::Mutex mu_;  // protects the two pointers
-  std::shared_ptr<MemTable> active_ GUARDED_BY(mu_);
-  std::shared_ptr<MemTable> frozen_ GUARDED_BY(mu_);
+  // Serializes pair swaps (Freeze/DropFrozen/TruncateToActive); readers
+  // never take it — they load pair_ directly.
+  mutable util::Mutex mu_;
+  // RCU publication point for the memtable pair. Stores happen only under
+  // mu_ (and, for active-memtable swaps, under swap_mu_ exclusive); loads
+  // are unsynchronized by design.
+  util::AtomicSharedPtr<const MemtablePair> pair_;
 
   std::atomic<uint64_t> last_seq_{0};
 };

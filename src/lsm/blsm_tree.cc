@@ -127,6 +127,14 @@ Status BlsmTree::OpenImpl() {
     return runner_->BackgroundError();
   };
   fopts.after_write = [this] { MaybeScheduleMerge1(); };
+  // Every memtable swap republishes the read view. The hook runs inside the
+  // front-end's writer exclusion, so the view containing a freshly-installed
+  // active memtable is visible to readers before any write into it can be
+  // acknowledged (read-your-writes).
+  fopts.on_memtable_change = [this] {
+    util::MutexLock l(&mu_);
+    PublishView();
+  };
   frontend_ = std::make_unique<engine::WriteFrontend>(
       fopts, Manifest::LogFileName(dir_));
 
@@ -134,6 +142,13 @@ Status BlsmTree::OpenImpl() {
   // log with the survivors so the new log is self-contained.
   s = frontend_->Recover(manifest.last_sequence);
   if (!s.ok()) return s;
+
+  {
+    // First publication: no readers exist before Open returns, so this is
+    // the view every reader starts from.
+    util::MutexLock l(&mu_);
+    PublishView();
+  }
 
   if (!options_.read_only) {
     runner_->AddJob({.name = "merge1",
@@ -172,19 +187,30 @@ BlsmTree::~BlsmTree() {
   }
 }
 
-// --- snapshots / state --------------------------------------------------------
+// --- read views / state ------------------------------------------------------
 
-BlsmTree::Snapshot BlsmTree::GetSnapshot() const {
-  Snapshot snap;
-  // Memtables BEFORE the disk components: a merge installs its output
-  // component before swapping/dropping the memtable it consumed, so this
-  // order can observe a record twice but never lose one.
-  frontend_->Memtables(&snap.mem, &snap.mem_old);
-  util::MutexLock l(&mu_);
-  snap.c1 = c1_;
-  snap.c1_prime = c1_prime_;
-  snap.c2 = c2_;
-  return snap;
+BlsmTree::ReadViewPtr BlsmTree::PinView() {
+  stats_.views_pinned.fetch_add(1, std::memory_order_relaxed);
+  return view_.load();
+}
+
+void BlsmTree::PublishView() {
+  // Rebuilds the view from current state. Publication points cover every
+  // structural transition: merge installs call this directly (under mu_,
+  // with the output component already in place but the consumed memtable
+  // not yet dropped), and memtable swaps reach it through the front-end's
+  // on_memtable_change hook (with the install already published). Either
+  // way a record crossing levels is present in BOTH the old and the new
+  // home for at least one published view — a reader may observe it twice
+  // (shadowed by sequence number) but can never miss it.
+  auto view = std::make_shared<ReadView>();
+  engine::MemtablePairPtr pair = frontend_->Pair();
+  view->mem = pair->active;
+  view->mem_old = pair->frozen;
+  view->c1 = c1_;
+  view->c1_prime = c1_prime_;
+  view->c2 = c2_;
+  view_.store(std::move(view));
 }
 
 double BlsmTree::CurrentR() const {
@@ -325,15 +351,15 @@ Status BlsmTree::WriteDelta(const Slice& key, const Slice& delta) {
 
 Status BlsmTree::InsertIfNotExists(const Slice& key, const Slice& value) {
   stats_.insert_if_not_exists.fetch_add(1, std::memory_order_relaxed);
-  Snapshot snap = GetSnapshot();
+  ReadViewPtr view = PinView();
   bool exists = false;
-  Status s = KeyExistsProbe(key, snap, &exists);
+  Status s = KeyExistsProbe(key, *view, &exists);
   if (!s.ok()) return s;
   if (exists) return Status::KeyExists(key);
   return WriteImpl(key, RecordType::kBase, value);
 }
 
-Status BlsmTree::KeyExistsProbe(const Slice& key, const Snapshot& snap,
+Status BlsmTree::KeyExistsProbe(const Slice& key, const ReadView& view,
                                 bool* exists) {
   // The newest version decides: a base OR a delta means the key reads back
   // a value (deltas define one even over a tombstone or nothing, §2.3); a
@@ -347,19 +373,19 @@ Status BlsmTree::KeyExistsProbe(const Slice& key, const Snapshot& snap,
       return false;
     });
   };
-  probe_mem(snap.mem);
-  probe_mem(snap.mem_old);
+  probe_mem(view.mem);
+  probe_mem(view.mem_old);
   if (decided) return Status::OK();
 
   // On-disk components: the Bloom filters prove absence with zero seeks
   // (§3.1.2); a positive filter requires one real lookup.
-  const Component* comps[3] = {snap.c1.get(), snap.c1_prime.get(),
-                               snap.c2.get()};
+  const Component* comps[3] = {view.c1.get(), view.c1_prime.get(),
+                               view.c2.get()};
   for (const Component* comp : comps) {
     if (comp == nullptr) continue;
     bool use_bloom =
         options_.use_bloom &&
-        (options_.bloom_on_largest || comp != snap.c2.get());
+        (options_.bloom_on_largest || comp != view.c2.get());
     if (use_bloom && !comp->reader->MayContain(key)) {
       stats_.bloom_skips.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -413,15 +439,15 @@ Status BlsmTree::FinishLookup(const Slice& key, bool have_base,
 
 Status BlsmTree::Get(const Slice& key, std::string* value) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
-  Snapshot snap = GetSnapshot();
+  ReadViewPtr view = PinView();
   if (options_.early_read_termination) {
-    return GetWithEarlyTermination(key, snap, value);
+    return GetWithEarlyTermination(key, *view, value);
   }
-  return GetExhaustive(key, snap, value);
+  return GetExhaustive(key, *view, value);
 }
 
 Status BlsmTree::GetWithEarlyTermination(const Slice& key,
-                                         const Snapshot& snap,
+                                         const ReadView& view,
                                          std::string* value) {
   // §3.1.1: components are searched newest-first and the lookup stops at the
   // first base record or tombstone.
@@ -451,17 +477,17 @@ Status BlsmTree::GetWithEarlyTermination(const Slice& key,
       return !terminated;
     });
   };
-  search_mem(snap.mem);
-  search_mem(snap.mem_old);
+  search_mem(view.mem);
+  search_mem(view.mem_old);
 
-  const Component* comps[3] = {snap.c1.get(), snap.c1_prime.get(),
-                               snap.c2.get()};
+  const Component* comps[3] = {view.c1.get(), view.c1_prime.get(),
+                               view.c2.get()};
   for (const Component* comp : comps) {
     if (terminated) break;
     if (comp == nullptr) continue;
     bool use_bloom =
         options_.use_bloom &&
-        (options_.bloom_on_largest || comp != snap.c2.get());
+        (options_.bloom_on_largest || comp != view.c2.get());
     if (use_bloom && !comp->reader->MayContain(key)) {
       stats_.bloom_skips.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -490,7 +516,7 @@ Status BlsmTree::GetWithEarlyTermination(const Slice& key,
   return FinishLookup(key, have_base, base, deltas, value);
 }
 
-Status BlsmTree::GetExhaustive(const Slice& key, const Snapshot& snap,
+Status BlsmTree::GetExhaustive(const Slice& key, const ReadView& view,
                                std::string* value) {
   // Ablation for §3.1.1: visit every component unconditionally, collect all
   // versions, and reconstruct by sequence number. Models systems that assign
@@ -512,11 +538,11 @@ Status BlsmTree::GetExhaustive(const Slice& key, const Snapshot& snap,
       return true;
     });
   };
-  collect_mem(snap.mem);
-  collect_mem(snap.mem_old);
+  collect_mem(view.mem);
+  collect_mem(view.mem_old);
 
-  const Component* comps[3] = {snap.c1.get(), snap.c1_prime.get(),
-                               snap.c2.get()};
+  const Component* comps[3] = {view.c1.get(), view.c1_prime.get(),
+                               view.c2.get()};
   SequenceNumber disk_rank = kMaxSequenceNumber / 2;
   for (const Component* comp : comps) {
     if (comp == nullptr) continue;
@@ -552,15 +578,125 @@ Status BlsmTree::GetExhaustive(const Slice& key, const Snapshot& snap,
 std::vector<Status> BlsmTree::MultiGet(const std::vector<Slice>& keys,
                                        std::vector<std::string>* values) {
   stats_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
-  Snapshot snap = GetSnapshot();  // one snapshot: a consistent point
+  stats_.multiget_batches.fetch_add(1, std::memory_order_relaxed);
+  ReadViewPtr view = PinView();  // one pin: a consistent point for the batch
   values->assign(keys.size(), std::string());
-  std::vector<Status> statuses;
-  statuses.reserve(keys.size());
+  std::vector<Status> statuses(keys.size());
+  if (keys.empty()) return statuses;
+
+  if (!options_.early_read_termination) {
+    // The ablation path has no early termination to batch around; every key
+    // visits every component anyway.
+    for (size_t i = 0; i < keys.size(); i++) {
+      statuses[i] = GetExhaustive(keys[i], *view, &(*values)[i]);
+    }
+    return statuses;
+  }
+
+  // Per-key lookup state, carried across components (§3.1.1 early
+  // termination, but advanced batch-wise instead of key-wise).
+  struct Lookup {
+    bool terminated = false;
+    bool failed = false;  // statuses[i] already holds the error
+    bool have_base = false;
+    std::string base;
+    std::vector<std::string> deltas;
+  };
+  std::vector<Lookup> lookups(keys.size());
+
+  // Memtable pass, newest first (C0 then C0'): free, no batching needed.
+  auto search_mem = [&](const std::shared_ptr<MemTable>& mem) {
+    if (mem == nullptr) return;
+    for (size_t i = 0; i < keys.size(); i++) {
+      Lookup& lk = lookups[i];
+      if (lk.terminated) continue;
+      mem->ForEachVersion(keys[i], [&](RecordType t, const Slice& v) {
+        switch (t) {
+          case RecordType::kBase:
+            lk.base.assign(v.data(), v.size());
+            lk.have_base = true;
+            lk.terminated = true;
+            break;
+          case RecordType::kTombstone:
+            lk.terminated = true;
+            break;
+          case RecordType::kDelta:
+            lk.deltas.emplace_back(v.data(), v.size());
+            break;
+        }
+        return !lk.terminated;
+      });
+    }
+  };
+  search_mem(view->mem);
+  search_mem(view->mem_old);
+
+  // Sort the probe set once; every component below is visited in ascending
+  // key order so adjacent keys in the same block decode it once.
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return keys[a].compare(keys[b]) < 0;
+  });
+
+  const Component* comps[3] = {view->c1.get(), view->c1_prime.get(),
+                               view->c2.get()};
+  std::vector<size_t> admitted;
+  std::vector<Slice> probe_keys;
+  std::vector<Status> io;
+  for (const Component* comp : comps) {
+    if (comp == nullptr) continue;
+    const bool use_bloom =
+        options_.use_bloom &&
+        (options_.bloom_on_largest || comp != view->c2.get());
+
+    // All of this component's Bloom probes together, still in key order.
+    admitted.clear();
+    probe_keys.clear();
+    for (size_t i : order) {
+      if (lookups[i].terminated) continue;
+      if (use_bloom && !comp->reader->MayContain(keys[i])) {
+        stats_.bloom_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      admitted.push_back(i);
+      probe_keys.push_back(keys[i]);
+    }
+    if (admitted.empty()) continue;
+
+    // One coalesced visit of the component for the surviving keys.
+    uint64_t coalesced = 0;
+    auto recs = comp->reader->MultiGet(probe_keys, &io, &coalesced);
+    stats_.blocks_coalesced.fetch_add(coalesced, std::memory_order_relaxed);
+    for (size_t j = 0; j < admitted.size(); j++) {
+      Lookup& lk = lookups[admitted[j]];
+      if (!io[j].ok()) {
+        statuses[admitted[j]] = io[j];
+        lk.failed = true;
+        lk.terminated = true;
+        continue;
+      }
+      if (!recs[j].has_value()) continue;
+      switch (recs[j]->type) {
+        case RecordType::kBase:
+          lk.base = std::move(recs[j]->value);
+          lk.have_base = true;
+          lk.terminated = true;
+          break;
+        case RecordType::kTombstone:
+          lk.terminated = true;
+          break;
+        case RecordType::kDelta:
+          lk.deltas.emplace_back(std::move(recs[j]->value));
+          break;
+      }
+    }
+  }
+
   for (size_t i = 0; i < keys.size(); i++) {
-    statuses.push_back(
-        options_.early_read_termination
-            ? GetWithEarlyTermination(keys[i], snap, &(*values)[i])
-            : GetExhaustive(keys[i], snap, &(*values)[i]));
+    if (lookups[i].failed) continue;
+    statuses[i] = FinishLookup(keys[i], lookups[i].have_base, lookups[i].base,
+                               lookups[i].deltas, &(*values)[i]);
   }
   return statuses;
 }
@@ -579,14 +715,14 @@ Status BlsmTree::ReadModifyWrite(
 // --- scans ------------------------------------------------------------------
 
 std::unique_ptr<ScanIterator> BlsmTree::NewScanIterator() {
-  Snapshot snap = GetSnapshot();
+  ReadViewPtr view = PinView();
   std::vector<std::unique_ptr<InternalIterator>> children;
   std::vector<std::shared_ptr<void>> pins;
-  children.push_back(NewMemTableIterator(snap.mem));
-  if (snap.mem_old != nullptr) {
-    children.push_back(NewMemTableIterator(snap.mem_old));
+  children.push_back(NewMemTableIterator(view->mem));
+  if (view->mem_old != nullptr) {
+    children.push_back(NewMemTableIterator(view->mem_old));
   }
-  for (const ComponentPtr& comp : {snap.c1, snap.c1_prime, snap.c2}) {
+  for (const ComponentPtr& comp : {view->c1, view->c1_prime, view->c2}) {
     if (comp == nullptr) continue;
     children.push_back(
         NewTreeComponentIterator(comp->reader.get(), /*sequential=*/false));
@@ -879,11 +1015,16 @@ Status BlsmTree::RunMerge1Pass() {
       c1_data_bytes_.store(0);
       force_promote_.store(false);
     }
+    // Readers must see the output component before the consumed memtable is
+    // dropped below (double-observation, never loss).
+    PublishView();
     manifest = BuildManifestLocked(&manifest_version);
   }
-  // The consumed C0' becomes droppable only after its component is
-  // installed (readers snapshot memtables before components, so this order
-  // can duplicate a record but never lose one).
+  // The consumed C0' becomes droppable only after the view containing its
+  // component was published above: the drop triggers another publication
+  // (via on_memtable_change), so the record sequence a reader can observe
+  // goes "in both places" -> "component only" — duplicated at worst, never
+  // lost.
   if (!options_.snowshovel) frontend_->DropFrozen();
   s = SaveManifest(manifest, manifest_version);
   if (!s.ok()) {
@@ -1011,6 +1152,10 @@ Status BlsmTree::RunMerge2Pass() {
     util::MutexLock l(&mu_);
     c2_ = fresh;
     c1_prime_.reset();
+    // C1' and the old C2 are fully contained in the new C2; views pinned
+    // before this store keep the replaced files alive (and readable) until
+    // their last reader drops them.
+    PublishView();
     manifest = BuildManifestLocked(&manifest_version);
   }
   s = SaveManifest(manifest, manifest_version);

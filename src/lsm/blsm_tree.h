@@ -19,6 +19,7 @@
 #include "lsm/record.h"
 #include "memtable/memtable.h"
 #include "sstree/tree_reader.h"
+#include "util/atomic_shared_ptr.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -98,6 +99,12 @@ struct BlsmStats {
   std::atomic<uint64_t> merge2_bytes_out{0};
   std::atomic<uint64_t> merge_retries{0};       // transient-failure re-runs
   std::atomic<uint64_t> orphans_scavenged{0};   // unreferenced files removed
+  // Read-path counters: view pins (one per Get/MultiGet/scan, not per
+  // component), MultiGet batches, and block decodes saved by coalescing
+  // adjacent keys of a batch into one block visit.
+  std::atomic<uint64_t> views_pinned{0};
+  std::atomic<uint64_t> multiget_batches{0};
+  std::atomic<uint64_t> blocks_coalesced{0};
 };
 
 // bLSM: a three-level log structured merge tree with Bloom filters, early
@@ -105,8 +112,13 @@ struct BlsmStats {
 //
 // Concurrency model: any number of application threads may call the write
 // and read operations; two background threads run the C0:C1 and C1':C2
-// merges. A short mutex protects the component pointers; reads operate on a
-// shared_ptr snapshot and never block merges.
+// merges. A short mutex protects the component pointers for mutators, but
+// the read path never touches it: every structural change (memtable swap,
+// merge install) publishes an immutable ReadView through an atomic
+// shared_ptr, and a reader pins the current view with one atomic load + one
+// refcount bump. Old views retire when the last reader drops them, which is
+// also what keeps replaced component files alive until in-flight reads
+// finish.
 class BlsmTree {
  public:
   static Status Open(const BlsmOptions& options, const std::string& dir,
@@ -135,13 +147,18 @@ class BlsmTree {
   Status InsertIfNotExists(const Slice& key, const Slice& value);
 
   // Point lookup; ~1 seek (§3.1.1). NotFound if absent or deleted.
-  Status Get(const Slice& key, std::string* value);
+  // Lock-free: pins the published ReadView, acquires no mutex.
+  Status Get(const Slice& key, std::string* value) EXCLUDES(mu_);
 
-  // Batched point lookups against one consistent snapshot of the tree:
-  // values->at(i) and the returned status i correspond to keys[i]. Bloom
-  // filters skip components per key as in Get.
+  // Batched point lookups against one pinned view of the tree:
+  // values->at(i) and the returned status i correspond to keys[i]. The
+  // probe set is sorted once, Bloom filters are consulted per component for
+  // the whole batch, and each component is visited once in key order so
+  // adjacent keys landing in the same block decode it once. Lock-free like
+  // Get.
   std::vector<Status> MultiGet(const std::vector<Slice>& keys,
-                               std::vector<std::string>* values);
+                               std::vector<std::string>* values)
+      EXCLUDES(mu_);
 
   // Read-modify-write convenience: Get (NotFound -> absent=true), then Put
   // what the callback returns. One seek total (Table 1): the write is blind.
@@ -225,30 +242,42 @@ class BlsmTree {
     }
   };
 
-  // Read-path snapshot of the tree shape.
-  struct Snapshot {
+  // An immutable view of the whole tree shape — memtable pair plus the
+  // on-disk components. Built only when structure changes and published
+  // through view_; reads pin it with a single atomic load. The shared_ptrs
+  // inside double as lifetime pins: a replaced component's file survives
+  // until the last view referencing it is dropped.
+  struct ReadView {
     std::shared_ptr<MemTable> mem;
     std::shared_ptr<MemTable> mem_old;
     ComponentPtr c1, c1_prime, c2;
   };
+  using ReadViewPtr = std::shared_ptr<const ReadView>;
 
   BlsmTree(const BlsmOptions& options, std::string dir);
 
   Status OpenImpl() EXCLUDES(mu_);
   Status OpenComponent(uint64_t file_number, ComponentPtr* out,
                        bool with_bloom_expected) const;
-  Snapshot GetSnapshot() const EXCLUDES(mu_);
+
+  // The read side of the RCU pair: PinView is the entire hot-path cost
+  // (one atomic load + one refcount bump, no mutex); PublishView rebuilds
+  // the view from current state and must run at every structural
+  // transition (it is called from the merge install blocks and from the
+  // front-end's on_memtable_change hook).
+  ReadViewPtr PinView() EXCLUDES(mu_);
+  void PublishView() REQUIRES(mu_);
 
   Status WriteImpl(const Slice& key, RecordType type, const Slice& value);
   void ApplyBackpressure();
 
   // Existence probe for InsertIfNotExists. Sets *exists; may perform seeks
   // only when a Bloom filter admits the key.
-  Status KeyExistsProbe(const Slice& key, const Snapshot& snap, bool* exists);
+  Status KeyExistsProbe(const Slice& key, const ReadView& view, bool* exists);
 
-  Status GetWithEarlyTermination(const Slice& key, const Snapshot& snap,
+  Status GetWithEarlyTermination(const Slice& key, const ReadView& view,
                                  std::string* value);
-  Status GetExhaustive(const Slice& key, const Snapshot& snap,
+  Status GetExhaustive(const Slice& key, const ReadView& view,
                        std::string* value);
   Status FinishLookup(const Slice& key, bool have_base,
                       const std::string& base,
@@ -292,6 +321,9 @@ class BlsmTree {
   ComponentPtr c1_ GUARDED_BY(mu_);
   ComponentPtr c1_prime_ GUARDED_BY(mu_);
   ComponentPtr c2_ GUARDED_BY(mu_);
+  // RCU publication point for the read path. Stores happen only inside
+  // PublishView (under mu_); loads are lock-free by design.
+  util::AtomicSharedPtr<const ReadView> view_;
   uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
   // Flush() handshake: a flush bumps the request generation; a merge-1 pass
   // that *started* at generation g advances the done generation to g when it

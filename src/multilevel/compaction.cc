@@ -227,12 +227,15 @@ Status MultilevelTree::FlushMemtable(std::shared_ptr<MemTable> imm) {
       fresh->levels[0].insert(fresh->levels[0].begin(), *it);
     }
     version_ = std::move(fresh);
+    // Readers must see the L0 run before the frozen memtable is dropped
+    // below (double-observation, never loss).
+    PublishView();
     stats_.memtable_flushes.fetch_add(1, std::memory_order_relaxed);
     manifest = BuildManifestLocked(&manifest_version);
   }
-  // Drop the frozen memtable only after the L0 run is installed: readers
-  // snapshot memtables first, so they see the data in one place or both,
-  // never neither.
+  // Drop the frozen memtable only after the view containing its L0 run was
+  // published: the drop republishes (via on_memtable_change), so a reader
+  // sees the data in one place or both, never neither.
   frontend_->DropFrozen();
   s = SaveManifest(manifest, manifest_version);
   if (!s.ok()) return s;
@@ -313,6 +316,9 @@ Status MultilevelTree::CompactLevel(int level) {
     dest.insert(dest.end(), outputs.begin(), outputs.end());
     std::sort(dest.begin(), dest.end(), BySmallest);
     version_ = std::move(fresh);
+    // The inputs' records all live in the outputs; views pinned before this
+    // store keep the replaced files readable until their readers finish.
+    PublishView();
     stats_.compactions.fetch_add(1, std::memory_order_relaxed);
     manifest = BuildManifestLocked(&manifest_version);
   }

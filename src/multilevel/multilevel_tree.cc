@@ -156,10 +156,24 @@ Status MultilevelTree::OpenImpl() {
       if (frontend_->Freeze(/*block=*/false).ok()) runner_->Notify();
     }
   };
+  // Memtable swaps (freeze, frozen drop) republish the read view; the hook
+  // runs inside the front-end's writer exclusion, so a freshly-installed
+  // active memtable is visible to readers before any write into it is
+  // acknowledged.
+  fopts.on_memtable_change = [this] {
+    util::MutexLock l(&mu_);
+    PublishView();
+  };
   frontend_ =
       std::make_unique<engine::WriteFrontend>(fopts, LogName(dir_));
   s = frontend_->Recover(manifest_last_seq);
   if (!s.ok()) return s;
+
+  {
+    // First publication: no readers exist before Open returns.
+    util::MutexLock l(&mu_);
+    PublishView();
+  }
 
   if (!options_.read_only) {
     engine::BackgroundRunner::JobSpec job;
@@ -204,6 +218,26 @@ uint64_t MultilevelTree::LevelTargetBytes(int level) const {
 VersionPtr MultilevelTree::CurrentVersion() const {
   util::MutexLock l(&mu_);
   return version_;
+}
+
+MultilevelTree::ReadViewPtr MultilevelTree::PinView() {
+  stats_.views_pinned.fetch_add(1, std::memory_order_relaxed);
+  return view_.load();
+}
+
+void MultilevelTree::PublishView() {
+  // Called at every structural transition: flush/compaction installs do it
+  // directly (with the output runs already in version_ but the consumed
+  // memtable not yet dropped), memtable swaps reach it through the
+  // front-end hook. Each transition keeps every record reachable in at
+  // least one slot of the new view, so a reader may see a record twice
+  // (shadowed by sequence number) but never lose one.
+  auto view = std::make_shared<ReadView>();
+  engine::MemtablePairPtr pair = frontend_->Pair();
+  view->mem = pair->active;
+  view->imm = pair->frozen;
+  view->version = version_;
+  view_.store(std::move(view));
 }
 
 Status MultilevelTree::BackgroundError() const {
@@ -314,12 +348,28 @@ Status MultilevelTree::ReadModifyWrite(
 
 Status MultilevelTree::Get(const Slice& key, std::string* value) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
-  // Memtables BEFORE the version: a flush installs its L0 run before
-  // dropping the frozen memtable, so this order can see a record twice
-  // (shadowed by sequence) but never miss one.
-  std::shared_ptr<MemTable> mem, imm;
-  frontend_->Memtables(&mem, &imm);
-  VersionPtr version = CurrentVersion();
+  ReadViewPtr view = PinView();
+  return GetFromView(key, *view, value);
+}
+
+std::vector<Status> MultilevelTree::MultiGet(
+    const std::vector<Slice>& keys, std::vector<std::string>* values) {
+  stats_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
+  stats_.multiget_batches.fetch_add(1, std::memory_order_relaxed);
+  ReadViewPtr view = PinView();  // one pin for the whole batch
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    statuses[i] = GetFromView(keys[i], *view, &(*values)[i]);
+  }
+  return statuses;
+}
+
+Status MultilevelTree::GetFromView(const Slice& key, const ReadView& view,
+                                   std::string* value) {
+  const std::shared_ptr<MemTable>& mem = view.mem;
+  const std::shared_ptr<MemTable>& imm = view.imm;
+  const VersionPtr& version = view.version;
 
   std::vector<std::string> deltas;  // newest first
   bool terminated = false;
@@ -406,17 +456,16 @@ Status MultilevelTree::Scan(
     const Slice& start, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
-  // Memtables before the version, as in Get().
-  std::shared_ptr<MemTable> mem, imm;
-  frontend_->Memtables(&mem, &imm);
-  VersionPtr version = CurrentVersion();
+  ReadViewPtr view = PinView();
 
   std::vector<std::unique_ptr<InternalIterator>> children;
   std::vector<std::shared_ptr<void>> pins;
-  children.push_back(NewMemTableIterator(mem));
-  if (imm != nullptr) children.push_back(NewMemTableIterator(imm));
+  children.push_back(NewMemTableIterator(view->mem));
+  if (view->imm != nullptr) {
+    children.push_back(NewMemTableIterator(view->imm));
+  }
   for (int level = 0; level < kNumLevels; level++) {
-    for (const auto& f : version->levels[level]) {
+    for (const auto& f : view->version->levels[level]) {
       children.push_back(
           NewTreeComponentIterator(f->reader.get(), /*sequential=*/false));
       pins.push_back(f);

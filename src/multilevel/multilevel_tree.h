@@ -17,6 +17,7 @@
 #include "lsm/record.h"
 #include "memtable/memtable.h"
 #include "multilevel/version.h"
+#include "util/atomic_shared_ptr.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -79,6 +80,12 @@ struct MultilevelStats {
   std::atomic<uint64_t> compaction_bytes{0};
   std::atomic<uint64_t> compaction_retries{0};
   std::atomic<uint64_t> orphans_scavenged{0};
+  // Read-path counters: view pins (one per Get/MultiGet/scan) and MultiGet
+  // batches. (No block coalescing here — the multilevel read path probes
+  // per-level files key by key; kv::Engine::Stats() reports the key with a
+  // zero for symmetry with bLSM.)
+  std::atomic<uint64_t> views_pinned{0};
+  std::atomic<uint64_t> multiget_batches{0};
 };
 
 // LevelDB-like multi-level LSM tree. Reuses the repository's memtable and
@@ -107,8 +114,16 @@ class MultilevelTree {
   Status InsertIfNotExists(const Slice& key, const Slice& value);
 
   // Point lookup: memtables, then L0 newest-first, then one file per deeper
-  // level — O(log n) seeks uncached (Table 1).
-  Status Get(const Slice& key, std::string* value);
+  // level — O(log n) seeks uncached (Table 1). Lock-free: pins the
+  // published ReadView, acquires no mutex.
+  Status Get(const Slice& key, std::string* value) EXCLUDES(mu_);
+
+  // Batched point lookups against one pinned view; statuses/values align
+  // with keys. (No cross-key block coalescing: unlike bLSM's three big
+  // components, the per-key file set differs level by level.)
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values)
+      EXCLUDES(mu_);
 
   Status ReadModifyWrite(
       const Slice& key,
@@ -138,10 +153,26 @@ class MultilevelTree {
   }
 
  private:
+  // The immutable tree shape a reader sees: memtable pair + version.
+  // Published on every structural change (memtable swap via the front-end
+  // hook, flush/compaction install); pinned with one atomic load.
+  struct ReadView {
+    std::shared_ptr<MemTable> mem;
+    std::shared_ptr<MemTable> imm;
+    VersionPtr version;
+  };
+  using ReadViewPtr = std::shared_ptr<const ReadView>;
+
   MultilevelTree(const MultilevelOptions& options, std::string dir);
 
   Status OpenImpl() EXCLUDES(mu_);
   uint64_t LevelTargetBytes(int level) const;
+
+  ReadViewPtr PinView() EXCLUDES(mu_);
+  void PublishView() REQUIRES(mu_);
+  // The lookup body shared by Get and MultiGet, against a pinned view.
+  Status GetFromView(const Slice& key, const ReadView& view,
+                     std::string* value);
 
   Status WriteImpl(const Slice& key, RecordType type, const Slice& value);
   void MaybeStallWrites() EXCLUDES(mu_);
@@ -179,6 +210,9 @@ class MultilevelTree {
 
   mutable util::Mutex mu_;
   VersionPtr version_ GUARDED_BY(mu_);
+  // RCU publication point for the read path; stores only in PublishView
+  // (under mu_), loads lock-free.
+  util::AtomicSharedPtr<const ReadView> view_;
   uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
   // Round-robin compaction cursors (LevelDB's partition scheduler state).
   std::string compact_cursor_[kNumLevels] GUARDED_BY(mu_);

@@ -145,6 +145,97 @@ std::optional<TreeReader::GetResult> TreeReader::Get(const Slice& user_key,
   return result;
 }
 
+std::vector<std::optional<TreeReader::GetResult>> TreeReader::MultiGet(
+    const std::vector<Slice>& user_keys, std::vector<Status>* io_statuses,
+    uint64_t* blocks_coalesced) const {
+  std::vector<std::optional<GetResult>> results(user_keys.size());
+  io_statuses->assign(user_keys.size(), Status::OK());
+  if (footer_.index_levels == 0) return results;  // empty component
+
+  // Resolves the cursor (positioned at the first entry >= the key's lookup
+  // target) into results[idx]; a mismatched user key simply means absent.
+  auto fill = [&](BlockCursor& cursor, size_t idx) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(cursor.key(), &parsed)) {
+      (*io_statuses)[idx] = Status::Corruption("bad internal key");
+      return;
+    }
+    if (parsed.user_key != user_keys[idx]) return;
+    GetResult result;
+    result.type = parsed.type;
+    result.seq = parsed.seq;
+    result.value.assign(cursor.value().data(), cursor.value().size());
+    results[idx] = std::move(result);
+  };
+
+  BlockCache::BlockHandle data_handle;  // most recently decoded data block
+  bool have_data_block = false;
+  std::string target;
+
+  for (size_t i = 0; i < user_keys.size(); i++) {
+    target = InternalLookupKey(user_keys[i]);
+
+    // Try the previous key's data block first. With ascending targets a hit
+    // here is globally correct: every block before it holds only keys below
+    // the previous target, hence below this one, so the first entry >=
+    // target inside this block is the first in the whole component.
+    if (have_data_block) {
+      BlockCursor cursor{Slice(*data_handle)};
+      cursor.Seek(target);
+      if (cursor.Valid()) {
+        if (blocks_coalesced != nullptr) (*blocks_coalesced)++;
+        fill(cursor, i);
+        continue;
+      }
+    }
+
+    // Fresh descent from the root.
+    BlockPointer ptr{footer_.root_offset, footer_.root_size};
+    BlockCache::BlockHandle handle;
+    bool descended = true;
+    for (uint32_t level = 0; level < footer_.index_levels; level++) {
+      Status s = ReadBlock(ptr, /*fill_cache=*/true, &handle);
+      if (!s.ok()) {
+        (*io_statuses)[i] = s;
+        descended = false;
+        break;
+      }
+      BlockCursor cursor{Slice(*handle)};
+      cursor.Seek(target);
+      if (!cursor.Valid()) {
+        if (level == 0) {
+          // Past the component's largest key — and so is every later key of
+          // this ascending batch.
+          return results;
+        }
+        // A parent entry promised this subtree's last key >= target.
+        (*io_statuses)[i] = Status::Corruption("bad index entry");
+        descended = false;
+        break;
+      }
+      Slice v = cursor.value();
+      if (!BlockPointer::DecodeFrom(&v, &ptr)) {
+        (*io_statuses)[i] = Status::Corruption("bad index entry");
+        descended = false;
+        break;
+      }
+    }
+    if (!descended) continue;
+
+    Status s = ReadBlock(ptr, /*fill_cache=*/true, &handle);
+    if (!s.ok()) {
+      (*io_statuses)[i] = s;
+      continue;
+    }
+    data_handle = std::move(handle);
+    have_data_block = true;
+    BlockCursor cursor{Slice(*data_handle)};
+    cursor.Seek(target);
+    if (cursor.Valid()) fill(cursor, i);
+  }
+  return results;
+}
+
 std::unique_ptr<TreeIterator> TreeReader::NewIterator(bool sequential) const {
   return std::make_unique<TreeIterator>(this, sequential);
 }

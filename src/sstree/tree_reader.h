@@ -45,6 +45,17 @@ class TreeReader {
   std::optional<GetResult> Get(const Slice& user_key, bool use_bloom,
                                Status* io_status = nullptr) const;
 
+  // Batched point lookups: results[i] / io_statuses->at(i) correspond to
+  // user_keys[i]. `user_keys` must be ascending (duplicates allowed); the
+  // batch reuses the most recently decoded data block, so adjacent keys
+  // landing in the same block decode it once (`*blocks_coalesced`, if
+  // non-null, counts those reuses) and a key past the component's largest
+  // short-circuits the rest of the batch. Bloom filtering is the caller's
+  // job: every key given here descends the index.
+  std::vector<std::optional<GetResult>> MultiGet(
+      const std::vector<Slice>& user_keys, std::vector<Status>* io_statuses,
+      uint64_t* blocks_coalesced = nullptr) const;
+
   // True if the Bloom filter admits the key (or there is no filter). This is
   // the §3.1.2 "insert if not exists" fast path: all-negative filters prove
   // absence with zero seeks.

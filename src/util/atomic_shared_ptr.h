@@ -1,0 +1,62 @@
+#ifndef BLSM_UTIL_ATOMIC_SHARED_PTR_H_
+#define BLSM_UTIL_ATOMIC_SHARED_PTR_H_
+
+#include <atomic>
+#include <memory>
+
+namespace blsm::util {
+
+// Lock-bit-protected shared_ptr slot: the RCU-style publication point the
+// read paths pin their views through. load() takes the bit with one
+// acquire RMW, copies the pointer (one refcount bump), and releases;
+// store() swaps in the new value and retires the displaced one outside
+// the critical section. No mutex anywhere, and the bit is held only for
+// a pointer copy or swap.
+//
+// This exists instead of std::atomic<std::shared_ptr<T>> because
+// libstdc++'s _Sp_atomic ends load() with unlock(memory_order_relaxed):
+// the reader's plain read of its pointer field then has no happens-before
+// edge to the next store()'s plain write — a formal data race that
+// ThreadSanitizer reports (GCC 12). The protocol below is identical in
+// shape and cost but releases on every unlock, so the TSan lane proves
+// the read path instead of suppressing it.
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  explicit AtomicSharedPtr(std::shared_ptr<T> ptr) : ptr_(std::move(ptr)) {}
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+  std::shared_ptr<T> load() const {
+    Acquire();
+    std::shared_ptr<T> copy = ptr_;
+    Release();
+    return copy;
+  }
+
+  void store(std::shared_ptr<T> ptr) {
+    Acquire();
+    ptr_.swap(ptr);
+    Release();
+    // The displaced value dies here, after Release(): if this was its
+    // last reference, the destructor (which may unlink component files)
+    // never runs while holding the bit.
+  }
+
+ private:
+  void Acquire() const {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void Release() const { locked_.store(false, std::memory_order_release); }
+
+  std::shared_ptr<T> ptr_;
+  mutable std::atomic<bool> locked_{false};
+};
+
+}  // namespace blsm::util
+
+#endif  // BLSM_UTIL_ATOMIC_SHARED_PTR_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -112,6 +113,60 @@ TEST(BlockCacheTest, UsageTracksInserts) {
   EXPECT_EQ(cache.usage(), 0u);
   cache.Insert(1, 0, MakeBlock(1000));
   EXPECT_GE(cache.usage(), 1000u);
+}
+
+TEST(BlockCacheTest, CountersSumAcrossShards) {
+  BlockCache cache(1 << 20, 8);
+  for (uint64_t i = 0; i < 32; i++) cache.Insert(3, i * 4096, MakeBlock(64));
+  uint64_t expect_hits = 0;
+  uint64_t expect_misses = 0;
+  for (uint64_t i = 0; i < 64; i++) {
+    if (cache.Lookup(3, i * 4096) != nullptr) {
+      expect_hits++;
+    } else {
+      expect_misses++;
+    }
+  }
+  // Keys scatter across shards; the accessors must sum every shard's
+  // (cache-line-local) counters, not just one.
+  EXPECT_EQ(cache.hits(), expect_hits);
+  EXPECT_EQ(cache.misses(), expect_misses);
+  EXPECT_EQ(expect_hits, 32u);
+}
+
+TEST(BlockCacheTest, EraseFileRacesLookupSameFile) {
+  // A merge deleting a component (EraseFile) races readers still probing
+  // that file's blocks. Lookups must return either the block or null —
+  // never a dangling handle — and handles taken before the erase must keep
+  // their contents. Run under TSan this also proves the shard-sweep locking.
+  BlockCache cache(1 << 20, 8);
+  constexpr uint64_t kBlocks = 64;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; t++) {
+    readers.emplace_back([&cache, &stop, t] {
+      uint64_t i = static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        auto h = cache.Lookup(5, (i++ % kBlocks) * 4096);
+        if (h != nullptr) {
+          EXPECT_EQ(h->size(), 512u);
+          EXPECT_EQ((*h)[0], 'e');
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 200; round++) {
+    for (uint64_t i = 0; i < kBlocks; i++) {
+      cache.Insert(5, i * 4096, MakeBlock(512, 'e'));
+    }
+    cache.EraseFile(5);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  for (uint64_t i = 0; i < kBlocks; i++) {
+    EXPECT_EQ(cache.Lookup(5, i * 4096), nullptr);
+  }
 }
 
 TEST(BlockCacheTest, ConcurrentMixedOperations) {

@@ -569,7 +569,9 @@ TEST(BlsmTreeMultiGetTest, EmptyBatchAndAgreementWithGet) {
     std::string single;
     Status s = tree->Get(keys[i], &single);
     EXPECT_EQ(s.ok(), statuses[i].ok()) << i;
-    if (s.ok()) EXPECT_EQ(single, values[i]) << i;
+    if (s.ok()) {
+      EXPECT_EQ(single, values[i]) << i;
+    }
   }
 }
 

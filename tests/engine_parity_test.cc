@@ -97,6 +97,33 @@ void VerifyAgainstModel(kv::Engine* engine,
     }
   }
 
+  // MultiGet over the whole key space (unsorted input, one duplicate) must
+  // agree with the per-key Gets above.
+  std::vector<std::string> mg_keys;
+  for (uint64_t i = 0; i < kKeySpace; i++) {
+    mg_keys.push_back(KeyFor((i * 37 + 11) % kKeySpace));  // shuffled order
+  }
+  mg_keys.push_back(mg_keys.front());
+  std::vector<Slice> mg_slices(mg_keys.begin(), mg_keys.end());
+  std::vector<std::string> mg_values;
+  std::vector<Status> mg_statuses = engine->MultiGet(mg_slices, &mg_values);
+  ASSERT_EQ(mg_statuses.size(), mg_keys.size()) << engine->Name();
+  ASSERT_EQ(mg_values.size(), mg_keys.size()) << engine->Name();
+  for (size_t i = 0; i < mg_keys.size(); i++) {
+    auto it = model.find(mg_keys[i]);
+    if (it == model.end()) {
+      ASSERT_TRUE(mg_statuses[i].IsNotFound())
+          << engine->Name() << " " << mg_keys[i] << ": "
+          << mg_statuses[i].ToString();
+    } else {
+      ASSERT_TRUE(mg_statuses[i].ok())
+          << engine->Name() << " " << mg_keys[i] << ": "
+          << mg_statuses[i].ToString();
+      ASSERT_EQ(mg_values[i], it->second)
+          << engine->Name() << " " << mg_keys[i];
+    }
+  }
+
   std::vector<std::pair<std::string, std::string>> rows;
   ASSERT_TRUE(engine->Scan("", kKeySpace + 1, &rows).ok()) << engine->Name();
   ASSERT_EQ(rows.size(), model.size()) << engine->Name();
@@ -147,9 +174,23 @@ TEST_P(EngineParityTest, RandomizedOpsMatchModel) {
   ASSERT_TRUE(engine->BackgroundError().ok());
   VerifyAgainstModel(engine.get(), model);
 
-  // Stats must at least have counted the traffic.
+  // Stats must at least have counted the traffic. The LSM engines must
+  // also prove the lock-free read path actually ran: every Get/MultiGet
+  // pins a published ReadView, and the batched MultiGets above counted.
   auto stats = engine->Stats();
   EXPECT_FALSE(stats.empty()) << name;
+  if (name == "blsm" || name == "multilevel") {
+    ASSERT_TRUE(stats.count("read.views_pinned")) << name;
+    EXPECT_GT(stats["read.views_pinned"], 0u) << name;
+    ASSERT_TRUE(stats.count("read.multiget_batches")) << name;
+    EXPECT_GT(stats["read.multiget_batches"], 0u) << name;
+    ASSERT_TRUE(stats.count("read.blocks_coalesced")) << name;
+  }
+  if (name == "blsm") {
+    // Whole-keyspace MultiGets over merged components must have reused
+    // decoded blocks for adjacent sorted probes.
+    EXPECT_GT(stats["read.blocks_coalesced"], 0u) << name;
+  }
 }
 
 // Stats() must be safe to call while writers are running: the counters it

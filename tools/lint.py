@@ -17,6 +17,11 @@ Rules (see docs/static_analysis.md):
                 through bench/harness.h so the engine surface the
                 benchmarks exercise stays in one reviewable place.
 
+  read-path-lock  util::MutexLock (or ReaderLock) inside a function named
+                Get* / MultiGet in src/lsm/ or src/multilevel/. Point reads
+                pin the published ReadView with one atomic load; a mutex on
+                that path is the serialization the ReadView design removed.
+
 A line may opt out with a justification:  // lint:allow(<rule>) <reason>
 The reason is mandatory; a bare allow is itself an error.
 
@@ -41,6 +46,12 @@ LIBC_UNSAFE = re.compile(r"(?<![\w:.])(rand|sprintf)\s*\(")
 ENGINE_INTERNAL_INCLUDE = re.compile(
     r'#\s*include\s+"(lsm|multilevel|btree|engine)/'
 )
+# Out-of-line method definitions at column 0 (return type, then
+# Class::Method(). The read-path rule keys off which method body the line
+# falls in: a Get*/MultiGet definition opens a no-lock region that the next
+# method definition closes.
+METHOD_DEF = re.compile(r"^[\w:<>,&*~\s]+\b[\w<>]+::(?P<method>~?\w+)\s*\(")
+READ_PATH_LOCK = re.compile(r"\butil::(MutexLock|ReaderLock)\b")
 ALLOW = re.compile(r"//\s*lint:allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
 
 
@@ -62,6 +73,8 @@ def lint_file(path: Path, violations) -> None:
     rel_str = str(rel)
     in_util = rel_str.startswith("src/util/")
     in_bench_cc = rel_str.startswith("bench/") and path.suffix != ".h"
+    in_read_path_dir = rel_str.startswith(("src/lsm/", "src/multilevel/"))
+    in_get_fn = False
     try:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
@@ -89,6 +102,19 @@ def lint_file(path: Path, violations) -> None:
                      "bench sources reach engines via bench/harness.h, "
                      "not engine-internal headers")
                 )
+        if in_read_path_dir:
+            m = METHOD_DEF.match(code)
+            if m:
+                name = m.group("method")
+                in_get_fn = name.startswith("Get") or name == "MultiGet"
+            if in_get_fn and READ_PATH_LOCK.search(code):
+                if not allowed(line, "read-path-lock", violations, rel_str,
+                               lineno):
+                    violations.append(
+                        (rel_str, lineno, "read-path-lock",
+                         "mutex in a Get*/MultiGet body; point reads pin "
+                         "the ReadView lock-free")
+                    )
 
 
 def main() -> int:

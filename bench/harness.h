@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "engine/io_rate_limiter.h"
 #include "engine/kv.h"
 #include "io/counting_env.h"
 #include "lsm/blsm_tree.h"

@@ -1,0 +1,247 @@
+// Latency-stability harness (§4, Figures 6-7): sustained inserts against
+// each engine, sliced into fixed wall-clock windows, reporting per-window
+// throughput, tail latency (p99 / p99.9), stall count and measured stall
+// duration, and C0 fill. This is the bench that shows WHY spring-and-gear
+// exists: the naive scheduler and the LevelDB stand-in post long write
+// pauses at merge boundaries, while the spring evens them into small,
+// bounded delays.
+//
+// Both bLSM runs and the multilevel run share one global IoRateLimiter so
+// the bench also exercises cross-tree merge-IO arbitration: flush traffic
+// (kFlush) must keep flowing while merges (kMerge1/kCompaction) absorb the
+// throttle.
+//
+// Output: BENCH_stability.json with one row per (engine, window) plus a
+// summary row per engine; "row_type" distinguishes them.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace blsm;
+using namespace blsm::bench;
+
+uint64_t StatOr0(const std::map<std::string, uint64_t>& stats,
+                 const std::string& key) {
+  auto it = stats.find(key);
+  return it != stats.end() ? it->second : 0;
+}
+
+struct WindowRow {
+  uint64_t start_ms = 0;
+  uint64_t ops = 0;
+  double ops_per_second = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  uint64_t stalls = 0;
+  uint64_t stall_micros = 0;
+  uint64_t max_stall_micros = 0;  // cumulative engine-lifetime max
+  uint64_t c0_live_bytes = 0;
+};
+
+struct RunSummary {
+  uint64_t total_ops = 0;
+  double worst_window_p999_us = 0;
+  uint64_t total_stalls = 0;
+  uint64_t total_stall_micros = 0;
+  uint64_t max_stall_micros = 0;
+};
+
+// Drives a single-threaded insert stream against `engine` for
+// `duration_ms`, cutting a window every `window_ms`. Latency is measured
+// per Put; stall counters are diffed from Engine::Stats() at window edges.
+RunSummary RunStability(kv::Engine* engine, const std::string& label,
+                        uint64_t duration_ms, uint64_t window_ms,
+                        size_t value_size, JsonReport* report) {
+  Env* env = Env::Default();
+  Random rng(42);
+  std::string value(value_size, 'v');
+  char keybuf[32];
+
+  const uint64_t start_us = env->NowMicros();
+  const uint64_t end_us = start_us + duration_ms * 1000;
+  uint64_t window_end_us = start_us + window_ms * 1000;
+  uint64_t window_start_us = start_us;
+
+  Histogram window_hist;
+  uint64_t window_ops = 0;
+  auto last_stats = engine->Stats();
+  std::vector<WindowRow> rows;
+  RunSummary summary;
+
+  auto cut_window = [&](uint64_t now_us) {
+    auto stats = engine->Stats();
+    WindowRow row;
+    row.start_ms = (window_start_us - start_us) / 1000;
+    row.ops = window_ops;
+    double secs = static_cast<double>(now_us - window_start_us) / 1e6;
+    row.ops_per_second = secs > 0 ? static_cast<double>(window_ops) / secs : 0;
+    row.p50_us = window_hist.Percentile(50);
+    row.p99_us = window_hist.Percentile(99);
+    row.p999_us = window_hist.Percentile(99.9);
+    row.stalls = StatOr0(stats, "write.stalls") -
+                 StatOr0(last_stats, "write.stalls");
+    row.stall_micros = StatOr0(stats, "write_stall_micros") -
+                       StatOr0(last_stats, "write_stall_micros");
+    row.max_stall_micros = StatOr0(stats, "write.max_stall_micros");
+    row.c0_live_bytes = StatOr0(stats, "c0_live_bytes");
+    rows.push_back(row);
+
+    summary.total_ops += window_ops;
+    if (row.p999_us > summary.worst_window_p999_us) {
+      summary.worst_window_p999_us = row.p999_us;
+    }
+    summary.total_stalls += row.stalls;
+    summary.total_stall_micros += row.stall_micros;
+    summary.max_stall_micros = row.max_stall_micros;
+
+    last_stats = std::move(stats);
+    window_hist.Clear();
+    window_ops = 0;
+    window_start_us = now_us;
+  };
+
+  for (;;) {
+    uint64_t now = env->NowMicros();
+    if (now >= end_us) break;
+    while (now >= window_end_us) {
+      cut_window(window_end_us < now ? now : window_end_us);
+      window_end_us += window_ms * 1000;
+    }
+    snprintf(keybuf, sizeof(keybuf), "key%016llu",
+             static_cast<unsigned long long>(rng.Uniform(10'000'000)));
+    uint64_t op_start = env->NowMicros();
+    CheckOk(engine->Put(Slice(keybuf), Slice(value)), "stability put");
+    window_hist.Add(env->NowMicros() - op_start);
+    window_ops++;
+  }
+  if (window_ops > 0) cut_window(env->NowMicros());
+
+  printf("\n--- %s\n", label.c_str());
+  printf("%10s %8s %10s %10s %10s %7s %12s %12s\n", "window-ms", "ops",
+         "ops/s", "p99-us", "p99.9-us", "stalls", "stall-us", "c0-bytes");
+  for (const WindowRow& row : rows) {
+    printf("%10" PRIu64 " %8" PRIu64 " %10.0f %10.0f %10.0f %7" PRIu64
+           " %12" PRIu64 " %12" PRIu64 "\n",
+           row.start_ms, row.ops, row.ops_per_second, row.p99_us, row.p999_us,
+           row.stalls, row.stall_micros, row.c0_live_bytes);
+    report->AddRow()
+        .Str("row_type", "window")
+        .Str("label", label)
+        .Num("window_start_ms", static_cast<double>(row.start_ms))
+        .Num("ops", static_cast<double>(row.ops))
+        .Num("ops_per_second", row.ops_per_second)
+        .Num("latency_p50_us", row.p50_us)
+        .Num("latency_p99_us", row.p99_us)
+        .Num("latency_p999_us", row.p999_us)
+        .Num("stalls", static_cast<double>(row.stalls))
+        .Num("stall_micros", static_cast<double>(row.stall_micros))
+        .Num("max_stall_micros", static_cast<double>(row.max_stall_micros))
+        .Num("c0_live_bytes", static_cast<double>(row.c0_live_bytes));
+  }
+  printf("  total ops=%" PRIu64 "  stalls=%" PRIu64 "  stall-total-us=%" PRIu64
+         "  max-stall-us=%" PRIu64 "  worst-window p99.9=%.0f us\n",
+         summary.total_ops, summary.total_stalls, summary.total_stall_micros,
+         summary.max_stall_micros, summary.worst_window_p999_us);
+  report->AddRow()
+      .Str("row_type", "summary")
+      .Str("label", label)
+      .Num("ops", static_cast<double>(summary.total_ops))
+      .Num("stalls", static_cast<double>(summary.total_stalls))
+      .Num("stall_micros", static_cast<double>(summary.total_stall_micros))
+      .Num("max_stall_micros", static_cast<double>(summary.max_stall_micros))
+      .Num("worst_window_p999_us", summary.worst_window_p999_us);
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Latency stability: windowed tails, stalls, C0 fill");
+
+  // Small C0/memtable targets force many flush+merge cycles inside the run,
+  // which is where stalls live. Duration scales with BLSM_BENCH_SCALE but
+  // the window count stays ~8, so even SCALE=0.05 smoke runs emit multiple
+  // windows.
+  const uint64_t duration_ms = std::max<uint64_t>(400, Scaled(4000));
+  const uint64_t window_ms = std::max<uint64_t>(50, duration_ms / 8);
+  const size_t kValueSize = 400;
+
+  // One global arbiter across every LSM engine in the bench: merges and
+  // flushes of all trees draw from a single 256 MB/s budget, flushes first.
+  auto limiter = std::make_shared<engine::IoRateLimiter>(256ull << 20);
+
+  JsonReport report("stability");
+  double blsm_spring_max_stall = 0;
+  double blsm_naive_max_stall = 0;
+
+  {
+    Workspace ws("stability_blsm_spring");
+    auto options = DefaultBlsmOptions(ws.env());
+    options.c0_target_bytes = 2 << 20;
+    options.scheduler = SchedulerKind::kSpringGear;
+    options.io_rate_limiter = limiter;
+    std::unique_ptr<BlsmTree> tree;
+    CheckOk(BlsmTree::Open(options, ws.Path("db"), &tree), "open blsm");
+    auto engine = kv::WrapBlsm(tree.get());
+    auto s = RunStability(engine.get(), "blsm/spring-gear", duration_ms,
+                          window_ms, kValueSize, &report);
+    blsm_spring_max_stall = static_cast<double>(s.max_stall_micros);
+  }
+  {
+    Workspace ws("stability_blsm_naive");
+    auto options = DefaultBlsmOptions(ws.env());
+    options.c0_target_bytes = 2 << 20;
+    options.scheduler = SchedulerKind::kNaive;
+    options.io_rate_limiter = limiter;
+    std::unique_ptr<BlsmTree> tree;
+    CheckOk(BlsmTree::Open(options, ws.Path("db"), &tree), "open blsm");
+    auto engine = kv::WrapBlsm(tree.get());
+    auto s = RunStability(engine.get(), "blsm/naive", duration_ms, window_ms,
+                          kValueSize, &report);
+    blsm_naive_max_stall = static_cast<double>(s.max_stall_micros);
+  }
+  {
+    Workspace ws("stability_multilevel");
+    auto options = DefaultMultilevelOptions(ws.env());
+    options.io_rate_limiter = limiter;
+    std::unique_ptr<multilevel::MultilevelTree> tree;
+    CheckOk(multilevel::MultilevelTree::Open(options, ws.Path("db"), &tree),
+            "open multilevel");
+    auto engine = kv::WrapMultilevel(tree.get());
+    RunStability(engine.get(), "multilevel/baseline", duration_ms, window_ms,
+                 kValueSize, &report);
+  }
+  {
+    Workspace ws("stability_btree");
+    auto options = DefaultBTreeOptions(ws.env());
+    std::unique_ptr<btree::BTree> tree;
+    CheckOk(btree::BTree::Open(options, ws.Path("btree.db"), &tree),
+            "open btree");
+    auto engine = kv::WrapBTree(tree.get());
+    RunStability(engine.get(), "btree/baseline", duration_ms, window_ms,
+                 kValueSize, &report);
+  }
+
+  printf("\nspring-gear max stall: %.0f us   naive max stall: %.0f us\n",
+         blsm_spring_max_stall, blsm_naive_max_stall);
+  if (blsm_spring_max_stall < blsm_naive_max_stall) {
+    printf("OK: spring-and-gear bounds the worst stall below the naive "
+           "scheduler's.\n");
+  } else {
+    // Report, don't abort: at tiny smoke scales both runs may finish
+    // without ever tripping the hard-block path.
+    printf("note: spring-gear max stall not below naive at this scale "
+           "(expected at SCALE >= 1).\n");
+  }
+  return 0;
+}

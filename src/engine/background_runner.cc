@@ -131,7 +131,13 @@ void BackgroundRunner::WorkerLoop(Job* job) {
     }
 
     job->running.store(true, std::memory_order_release);
-    Status s = RunWithRetry(job);
+    Status s;
+    {
+      // Tag the pass (and its retries) with the job's I/O priority so a
+      // RateLimitedEnv meters its writes under the right class.
+      ScopedIoPriority io_tag(job->spec.io_priority);
+      s = RunWithRetry(job);
+    }
     {
       util::MutexLock l(&mu_);
       if (!s.ok() && !shutdown_.load(std::memory_order_relaxed) &&

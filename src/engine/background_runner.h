@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/io_rate_limiter.h"
 #include "io/env.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -55,6 +56,11 @@ class BackgroundRunner {
     // attempts (successful or not) and transient re-runs.
     std::atomic<uint64_t>* passes = nullptr;
     std::atomic<uint64_t>* retries = nullptr;
+    // The worker thread runs every pass under this I/O priority tag, so a
+    // RateLimitedEnv charges the job's writes against the shared limiter's
+    // matching class. Jobs may narrow it per phase with a nested
+    // ScopedIoPriority (e.g. the memtable flush inside a compaction pass).
+    IoPriority io_priority = IoPriority::kCompaction;
   };
 
   BackgroundRunner(Env* env, const BackgroundPolicy& policy);

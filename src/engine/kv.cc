@@ -78,7 +78,9 @@ class BlsmEngine : public Engine {
         {"deltas", s.deltas.load()},
         {"insert_if_not_exists", s.insert_if_not_exists.load()},
         {"bloom_skips", s.bloom_skips.load()},
+        {"write.stalls", s.write_stalls.load()},
         {"write_stall_micros", s.write_stall_micros.load()},
+        {"write.max_stall_micros", s.max_stall_micros.load()},
         {"merge1_passes", s.merge1_passes.load()},
         {"merge2_passes", s.merge2_passes.load()},
         {"merge1_bytes_out", s.merge1_bytes_out.load()},
@@ -150,10 +152,13 @@ class MultilevelEngine : public Engine {
     return {
         {"puts", s.puts.load()},
         {"gets", s.gets.load()},
+        {"write.stalls", s.write_stalls.load()},
         {"write_stall_micros", s.write_stall_micros.load()},
+        {"write.max_stall_micros", s.max_stall_micros.load()},
         {"slowdown_writes", s.slowdown_writes.load()},
         {"stopped_writes", s.stopped_writes.load()},
         {"memtable_flushes", s.memtable_flushes.load()},
+        {"c0_live_bytes", tree_->C0LiveBytes()},
         {"compactions", s.compactions.load()},
         {"compaction_bytes", s.compaction_bytes.load()},
         {"compaction_retries", s.compaction_retries.load()},
@@ -260,6 +265,11 @@ class BTreeEngine : public Engine {
     return {
         {"num_entries", tree_->num_entries()},
         {"height", tree_->height()},
+        // Stall-counter parity with the LSM engines: the B-tree never
+        // stalls writers behind background work, so these stay zero.
+        {"write.stalls", 0},
+        {"write_stall_micros", 0},
+        {"write.max_stall_micros", 0},
     };
   }
 
@@ -281,6 +291,7 @@ Status OpenBlsm(const CommonOptions& common, const std::string& dir,
   o.background = common.background;
   o.merge_operator = common.merge_operator;
   o.read_only = common.read_only;
+  o.io_rate_limiter = common.io_rate_limiter;
   std::unique_ptr<BlsmTree> tree;
   Status s = BlsmTree::Open(o, dir, &tree);
   if (!s.ok()) return s;
@@ -299,6 +310,7 @@ Status OpenMultilevel(const CommonOptions& common, const std::string& dir,
   o.background = common.background;
   o.merge_operator = common.merge_operator;
   o.read_only = common.read_only;
+  o.io_rate_limiter = common.io_rate_limiter;
   std::unique_ptr<multilevel::MultilevelTree> tree;
   Status s = multilevel::MultilevelTree::Open(o, dir, &tree);
   if (!s.ok()) return s;

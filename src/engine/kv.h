@@ -42,6 +42,11 @@ struct CommonOptions {
   // Open an existing database without mutating it (no creation, no
   // recovery rewrites, no background threads); writes fail NotSupported.
   bool read_only = false;
+  // Global merge-I/O arbiter: when set, the LSM engines charge their
+  // background (flush/merge/compaction) writes to this shared token bucket.
+  // Pass the same limiter to several engines to cap their combined
+  // background write rate. Ignored by the B-tree (no background I/O).
+  std::shared_ptr<engine::IoRateLimiter> io_rate_limiter;
 };
 
 // The unified engine interface: one API over bLSM, the multilevel LevelDB

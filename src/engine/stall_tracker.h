@@ -1,0 +1,71 @@
+#ifndef BLSM_ENGINE_STALL_TRACKER_H_
+#define BLSM_ENGINE_STALL_TRACKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace blsm::engine {
+
+// Lock-free running maximum for the max-stall counters.
+inline void AtomicFetchMax(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t prev = target.load(std::memory_order_relaxed);
+  while (prev < value && !target.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Shared stall bookkeeping for the write path of both LSM engines: the
+// condition variable a stalled writer sleeps on, and a histogram of measured
+// per-stall durations.
+//
+// Signal points: every structural change that could unblock a writer
+// (memtable swap, snowshovel truncation, merge/flush/compaction install)
+// already republishes the read view, so the trees call NotifyChange() from
+// PublishView and nothing else needs to remember to signal.
+//
+// The wait is a timeout-poll like every blocking wait in the engine layer
+// (see BackgroundRunner): a missed notification costs at most one timeout,
+// never a hang — and the same timeout is what bounds the stall escape when
+// a background error latches while a writer sleeps, because the stall loops
+// re-check BackgroundError() every time WaitForChange returns.
+class StallTracker {
+ public:
+  StallTracker() = default;
+  StallTracker(const StallTracker&) = delete;
+  StallTracker& operator=(const StallTracker&) = delete;
+
+  // Sleeps until NotifyChange() or the timeout, whichever is first.
+  void WaitForChange(uint64_t timeout_micros) EXCLUDES(mu_) {
+    util::MutexLock l(&mu_);
+    (void)cv_.WaitFor(&mu_, std::chrono::microseconds(timeout_micros));
+  }
+
+  // Wakes every stalled writer to re-evaluate its stall condition. Safe to
+  // call while holding the owning tree's mutex: no lock is taken here.
+  void NotifyChange() { cv_.NotifyAll(); }
+
+  // Records one completed stall's measured wall-clock duration.
+  void RecordStall(uint64_t micros) EXCLUDES(mu_) {
+    util::MutexLock l(&mu_);
+    hist_.Add(micros);
+  }
+
+  Histogram HistogramSnapshot() const EXCLUDES(mu_) {
+    util::MutexLock l(&mu_);
+    return hist_;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  Histogram hist_ GUARDED_BY(mu_);
+};
+
+}  // namespace blsm::engine
+
+#endif  // BLSM_ENGINE_STALL_TRACKER_H_

@@ -22,6 +22,13 @@ constexpr uint64_t kMergePausePollUs = 1000;
 BlsmTree::BlsmTree(const BlsmOptions& options, std::string dir)
     : options_(options), dir_(std::move(dir)) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
+  if (options_.io_rate_limiter != nullptr) {
+    // All tree I/O goes through the limiter-aware decorator; only writes on
+    // IoPriority-tagged threads (the BackgroundRunner jobs) are metered.
+    rate_limited_env_ = std::make_unique<engine::RateLimitedEnv>(
+        env_, options_.io_rate_limiter);
+    env_ = rate_limited_env_.get();
+  }
   if (options_.shared_block_cache != nullptr) {
     cache_ = options_.shared_block_cache;
   } else if (options_.block_cache_bytes > 0) {
@@ -155,12 +162,14 @@ Status BlsmTree::OpenImpl() {
                      .pending = [this] { return Merge1Pending(); },
                      .run = [this] { return RunMerge1Pass(); },
                      .passes = &stats_.merge1_passes,
-                     .retries = &stats_.merge_retries});
+                     .retries = &stats_.merge_retries,
+                     .io_priority = engine::IoPriority::kMerge1});
     runner_->AddJob({.name = "merge2",
                      .pending = [this] { return Merge2Pending(); },
                      .run = [this] { return RunMerge2Pass(); },
                      .passes = &stats_.merge2_passes,
-                     .retries = &stats_.merge_retries});
+                     .retries = &stats_.merge_retries,
+                     .io_priority = engine::IoPriority::kCompaction});
     runner_->Start();
   }
   return Status::OK();
@@ -211,6 +220,9 @@ void BlsmTree::PublishView() {
   view->c1_prime = c1_prime_;
   view->c2 = c2_;
   view_.store(std::move(view));
+  // Every publication is a structural change that may have freed C0 space
+  // or merge headroom: wake any writer stalled on it.
+  stall_tracker_.NotifyChange();
 }
 
 double BlsmTree::CurrentR() const {
@@ -270,30 +282,41 @@ Status BlsmTree::BackgroundError() const { return runner_->BackgroundError(); }
 // --- writes ---------------------------------------------------------------
 
 void BlsmTree::ApplyBackpressure() {
-  constexpr uint64_t kBlockedPollUs = 500;
-  uint64_t stalled = 0;
-  // Hard stall: wait (re-polling) while the scheduler blocks writes — C0
-  // full, or (gear) the writer has outrun merge 1.
+  // Hard-blocked writers wait on the stall CondVar, which every structural
+  // change signals (PublishView -> NotifyChange): a snowshovel truncation or
+  // merge install wakes them immediately instead of at the next poll tick.
+  // The wait keeps a timeout so an error latched while we sleep is noticed
+  // within one interval — bounded stall escape, never a hang.
+  constexpr uint64_t kBlockedWaitUs = 2000;
+  uint64_t start_us = 0;
   while (!runner_->shutting_down()) {
     // If merges have latched an error they will never drain C0; the write
     // must escape the stall and report the error instead of hanging.
     if (!runner_->BackgroundError().ok()) break;
     SchedulerState state = ComputeSchedulerState();
     if (!scheduler_->WriteBlocked(state)) {
-      // One-shot proportional delay (the spring, §4.3).
       uint64_t delay = scheduler_->WriteDelayMicros(state);
       if (delay > 0) {
-        env_->SleepForMicroseconds(delay);
-        stalled += delay;
+        // One-shot proportional delay (the spring, §4.3): a deliberate
+        // pause no event ends early, not a poll.
+        if (start_us == 0) start_us = env_->NowMicros();
+        env_->SleepForMicroseconds(delay);  // lint:allow(write-path-sleep) the spring's one-shot proportional delay IS the backpressure mechanism
       }
       break;
     }
-    env_->SleepForMicroseconds(kBlockedPollUs);
-    stalled += kBlockedPollUs;
+    if (start_us == 0) start_us = env_->NowMicros();
     MaybeScheduleMerge1();
+    runner_->Notify();
+    stall_tracker_.WaitForChange(kBlockedWaitUs);
   }
-  if (stalled > 0) {
+  if (start_us != 0) {
+    // Measured wall-clock stall, not accumulated sleep quanta.
+    uint64_t now = env_->NowMicros();
+    uint64_t stalled = now > start_us ? now - start_us : 1;
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
     stats_.write_stall_micros.fetch_add(stalled, std::memory_order_relaxed);
+    engine::AtomicFetchMax(stats_.max_stall_micros, stalled);
+    stall_tracker_.RecordStall(stalled);
   }
 }
 
@@ -847,7 +870,7 @@ bool BlsmTree::MergePauseWait(int which) {
     bool paused = (which == 1) ? scheduler_->PauseMerge1(state)
                                : scheduler_->PauseMerge2(state);
     if (!paused) return true;
-    env_->SleepForMicroseconds(kMergePausePollUs);
+    env_->SleepForMicroseconds(kMergePausePollUs);  // lint:allow(write-path-sleep) merge-thread pacing between batches, not a writer stall
   }
   return false;
 }

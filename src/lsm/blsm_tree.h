@@ -9,6 +9,8 @@
 
 #include "buffer/block_cache.h"
 #include "engine/background_runner.h"
+#include "engine/io_rate_limiter.h"
+#include "engine/stall_tracker.h"
 #include "engine/write_batch.h"
 #include "engine/write_frontend.h"
 #include "io/env.h"
@@ -82,6 +84,12 @@ struct BlsmOptions {
   // External block cache to share across trees (else the tree makes its
   // own of block_cache_bytes).
   std::shared_ptr<BlockCache> shared_block_cache;
+
+  // Global merge-I/O arbiter shared across trees: when set, every byte the
+  // background merges write is charged to this token bucket under its job's
+  // IoPriority class, so all trees on one disk draw from one budget.
+  // Foreground I/O (WAL, user-facing manifest writes) is not metered.
+  std::shared_ptr<engine::IoRateLimiter> io_rate_limiter;
 };
 
 // Counters exposed for tests and the benchmark harness.
@@ -92,7 +100,11 @@ struct BlsmStats {
   std::atomic<uint64_t> deltas{0};
   std::atomic<uint64_t> insert_if_not_exists{0};
   std::atomic<uint64_t> bloom_skips{0};  // component probes avoided
+  // Stall accounting: completed stall events, their measured wall-clock
+  // total, and the longest single stall (the paper's robustness metric).
+  std::atomic<uint64_t> write_stalls{0};
   std::atomic<uint64_t> write_stall_micros{0};
+  std::atomic<uint64_t> max_stall_micros{0};
   std::atomic<uint64_t> merge1_passes{0};
   std::atomic<uint64_t> merge2_passes{0};
   std::atomic<uint64_t> merge1_bytes_out{0};
@@ -204,6 +216,9 @@ class BlsmTree {
   uint64_t OnDiskBytes() const EXCLUDES(mu_);
   uint64_t C0LiveBytes() const;
 
+  // Distribution of measured per-stall durations (microseconds).
+  Histogram StallHistogram() const { return stall_tracker_.HistogramSnapshot(); }
+
   Status BackgroundError() const;
 
  private:
@@ -307,6 +322,10 @@ class BlsmTree {
 
   BlsmOptions options_;
   std::string dir_;
+  // Wraps the user Env with the shared IoRateLimiter when one is
+  // configured. Declared before every component/view member so it outlives
+  // the Component destructors that unlink files through env_.
+  std::unique_ptr<Env> rate_limited_env_;
   Env* env_ = nullptr;
   std::shared_ptr<BlockCache> cache_;
   std::unique_ptr<MergeScheduler> scheduler_;
@@ -343,6 +362,10 @@ class BlsmTree {
   uint64_t manifest_build_version_ GUARDED_BY(mu_) = 0;
   util::Mutex manifest_io_mu_;
   uint64_t manifest_written_version_ GUARDED_BY(manifest_io_mu_) = 0;
+
+  // Stalled writers sleep here; PublishView signals it on every structural
+  // change.
+  engine::StallTracker stall_tracker_;
 
   BlsmStats stats_;
 

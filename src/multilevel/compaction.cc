@@ -202,6 +202,10 @@ Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
 }
 
 Status MultilevelTree::FlushMemtable(std::shared_ptr<MemTable> imm) {
+  // The compact job runs under kCompaction; narrow the tag so a shared
+  // IoRateLimiter serves memtable-flush writes at the highest priority —
+  // a starved flush stalls every writer on the tree.
+  engine::ScopedIoPriority io_tag(engine::IoPriority::kFlush);
   std::vector<std::unique_ptr<InternalIterator>> children;
   children.push_back(NewMemTableIterator(imm));
   MergingIterator merged(std::move(children));

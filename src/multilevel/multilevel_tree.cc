@@ -33,6 +33,13 @@ MultilevelTree::MultilevelTree(const MultilevelOptions& options,
                                std::string dir)
     : options_(options), dir_(std::move(dir)) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
+  if (options_.io_rate_limiter != nullptr) {
+    // All tree I/O goes through the limiter-aware decorator; only writes on
+    // IoPriority-tagged threads (the BackgroundRunner job) are metered.
+    rate_limited_env_ = std::make_unique<engine::RateLimitedEnv>(
+        env_, options_.io_rate_limiter);
+    env_ = rate_limited_env_.get();
+  }
   if (options_.shared_block_cache != nullptr) {
     cache_ = options_.shared_block_cache;
   } else if (options_.block_cache_bytes > 0) {
@@ -181,6 +188,9 @@ Status MultilevelTree::OpenImpl() {
     job.pending = [this] { return CompactionPending(); };
     job.run = [this] { return RunCompactionPass(); };
     job.retries = &stats_.compaction_retries;
+    // Level compactions run at the lowest I/O class; FlushMemtable narrows
+    // the tag to kFlush for the pass that directly unblocks writers.
+    job.io_priority = engine::IoPriority::kCompaction;
     runner_->AddJob(std::move(job));
     runner_->Start();
   }
@@ -238,6 +248,9 @@ void MultilevelTree::PublishView() {
   view->imm = pair->frozen;
   view->version = version_;
   view_.store(std::move(view));
+  // Every publication is a structural change that may have drained the L0
+  // pile or freed the memtable: wake any writer stalled on it.
+  stall_tracker_.NotifyChange();
 }
 
 Status MultilevelTree::BackgroundError() const {
@@ -256,10 +269,26 @@ uint64_t MultilevelTree::OnDiskBytes() const {
   return total;
 }
 
+uint64_t MultilevelTree::C0LiveBytes() const {
+  std::shared_ptr<MemTable> active, frozen;
+  frontend_->Memtables(&active, &frozen);
+  uint64_t total = active->LiveBytes();
+  if (frozen != nullptr) total += frozen->LiveBytes();
+  return total;
+}
+
 // --- writes --------------------------------------------------------------
 
 void MultilevelTree::MaybeStallWrites() {
-  uint64_t stalled = 0;
+  // Stalled writers wait on the stall CondVar, signaled by PublishView at
+  // every flush/compaction install and memtable swap, so the stall ends
+  // when the structure actually changes instead of at the next poll tick.
+  // Both waits keep a timeout: an error latched while we sleep is noticed
+  // within one interval — bounded stall escape, never a hang.
+  constexpr uint64_t kStopWaitUs = 5000;
+  constexpr uint64_t kSlowdownWaitUs = 1000;  // LevelDB's 1 ms write delay
+  uint64_t start_us = 0;
+  bool counted_stop = false;
   while (!runner_->shutting_down()) {
     // A latched background error means compaction will never drain the
     // backlog: escape the stall so the caller sees the error, not a hang.
@@ -276,21 +305,32 @@ void MultilevelTree::MaybeStallWrites() {
         mem_full_and_imm_busy) {
       // Hard stop: the L0 pile (or the frozen memtable) must drain first.
       // This is the unbounded write pause the paper measures in LevelDB.
-      stats_.stopped_writes.fetch_add(1, std::memory_order_relaxed);
+      if (start_us == 0) start_us = env_->NowMicros();
+      if (!counted_stop) {
+        counted_stop = true;  // one stop event per stall, not per wait tick
+        stats_.stopped_writes.fetch_add(1, std::memory_order_relaxed);
+      }
       runner_->Notify();
-      env_->SleepForMicroseconds(1000);
-      stalled += 1000;
+      stall_tracker_.WaitForChange(kStopWaitUs);
       continue;
     }
     if (static_cast<int>(l0_files) >= options_.l0_slowdown_trigger) {
+      // Slowdown: one bounded delay per write, cut short if compaction
+      // publishes progress meanwhile.
+      if (start_us == 0) start_us = env_->NowMicros();
       stats_.slowdown_writes.fetch_add(1, std::memory_order_relaxed);
-      env_->SleepForMicroseconds(1000);
-      stalled += 1000;
+      stall_tracker_.WaitForChange(kSlowdownWaitUs);
     }
     break;
   }
-  if (stalled > 0) {
+  if (start_us != 0) {
+    // Measured wall-clock stall, not accumulated sleep quanta.
+    uint64_t now = env_->NowMicros();
+    uint64_t stalled = now > start_us ? now - start_us : 1;
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
     stats_.write_stall_micros.fetch_add(stalled, std::memory_order_relaxed);
+    engine::AtomicFetchMax(stats_.max_stall_micros, stalled);
+    stall_tracker_.RecordStall(stalled);
   }
 }
 

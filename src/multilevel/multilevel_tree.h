@@ -9,6 +9,8 @@
 
 #include "buffer/block_cache.h"
 #include "engine/background_runner.h"
+#include "engine/io_rate_limiter.h"
+#include "engine/stall_tracker.h"
 #include "engine/write_batch.h"
 #include "engine/write_frontend.h"
 #include "io/env.h"
@@ -67,12 +69,23 @@ struct MultilevelOptions {
   // no orphan scavenging, no log restart, no background thread; writes
   // fail NotSupported.
   bool read_only = false;
+
+  // Global merge-I/O arbiter shared across trees (and with bLSM trees):
+  // when set, flush and compaction writes are charged to this token bucket
+  // under their job's IoPriority class. Foreground I/O is not metered.
+  std::shared_ptr<engine::IoRateLimiter> io_rate_limiter;
 };
 
 struct MultilevelStats {
   std::atomic<uint64_t> puts{0};
   std::atomic<uint64_t> gets{0};
+  // Stall accounting: completed stall events, their measured wall-clock
+  // total, and the longest single stall. slowdown_writes counts writes that
+  // took the L0 slowdown delay; stopped_writes counts hard-stop stall
+  // events (L0 at the stop trigger or memtable full behind a busy flush).
+  std::atomic<uint64_t> write_stalls{0};
   std::atomic<uint64_t> write_stall_micros{0};
+  std::atomic<uint64_t> max_stall_micros{0};
   std::atomic<uint64_t> slowdown_writes{0};
   std::atomic<uint64_t> stopped_writes{0};
   std::atomic<uint64_t> memtable_flushes{0};
@@ -141,6 +154,12 @@ class MultilevelTree {
   Status BackgroundError() const;
   int NumFilesAtLevel(int level) const EXCLUDES(mu_);
   uint64_t OnDiskBytes() const EXCLUDES(mu_);
+  // Live bytes buffered in the memtable pair (the engine's "C0" for
+  // cross-engine fill reporting).
+  uint64_t C0LiveBytes() const;
+
+  // Distribution of measured per-stall durations (microseconds).
+  Histogram StallHistogram() const { return stall_tracker_.HistogramSnapshot(); }
 
   // WAL group-commit counters (wal.* in kv::Engine::Stats()).
   LogicalLog::Counters WalCounters() const {
@@ -199,6 +218,10 @@ class MultilevelTree {
 
   MultilevelOptions options_;
   std::string dir_;
+  // Wraps the user Env with the shared IoRateLimiter when one is
+  // configured. Declared before every file-owning member so it outlives the
+  // FileMeta destructors that unlink runs through env_.
+  std::unique_ptr<Env> rate_limited_env_;
   Env* env_ = nullptr;
   std::shared_ptr<BlockCache> cache_;
   std::shared_ptr<const MergeOperator> merge_op_;
@@ -219,6 +242,10 @@ class MultilevelTree {
   uint64_t manifest_build_version_ GUARDED_BY(mu_) = 0;
   util::Mutex manifest_io_mu_;
   uint64_t manifest_written_version_ GUARDED_BY(manifest_io_mu_) = 0;
+
+  // Stalled writers sleep here; PublishView signals it on every structural
+  // change.
+  engine::StallTracker stall_tracker_;
 
   MultilevelStats stats_;
 };

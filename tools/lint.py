@@ -22,6 +22,15 @@ Rules (see docs/static_analysis.md):
                 pin the published ReadView with one atomic load; a mutex on
                 that path is the serialization the ReadView design removed.
 
+  write-path-sleep  SleepForMicroseconds / sleep_for in the write-path
+                files (src/engine/write_frontend.*, src/lsm/blsm_tree.*,
+                src/multilevel/multilevel_tree.*). Stalled writers wait on
+                the StallTracker CondVar, signaled on structural change;
+                a bare sleep there is the unbounded-latency poll loop this
+                repo's backpressure design replaced. The spring's
+                proportional one-shot delay is the sanctioned exception
+                (annotated with lint:allow at the call site).
+
 A line may opt out with a justification:  // lint:allow(<rule>) <reason>
 The reason is mandatory; a bare allow is itself an error.
 
@@ -52,6 +61,12 @@ ENGINE_INTERNAL_INCLUDE = re.compile(
 # method definition closes.
 METHOD_DEF = re.compile(r"^[\w:<>,&*~\s]+\b[\w<>]+::(?P<method>~?\w+)\s*\(")
 READ_PATH_LOCK = re.compile(r"\butil::(MutexLock|ReaderLock)\b")
+WRITE_PATH_SLEEP = re.compile(r"\b(SleepForMicroseconds|sleep_for)\s*\(")
+WRITE_PATH_FILES = (
+    "src/engine/write_frontend.",
+    "src/lsm/blsm_tree.",
+    "src/multilevel/multilevel_tree.",
+)
 ALLOW = re.compile(r"//\s*lint:allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
 
 
@@ -73,6 +88,7 @@ def lint_file(path: Path, violations) -> None:
     rel_str = str(rel)
     in_util = rel_str.startswith("src/util/")
     in_bench_cc = rel_str.startswith("bench/") and path.suffix != ".h"
+    in_write_path = rel_str.startswith(WRITE_PATH_FILES)
     in_read_path_dir = rel_str.startswith(("src/lsm/", "src/multilevel/"))
     in_get_fn = False
     try:
@@ -101,6 +117,14 @@ def lint_file(path: Path, violations) -> None:
                     (rel_str, lineno, "bench-include",
                      "bench sources reach engines via bench/harness.h, "
                      "not engine-internal headers")
+                )
+        if in_write_path and WRITE_PATH_SLEEP.search(code):
+            if not allowed(line, "write-path-sleep", violations, rel_str,
+                           lineno):
+                violations.append(
+                    (rel_str, lineno, "write-path-sleep",
+                     "bare sleep in a write-path file; stalls wait on the "
+                     "StallTracker CondVar (bounded, signaled on change)")
                 )
         if in_read_path_dir:
             m = METHOD_DEF.match(code)

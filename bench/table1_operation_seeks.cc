@@ -90,8 +90,13 @@ int main() {
   // At the paper's 50 GB scale every level's probe misses cache. To emulate
   // that at 40 MB, let the L0 pile grow past the block cache instead of
   // being compacted away immediately (the read-amplification structure is
-  // what Table 1 prices, not the compaction cadence).
+  // what Table 1 prices, not the compaction cadence). The slowdown/stop
+  // triggers move up with it: Open enforces trigger <= slowdown <= stop,
+  // and stalling the loader below the compaction trigger would defeat the
+  // point of letting the pile grow.
   ml_opts.l0_compaction_trigger = 10;
+  ml_opts.l0_slowdown_trigger = 14;
+  ml_opts.l0_stop_trigger = 20;
   std::unique_ptr<multilevel::MultilevelTree> ml;
   if (!multilevel::MultilevelTree::Open(ml_opts, ws.Path("ml"), &ml).ok()) {
     return 1;

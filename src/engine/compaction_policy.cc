@@ -1,0 +1,281 @@
+#include "engine/compaction_policy.h"
+
+#include <cstdlib>
+
+namespace blsm::engine {
+
+int CompactionInputs::LastLevelWithData() const {
+  for (int l = num_levels() - 1; l >= 0; l--) {
+    if (!levels[l].runs.empty()) return l;
+  }
+  return 0;
+}
+
+namespace {
+
+std::vector<uint64_t> AllRunNumbers(const CompactionLevel& level) {
+  std::vector<uint64_t> numbers;
+  numbers.reserve(level.runs.size());
+  for (const auto& r : level.runs) numbers.push_back(r.number);
+  return numbers;
+}
+
+// The size-over-target trigger shared by leveling and lazy-leveling's last
+// level: the most over-target candidate wins, earliest level on a tie —
+// exactly the pre-refactor MultilevelTree::PickCompaction loop.
+int MostOverTarget(const CompactionInputs& in, int first, int last) {
+  double best_score = 1.0;
+  int best_level = -1;
+  for (int l = first; l <= last; l++) {
+    double score = static_cast<double>(in.levels[l].TotalBytes()) /
+                   static_cast<double>(in.levels[l].target_bytes);
+    if (score > best_score) {
+      best_score = score;
+      best_level = l;
+    }
+  }
+  return best_level;
+}
+
+// The leveling granularity axis: whole level, or LevelDB's round-robin
+// partition scheduler (first run past the cursor, wrapping to the front).
+CompactionPick LeveledPick(const CompactionInputs& in, int level,
+                           CompactionGranularity granularity) {
+  CompactionPick pick;
+  pick.level = level;
+  pick.output_level = level + 1;
+  pick.pull_overlap = true;
+  const CompactionLevel& lvl = in.levels[level];
+  if (level == 0 || granularity == CompactionGranularity::kWholeLevel) {
+    // L0 runs overlap arbitrarily: a leveled merge must take them all.
+    pick.input_runs = AllRunNumbers(lvl);
+    return pick;
+  }
+  const CompactionRun* chosen = nullptr;
+  for (const auto& r : lvl.runs) {
+    if (Slice(r.smallest).compare(in.cursors[level]) > 0) {
+      chosen = &r;
+      break;
+    }
+  }
+  if (chosen == nullptr) chosen = &lvl.runs.front();  // wrap around
+  pick.input_runs.push_back(chosen->number);
+  pick.advance_cursor = true;
+  pick.next_cursor = chosen->smallest;
+  return pick;
+}
+
+// Tiering data movement: every run of `level` merges into one fresh run
+// stacked newest-first on the output level, whose own runs are untouched.
+CompactionPick TieredPick(const CompactionInputs& in, int level,
+                          int output_level) {
+  CompactionPick pick;
+  pick.level = level;
+  pick.output_level = output_level;
+  pick.output_overlapping = true;
+  pick.input_runs = AllRunNumbers(in.levels[level]);
+  return pick;
+}
+
+class LevelingPolicy final : public CompactionPolicy {
+ public:
+  explicit LevelingPolicy(const CompactionConfig& config) : config_(config) {}
+
+  std::string Name() const override { return CompactionConfigName(config_); }
+  CompactionLayout Layout() const override {
+    return CompactionLayout::kLeveling;
+  }
+
+  std::optional<CompactionPick> Pick(
+      const CompactionInputs& in) const override {
+    if (static_cast<int>(in.levels[0].runs.size()) >= in.l0_trigger) {
+      return LeveledPick(in, 0, config_.granularity);
+    }
+    // The last level has nowhere to push; it is never an input.
+    int level = MostOverTarget(in, 1, in.num_levels() - 2);
+    if (level < 0) return std::nullopt;
+    return LeveledPick(in, level, config_.granularity);
+  }
+
+ private:
+  CompactionConfig config_;
+};
+
+class TieringPolicy final : public CompactionPolicy {
+ public:
+  explicit TieringPolicy(const CompactionConfig& config) : config_(config) {}
+
+  std::string Name() const override { return CompactionConfigName(config_); }
+  CompactionLayout Layout() const override {
+    return CompactionLayout::kTiering;
+  }
+
+  std::optional<CompactionPick> Pick(
+      const CompactionInputs& in) const override {
+    if (static_cast<int>(in.levels[0].runs.size()) >= in.l0_trigger) {
+      return TieredPick(in, 0, 1);
+    }
+    for (int l = 1; l < in.num_levels() - 1; l++) {
+      if (static_cast<int>(in.levels[l].runs.size()) >= in.tier_runs) {
+        return TieredPick(in, l, l + 1);
+      }
+    }
+    // The deepest level cannot spill; collapse its pile into a single run
+    // in place once it fills.
+    int last = in.num_levels() - 1;
+    if (static_cast<int>(in.levels[last].runs.size()) >= in.tier_runs) {
+      return TieredPick(in, last, last);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  CompactionConfig config_;
+};
+
+// Lazy-leveling (Dostoevsky, Dayan & Idreos 2018, via the Sarkar design
+// space): tiered upper levels absorb write traffic with one rewrite per
+// level, while the last data-bearing level stays a single sorted run so
+// point reads and scans pay leveling's read amplification where most of the
+// data lives.
+class LazyLevelingPolicy final : public CompactionPolicy {
+ public:
+  explicit LazyLevelingPolicy(const CompactionConfig& config)
+      : config_(config) {}
+
+  std::string Name() const override { return CompactionConfigName(config_); }
+  CompactionLayout Layout() const override {
+    return CompactionLayout::kLazyLeveling;
+  }
+
+  std::optional<CompactionPick> Pick(
+      const CompactionInputs& in) const override {
+    // The leveled frontier: the deepest level with data (at least 1, so an
+    // empty tree still levels its first spill).
+    int last = in.LastLevelWithData();
+    if (last < 1) last = 1;
+
+    auto push = [&](int level) -> CompactionPick {
+      // A spill into the leveled last level merges; anything shallower
+      // stacks tiered.
+      if (level + 1 >= last) {
+        return LeveledPick(in, level, CompactionGranularity::kWholeLevel);
+      }
+      return TieredPick(in, level, level + 1);
+    };
+
+    if (static_cast<int>(in.levels[0].runs.size()) >= in.l0_trigger) {
+      return push(0);
+    }
+    for (int l = 1; l < in.num_levels() - 1; l++) {
+      if (l == last) continue;  // the leveled level grows by bytes, below
+      if (static_cast<int>(in.levels[l].runs.size()) >= in.tier_runs) {
+        return push(l);
+      }
+    }
+    // The last level outgrew its target: push the whole sorted run down,
+    // moving the leveled frontier one deeper.
+    if (last < in.num_levels() - 1 && !in.levels[last].runs.empty() &&
+        in.levels[last].TotalBytes() > in.levels[last].target_bytes) {
+      return LeveledPick(in, last, CompactionGranularity::kWholeLevel);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  CompactionConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<CompactionPolicy> MakeCompactionPolicy(
+    const CompactionConfig& config) {
+  CompactionConfig effective = config;
+  if (effective.tier_runs <= 0) effective.tier_runs = kDefaultTierRuns;
+  switch (effective.layout) {
+    case CompactionLayout::kLeveling:
+      return std::make_unique<LevelingPolicy>(effective);
+    case CompactionLayout::kTiering:
+      return std::make_unique<TieringPolicy>(effective);
+    case CompactionLayout::kLazyLeveling:
+      return std::make_unique<LazyLevelingPolicy>(effective);
+  }
+  return std::make_unique<LevelingPolicy>(effective);
+}
+
+Status ParseCompactionConfig(const std::string& spec, CompactionConfig* out) {
+  CompactionConfig config;
+  std::string body = spec;
+  // Optional "@<N>" tier-fill suffix, e.g. "tiering@8".
+  size_t at = body.find('@');
+  if (at == 0) {
+    return Status::InvalidArgument("compaction spec '" + spec +
+                                   "' names no layout before '@'");
+  }
+  if (at != std::string::npos) {
+    char* end = nullptr;
+    long runs = strtol(body.c_str() + at + 1, &end, 10);
+    if (end == body.c_str() + at + 1 || *end != '\0' || runs < 2 ||
+        runs > 64) {
+      return Status::InvalidArgument("bad tier_runs in compaction spec '" +
+                                     spec + "' (want 2..64)");
+    }
+    config.tier_runs = static_cast<int>(runs);
+    body = body.substr(0, at);
+  }
+  if (body.empty() || body == "leveling") {
+    config.layout = CompactionLayout::kLeveling;
+    config.granularity = CompactionGranularity::kPartitioned;
+  } else if (body == "leveling-whole") {
+    config.layout = CompactionLayout::kLeveling;
+    config.granularity = CompactionGranularity::kWholeLevel;
+  } else if (body == "tiering") {
+    config.layout = CompactionLayout::kTiering;
+    config.granularity = CompactionGranularity::kWholeLevel;
+  } else if (body == "lazy-leveling") {
+    config.layout = CompactionLayout::kLazyLeveling;
+    config.granularity = CompactionGranularity::kWholeLevel;
+  } else {
+    return Status::InvalidArgument(
+        "unknown compaction policy '" + spec +
+        "' (want leveling | leveling-whole | tiering | lazy-leveling, "
+        "optionally @<tier_runs>)");
+  }
+  *out = config;
+  return Status::OK();
+}
+
+std::string CompactionConfigName(const CompactionConfig& config) {
+  std::string name;
+  switch (config.layout) {
+    case CompactionLayout::kLeveling:
+      name = config.granularity == CompactionGranularity::kWholeLevel
+                 ? "leveling-whole"
+                 : "leveling";
+      break;
+    case CompactionLayout::kTiering:
+      name = "tiering";
+      break;
+    case CompactionLayout::kLazyLeveling:
+      name = "lazy-leveling";
+      break;
+  }
+  if (config.tier_runs > 0 && config.tier_runs != kDefaultTierRuns) {
+    name += "@" + std::to_string(config.tier_runs);
+  }
+  return name;
+}
+
+const char* CompactionLayoutName(CompactionLayout layout) {
+  switch (layout) {
+    case CompactionLayout::kLeveling:
+      return "leveling";
+    case CompactionLayout::kTiering:
+      return "tiering";
+    case CompactionLayout::kLazyLeveling:
+      return "lazy-leveling";
+  }
+  return "?";
+}
+
+}  // namespace blsm::engine

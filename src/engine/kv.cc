@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "btree/btree.h"
+#include "engine/compaction_policy.h"
 #include "lsm/blsm_tree.h"
 #include "multilevel/multilevel_tree.h"
 #include "util/mutex.h"
@@ -149,7 +150,7 @@ class MultilevelEngine : public Engine {
   std::map<std::string, uint64_t> Stats() const override {
     const multilevel::MultilevelStats& s = tree_->stats();
     const LogicalLog::Counters wal = tree_->WalCounters();
-    return {
+    std::map<std::string, uint64_t> stats = {
         {"puts", s.puts.load()},
         {"gets", s.gets.load()},
         {"write.stalls", s.write_stalls.load()},
@@ -162,8 +163,12 @@ class MultilevelEngine : public Engine {
         {"compactions", s.compactions.load()},
         {"compaction_bytes", s.compaction_bytes.load()},
         {"compaction_retries", s.compaction_retries.load()},
+        // Which point of the compaction design space this tree runs (the
+        // engine::CompactionLayout value; the spec string is
+        // tree->CompactionPolicyName()).
+        {"compaction.policy",
+         static_cast<uint64_t>(tree_->CompactionPolicyLayout())},
         {"orphans_scavenged", s.orphans_scavenged.load()},
-        {"files_l0", static_cast<uint64_t>(tree_->NumFilesAtLevel(0))},
         {"on_disk_bytes", tree_->OnDiskBytes()},
         {"wal.records", wal.records},
         {"wal.batches", wal.batches},
@@ -174,10 +179,21 @@ class MultilevelEngine : public Engine {
         {"block_cache.misses", tree_->CacheMisses()},
         {"read.views_pinned", s.views_pinned.load()},
         {"read.multiget_batches", s.multiget_batches.load()},
+        {"read.run_probes", s.read_run_probes.load()},
         // No cross-key block coalescing in the multilevel read path; the
         // key is reported for cross-engine symmetry.
         {"read.blocks_coalesced", 0},
     };
+    // Per-level shape and write-amplification bytes (flushes land in l0).
+    for (int l = 0; l < multilevel::kNumLevels; l++) {
+      std::string suffix = "_l" + std::to_string(l);
+      stats["files" + suffix] =
+          static_cast<uint64_t>(tree_->NumFilesAtLevel(l));
+      stats["level_bytes" + suffix] = tree_->BytesAtLevel(l);
+      stats["compaction.write_bytes" + suffix] =
+          s.level_write_bytes[l].load();
+    }
+    return stats;
   }
 
  private:
@@ -283,6 +299,10 @@ class BTreeEngine : public Engine {
 
 Status OpenBlsm(const CommonOptions& common, const std::string& dir,
                 std::unique_ptr<Engine>* out) {
+  if (!common.compaction_policy.empty()) {
+    return Status::InvalidArgument(
+        "compaction_policy applies only to the multilevel engine");
+  }
   BlsmOptions o;
   o.env = common.env;
   o.c0_target_bytes = common.write_buffer_bytes;
@@ -311,6 +331,9 @@ Status OpenMultilevel(const CommonOptions& common, const std::string& dir,
   o.merge_operator = common.merge_operator;
   o.read_only = common.read_only;
   o.io_rate_limiter = common.io_rate_limiter;
+  Status ps =
+      engine::ParseCompactionConfig(common.compaction_policy, &o.compaction);
+  if (!ps.ok()) return ps;
   std::unique_ptr<multilevel::MultilevelTree> tree;
   Status s = multilevel::MultilevelTree::Open(o, dir, &tree);
   if (!s.ok()) return s;
@@ -321,6 +344,10 @@ Status OpenMultilevel(const CommonOptions& common, const std::string& dir,
 
 Status OpenBTree(const CommonOptions& common, const std::string& dir,
                  std::unique_ptr<Engine>* out) {
+  if (!common.compaction_policy.empty()) {
+    return Status::InvalidArgument(
+        "compaction_policy applies only to the multilevel engine");
+  }
   Env* env = common.env != nullptr ? common.env : Env::Default();
   std::string fname = dir + "/btree.db";
   if (common.read_only) {
@@ -373,17 +400,38 @@ void RegisterEngine(const std::string& name, EngineFactory factory) {
 
 Status Open(const std::string& name, const CommonOptions& options,
             const std::string& dir, std::unique_ptr<Engine>* out) {
+  // "name:variant" selects an engine variant inline — today that is the
+  // multilevel compaction policy, e.g. "multilevel:tiering". An exact
+  // registry match wins, so registered names containing ':' keep working.
+  std::string base = name;
+  CommonOptions effective = options;
   EngineFactory factory;
   {
     Registry& r = GetRegistry();
     util::MutexLock l(&r.mu);
     auto it = r.factories.find(name);
     if (it == r.factories.end()) {
-      return Status::NotFound("no engine registered as '" + name + "'");
+      size_t colon = name.find(':');
+      if (colon != std::string::npos) {
+        base = name.substr(0, colon);
+        std::string variant = name.substr(colon + 1);
+        if (!effective.compaction_policy.empty() &&
+            effective.compaction_policy != variant) {
+          return Status::InvalidArgument(
+              "engine name variant '" + variant +
+              "' conflicts with options.compaction_policy '" +
+              effective.compaction_policy + "'");
+        }
+        effective.compaction_policy = variant;
+        it = r.factories.find(base);
+      }
+      if (it == r.factories.end()) {
+        return Status::NotFound("no engine registered as '" + base + "'");
+      }
     }
     factory = it->second;
   }
-  return factory(options, dir, out);
+  return factory(effective, dir, out);
 }
 
 std::vector<std::string> EngineNames() {

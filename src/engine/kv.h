@@ -47,6 +47,12 @@ struct CommonOptions {
   // Pass the same limiter to several engines to cap their combined
   // background write rate. Ignored by the B-tree (no background I/O).
   std::shared_ptr<engine::IoRateLimiter> io_rate_limiter;
+  // Compaction-policy spec for the multilevel engine ("leveling",
+  // "leveling-whole", "tiering", "lazy-leveling", optional "@<tier_runs>";
+  // see engine::ParseCompactionConfig). Empty selects the default leveling
+  // partition scheduler. Other engines reject a non-empty spec with
+  // InvalidArgument. kv::Open also accepts it inline as "multilevel:<spec>".
+  std::string compaction_policy;
 };
 
 // The unified engine interface: one API over bLSM, the multilevel LevelDB

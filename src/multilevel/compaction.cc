@@ -1,11 +1,13 @@
 // Background work for the multilevel (LevelDB stand-in) tree: memtable
-// flushes into L0 runs, and the partition compaction scheduler — pick the
-// most over-target level, compact ONE file (plus its overlap in the next
-// level) at a time. This is the "partition scheduler" the paper contrasts
-// with its level schedulers (§3.2, §4): merges proceed in small units, but
-// nothing paces the application against merge backlog except the L0
-// slowdown/stop triggers, so saturating writers see throughput collapses and
-// pauses (Figure 7 right).
+// flushes into L0 runs, plus execution of whatever the configured
+// engine::CompactionPolicy picks. Every *decision* — trigger, data layout,
+// granularity, data movement — lives in the policy layer
+// (engine/compaction_policy.h); this file only snapshots the tree state into
+// CompactionInputs and executes the returned pick. Under the default
+// leveling policy this reproduces the paper's "partition scheduler" (§3.2,
+// §4) bit for bit: merges proceed in small units, but nothing paces the
+// application against merge backlog except the L0 slowdown/stop triggers, so
+// saturating writers see throughput collapses and pauses (Figure 7 right).
 
 #include <algorithm>
 #include <chrono>
@@ -14,14 +16,10 @@
 #include "lsm/merge_iterator.h"
 #include "multilevel/multilevel_tree.h"
 #include "sstree/tree_builder.h"
-#include "util/coding.h"
-#include "util/crc32c.h"
 
 namespace blsm::multilevel {
 
 namespace {
-
-constexpr uint32_t kManifestMagic = 0x1e5e1dbau;
 
 std::string TreeFileName(const std::string& dir, uint64_t number) {
   char buf[32];
@@ -37,30 +35,30 @@ bool BySmallest(const FileMetaPtr& a, const FileMetaPtr& b) {
   return Slice(a->smallest) < Slice(b->smallest);
 }
 
+// Tiered outputs are written as one run regardless of size (run == file,
+// stacked newest first like L0); the same cap keeps a memtable flush to one
+// L0 run.
+constexpr size_t kSingleRunCap = ~size_t{0} >> 1;
+
 }  // namespace
 
 std::string MultilevelTree::BuildManifestLocked(uint64_t* version) {
-  std::string body;
-  PutFixed32(&body, kManifestMagic);
-  PutVarint64(&body, next_file_number_);
-  PutVarint64(&body, frontend_->LastSequence());
-  uint32_t count = 0;
+  ManifestData data;
+  data.next_file_number = next_file_number_;
+  data.last_sequence = frontend_->LastSequence();
+  data.layout = static_cast<uint8_t>(options_.compaction.layout);
+  data.granularity = static_cast<uint8_t>(options_.compaction.granularity);
+  data.tier_runs = options_.compaction.tier_runs;
+  data.overlapping_mask = 0;
   for (int l = 0; l < kNumLevels; l++) {
-    count += static_cast<uint32_t>(version_->levels[l].size());
-  }
-  PutVarint32(&body, count);
-  for (int l = 0; l < kNumLevels; l++) {
+    if (version_->overlapping[l]) data.overlapping_mask |= (1u << l);
     for (const auto& f : version_->levels[l]) {
-      body.push_back(static_cast<char>(l));
-      PutVarint64(&body, f->number);
-      PutLengthPrefixedSlice(&body, f->smallest);
-      PutLengthPrefixedSlice(&body, f->largest);
-      PutVarint64(&body, f->data_bytes);
+      data.files.push_back({l, f->number, f->smallest, f->largest,
+                            f->data_bytes});
     }
   }
-  PutFixed32(&body, crc32c::Mask(crc32c::Value(body.data(), body.size())));
   *version = ++manifest_build_version_;
-  return body;
+  return EncodeManifest(data);
 }
 
 Status MultilevelTree::SaveManifest(const std::string& body,
@@ -75,53 +73,54 @@ Status MultilevelTree::SaveManifest(const std::string& body,
   return s;
 }
 
-// The "compact" job's pending() predicate: a frozen memtable to flush, or a
-// level over target.
-bool MultilevelTree::CompactionPending() {
-  if (frontend_->HasFrozen()) return true;
-  int level;
-  util::MutexLock l(&mu_);
-  return PickCompaction(&level);
+// Snapshot everything a pick depends on. The policy never sees the version
+// directly; this is the one sanctioned crossing from tree state to the pure
+// decision layer.
+engine::CompactionInputs MultilevelTree::BuildCompactionInputsLocked() const {
+  engine::CompactionInputs in;
+  in.levels.resize(kNumLevels);
+  in.cursors.assign(compact_cursor_, compact_cursor_ + kNumLevels);
+  in.l0_trigger = options_.l0_compaction_trigger;
+  in.tier_runs = options_.compaction.tier_runs > 0
+                     ? options_.compaction.tier_runs
+                     : engine::kDefaultTierRuns;
+  for (int l = 0; l < kNumLevels; l++) {
+    engine::CompactionLevel& lvl = in.levels[l];
+    lvl.target_bytes = std::max<uint64_t>(1, LevelTargetBytes(l));
+    lvl.overlapping = version_->overlapping[l];
+    lvl.runs.reserve(version_->levels[l].size());
+    for (const auto& f : version_->levels[l]) {
+      lvl.runs.push_back({f->number, f->data_bytes, f->smallest, f->largest});
+    }
+  }
+  return in;
 }
 
-// One background pass: a frozen memtable wins over a level compaction
-// (LevelDB's priority). Retry/backoff and error latching live in the runner.
+// The "compact" job's pending() predicate: a frozen memtable to flush, or a
+// policy pick over trigger.
+bool MultilevelTree::CompactionPending() {
+  if (frontend_->HasFrozen()) return true;
+  util::MutexLock l(&mu_);
+  return policy_->Pick(BuildCompactionInputsLocked()).has_value();
+}
+
+// One background pass: a frozen memtable wins over a compaction (LevelDB's
+// priority). Retry/backoff and error latching live in the runner.
 Status MultilevelTree::RunCompactionPass() {
   std::shared_ptr<MemTable> imm = frontend_->FrozenMemtable();
   if (imm != nullptr) return FlushMemtable(std::move(imm));
-  int level = -1;
+  std::optional<engine::CompactionPick> pick;
   {
     util::MutexLock l(&mu_);
-    if (!PickCompaction(&level)) return Status::OK();
+    pick = policy_->Pick(BuildCompactionInputsLocked());
   }
-  return CompactLevel(level);
-}
-
-// The partition scheduler's pick: L0 by file count, deeper levels by
-// size-over-target score. REQUIRES(mu_) — see the declaration.
-bool MultilevelTree::PickCompaction(int* level) {
-  if (static_cast<int>(version_->levels[0].size()) >=
-      options_.l0_compaction_trigger) {
-    *level = 0;
-    return true;
-  }
-  double best_score = 1.0;
-  int best_level = -1;
-  for (int l = 1; l < kNumLevels - 1; l++) {
-    double score = static_cast<double>(version_->LevelBytes(l)) /
-                   static_cast<double>(LevelTargetBytes(l));
-    if (score > best_score) {
-      best_score = score;
-      best_level = l;
-    }
-  }
-  if (best_level < 0) return false;
-  *level = best_level;
-  return true;
+  if (!pick.has_value()) return Status::OK();
+  return ExecutePick(*pick);
 }
 
 Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
                                         int output_level, bool bottom,
+                                        size_t file_bytes_cap,
                                         std::vector<FileMetaPtr>* outputs) {
   outputs->clear();
   std::unique_ptr<sstree::TreeBuilder> builder;
@@ -174,7 +173,7 @@ Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
     if (!s.ok()) break;
     if (first_key.empty()) first_key = group.user_key;
     last_key = group.user_key;
-    if (builder->file_size() >= options_.file_bytes) {
+    if (builder->file_size() >= file_bytes_cap) {
       s = close_builder();
       if (!s.ok()) break;
     }
@@ -197,7 +196,11 @@ Status MultilevelTree::WriteOutputFiles(InternalIterator* input,
     outputs->clear();
   }
   stats_.compaction_bytes.fetch_add(consumed, std::memory_order_relaxed);
-  (void)output_level;
+  // Per-level write amplification: charge the bytes that actually landed.
+  uint64_t written = 0;
+  for (const auto& meta : *outputs) written += meta->data_bytes;
+  stats_.level_write_bytes[output_level].fetch_add(written,
+                                                   std::memory_order_relaxed);
   return s;
 }
 
@@ -211,14 +214,10 @@ Status MultilevelTree::FlushMemtable(std::shared_ptr<MemTable> imm) {
   MergingIterator merged(std::move(children));
   merged.SeekToFirst();
 
+  // L0 runs are whole memtable dumps: one run per flush.
   std::vector<FileMetaPtr> outputs;
-  // L0 runs are whole memtable dumps: use a file size cap large enough to
-  // keep one run per flush.
-  size_t saved = options_.file_bytes;
-  options_.file_bytes = ~size_t{0} >> 1;
   Status s = WriteOutputFiles(&merged, /*output_level=*/0, /*bottom=*/false,
-                              &outputs);
-  options_.file_bytes = saved;
+                              kSingleRunCap, &outputs);
   if (!s.ok()) return s;
 
   std::string manifest;
@@ -246,31 +245,30 @@ Status MultilevelTree::FlushMemtable(std::shared_ptr<MemTable> imm) {
   return frontend_->TruncateToActive(/*consume=*/false);
 }
 
-Status MultilevelTree::CompactLevel(int level) {
-  // Select inputs under the lock.
+Status MultilevelTree::ExecutePick(const engine::CompactionPick& pick) {
+  // Resolve the pick's run numbers against the live version and select the
+  // overlap set under the lock. Only this single background job mutates the
+  // version, so the snapshot the policy saw is still current; a run that
+  // vanished anyway just makes the pick a no-op for the runner to retry.
   std::vector<FileMetaPtr> inputs_this, inputs_next;
+  std::vector<uint64_t> exclude = pick.input_runs;
   bool bottom;
   {
     util::MutexLock l(&mu_);
-    if (level == 0) {
-      // L0 runs overlap arbitrarily: take them all.
-      inputs_this = version_->levels[0];
-      if (inputs_this.empty()) return Status::OK();
-    } else {
-      if (version_->levels[level].empty()) return Status::OK();
-      // Partition scheduler: round-robin one file per compaction.
-      const auto& files = version_->levels[level];
-      FileMetaPtr pick;
+    const auto& files = version_->levels[pick.level];
+    for (uint64_t number : pick.input_runs) {
       for (const auto& f : files) {
-        if (Slice(f->smallest).compare(compact_cursor_[level]) > 0) {
-          pick = f;
+        if (f->number == number) {
+          inputs_this.push_back(f);
           break;
         }
       }
-      if (pick == nullptr) pick = files[0];  // wrap around
-      compact_cursor_[level] = pick->smallest;
-      inputs_this.push_back(pick);
     }
+    if (inputs_this.empty() ||
+        inputs_this.size() != pick.input_runs.size()) {
+      return Status::OK();  // stale pick; the next pass re-picks
+    }
+    if (pick.advance_cursor) compact_cursor_[pick.level] = pick.next_cursor;
     // Key range of the inputs.
     std::string begin = inputs_this[0]->smallest;
     std::string end = inputs_this[0]->largest;
@@ -278,8 +276,18 @@ Status MultilevelTree::CompactLevel(int level) {
       if (Slice(f->smallest) < Slice(begin)) begin = f->smallest;
       if (Slice(end) < Slice(f->largest)) end = f->largest;
     }
-    inputs_next = version_->Overlapping(level + 1, begin, end);
-    bottom = version_->IsBottommost(level + 1, begin, end);
+    if (pick.pull_overlap) {
+      // Leveling data movement: the overlapping output-level runs merge too.
+      inputs_next = version_->Overlapping(pick.output_level, begin, end);
+      for (const auto& f : inputs_next) exclude.push_back(f->number);
+    }
+    // Tombstones may drop iff nothing outside this compaction's own inputs
+    // holds the range at or below the output level. For a leveled merge
+    // (all overlapping output runs are inputs) this reduces to the classic
+    // is-bottommost test; for a tiered stack the surviving output-level
+    // runs keep tombstones alive.
+    bottom = version_->IsBottommostExcluding(pick.output_level, begin, end,
+                                             exclude);
   }
 
   std::vector<std::unique_ptr<InternalIterator>> children;
@@ -295,7 +303,10 @@ Status MultilevelTree::CompactLevel(int level) {
   merged.SeekToFirst();
 
   std::vector<FileMetaPtr> outputs;
-  Status s = WriteOutputFiles(&merged, level + 1, bottom, &outputs);
+  Status s = WriteOutputFiles(
+      &merged, pick.output_level, bottom,
+      pick.output_overlapping ? kSingleRunCap : options_.file_bytes,
+      &outputs);
   if (!s.ok()) return s;
 
   std::string manifest;
@@ -304,21 +315,47 @@ Status MultilevelTree::CompactLevel(int level) {
     util::MutexLock l(&mu_);
     auto fresh = version_->Clone();
     auto remove = [&](int lvl, const std::vector<FileMetaPtr>& gone) {
-      auto& files = fresh->levels[lvl];
-      files.erase(std::remove_if(files.begin(), files.end(),
-                                 [&](const FileMetaPtr& f) {
-                                   for (const auto& g : gone) {
-                                     if (g->number == f->number) return true;
-                                   }
-                                   return false;
-                                 }),
-                  files.end());
+      auto& level_files = fresh->levels[lvl];
+      level_files.erase(
+          std::remove_if(level_files.begin(), level_files.end(),
+                         [&](const FileMetaPtr& f) {
+                           for (const auto& g : gone) {
+                             if (g->number == f->number) return true;
+                           }
+                           return false;
+                         }),
+          level_files.end());
     };
-    remove(level, inputs_this);
-    remove(level + 1, inputs_next);
-    auto& dest = fresh->levels[level + 1];
-    dest.insert(dest.end(), outputs.begin(), outputs.end());
-    std::sort(dest.begin(), dest.end(), BySmallest);
+    remove(pick.level, inputs_this);
+    if (pick.pull_overlap) remove(pick.output_level, inputs_next);
+    if (fresh->levels[pick.level].empty() && pick.level != 0) {
+      fresh->overlapping[pick.level] = false;  // empty is trivially sorted
+    }
+    auto& dest = fresh->levels[pick.output_level];
+    const bool survivors = !dest.empty();
+    // The output level's layout after install. Tiered movement stacks on
+    // survivors (overlapping); into an empty level the single fresh run is
+    // sorted. Leveled movement keeps a sorted level sorted; L0 is always
+    // overlapping.
+    bool dest_overlapping;
+    if (pick.output_level == 0) {
+      dest_overlapping = true;
+    } else if (pick.output_overlapping) {
+      dest_overlapping = survivors || outputs.size() > 1;
+    } else {
+      dest_overlapping = survivors && fresh->overlapping[pick.output_level];
+    }
+    if (dest_overlapping) {
+      // Newest first, like L0.
+      for (auto it = outputs.rbegin(); it != outputs.rend(); ++it) {
+        dest.insert(dest.begin(), *it);
+      }
+    } else {
+      dest.insert(dest.end(), outputs.begin(), outputs.end());
+      std::sort(dest.begin(), dest.end(), BySmallest);
+    }
+    fresh->overlapping[pick.output_level] =
+        dest.empty() ? pick.output_level == 0 : dest_overlapping;
     version_ = std::move(fresh);
     // The inputs' records all live in the outputs; views pinned before this
     // store keep the replaced files readable until their readers finish.
@@ -348,14 +385,13 @@ Status MultilevelTree::CompactAll() {
                        "exactly the state this freeze wanted");
     }
     runner_->Notify();
-    // Wait for the current backlog (frozen memtable + over-target levels)
-    // to drain, then re-check the active memtable: writes racing with this
-    // call may have refilled it.
+    // Wait for the current backlog (frozen memtable + policy picks over
+    // trigger) to drain, then re-check the active memtable: writes racing
+    // with this call may have refilled it.
     bg = runner_->WaitUntil([this] {
       if (frontend_->HasFrozen() || runner_->AnyRunning()) return false;
-      int level;
       util::MutexLock l(&mu_);
-      return !PickCompaction(&level);
+      return !policy_->Pick(BuildCompactionInputsLocked()).has_value();
     });
     if (!bg.ok()) return bg;
     if (frontend_->ActiveMemtable()->Empty()) return Status::OK();
@@ -368,9 +404,8 @@ void MultilevelTree::WaitForIdle() {
   // a faulted compactor never drains its backlog.
   runner_->WaitUntil([this] {
         if (frontend_->HasFrozen() || runner_->AnyRunning()) return false;
-        int level;
         util::MutexLock l(&mu_);
-        return !PickCompaction(&level);
+        return !policy_->Pick(BuildCompactionInputsLocked()).has_value();
       })
       .IgnoreError(
           "idle-wait cut short by shutdown or a latched error; callers "

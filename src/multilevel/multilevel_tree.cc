@@ -9,14 +9,10 @@
 
 #include "lsm/blsm_tree.h"  // ScanIterator
 #include "lsm/merge_iterator.h"
-#include "util/coding.h"
-#include "util/crc32c.h"
 
 namespace blsm::multilevel {
 
 namespace {
-
-constexpr uint32_t kManifestMagic = 0x1e5e1dbau;
 
 std::string TreeFileName(const std::string& dir, uint64_t number) {
   char buf[32];
@@ -26,6 +22,32 @@ std::string TreeFileName(const std::string& dir, uint64_t number) {
 
 std::string ManifestName(const std::string& dir) { return dir + "/CURRENT"; }
 std::string LogName(const std::string& dir) { return dir + "/wal.log"; }
+
+// Misconfigured trigger/geometry options fail Open outright instead of
+// producing a tree that stalls forever or divides by zero in the score.
+Status ValidateOptions(const MultilevelOptions& o) {
+  if (o.l0_compaction_trigger < 1) {
+    return Status::InvalidArgument("l0_compaction_trigger must be >= 1");
+  }
+  if (o.l0_compaction_trigger > o.l0_slowdown_trigger) {
+    return Status::InvalidArgument(
+        "l0_compaction_trigger must be <= l0_slowdown_trigger");
+  }
+  if (o.l0_slowdown_trigger > o.l0_stop_trigger) {
+    return Status::InvalidArgument(
+        "l0_slowdown_trigger must be <= l0_stop_trigger");
+  }
+  if (o.level_ratio < 2) {
+    return Status::InvalidArgument("level_ratio must be >= 2");
+  }
+  if (o.file_bytes == 0) {
+    return Status::InvalidArgument("file_bytes must be > 0");
+  }
+  if (o.base_level_bytes == 0) {
+    return Status::InvalidArgument("base_level_bytes must be > 0");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -63,63 +85,66 @@ Status MultilevelTree::Open(const MultilevelOptions& options,
 }
 
 Status MultilevelTree::OpenImpl() {
-  Status s;
+  Status s = ValidateOptions(options_);
+  if (!s.ok()) return s;
   if (!options_.read_only) {
     s = env_->CreateDir(dir_);
     if (!s.ok()) return s;
   }
   uint64_t manifest_last_seq = 0;
 
-  // Manifest: [magic][next_file][last_seq][count]
-  //           ([level u8][number][smallest][largest][data_bytes])* [crc]
   std::string data;
   s = ReadFileToString(env_, ManifestName(dir_), &data);
   if (s.ok()) {
+    ManifestData m;
+    s = DecodeManifest(data, &m);
+    if (!s.ok()) return s;
+    if (m.layout > static_cast<uint8_t>(engine::CompactionLayout::kLazyLeveling)) {
+      return Status::Corruption("manifest names an unknown compaction layout");
+    }
+    engine::CompactionConfig disk;
+    disk.layout = static_cast<engine::CompactionLayout>(m.layout);
+    disk.granularity = static_cast<engine::CompactionGranularity>(
+        m.granularity != 0 ? 1 : 0);
+    disk.tier_runs = m.tier_runs;
+    if (options_.read_only) {
+      // A read-only open must interpret the files under the layout that
+      // wrote them; adopt the manifest's config wholesale.
+      options_.compaction = disk;
+    } else if (disk.layout != options_.compaction.layout) {
+      return Status::InvalidArgument(
+          std::string("compaction layout mismatch: manifest records '") +
+          engine::CompactionLayoutName(disk.layout) + "' but options ask '" +
+          engine::CompactionLayoutName(options_.compaction.layout) +
+          "'; a sorted-level reader cannot probe tiered runs");
+    }
     // No background thread exists yet; the lock keeps the guarded-field
     // discipline uniform (and is uncontended at open time).
     util::MutexLock l(&mu_);
-    if (data.size() < 8) return Status::Corruption("manifest too short");
-    Slice body(data.data(), data.size() - 4);
-    uint32_t stored =
-        crc32c::Unmask(DecodeFixed32(data.data() + body.size()));
-    if (stored != crc32c::Value(body.data(), body.size())) {
-      return Status::Corruption("manifest checksum mismatch");
+    next_file_number_ = m.next_file_number;
+    manifest_last_seq = m.last_sequence;
+    for (int lvl = 0; lvl < kNumLevels; lvl++) {
+      version_->overlapping[lvl] = (m.overlapping_mask >> lvl) & 1;
     }
-    uint32_t magic, count;
-    uint64_t next_file, last_seq;
-    if (!GetFixed32(&body, &magic) || magic != kManifestMagic ||
-        !GetVarint64(&body, &next_file) || !GetVarint64(&body, &last_seq) ||
-        !GetVarint32(&body, &count)) {
-      return Status::Corruption("bad manifest header");
-    }
-    next_file_number_ = next_file;
-    manifest_last_seq = last_seq;
-    for (uint32_t i = 0; i < count; i++) {
-      if (body.empty()) return Status::Corruption("truncated manifest");
-      int level = static_cast<uint8_t>(body[0]);
-      body.remove_prefix(1);
-      uint64_t number, bytes;
-      Slice smallest, largest;
-      if (level >= kNumLevels || !GetVarint64(&body, &number) ||
-          !GetLengthPrefixedSlice(&body, &smallest) ||
-          !GetLengthPrefixedSlice(&body, &largest) ||
-          !GetVarint64(&body, &bytes)) {
-        return Status::Corruption("truncated manifest entry");
-      }
+    version_->overlapping[0] = true;
+    for (const ManifestFileEntry& entry : m.files) {
       FileMetaPtr meta;
-      s = NewFileMeta(number, &meta);
+      s = NewFileMeta(entry.number, &meta);
       if (!s.ok()) return s;
       if (options_.background.paranoid_checks) {
         s = meta->reader->VerifyAllBlocks();
         if (!s.ok()) return s;
       }
-      meta->smallest = smallest.ToString();
-      meta->largest = largest.ToString();
-      version_->levels[level].push_back(std::move(meta));
+      meta->smallest = entry.smallest;
+      meta->largest = entry.largest;
+      // In-level order is semantic (newest first on overlapping levels) and
+      // the manifest preserves it.
+      version_->levels[entry.level].push_back(std::move(meta));
     }
   } else if (!s.IsNotFound()) {
     return s;
   }
+  policy_ = engine::MakeCompactionPolicy(options_.compaction);
 
   // Delete unreferenced runs (in-flight compactions at crash time).
   VersionPtr loaded = CurrentVersion();
@@ -260,6 +285,11 @@ Status MultilevelTree::BackgroundError() const {
 int MultilevelTree::NumFilesAtLevel(int level) const {
   util::MutexLock l(&mu_);
   return static_cast<int>(version_->levels[level].size());
+}
+
+uint64_t MultilevelTree::BytesAtLevel(int level) const {
+  util::MutexLock l(&mu_);
+  return version_->LevelBytes(level);
 }
 
 uint64_t MultilevelTree::OnDiskBytes() const {
@@ -440,6 +470,7 @@ Status MultilevelTree::GetFromView(const Slice& key, const ReadView& view,
 
   auto search_file = [&](const FileMetaPtr& f) -> Status {
     if (terminated) return Status::OK();
+    stats_.read_run_probes.fetch_add(1, std::memory_order_relaxed);
     Status io;
     auto rec = f->reader->Get(key, options_.use_bloom, &io);
     if (!io.ok()) return io;
@@ -460,19 +491,23 @@ Status MultilevelTree::GetFromView(const Slice& key, const ReadView& view,
     return Status::OK();
   };
 
-  // L0: newest first; every file may contain the key.
-  for (const auto& f : version->levels[0]) {
-    if (terminated) break;
-    if (!f->MayContainKeyRange(key)) continue;
-    Status s = search_file(f);
-    if (!s.ok()) return s;
-  }
-  // Deeper levels: at most one file each.
-  for (int level = 1; level < kNumLevels && !terminated; level++) {
-    FileMetaPtr f = version->FileFor(level, key);
-    if (f == nullptr) continue;
-    Status s = search_file(f);
-    if (!s.ok()) return s;
+  for (int level = 0; level < kNumLevels && !terminated; level++) {
+    if (version->overlapping[level]) {
+      // L0 and tiered levels: every run may hold the key; probe newest
+      // first so the freshest record terminates the search.
+      for (const auto& f : version->levels[level]) {
+        if (terminated) break;
+        if (!f->MayContainKeyRange(key)) continue;
+        Status s = search_file(f);
+        if (!s.ok()) return s;
+      }
+    } else {
+      // Sorted level: at most one file can hold the key.
+      FileMetaPtr f = version->FileFor(level, key);
+      if (f == nullptr) continue;
+      Status s = search_file(f);
+      if (!s.ok()) return s;
+    }
   }
 
   if (!have_base && deltas.empty()) return Status::NotFound(key);

@@ -9,6 +9,7 @@
 
 #include "buffer/block_cache.h"
 #include "engine/background_runner.h"
+#include "engine/compaction_policy.h"
 #include "engine/io_rate_limiter.h"
 #include "engine/stall_tracker.h"
 #include "engine/write_batch.h"
@@ -42,11 +43,22 @@ struct MultilevelOptions {
   int level_ratio = 10;
 
   // L0 file-count triggers (LevelDB defaults scaled): at `slowdown` each
-  // write sleeps 1 ms; at `stop` writes block until compaction catches up —
-  // the source of the unbounded insert latency in Figure 7 (right).
+  // write waits one bounded interval on the engine::StallTracker CondVar
+  // (signaled early if compaction publishes progress); at `stop` writes
+  // block on the tracker until the L0 pile drains — the source of the
+  // unbounded insert latency in Figure 7 (right). Stall durations are
+  // measured wall-clock into MultilevelStats.
   int l0_compaction_trigger = 4;
   int l0_slowdown_trigger = 8;
   int l0_stop_trigger = 12;
+
+  // Which point of the compaction design space this tree runs: data layout
+  // (leveling / tiering / lazy-leveling), granularity (partitioned vs
+  // whole-level leveled merges), and the tiered run-fill. The default is
+  // bit-identical to the pre-policy partition scheduler. The choice is
+  // recorded in the manifest; reopening under a different layout fails
+  // InvalidArgument (read-only opens adopt the manifest's config).
+  engine::CompactionConfig compaction;
 
   size_t block_size = 4096;
   size_t block_cache_bytes = 32 << 20;
@@ -91,6 +103,10 @@ struct MultilevelStats {
   std::atomic<uint64_t> memtable_flushes{0};
   std::atomic<uint64_t> compactions{0};
   std::atomic<uint64_t> compaction_bytes{0};
+  // Bytes written into each level by background work (flushes land in
+  // level_write_bytes[0]); dividing by user bytes gives per-level write
+  // amplification — the quantity the compaction-policy ablation measures.
+  std::atomic<uint64_t> level_write_bytes[kNumLevels] = {};
   std::atomic<uint64_t> compaction_retries{0};
   std::atomic<uint64_t> orphans_scavenged{0};
   // Read-path counters: view pins (one per Get/MultiGet/scan) and MultiGet
@@ -99,6 +115,12 @@ struct MultilevelStats {
   // zero for symmetry with bLSM.)
   std::atomic<uint64_t> views_pinned{0};
   std::atomic<uint64_t> multiget_batches{0};
+  // On-disk runs actually probed by point lookups (a probe of a sorted
+  // level counts one file; an overlapping level counts every run whose key
+  // range covers the key until the search terminates). Divided by `gets`
+  // this is the structural read amplification the compaction-policy
+  // ablation measures — independent of cache state and index depth.
+  std::atomic<uint64_t> read_run_probes{0};
 };
 
 // LevelDB-like multi-level LSM tree. Reuses the repository's memtable and
@@ -153,7 +175,14 @@ class MultilevelTree {
   const MultilevelStats& stats() const { return stats_; }
   Status BackgroundError() const;
   int NumFilesAtLevel(int level) const EXCLUDES(mu_);
+  uint64_t BytesAtLevel(int level) const EXCLUDES(mu_);
   uint64_t OnDiskBytes() const EXCLUDES(mu_);
+  // The active compaction policy ("leveling", "tiering", ...) and its
+  // data-layout axis, for stats and tools.
+  std::string CompactionPolicyName() const { return policy_->Name(); }
+  engine::CompactionLayout CompactionPolicyLayout() const {
+    return policy_->Layout();
+  }
   // Live bytes buffered in the memtable pair (the engine's "C0" for
   // cross-engine fill reporting).
   uint64_t C0LiveBytes() const;
@@ -200,14 +229,22 @@ class MultilevelTree {
   // (which owns retry/backoff and the error latch).
   bool CompactionPending() EXCLUDES(mu_);
   Status RunCompactionPass() EXCLUDES(mu_);
-  bool PickCompaction(int* level) REQUIRES(mu_);
+  // Snapshot of the pick-relevant state (per-level run counts/bytes/ranges,
+  // targets, layout flags, cursors) handed to the CompactionPolicy; every
+  // compaction decision is policy_->Pick() over this, never a direct walk
+  // of version_->levels.
+  engine::CompactionInputs BuildCompactionInputsLocked() const REQUIRES(mu_);
   Status FlushMemtable(std::shared_ptr<MemTable> imm) EXCLUDES(mu_);
-  Status CompactLevel(int level) EXCLUDES(mu_);
-  // Writes the sorted stream from `input` into <= file_bytes output files at
-  // `output_level`; `bottom` enables tombstone dropping.
+  // Executes one policy pick: resolves run numbers to live files, merges,
+  // installs the outputs under the pick's data-movement mode (leveled
+  // replace vs tiered stack), and persists the manifest.
+  Status ExecutePick(const engine::CompactionPick& pick) EXCLUDES(mu_);
+  // Writes the sorted stream from `input` into output files of at most
+  // `file_bytes_cap` bytes at `output_level`; `bottom` enables tombstone
+  // dropping.
   Status WriteOutputFiles(InternalIterator* input, int output_level,
-                          bool bottom, std::vector<FileMetaPtr>* outputs)
-      EXCLUDES(mu_);
+                          bool bottom, size_t file_bytes_cap,
+                          std::vector<FileMetaPtr>* outputs) EXCLUDES(mu_);
   Status NewFileMeta(uint64_t number, FileMetaPtr* out);
   // Snapshot the manifest contents under mu_; write (fsync) outside it.
   std::string BuildManifestLocked(uint64_t* version) REQUIRES(mu_);
@@ -218,6 +255,9 @@ class MultilevelTree {
 
   MultilevelOptions options_;
   std::string dir_;
+  // The compaction-decision layer (pure functions of a snapshot; see
+  // engine/compaction_policy.h). Fixed at Open.
+  std::unique_ptr<engine::CompactionPolicy> policy_;
   // Wraps the user Env with the shared IoRateLimiter when one is
   // configured. Declared before every file-owning member so it outlives the
   // FileMeta destructors that unlink runs through env_.

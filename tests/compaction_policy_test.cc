@@ -1,0 +1,307 @@
+// Unit tests for the engine::CompactionPolicy layer: every compaction
+// decision is a pure function of a CompactionInputs snapshot, so the whole
+// design space — trigger boundaries, tier fill, lazy-leveling's last-level
+// switch, cursor round-robin — is testable with no tree, no files, and no
+// threads.
+
+#include "engine/compaction_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace blsm::engine {
+namespace {
+
+CompactionInputs MakeInputs(int num_levels = 7) {
+  CompactionInputs in;
+  in.levels.resize(num_levels);
+  in.cursors.resize(num_levels);
+  for (auto& l : in.levels) l.target_bytes = 100;
+  return in;
+}
+
+void AddRun(CompactionInputs* in, int level, uint64_t number, uint64_t bytes,
+            const std::string& smallest = "a",
+            const std::string& largest = "z") {
+  in->levels[level].runs.push_back({number, bytes, smallest, largest});
+}
+
+std::unique_ptr<CompactionPolicy> Make(const std::string& spec) {
+  CompactionConfig config;
+  EXPECT_TRUE(ParseCompactionConfig(spec, &config).ok()) << spec;
+  return MakeCompactionPolicy(config);
+}
+
+// --- spec parsing ---------------------------------------------------------
+
+TEST(ParseCompactionConfigTest, AcceptsKnownSpecsAndRoundTrips) {
+  for (const char* spec :
+       {"leveling", "leveling-whole", "tiering", "lazy-leveling",
+        "tiering@8", "lazy-leveling@3"}) {
+    CompactionConfig config;
+    ASSERT_TRUE(ParseCompactionConfig(spec, &config).ok()) << spec;
+    EXPECT_EQ(CompactionConfigName(config), spec);
+    CompactionConfig again;
+    ASSERT_TRUE(
+        ParseCompactionConfig(CompactionConfigName(config), &again).ok());
+    EXPECT_EQ(again.layout, config.layout);
+    EXPECT_EQ(again.granularity, config.granularity);
+    EXPECT_EQ(again.tier_runs, config.tier_runs);
+  }
+}
+
+TEST(ParseCompactionConfigTest, EmptyMeansDefaultLeveling) {
+  CompactionConfig config;
+  ASSERT_TRUE(ParseCompactionConfig("", &config).ok());
+  EXPECT_EQ(config.layout, CompactionLayout::kLeveling);
+  EXPECT_EQ(config.granularity, CompactionGranularity::kPartitioned);
+  EXPECT_EQ(config.tier_runs, 0);
+}
+
+TEST(ParseCompactionConfigTest, RejectsUnknownAndMalformed) {
+  CompactionConfig config;
+  for (const char* spec : {"levelling", "tiered", "tiering@", "tiering@x",
+                           "tiering@1", "tiering@65", "tiering@4x", "@4"}) {
+    Status s = ParseCompactionConfig(spec, &config);
+    EXPECT_TRUE(s.IsInvalidArgument()) << spec << " -> " << s.ToString();
+  }
+}
+
+TEST(MakeCompactionPolicyTest, LayoutAndNameMatchConfig) {
+  EXPECT_EQ(Make("leveling")->Layout(), CompactionLayout::kLeveling);
+  EXPECT_EQ(Make("tiering")->Layout(), CompactionLayout::kTiering);
+  EXPECT_EQ(Make("lazy-leveling")->Layout(), CompactionLayout::kLazyLeveling);
+  EXPECT_EQ(Make("tiering@8")->Name(), "tiering@8");
+  EXPECT_EQ(std::string(CompactionLayoutName(CompactionLayout::kTiering)),
+            "tiering");
+}
+
+// --- leveling -------------------------------------------------------------
+
+TEST(LevelingPolicyTest, L0TriggerBoundary) {
+  auto policy = Make("leveling");
+  auto in = MakeInputs();
+  in.l0_trigger = 4;
+  AddRun(&in, 0, 1, 10);
+  AddRun(&in, 0, 2, 10);
+  AddRun(&in, 0, 3, 10);
+  EXPECT_FALSE(policy->Pick(in).has_value());  // 3 < trigger
+
+  AddRun(&in, 0, 4, 10);  // exactly at trigger
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 0);
+  EXPECT_EQ(pick->output_level, 1);
+  EXPECT_TRUE(pick->pull_overlap);
+  EXPECT_FALSE(pick->output_overlapping);
+  // L0 runs overlap arbitrarily: all of them are inputs.
+  EXPECT_EQ(pick->input_runs, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(LevelingPolicyTest, SizeTriggerPicksMostOverTargetEarliestWins) {
+  auto policy = Make("leveling");
+  auto in = MakeInputs();
+  AddRun(&in, 1, 1, 100);  // exactly at target: score 1.0, not over
+  EXPECT_FALSE(policy->Pick(in).has_value());
+
+  AddRun(&in, 2, 2, 150);  // 1.5x
+  AddRun(&in, 3, 3, 150);  // 1.5x too: earliest max wins
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 2);
+
+  AddRun(&in, 3, 4, 100);  // now L3 is 2.5x
+  pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 3);
+}
+
+TEST(LevelingPolicyTest, LastLevelIsNeverAnInput) {
+  auto policy = Make("leveling");
+  auto in = MakeInputs();
+  int last = in.num_levels() - 1;
+  AddRun(&in, last, 1, 100000);  // way over target, but nowhere to push
+  EXPECT_FALSE(policy->Pick(in).has_value());
+}
+
+TEST(LevelingPolicyTest, PartitionedCursorRoundRobinAndWrap) {
+  auto policy = Make("leveling");
+  auto in = MakeInputs();
+  AddRun(&in, 1, 1, 100, "a", "c");
+  AddRun(&in, 1, 2, 100, "d", "f");
+  AddRun(&in, 1, 3, 100, "g", "i");
+
+  // Cursor "d": first run with smallest > "d" is run 3.
+  in.cursors[1] = "d";
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->input_runs, std::vector<uint64_t>{3});
+  EXPECT_TRUE(pick->advance_cursor);
+  EXPECT_EQ(pick->next_cursor, "g");
+
+  // Cursor past every run: wrap to the front.
+  in.cursors[1] = "x";
+  pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->input_runs, std::vector<uint64_t>{1});
+  EXPECT_EQ(pick->next_cursor, "a");
+}
+
+TEST(LevelingPolicyTest, WholeLevelGranularityTakesEveryRun) {
+  auto policy = Make("leveling-whole");
+  auto in = MakeInputs();
+  AddRun(&in, 1, 1, 100, "a", "c");
+  AddRun(&in, 1, 2, 100, "d", "f");
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->input_runs, (std::vector<uint64_t>{1, 2}));
+  EXPECT_FALSE(pick->advance_cursor);
+}
+
+// --- tiering --------------------------------------------------------------
+
+TEST(TieringPolicyTest, TierFillBoundary) {
+  auto policy = Make("tiering");
+  auto in = MakeInputs();
+  in.tier_runs = 4;
+  // A level can be arbitrarily over its byte target without triggering:
+  // tiering triggers on run count only.
+  AddRun(&in, 1, 1, 100000);
+  AddRun(&in, 1, 2, 100000);
+  AddRun(&in, 1, 3, 100000);
+  EXPECT_FALSE(policy->Pick(in).has_value());
+
+  AddRun(&in, 1, 4, 10);  // fourth run: the tier is full
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 1);
+  EXPECT_EQ(pick->output_level, 2);
+  EXPECT_TRUE(pick->output_overlapping);
+  EXPECT_FALSE(pick->pull_overlap);  // stacks; never merges with L2's runs
+  EXPECT_EQ(pick->input_runs, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(TieringPolicyTest, L0SpillsByL0TriggerNotTierRuns) {
+  auto policy = Make("tiering");
+  auto in = MakeInputs();
+  in.l0_trigger = 2;
+  in.tier_runs = 4;
+  AddRun(&in, 0, 1, 10);
+  AddRun(&in, 0, 2, 10);
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 0);
+  EXPECT_EQ(pick->output_level, 1);
+  EXPECT_TRUE(pick->output_overlapping);
+}
+
+TEST(TieringPolicyTest, LastLevelSelfMergesInPlace) {
+  auto policy = Make("tiering");
+  auto in = MakeInputs();
+  in.tier_runs = 3;
+  int last = in.num_levels() - 1;
+  AddRun(&in, last, 1, 10);
+  AddRun(&in, last, 2, 10);
+  AddRun(&in, last, 3, 10);
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, last);
+  EXPECT_EQ(pick->output_level, last);  // nowhere deeper: collapse in place
+  EXPECT_EQ(pick->input_runs.size(), 3u);
+}
+
+// --- lazy-leveling --------------------------------------------------------
+
+TEST(LazyLevelingPolicyTest, UpperLevelsTierLastLevelLevels) {
+  auto policy = Make("lazy-leveling");
+  auto in = MakeInputs();
+  in.tier_runs = 3;
+  // Data down to level 4: levels 1..3 are the tiered upper levels, level 4
+  // is the leveled frontier.
+  AddRun(&in, 4, 40, 50);
+  AddRun(&in, 1, 1, 10);
+  AddRun(&in, 1, 2, 10);
+  AddRun(&in, 1, 3, 10);  // tier full at level 1
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 1);
+  EXPECT_EQ(pick->output_level, 2);
+  EXPECT_TRUE(pick->output_overlapping);  // stacks tiered: 2 < last
+
+  // A full tier right above the last level merges into it (leveled).
+  in = MakeInputs();
+  in.tier_runs = 3;
+  AddRun(&in, 4, 40, 50);
+  AddRun(&in, 3, 1, 10);
+  AddRun(&in, 3, 2, 10);
+  AddRun(&in, 3, 3, 10);
+  pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 3);
+  EXPECT_EQ(pick->output_level, 4);
+  EXPECT_FALSE(pick->output_overlapping);
+  EXPECT_TRUE(pick->pull_overlap);
+  EXPECT_EQ(pick->input_runs.size(), 3u);  // whole level, tiered or not
+}
+
+TEST(LazyLevelingPolicyTest, FirstSpillFromEmptyTreeIsLeveled) {
+  auto policy = Make("lazy-leveling");
+  auto in = MakeInputs();
+  in.l0_trigger = 2;
+  AddRun(&in, 0, 1, 10);
+  AddRun(&in, 0, 2, 10);
+  // No deeper data: L1 is the leveled frontier, so the L0 spill merges.
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 0);
+  EXPECT_EQ(pick->output_level, 1);
+  EXPECT_FALSE(pick->output_overlapping);
+  EXPECT_TRUE(pick->pull_overlap);
+}
+
+TEST(LazyLevelingPolicyTest, LastLevelSwitchesWhenOverTarget) {
+  auto policy = Make("lazy-leveling");
+  auto in = MakeInputs();
+  // Last data-bearing level 2, over its byte target: the sorted run pushes
+  // down whole, moving the leveled frontier to level 3.
+  AddRun(&in, 2, 1, 150);
+  auto pick = policy->Pick(in);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->level, 2);
+  EXPECT_EQ(pick->output_level, 3);
+  EXPECT_FALSE(pick->output_overlapping);
+
+  // At or under target: nothing to do.
+  in.levels[2].runs[0].bytes = 100;
+  EXPECT_FALSE(policy->Pick(in).has_value());
+}
+
+TEST(LazyLevelingPolicyTest, DeepestLevelNeverPushes) {
+  auto policy = Make("lazy-leveling");
+  auto in = MakeInputs();
+  int last = in.num_levels() - 1;
+  AddRun(&in, last, 1, 100000);  // over target with nowhere to go
+  EXPECT_FALSE(policy->Pick(in).has_value());
+}
+
+// --- purity ---------------------------------------------------------------
+
+TEST(CompactionPolicyTest, PickIsPure) {
+  for (const char* spec : {"leveling", "tiering", "lazy-leveling"}) {
+    auto policy = Make(spec);
+    auto in = MakeInputs();
+    in.l0_trigger = 2;
+    AddRun(&in, 0, 1, 10);
+    AddRun(&in, 0, 2, 10);
+    AddRun(&in, 2, 3, 500);
+    auto a = policy->Pick(in);
+    auto b = policy->Pick(in);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->level, b->level) << spec;
+    EXPECT_EQ(a->output_level, b->output_level) << spec;
+    EXPECT_EQ(a->input_runs, b->input_runs) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace blsm::engine

@@ -14,6 +14,10 @@
 //                                     open the engine read-only through the
 //                                     kv registry (default: blsm) and dump
 //                                     its full counter map
+//   blsm_inspect levels <dbdir>       decode a multilevel manifest (read-only,
+//                                     no engine start) and dump the active
+//                                     compaction policy plus per-level run
+//                                     counts, bytes, and layout
 
 #include <cinttypes>
 #include <cstdio>
@@ -21,10 +25,12 @@
 #include <map>
 #include <vector>
 
+#include "engine/compaction_policy.h"
 #include "engine/kv.h"
 #include "io/env.h"
 #include "lsm/manifest.h"
 #include "lsm/record.h"
+#include "multilevel/version.h"
 #include "sstree/tree_reader.h"
 #include "wal/logical_log.h"
 
@@ -182,6 +188,57 @@ int RunStats(const std::string& dir, const std::string& engine_name) {
   return 0;
 }
 
+// `blsm_inspect levels <dbdir>`: decodes the multilevel tree's CURRENT
+// manifest directly — truly read-only, no engine, no threads — and prints
+// the compaction config it records plus the per-level shape.
+int RunLevels(const std::string& dir) {
+  using namespace blsm;
+  Env* env = Env::Default();
+  std::string blob;
+  Status s = ReadFileToString(env, dir + "/CURRENT", &blob);
+  if (!s.ok()) {
+    fprintf(stderr, "cannot read multilevel manifest at %s/CURRENT: %s\n",
+            dir.c_str(), s.ToString().c_str());
+    return 1;
+  }
+  multilevel::ManifestData m;
+  s = multilevel::DecodeManifest(blob, &m);
+  if (!s.ok()) {
+    fprintf(stderr, "cannot decode manifest: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  engine::CompactionConfig config;
+  config.layout = static_cast<engine::CompactionLayout>(m.layout);
+  config.granularity = static_cast<engine::CompactionGranularity>(
+      m.granularity != 0 ? 1 : 0);
+  config.tier_runs = m.tier_runs;
+  printf("multilevel database at %s\n", dir.c_str());
+  printf("  compaction policy: %s\n",
+         engine::CompactionConfigName(config).c_str());
+  printf("  next file number:  %" PRIu64 "\n", m.next_file_number);
+  printf("  last sequence:     %" PRIu64 "\n", m.last_sequence);
+
+  uint64_t runs[multilevel::kNumLevels] = {};
+  uint64_t bytes[multilevel::kNumLevels] = {};
+  for (const auto& f : m.files) {
+    runs[f.level]++;
+    bytes[f.level] += f.data_bytes;
+  }
+  uint64_t total_runs = 0, total_bytes = 0;
+  for (int l = 0; l < multilevel::kNumLevels; l++) {
+    const char* layout = (m.overlapping_mask >> l) & 1 ? "overlapping"
+                                                       : "sorted";
+    printf("  L%d: %3" PRIu64 " run(s)  %10.2f MB  [%s]\n", l, runs[l],
+           static_cast<double>(bytes[l]) / 1e6, layout);
+    total_runs += runs[l];
+    total_bytes += bytes[l];
+  }
+  printf("  totals: %" PRIu64 " run(s), %.2f MB\n", total_runs,
+         static_cast<double>(total_bytes) / 1e6);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,9 +248,17 @@ int main(int argc, char** argv) {
     fprintf(stderr,
             "usage: %s <dbdir> [--keys N] [--log]\n"
             "       %s verify <dbdir>\n"
-            "       %s stats <dbdir> [--engine NAME]\n",
-            argv[0], argv[0], argv[0]);
+            "       %s stats <dbdir> [--engine NAME]\n"
+            "       %s levels <dbdir>\n",
+            argv[0], argv[0], argv[0], argv[0]);
     return 2;
+  }
+  if (strcmp(argv[1], "levels") == 0) {
+    if (argc < 3) {
+      fprintf(stderr, "usage: %s levels <dbdir>\n", argv[0]);
+      return 2;
+    }
+    return RunLevels(argv[2]);
   }
   if (strcmp(argv[1], "verify") == 0) {
     if (argc < 3) {

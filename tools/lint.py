@@ -31,6 +31,14 @@ Rules (see docs/static_analysis.md):
                 proportional one-shot delay is the sanctioned exception
                 (annotated with lint:allow at the call site).
 
+  compaction-pick  Direct version_->levels / version_->LevelBytes access
+                inside a Pick* / CompactionPending / RunCompactionPass
+                body in src/multilevel/. Compaction decisions are pure
+                functions of a CompactionInputs snapshot evaluated by the
+                engine::CompactionPolicy layer; the one sanctioned crossing
+                is BuildCompactionInputsLocked. Execution (ExecutePick,
+                FlushMemtable) may touch the version freely.
+
 A line may opt out with a justification:  // lint:allow(<rule>) <reason>
 The reason is mandatory; a bare allow is itself an error.
 
@@ -61,6 +69,7 @@ ENGINE_INTERNAL_INCLUDE = re.compile(
 # method definition closes.
 METHOD_DEF = re.compile(r"^[\w:<>,&*~\s]+\b[\w<>]+::(?P<method>~?\w+)\s*\(")
 READ_PATH_LOCK = re.compile(r"\butil::(MutexLock|ReaderLock)\b")
+COMPACTION_PICK_ACCESS = re.compile(r"version_->(levels|LevelBytes)\b")
 WRITE_PATH_SLEEP = re.compile(r"\b(SleepForMicroseconds|sleep_for)\s*\(")
 WRITE_PATH_FILES = (
     "src/engine/write_frontend.",
@@ -90,7 +99,9 @@ def lint_file(path: Path, violations) -> None:
     in_bench_cc = rel_str.startswith("bench/") and path.suffix != ".h"
     in_write_path = rel_str.startswith(WRITE_PATH_FILES)
     in_read_path_dir = rel_str.startswith(("src/lsm/", "src/multilevel/"))
+    in_multilevel = rel_str.startswith("src/multilevel/")
     in_get_fn = False
+    in_pick_fn = False
     try:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
@@ -131,6 +142,8 @@ def lint_file(path: Path, violations) -> None:
             if m:
                 name = m.group("method")
                 in_get_fn = name.startswith("Get") or name == "MultiGet"
+                in_pick_fn = name.startswith("Pick") or name in (
+                    "CompactionPending", "RunCompactionPass")
             if in_get_fn and READ_PATH_LOCK.search(code):
                 if not allowed(line, "read-path-lock", violations, rel_str,
                                lineno):
@@ -138,6 +151,16 @@ def lint_file(path: Path, violations) -> None:
                         (rel_str, lineno, "read-path-lock",
                          "mutex in a Get*/MultiGet body; point reads pin "
                          "the ReadView lock-free")
+                    )
+            if in_multilevel and in_pick_fn and \
+                    COMPACTION_PICK_ACCESS.search(code):
+                if not allowed(line, "compaction-pick", violations, rel_str,
+                               lineno):
+                    violations.append(
+                        (rel_str, lineno, "compaction-pick",
+                         "direct version walk in a compaction decision; "
+                         "picks go through engine::CompactionPolicy over "
+                         "BuildCompactionInputsLocked")
                     )
 
 

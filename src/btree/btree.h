@@ -86,6 +86,10 @@ class BTree {
     return meta_.height;
   }
 
+  // Terminal-Env IO counters (io.* in kv::Engine::Stats()); nullptr when
+  // the Env stack has no counting terminal.
+  const EnvIoCounters* IoCounters() const { return env_->io_counters(); }
+
  private:
   BTree(const BTreeOptions& options, const std::string& fname);
 

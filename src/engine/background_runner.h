@@ -2,6 +2,7 @@
 #define BLSM_ENGINE_BACKGROUND_RUNNER_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -10,11 +11,51 @@
 
 #include "engine/io_rate_limiter.h"
 #include "io/env.h"
+#include "sstree/tree_builder.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace blsm::engine {
+
+// Bounded fan-out for the parallel stretches inside one background pass:
+// compaction output-file builds, write-behind block appends. A fixed crew of
+// worker threads consumes a FIFO queue; Submit blocks once
+// queued + running == max_concurrency (backpressure, and with
+// max_concurrency == 1 it degenerates to an ordered write-behind channel —
+// the AppendExecutor contract TreeBuilder needs). After any task fails,
+// Submit fails fast with the first error and drops the new task; Drain
+// waits everything out and returns that first error.
+//
+// Worker threads re-establish the ScopedIoPriority tag the *constructing*
+// thread carried, so tasks spawned from inside a merge/compaction pass are
+// still charged to the right class of a RateLimitedEnv. Without this, fanned
+// -out compaction writes would bypass the shared limiter entirely and the
+// bounded-write-latency guarantees (PR-6) would quietly evaporate.
+class TaskPipeline final : public sstree::AppendExecutor {
+ public:
+  explicit TaskPipeline(int max_concurrency);
+  ~TaskPipeline() override;  // drains, then joins the workers
+  TaskPipeline(const TaskPipeline&) = delete;
+  TaskPipeline& operator=(const TaskPipeline&) = delete;
+
+  Status Submit(std::function<Status()> task) override EXCLUDES(mu_);
+  Status Drain() override EXCLUDES(mu_);
+
+ private:
+  void WorkerLoop() EXCLUDES(mu_);
+
+  const int limit_;
+  const int io_priority_index_;  // tag captured at construction, -1 untagged
+
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::function<Status()>> queue_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;
+  Status error_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
 
 // Background fault-handling knobs shared by every engine that runs merge or
 // compaction work. A pass that fails with a *transient* error

@@ -179,6 +179,18 @@ class RateLimitedWritableFile final : public WritableFile {
     }
     return base_->Append(data);
   }
+  Status AppendV(const Slice* parts, size_t n) override {
+    int p = ScopedIoPriority::CurrentIndex();
+    if (p >= 0) {
+      uint64_t total = 0;
+      for (size_t i = 0; i < n; i++) total += parts[i].size();
+      limiter_->Request(total, static_cast<IoPriority>(p));
+    }
+    return base_->AppendV(parts, n);
+  }
+  size_t PreferredAppendAlignment() const override {
+    return base_->PreferredAppendAlignment();
+  }
   Status Flush() override { return base_->Flush(); }
   Status Sync() override { return base_->Sync(); }
   Status Close() override { return base_->Close(); }

@@ -185,6 +185,9 @@ class RateLimitedEnv final : public Env {
   void SleepForMicroseconds(uint64_t micros) override {
     base_->SleepForMicroseconds(micros);
   }
+  const EnvIoCounters* io_counters() const override {
+    return base_->io_counters();
+  }
 
   IoRateLimiter* limiter() { return limiter_.get(); }
 

@@ -26,6 +26,24 @@ std::vector<Status> Engine::MultiGet(const std::vector<Slice>& keys,
 
 namespace {
 
+// Shared io.* key block: each engine reports its Env stack's terminal
+// counters (decorators forward io_counters() down to the terminal). A stack
+// with no counting terminal reports zeros so the keys stay present.
+void AddIoStats(const EnvIoCounters* io,
+                std::map<std::string, uint64_t>* stats) {
+  (*stats)["io.read_bytes"] = io != nullptr ? io->read_bytes.load() : 0;
+  (*stats)["io.write_bytes"] = io != nullptr ? io->write_bytes.load() : 0;
+  (*stats)["io.syncs"] = io != nullptr ? io->syncs.load() : 0;
+  (*stats)["io.multiread_batches"] =
+      io != nullptr ? io->multiread_batches.load() : 0;
+  (*stats)["io.multiread_requests"] =
+      io != nullptr ? io->multiread_requests.load() : 0;
+  (*stats)["io.readahead_hints"] =
+      io != nullptr ? io->readahead_hints.load() : 0;
+  (*stats)["io.readahead_hits"] =
+      io != nullptr ? io->readahead_hits.load() : 0;
+}
+
 // --- adapters ---------------------------------------------------------------
 
 // Each adapter optionally owns the tree (registry opens) or borrows it
@@ -72,7 +90,7 @@ class BlsmEngine : public Engine {
   std::map<std::string, uint64_t> Stats() const override {
     const BlsmStats& s = tree_->stats();
     const LogicalLog::Counters wal = tree_->WalCounters();
-    return {
+    std::map<std::string, uint64_t> stats = {
         {"puts", s.puts.load()},
         {"gets", s.gets.load()},
         {"deletes", s.deletes.load()},
@@ -101,6 +119,8 @@ class BlsmEngine : public Engine {
         {"read.multiget_batches", s.multiget_batches.load()},
         {"read.blocks_coalesced", s.blocks_coalesced.load()},
     };
+    AddIoStats(tree_->IoCounters(), &stats);
+    return stats;
   }
 
  private:
@@ -168,6 +188,8 @@ class MultilevelEngine : public Engine {
         // tree->CompactionPolicyName()).
         {"compaction.policy",
          static_cast<uint64_t>(tree_->CompactionPolicyLayout())},
+        {"compaction.parallel_output_builds",
+         s.parallel_output_builds.load()},
         {"orphans_scavenged", s.orphans_scavenged.load()},
         {"on_disk_bytes", tree_->OnDiskBytes()},
         {"wal.records", wal.records},
@@ -193,6 +215,7 @@ class MultilevelEngine : public Engine {
       stats["compaction.write_bytes" + suffix] =
           s.level_write_bytes[l].load();
     }
+    AddIoStats(tree_->IoCounters(), &stats);
     return stats;
   }
 
@@ -278,7 +301,7 @@ class BTreeEngine : public Engine {
   Status BackgroundError() const override { return Status::OK(); }
 
   std::map<std::string, uint64_t> Stats() const override {
-    return {
+    std::map<std::string, uint64_t> stats = {
         {"num_entries", tree_->num_entries()},
         {"height", tree_->height()},
         // Stall-counter parity with the LSM engines: the B-tree never
@@ -287,6 +310,8 @@ class BTreeEngine : public Engine {
         {"write_stall_micros", 0},
         {"write.max_stall_micros", 0},
     };
+    AddIoStats(tree_->IoCounters(), &stats);
+    return stats;
   }
 
  private:

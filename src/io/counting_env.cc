@@ -54,6 +54,30 @@ class CountingRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  Status MultiRead(ReadRequest* reqs, size_t n) const override {
+    // Forward the batch intact so the base env can coalesce/submit it as a
+    // unit, then account each sub-read with the same seek classification a
+    // serial Read sequence would have produced.
+    Status s = base_->MultiRead(reqs, n);
+    if (!s.ok()) return s;
+    for (size_t i = 0; i < n; i++) {
+      if (!reqs[i].status.ok()) continue;
+      stats_->read_ops.fetch_add(1, std::memory_order_relaxed);
+      stats_->read_bytes.fetch_add(reqs[i].result.size(),
+                                   std::memory_order_relaxed);
+      uint64_t prev = last_end_.exchange(reqs[i].offset + reqs[i].result.size(),
+                                         std::memory_order_relaxed);
+      if (reqs[i].offset < prev || reqs[i].offset > prev + kNearWindow) {
+        stats_->read_seeks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return Status::OK();
+  }
+
+  void ReadAheadHint(uint64_t offset, uint64_t len) const override {
+    base_->ReadAheadHint(offset, len);
+  }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   IoStats* stats_;
@@ -72,6 +96,21 @@ class CountingWritableFile final : public WritableFile {
       stats_->write_bytes.fetch_add(data.size(), std::memory_order_relaxed);
     }
     return s;
+  }
+
+  Status AppendV(const Slice* parts, size_t n) override {
+    Status s = base_->AppendV(parts, n);
+    if (s.ok()) {
+      size_t total = 0;
+      for (size_t i = 0; i < n; i++) total += parts[i].size();
+      stats_->write_ops.fetch_add(1, std::memory_order_relaxed);
+      stats_->write_bytes.fetch_add(total, std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  size_t PreferredAppendAlignment() const override {
+    return base_->PreferredAppendAlignment();
   }
 
   Status Flush() override { return base_->Flush(); }

@@ -99,6 +99,10 @@ class CountingEnv final : public Env {
     base_->SleepForMicroseconds(micros);
   }
 
+  const EnvIoCounters* io_counters() const override {
+    return base_->io_counters();
+  }
+
   IoStats* stats() { return stats_; }
 
  private:

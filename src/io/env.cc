@@ -2,6 +2,14 @@
 
 namespace blsm {
 
+Status RandomAccessFile::MultiRead(ReadRequest* reqs, size_t n) const {
+  for (size_t i = 0; i < n; i++) {
+    reqs[i].status =
+        Read(reqs[i].offset, reqs[i].len, &reqs[i].result, reqs[i].scratch);
+  }
+  return Status::OK();
+}
+
 Status Env::RemoveDirRecursive(const std::string& dirname) {
   std::vector<std::string> children;
   Status s = GetChildren(dirname, &children);

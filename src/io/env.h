@@ -1,6 +1,7 @@
 #ifndef BLSM_IO_ENV_H_
 #define BLSM_IO_ENV_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,6 +29,18 @@ class SequentialFile {
   virtual Status Skip(uint64_t n) = 0;
 };
 
+// One read in a MultiRead batch. `scratch` is caller-owned and must hold at
+// least `len` bytes; on completion `result` points at the bytes read (into
+// scratch) and `status` carries this request's individual outcome. A read
+// past EOF is OK with a short (possibly empty) result, matching Read().
+struct ReadRequest {
+  uint64_t offset = 0;
+  size_t len = 0;
+  char* scratch = nullptr;
+  Slice result;
+  Status status;
+};
+
 // Random-access read-only file (tree component reads).
 class RandomAccessFile {
  public:
@@ -35,6 +48,22 @@ class RandomAccessFile {
 
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
+
+  // Batched reads: fills reqs[0..n)'s result/status fields. The returned
+  // Status reflects submission of the batch as a whole — it is OK even when
+  // individual requests fail, so one bad sub-read never poisons its
+  // batchmates; callers must check each reqs[i].status. The default issues
+  // the requests one synchronous Read at a time; environments that can
+  // batch (io_uring, preadv coalescing) override it.
+  virtual Status MultiRead(ReadRequest* reqs, size_t n) const;
+
+  // Advisory prefetch: the caller expects to Read [offset, offset+len)
+  // soon. Never fails and may do nothing (the default). Implementations
+  // typically hand the range to the kernel readahead machinery.
+  virtual void ReadAheadHint(uint64_t offset, uint64_t len) const {
+    (void)offset;
+    (void)len;
+  }
 };
 
 // Append-only writable file (logs, tree component builds).
@@ -43,6 +72,25 @@ class WritableFile {
   virtual ~WritableFile() = default;
 
   virtual Status Append(const Slice& data) = 0;
+
+  // Gathered append: parts[0..n) land back to back, as if Append()ed in
+  // order. One call gives alignment-aware backends (O_DIRECT with an
+  // aligned buffer pool) the whole payload at once instead of fragment by
+  // fragment. Default: an Append loop.
+  virtual Status AppendV(const Slice* parts, size_t n) {
+    for (size_t i = 0; i < n; i++) {
+      Status s = Append(parts[i]);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  // The append granularity this file performs best at; pre-sizing buffers
+  // to a multiple of it lets the backend write without re-buffering. 1
+  // means "no preference" (plain buffered POSIX). Direct-IO backends
+  // report their sector/page alignment.
+  virtual size_t PreferredAppendAlignment() const { return 1; }
+
   virtual Status Flush() = 0;
   virtual Status Sync() = 0;
   virtual Status Close() = 0;
@@ -58,6 +106,48 @@ class RandomRWFile {
   virtual Status Write(uint64_t offset, const Slice& data) = 0;
   virtual Status Sync() = 0;
   virtual Status Close() = 0;
+};
+
+// Cumulative data-path totals owned by a terminal Env implementation
+// (posix, uring, mem). Decorator Envs forward io_counters() to their base,
+// so whatever wrapper stack an engine runs on, Engine::Stats() reports the
+// totals of the environment that actually touched the bytes.
+struct EnvIoCounters {
+  std::atomic<uint64_t> read_bytes{0};
+  std::atomic<uint64_t> write_bytes{0};
+  std::atomic<uint64_t> syncs{0};
+  // MultiRead calls that reached this Env (each covering >= 1 requests).
+  std::atomic<uint64_t> multiread_batches{0};
+  std::atomic<uint64_t> multiread_requests{0};
+  // Reads that landed inside a previously hinted range — how often
+  // ReadAheadHint actually fronted a later access.
+  std::atomic<uint64_t> readahead_hits{0};
+  std::atomic<uint64_t> readahead_hints{0};
+};
+
+// Per-file helper for the readahead_hits counter: remembers the most recent
+// hinted range (hints from sequential scans advance monotonically, so one
+// range is enough) and classifies later reads against it.
+class ReadAheadTracker {
+ public:
+  void Hint(uint64_t offset, uint64_t len, EnvIoCounters* counters) {
+    if (counters != nullptr) {
+      counters->readahead_hints.fetch_add(1, std::memory_order_relaxed);
+    }
+    start_.store(offset, std::memory_order_relaxed);
+    end_.store(offset + len, std::memory_order_relaxed);
+  }
+  void OnRead(uint64_t offset, EnvIoCounters* counters) const {
+    if (counters == nullptr) return;
+    if (offset >= start_.load(std::memory_order_relaxed) &&
+        offset < end_.load(std::memory_order_relaxed)) {
+      counters->readahead_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> start_{1};
+  std::atomic<uint64_t> end_{0};  // empty range until the first hint
 };
 
 class Env {
@@ -91,6 +181,11 @@ class Env {
 
   virtual uint64_t NowMicros() = 0;
   virtual void SleepForMicroseconds(uint64_t micros) = 0;
+
+  // Data-path totals for this environment, or nullptr when untracked.
+  // Decorators forward to their base so the terminal Env's counters are
+  // visible through any wrapper stack.
+  virtual const EnvIoCounters* io_counters() const { return nullptr; }
 
   // Process-wide default environment (POSIX). Never deleted.
   static Env* Default();

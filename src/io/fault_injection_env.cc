@@ -36,6 +36,43 @@ class FaultRandomAccessFile final : public RandomAccessFile {
     return base_->Read(offset, n, result, scratch);
   }
 
+  Status MultiRead(ReadRequest* reqs, size_t n) const override {
+    // Each sub-read rolls the fault dice on its own; a faulted request
+    // carries its injected error while the survivors still go down as one
+    // batch. This is the contract MultiRead callers rely on: one bad block
+    // never poisons its batchmates.
+    std::vector<size_t> healthy;
+    healthy.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+      Status s = env_->CheckOp(FaultOpClass::kRead, fname_);
+      if (s.ok()) {
+        healthy.push_back(i);
+      } else {
+        reqs[i].status = s;
+        reqs[i].result = Slice();
+      }
+    }
+    if (healthy.empty()) return Status::OK();
+    std::vector<ReadRequest> sub(healthy.size());
+    for (size_t i = 0; i < healthy.size(); i++) {
+      sub[i].offset = reqs[healthy[i]].offset;
+      sub[i].len = reqs[healthy[i]].len;
+      sub[i].scratch = reqs[healthy[i]].scratch;
+    }
+    Status batch = base_->MultiRead(sub.data(), sub.size());
+    if (!batch.ok()) return batch;
+    for (size_t i = 0; i < healthy.size(); i++) {
+      reqs[healthy[i]].result = sub[i].result;
+      reqs[healthy[i]].status = sub[i].status;
+    }
+    return Status::OK();
+  }
+
+  void ReadAheadHint(uint64_t offset, uint64_t len) const override {
+    // Advisory and infallible by contract: nothing to inject.
+    base_->ReadAheadHint(offset, len);
+  }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   FaultInjectionEnv* env_;
@@ -68,6 +105,12 @@ class FaultWritableFile final : public WritableFile {
       return base_->Append(corrupted);
     }
     return base_->Append(data);
+  }
+  // AppendV deliberately stays the base-class Append loop: each part must
+  // roll PlanAppend individually so torn-write/bit-flip coverage is
+  // per-fragment, exactly as if the caller had Append()ed them.
+  size_t PreferredAppendAlignment() const override {
+    return base_->PreferredAppendAlignment();
   }
   Status Flush() override { return base_->Flush(); }
   Status Sync() override {

@@ -145,6 +145,9 @@ class FaultInjectionEnv final : public Env {
   void SleepForMicroseconds(uint64_t micros) override {
     base_->SleepForMicroseconds(micros);
   }
+  const EnvIoCounters* io_counters() const override {
+    return base_->io_counters();
+  }
 
   // Returns OK while healthy; decrements the deterministic countdown and
   // returns IOError once tripped. Exposed for the file wrappers.

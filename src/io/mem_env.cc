@@ -49,7 +49,8 @@ class MemSequentialFile final : public SequentialFile {
 
 class MemRandomAccessFile final : public RandomAccessFile {
  public:
-  explicit MemRandomAccessFile(FileStatePtr fs) : fs_(std::move(fs)) {}
+  MemRandomAccessFile(FileStatePtr fs, EnvIoCounters* counters)
+      : fs_(std::move(fs)), counters_(counters) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
@@ -61,20 +62,37 @@ class MemRandomAccessFile final : public RandomAccessFile {
     size_t len = std::min(n, fs_->data.size() - static_cast<size_t>(offset));
     memcpy(scratch, fs_->data.data() + offset, len);
     *result = Slice(scratch, len);
+    tracker_.OnRead(offset, counters_);
+    counters_->read_bytes.fetch_add(len, std::memory_order_relaxed);
     return Status::OK();
+  }
+
+  Status MultiRead(ReadRequest* reqs, size_t n) const override {
+    counters_->multiread_batches.fetch_add(1, std::memory_order_relaxed);
+    counters_->multiread_requests.fetch_add(n, std::memory_order_relaxed);
+    // Memory is already "batched"; the serial default just does the copies.
+    return RandomAccessFile::MultiRead(reqs, n);
+  }
+
+  void ReadAheadHint(uint64_t offset, uint64_t len) const override {
+    tracker_.Hint(offset, len, counters_);
   }
 
  private:
   FileStatePtr fs_;
+  EnvIoCounters* counters_;
+  mutable ReadAheadTracker tracker_;
 };
 
 class MemWritableFile final : public WritableFile {
  public:
-  explicit MemWritableFile(FileStatePtr fs) : fs_(std::move(fs)) {}
+  MemWritableFile(FileStatePtr fs, EnvIoCounters* counters)
+      : fs_(std::move(fs)), counters_(counters) {}
 
   Status Append(const Slice& data) override {
     util::MutexLock l(&fs_->mu);
     fs_->data.append(data.data(), data.size());
+    counters_->write_bytes.fetch_add(data.size(), std::memory_order_relaxed);
     return Status::OK();
   }
 
@@ -83,6 +101,7 @@ class MemWritableFile final : public WritableFile {
   Status Sync() override {
     util::MutexLock l(&fs_->mu);
     fs_->synced_len = fs_->data.size();
+    counters_->syncs.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
 
@@ -90,6 +109,7 @@ class MemWritableFile final : public WritableFile {
 
  private:
   FileStatePtr fs_;
+  EnvIoCounters* counters_;
 };
 
 class MemRandomRWFile final : public RandomRWFile {
@@ -150,7 +170,7 @@ Status MemEnv::NewRandomAccessFile(const std::string& fname,
   util::MutexLock l(&mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) return Status::NotFound(fname);
-  *result = std::make_unique<MemRandomAccessFile>(it->second);
+  *result = std::make_unique<MemRandomAccessFile>(it->second, &counters_);
   return Status::OK();
 }
 
@@ -159,7 +179,7 @@ Status MemEnv::NewWritableFile(const std::string& fname,
   util::MutexLock l(&mu_);
   auto fs = std::make_shared<FileState>();
   files_[fname] = fs;
-  *result = std::make_unique<MemWritableFile>(std::move(fs));
+  *result = std::make_unique<MemWritableFile>(std::move(fs), &counters_);
   return Status::OK();
 }
 

@@ -50,12 +50,15 @@ class MemEnv final : public Env {
   // Crash simulation: truncates every file back to its last-synced length.
   void DropUnsynced();
 
+  const EnvIoCounters* io_counters() const override { return &counters_; }
+
   struct FileState;  // public so file implementations in the .cc can use it
 
  private:
   util::Mutex mu_;
   std::map<std::string, std::shared_ptr<FileState>> files_ GUARDED_BY(mu_);
   std::set<std::string> dirs_ GUARDED_BY(mu_);
+  EnvIoCounters counters_;
 };
 
 }  // namespace blsm

@@ -1,0 +1,109 @@
+#ifndef BLSM_IO_UNBATCHED_ENV_H_
+#define BLSM_IO_UNBATCHED_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+
+namespace blsm {
+
+// Decorator that strips the batched-IO surface from an Env: MultiRead is
+// forced back to the one-synchronous-Read-per-request default and readahead
+// hints are dropped. Benchmarks and parity tests wrap an env in this to get
+// the "synchronous baseline" lane with everything else held identical.
+
+namespace unbatched_internal {
+
+class UnbatchedRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit UnbatchedRandomAccessFile(std::unique_ptr<RandomAccessFile> base)
+      : base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    return base_->Read(offset, n, result, scratch);
+  }
+  Status MultiRead(ReadRequest* reqs, size_t n) const override {
+    // The serial default loop, deliberately not forwarded to the base.
+    return RandomAccessFile::MultiRead(reqs, n);
+  }
+  void ReadAheadHint(uint64_t offset, uint64_t len) const override {
+    (void)offset;
+    (void)len;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+}  // namespace unbatched_internal
+
+class UnbatchedEnv final : public Env {
+ public:
+  explicit UnbatchedEnv(Env* base) : base_(base) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::unique_ptr<RandomAccessFile> file;
+    Status s = base_->NewRandomAccessFile(fname, &file);
+    if (!s.ok()) return s;
+    *result = std::make_unique<unbatched_internal::UnbatchedRandomAccessFile>(
+        std::move(file));
+    return Status::OK();
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    return base_->NewWritableFile(fname, result);
+  }
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* result) override {
+    return base_->NewRandomRWFile(fname, result);
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status RemoveDirRecursive(const std::string& dirname) override {
+    return base_->RemoveDirRecursive(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+  uint64_t NowMicros() override { return base_->NowMicros(); }
+  void SleepForMicroseconds(uint64_t micros) override {
+    base_->SleepForMicroseconds(micros);
+  }
+  const EnvIoCounters* io_counters() const override {
+    return base_->io_counters();
+  }
+
+ private:
+  Env* base_;
+};
+
+}  // namespace blsm
+
+#endif  // BLSM_IO_UNBATCHED_ENV_H_

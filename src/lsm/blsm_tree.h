@@ -212,6 +212,10 @@ class BlsmTree {
     return cache_ != nullptr ? cache_->misses() : 0;
   }
 
+  // Terminal-Env IO counters (io.* in kv::Engine::Stats()); nullptr when
+  // the Env stack has no counting terminal.
+  const EnvIoCounters* IoCounters() const { return env_->io_counters(); }
+
   // Current on-disk footprint (bytes of data blocks across components).
   uint64_t OnDiskBytes() const EXCLUDES(mu_);
   uint64_t C0LiveBytes() const;

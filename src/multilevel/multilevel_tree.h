@@ -42,6 +42,15 @@ struct MultilevelOptions {
   uint64_t base_level_bytes = 10 << 20;  // L1 target; Li = base * ratio^(i-1)
   int level_ratio = 10;
 
+  // Independent output files of one partitioned compaction are built by
+  // this many concurrent builders (engine::TaskPipeline); the merge loop
+  // only partitions the record stream. 1 = the classic serial builder.
+  // Applies only where a compaction cuts multiple output files (leveled
+  // partitioned merges); flushes and tiered single-run outputs stay serial.
+  // All builder writes remain charged to the pass's IoPriority class, so a
+  // shared IoRateLimiter still arbitrates the total background write rate.
+  int compaction_builder_threads = 2;
+
   // L0 file-count triggers (LevelDB defaults scaled): at `slowdown` each
   // write waits one bounded interval on the engine::StallTracker CondVar
   // (signaled early if compaction publishes progress); at `stop` writes
@@ -108,6 +117,9 @@ struct MultilevelStats {
   // amplification — the quantity the compaction-policy ablation measures.
   std::atomic<uint64_t> level_write_bytes[kNumLevels] = {};
   std::atomic<uint64_t> compaction_retries{0};
+  // Output files built by the parallel-builder path (a subset of the files
+  // counted into level_write_bytes).
+  std::atomic<uint64_t> parallel_output_builds{0};
   std::atomic<uint64_t> orphans_scavenged{0};
   // Read-path counters: view pins (one per Get/MultiGet/scan) and MultiGet
   // batches. (No block coalescing here — the multilevel read path probes
@@ -200,6 +212,10 @@ class MultilevelTree {
     return cache_ != nullptr ? cache_->misses() : 0;
   }
 
+  // Terminal-Env IO counters (io.* in kv::Engine::Stats()); nullptr when
+  // the Env stack has no counting terminal.
+  const EnvIoCounters* IoCounters() const { return env_->io_counters(); }
+
  private:
   // The immutable tree shape a reader sees: memtable pair + version.
   // Published on every structural change (memtable swap via the front-end
@@ -242,6 +258,13 @@ class MultilevelTree {
   // Writes the sorted stream from `input` into output files of at most
   // `file_bytes_cap` bytes at `output_level`; `bottom` enables tombstone
   // dropping.
+  // The multi-builder variant of WriteOutputFiles: partitions the record
+  // stream into per-file batches and builds the files on a TaskPipeline.
+  Status WriteOutputFilesParallel(InternalIterator* input, int output_level,
+                                  bool bottom, size_t file_bytes_cap,
+                                  int threads,
+                                  std::vector<FileMetaPtr>* outputs)
+      EXCLUDES(mu_);
   Status WriteOutputFiles(InternalIterator* input, int output_level,
                           bool bottom, size_t file_bytes_cap,
                           std::vector<FileMetaPtr>* outputs) EXCLUDES(mu_);

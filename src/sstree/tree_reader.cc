@@ -152,44 +152,21 @@ std::vector<std::optional<TreeReader::GetResult>> TreeReader::MultiGet(
   io_statuses->assign(user_keys.size(), Status::OK());
   if (footer_.index_levels == 0) return results;  // empty component
 
-  // Resolves the cursor (positioned at the first entry >= the key's lookup
-  // target) into results[idx]; a mismatched user key simply means absent.
-  auto fill = [&](BlockCursor& cursor, size_t idx) {
-    ParsedInternalKey parsed;
-    if (!ParseInternalKey(cursor.key(), &parsed)) {
-      (*io_statuses)[idx] = Status::Corruption("bad internal key");
-      return;
-    }
-    if (parsed.user_key != user_keys[idx]) return;
-    GetResult result;
-    result.type = parsed.type;
-    result.seq = parsed.seq;
-    result.value.assign(cursor.value().data(), cursor.value().size());
-    results[idx] = std::move(result);
+  // Phase 1: resolve every key to its data-block pointer by descending the
+  // index levels (through the cache — index blocks are hot by design). The
+  // data blocks themselves are NOT read here; collecting all the pointers
+  // first is what lets phase 2 fetch the misses as one batch.
+  struct KeyPlan {
+    BlockPointer ptr;
+    bool resolved = false;
+    size_t block_slot = 0;  // index into `blocks`, set in phase 2
   };
+  std::vector<KeyPlan> plans(user_keys.size());
+  std::vector<std::string> targets(user_keys.size());
+  size_t limit = user_keys.size();
 
-  BlockCache::BlockHandle data_handle;  // most recently decoded data block
-  bool have_data_block = false;
-  std::string target;
-
-  for (size_t i = 0; i < user_keys.size(); i++) {
-    target = InternalLookupKey(user_keys[i]);
-
-    // Try the previous key's data block first. With ascending targets a hit
-    // here is globally correct: every block before it holds only keys below
-    // the previous target, hence below this one, so the first entry >=
-    // target inside this block is the first in the whole component.
-    if (have_data_block) {
-      BlockCursor cursor{Slice(*data_handle)};
-      cursor.Seek(target);
-      if (cursor.Valid()) {
-        if (blocks_coalesced != nullptr) (*blocks_coalesced)++;
-        fill(cursor, i);
-        continue;
-      }
-    }
-
-    // Fresh descent from the root.
+  for (size_t i = 0; i < limit; i++) {
+    targets[i] = InternalLookupKey(user_keys[i]);
     BlockPointer ptr{footer_.root_offset, footer_.root_size};
     BlockCache::BlockHandle handle;
     bool descended = true;
@@ -201,12 +178,13 @@ std::vector<std::optional<TreeReader::GetResult>> TreeReader::MultiGet(
         break;
       }
       BlockCursor cursor{Slice(*handle)};
-      cursor.Seek(target);
+      cursor.Seek(targets[i]);
       if (!cursor.Valid()) {
         if (level == 0) {
           // Past the component's largest key — and so is every later key of
           // this ascending batch.
-          return results;
+          limit = i;
+          break;
         }
         // A parent entry promised this subtree's last key >= target.
         (*io_statuses)[i] = Status::Corruption("bad index entry");
@@ -220,18 +198,110 @@ std::vector<std::optional<TreeReader::GetResult>> TreeReader::MultiGet(
         break;
       }
     }
-    if (!descended) continue;
+    if (i < limit && descended) {
+      plans[i].ptr = ptr;
+      plans[i].resolved = true;
+    }
+  }
 
-    Status s = ReadBlock(ptr, /*fill_cache=*/true, &handle);
-    if (!s.ok()) {
-      (*io_statuses)[i] = s;
+  // Phase 2: unique data blocks, in key order. Ascending keys resolve to
+  // non-decreasing block offsets, so consecutive dedup is global dedup; a
+  // repeat is exactly the block reuse the old one-block lookbehind counted.
+  struct BlockSlot {
+    BlockPointer ptr;
+    BlockCache::BlockHandle handle;  // null until fetched
+    Status status;
+    size_t batch_index = 0;  // position in `batch` when it is a cache miss
+    bool miss = false;
+  };
+  std::vector<BlockSlot> blocks;
+  for (size_t i = 0; i < limit; i++) {
+    if (!plans[i].resolved) continue;
+    if (!blocks.empty() && blocks.back().ptr.offset == plans[i].ptr.offset &&
+        blocks.back().ptr.size == plans[i].ptr.size) {
+      if (blocks_coalesced != nullptr) (*blocks_coalesced)++;
+    } else {
+      BlockSlot slot;
+      slot.ptr = plans[i].ptr;
+      if (cache_ != nullptr) slot.handle = cache_->Lookup(file_id_, slot.ptr.offset);
+      slot.miss = slot.handle == nullptr;
+      blocks.push_back(std::move(slot));
+    }
+    plans[i].block_slot = blocks.size() - 1;
+  }
+
+  // One batched submission for every miss. scratch_arena is sized up front
+  // so the per-request scratch pointers stay stable.
+  std::vector<ReadRequest> batch;
+  size_t scratch_bytes = 0;
+  for (auto& slot : blocks) {
+    if (slot.miss) scratch_bytes += slot.ptr.size;
+  }
+  std::string scratch_arena(scratch_bytes, '\0');
+  size_t scratch_pos = 0;
+  for (auto& slot : blocks) {
+    if (!slot.miss) continue;
+    ReadRequest req;
+    req.offset = slot.ptr.offset;
+    req.len = slot.ptr.size;
+    req.scratch = scratch_arena.data() + scratch_pos;
+    scratch_pos += slot.ptr.size;
+    slot.batch_index = batch.size();
+    batch.push_back(req);
+  }
+  if (!batch.empty()) {
+    Status s = file_->MultiRead(batch.data(), batch.size());
+    for (auto& slot : blocks) {
+      if (!slot.miss) continue;
+      ReadRequest& req = batch[slot.batch_index];
+      Status rs = s.ok() ? req.status : s;
+      if (rs.ok() && req.result.size() != slot.ptr.size) {
+        rs = Status::Corruption(fname_ + " @" +
+                                std::to_string(slot.ptr.offset) +
+                                ": short block read");
+      }
+      Slice payload;
+      if (rs.ok()) {
+        rs = VerifyBlock(req.result, &payload);
+        if (!rs.ok()) {
+          rs = Status::Corruption(fname_ + " @" +
+                                  std::to_string(slot.ptr.offset) + ": " +
+                                  rs.ToString());
+        }
+      }
+      if (!rs.ok()) {
+        slot.status = rs;
+        continue;
+      }
+      auto block =
+          std::make_shared<std::string>(payload.data(), payload.size());
+      if (cache_ != nullptr) cache_->Insert(file_id_, slot.ptr.offset, block);
+      slot.handle = std::move(block);
+    }
+  }
+
+  // Phase 3: resolve each key inside its (now in-memory) data block.
+  for (size_t i = 0; i < limit; i++) {
+    if (!plans[i].resolved || !(*io_statuses)[i].ok()) continue;
+    BlockSlot& slot = blocks[plans[i].block_slot];
+    if (!slot.status.ok()) {
+      (*io_statuses)[i] = slot.status;
       continue;
     }
-    data_handle = std::move(handle);
-    have_data_block = true;
-    BlockCursor cursor{Slice(*data_handle)};
-    cursor.Seek(target);
-    if (cursor.Valid()) fill(cursor, i);
+    BlockCursor cursor{Slice(*slot.handle)};
+    cursor.Seek(targets[i]);
+    if (!cursor.Valid()) continue;  // key beyond this block: absent
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(cursor.key(), &parsed)) {
+      (*io_statuses)[i] = Status::Corruption("bad internal key");
+      continue;
+    }
+    if (parsed.user_key != user_keys[i]) continue;
+    GetResult result;
+    result.type = parsed.type;
+    result.seq = parsed.seq;
+    result.value.assign(cursor.value().data(), cursor.value().size());
+    results[i] = std::move(result);
   }
   return results;
 }
@@ -321,8 +391,19 @@ Status TreeReader::VerifyAllBlocks(uint64_t* bad_offset) const {
 
 // --- TreeIterator -----------------------------------------------------------
 
+namespace {
+constexpr uint64_t kInitialReadAheadBytes = 16 << 10;
+// A scan's hinted-but-unread tail is pure wasted IO (a merge input has no
+// tail — it reads to the end), so the window cap is much smaller for
+// seek-positioned iterators than for sequential ones.
+constexpr uint64_t kScanReadAheadCap = 64 << 10;
+constexpr uint64_t kMergeReadAheadCap = 256 << 10;
+}  // namespace
+
 TreeIterator::TreeIterator(const TreeReader* tree, bool sequential)
-    : tree_(tree), sequential_(sequential) {}
+    : tree_(tree),
+      sequential_(sequential),
+      readahead_bytes_(sequential ? kMergeReadAheadCap : 0) {}
 
 bool TreeIterator::DescendFrom(size_t i, const Slice* seek_target) {
   // levels_[i] must be a valid index cursor; loads its child into
@@ -338,6 +419,23 @@ bool TreeIterator::DescendFrom(size_t i, const Slice* seek_target) {
   if (!s.ok()) {
     status_ = s;
     return false;
+  }
+  if (i + 2 == levels_.size()) {
+    // Child is a data block: keep the kernel readahead frontier ahead of
+    // the traversal (merges and scans both walk data blocks in file
+    // order). The window starts small and doubles per continued descent so
+    // a seek that never advances past one block hints nothing.
+    uint64_t end = ptr.offset + ptr.size;
+    if (end >= readahead_until_ && end < tree_->data_bytes()) {
+      if (readahead_bytes_ == 0) {
+        readahead_bytes_ = kInitialReadAheadBytes;  // armed; hint next time
+      } else {
+        uint64_t cap = sequential_ ? kMergeReadAheadCap : kScanReadAheadCap;
+        tree_->HintReadAhead(end, readahead_bytes_);
+        readahead_until_ = end + readahead_bytes_;
+        readahead_bytes_ = std::min(cap, readahead_bytes_ * 2);
+      }
+    }
   }
   Level& child = levels_[i + 1];
   child.handle = std::move(handle);

@@ -79,6 +79,12 @@ class TreeReader {
   Status ReadBlock(const BlockPointer& ptr, bool fill_cache,
                    BlockCache::BlockHandle* out) const;
 
+  // Advisory prefetch passthrough to the underlying file (iterator
+  // readahead). Never fails; a no-op on environments without it.
+  void HintReadAhead(uint64_t offset, uint64_t len) const {
+    file_->ReadAheadHint(offset, len);
+  }
+
   // Offline/paranoid verification: reads and checksums every reachable
   // block — the index levels, every data block, and the Bloom filter —
   // bypassing the cache, and cross-checks the record count against the
@@ -141,6 +147,17 @@ class TreeIterator {
   std::vector<Level> levels_;  // [0] = root ... back() = data block
   bool valid_ = false;
   Status status_;
+  // Data blocks sit contiguously from offset 0 in build order, so "the next
+  // blocks in the file" are exactly the blocks this iterator will visit
+  // next. Each time the traversal catches up with the hinted frontier, the
+  // next chunk is hinted. The window auto-scales: a fresh non-sequential
+  // iterator hints nothing on its first data block (a seek proves no
+  // intent to keep reading — and a multilevel scan seeks one iterator per
+  // run, most of which are read once or never), then doubles the window on
+  // each continued traversal up to the cap. Merge inputs (sequential_)
+  // start at the cap: they always read to the end.
+  uint64_t readahead_until_ = 0;
+  uint64_t readahead_bytes_ = 0;  // 0 = not armed yet
 };
 
 }  // namespace blsm::sstree

@@ -31,6 +31,14 @@ Rules (see docs/static_analysis.md):
                 proportional one-shot delay is the sanctioned exception
                 (annotated with lint:allow at the call site).
 
+  raw-io        pread / pwrite / preadv / pwritev and bare ::read() /
+                ::write() anywhere outside src/io/. Every data-path byte
+                flows through the Env layer so counters, rate limiting,
+                fault injection, and batching all see it; a raw positional
+                IO call bypasses all four. Cache-control calls (::open,
+                ::fdatasync, ::posix_fadvise) are not data-path and stay
+                allowed.
+
   compaction-pick  Direct version_->levels / version_->LevelBytes access
                 inside a Pick* / CompactionPending / RunCompactionPass
                 body in src/multilevel/. Compaction decisions are pure
@@ -60,6 +68,9 @@ RAW_LOCK = re.compile(
     r"unique_lock|shared_lock|scoped_lock|condition_variable)\b"
 )
 LIBC_UNSAFE = re.compile(r"(?<![\w:.])(rand|sprintf)\s*\(")
+RAW_IO = re.compile(
+    r"(?<![\w:.>])(pread|pwrite|preadv|pwritev)\s*\(|::(read|write)\s*\("
+)
 ENGINE_INTERNAL_INCLUDE = re.compile(
     r'#\s*include\s+"(lsm|multilevel|btree|engine)/'
 )
@@ -96,6 +107,7 @@ def lint_file(path: Path, violations) -> None:
     rel = path.relative_to(REPO)
     rel_str = str(rel)
     in_util = rel_str.startswith("src/util/")
+    in_io = rel_str.startswith("src/io/")
     in_bench_cc = rel_str.startswith("bench/") and path.suffix != ".h"
     in_write_path = rel_str.startswith(WRITE_PATH_FILES)
     in_read_path_dir = rel_str.startswith(("src/lsm/", "src/multilevel/"))
@@ -120,6 +132,13 @@ def lint_file(path: Path, violations) -> None:
                 violations.append(
                     (rel_str, lineno, "libc-unsafe",
                      "rand()/sprintf banned; use util::Random / snprintf")
+                )
+        if not in_io and RAW_IO.search(code):
+            if not allowed(line, "raw-io", violations, rel_str, lineno):
+                violations.append(
+                    (rel_str, lineno, "raw-io",
+                     "raw positional IO outside src/io/; bytes go through "
+                     "the Env layer (counters, limiter, faults, batching)")
                 )
         if in_bench_cc and ENGINE_INTERNAL_INCLUDE.search(code):
             if not allowed(line, "bench-include", violations, rel_str,

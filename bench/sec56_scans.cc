@@ -12,7 +12,6 @@
 #include <chrono>
 
 #include "harness.h"
-#include "io/unbatched_env.h"
 #include "util/random.h"
 #include "ycsb/generator.h"
 
@@ -54,9 +53,10 @@ void EvictDir(const std::string& dir) {
 }
 
 // Readahead ablation: long scans over each compaction policy's layout, with
-// the iterator's ReadAheadHint stream either delivered (normal env) or
-// dropped (UnbatchedEnv). Tiered/lazy layouts stack more runs per scan, so
-// they issue more hint streams per seek position.
+// the per-scan readahead knob (kv::ReadOptions::readahead_bytes) either set
+// to a 64 KiB hint-window cap or left at its default 0 (hints off).
+// Tiered/lazy layouts stack more runs per scan, so they issue more hint
+// streams per seek position.
 void RunScanReadaheadAblation(blsm::bench::Workspace& ws, uint64_t records) {
   using namespace blsm;
   using namespace blsm::bench;
@@ -67,6 +67,7 @@ void RunScanReadaheadAblation(blsm::bench::Workspace& ws, uint64_t records) {
                              "lazy-leveling"};
   const int kScans = 200;
   const size_t kScanRows = 200;
+  const uint64_t kScanReadAheadBytes = 64 << 10;
   ycsb::ValueGenerator values(29);
 
   printf("%-16s %10s %10s %8s %8s %8s %8s\n", "policy", "ra-on(s)",
@@ -88,19 +89,18 @@ void RunScanReadaheadAblation(blsm::bench::Workspace& ws, uint64_t records) {
       CheckOk(tree->CompactAll(), "settle");
     }
 
-    UnbatchedEnv no_readahead(ws.env());
     double elapsed[2] = {0, 0};
     double read_mb[2] = {0, 0};
     uint64_t hints = 0;
     for (int off = 0; off < 2; off++) {
-      Env* env = off == 0 ? ws.env() : static_cast<Env*>(&no_readahead);
-      multilevel::MultilevelOptions o = DefaultMultilevelOptions(env);
+      const uint64_t readahead = off == 0 ? kScanReadAheadBytes : 0;
+      multilevel::MultilevelOptions o = DefaultMultilevelOptions(ws.env());
       CheckOk(engine::ParseCompactionConfig(policy, &o.compaction),
               "parse policy");
       o.read_only = true;
       std::unique_ptr<multilevel::MultilevelTree> tree;
       CheckOk(multilevel::MultilevelTree::Open(o, dir, &tree), "reopen");
-      const EnvIoCounters* io = env->io_counters();
+      const EnvIoCounters* io = ws.env()->io_counters();
       uint64_t hints_before = io != nullptr ? io->readahead_hints.load() : 0;
       uint64_t reads_before = io != nullptr ? io->read_bytes.load() : 0;
       Random rnd(0x5eed);
@@ -114,7 +114,7 @@ void RunScanReadaheadAblation(blsm::bench::Workspace& ws, uint64_t records) {
         auto t0 = std::chrono::steady_clock::now();
         for (int i = 0; i < kSegment; i++) {
           CheckOk(tree->Scan(ycsb::FormatKey(rnd.Uniform(records), false),
-                             kScanRows, &out),
+                             kScanRows, &out, readahead),
                   "ablation scan");
         }
         elapsed[off] += std::chrono::duration<double>(
@@ -131,6 +131,7 @@ void RunScanReadaheadAblation(blsm::bench::Workspace& ws, uint64_t records) {
       report.AddRow()
           .Str("policy", policy)
           .Str("readahead", off == 0 ? "on" : "off")
+          .Num("readahead_bytes", static_cast<double>(readahead))
           .Num("elapsed_seconds", elapsed[off])
           .Num("scans_per_second", kScans / elapsed[off])
           .Num("read_mb", read_mb[off])

@@ -117,7 +117,11 @@ class BTree {
 
   BTreeOptions options_;
   Env* env_;
-  mutable util::Mutex mu_;
+  // analyze:allow(blocking-under-lock) the B-tree is the paper's
+  // conventional-engine baseline: one big lock over the buffer pool with
+  // page IO underneath is exactly the design being compared against, so the
+  // no-IO-under-lock invariant deliberately does not apply to this engine.
+  mutable util::Mutex mu_{util::lock_rank::kBTreeMu};
   MetaPage meta_ GUARDED_BY(mu_);
   BufferPool pool_ GUARDED_BY(mu_);
 };

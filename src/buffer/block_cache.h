@@ -63,7 +63,7 @@ class BlockCache {
   // the same line between cores (false sharing); now a lookup only touches
   // state the shard's mutex already made core-local.
   struct alignas(64) Shard {
-    util::Mutex mu;
+    util::Mutex mu{util::lock_rank::kShardMu};
     // CLOCK ring: slots are reused in place; `hand` sweeps looking for an
     // unreferenced victim.
     std::vector<std::unique_ptr<Entry>> ring GUARDED_BY(mu);

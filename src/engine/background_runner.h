@@ -48,7 +48,7 @@ class TaskPipeline final : public sstree::AppendExecutor {
   const int limit_;
   const int io_priority_index_;  // tag captured at construction, -1 untagged
 
-  util::Mutex mu_;
+  util::Mutex mu_{util::lock_rank::kTaskPipelineMu};
   util::CondVar cv_;
   std::deque<std::function<Status()>> queue_ GUARDED_BY(mu_);
   int active_ GUARDED_BY(mu_) = 0;
@@ -159,7 +159,7 @@ class BackgroundRunner {
   Env* env_;
   BackgroundPolicy policy_;
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::lock_rank::kBackgroundRunnerMu};
   util::CondVar work_cv_;  // wakes workers
   util::CondVar idle_cv_;  // signals pass completion to waiters
   Status bg_error_ GUARDED_BY(mu_);

@@ -96,7 +96,7 @@ class IoRateLimiter {
   const uint64_t refill_period_micros_;
   const int fairness_;
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::lock_rank::kIoRateLimiterMu};
   util::CondVar cv_;
   uint64_t rate_ GUARDED_BY(mu_);
   uint64_t tokens_ GUARDED_BY(mu_);

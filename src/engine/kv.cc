@@ -79,9 +79,9 @@ class BlsmEngine : public Engine {
       override {
     return tree_->ReadModifyWrite(key, update);
   }
-  Status Scan(const Slice& start, size_t limit,
+  Status Scan(const ReadOptions& options, const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out) override {
-    return tree_->Scan(start, limit, out);
+    return tree_->Scan(start, limit, out, options.readahead_bytes);
   }
   Status Flush() override { return tree_->Flush(); }
   void WaitIdle() override { tree_->WaitForMergeIdle(); }
@@ -159,9 +159,9 @@ class MultilevelEngine : public Engine {
       override {
     return tree_->ReadModifyWrite(key, update);
   }
-  Status Scan(const Slice& start, size_t limit,
+  Status Scan(const ReadOptions& options, const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out) override {
-    return tree_->Scan(start, limit, out);
+    return tree_->Scan(start, limit, out, options.readahead_bytes);
   }
   Status Flush() override { return tree_->CompactAll(); }
   void WaitIdle() override { tree_->WaitForIdle(); }
@@ -281,8 +281,11 @@ class BTreeEngine : public Engine {
     if (read_only_) return Status::NotSupported("engine is read-only");
     return tree_->ReadModifyWrite(key, update);
   }
-  Status Scan(const Slice& start, size_t limit,
+  // The B-tree reads leaf pages through its buffer pool; there is no hint
+  // stream to cap, so the readahead knob is ignored.
+  Status Scan(const ReadOptions& options, const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out) override {
+    (void)options;
     return tree_->Scan(start, limit, out);
   }
   Status Flush() override {
@@ -400,7 +403,7 @@ Status OpenBTree(const CommonOptions& common, const std::string& dir,
 // --- registry ---------------------------------------------------------------
 
 struct Registry {
-  util::Mutex mu;
+  util::Mutex mu{util::lock_rank::kRegistryMu};
   std::map<std::string, EngineFactory> factories GUARDED_BY(mu);
 
   Registry() {

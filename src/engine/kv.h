@@ -55,6 +55,20 @@ struct CommonOptions {
   std::string compaction_policy;
 };
 
+// Per-read tuning; passed by const reference so call sites can use a
+// default-constructed temporary.
+struct ReadOptions {
+  // Cap (bytes) on the scan iterator's kernel readahead-hint window. The
+  // default 0 disables per-scan hints entirely: on buffered storage the
+  // §5.6 ablation measured each WILLNEED hint as a net loss (~11 µs of
+  // submission with the kernel's own sequential readahead already covering
+  // a tight scan loop). Set a positive cap (e.g. 64 KiB) on seek-bound
+  // devices, where the hint stream is what turns N seeks into one.
+  // Merge/compaction inputs are unaffected — they always hint at the full
+  // merge window since they read their inputs to the end.
+  uint64_t readahead_bytes = 0;
+};
+
 // The unified engine interface: one API over bLSM, the multilevel LevelDB
 // stand-in, and the B-tree, so drivers, benches, and tools exercise all
 // three through identical code paths (the paper's whole evaluation setup).
@@ -88,8 +102,13 @@ class Engine {
       const std::function<std::string(const std::string& old, bool absent)>&
           update) = 0;
   virtual Status Scan(
-      const Slice& start, size_t limit,
+      const ReadOptions& options, const Slice& start, size_t limit,
       std::vector<std::pair<std::string, std::string>>* out) = 0;
+  // Default-options convenience overload (scan readahead hints off).
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) {
+    return Scan(ReadOptions(), start, limit, out);
+  }
 
   // Pushes buffered writes down one durable step (memtable flush /
   // checkpoint) and waits for it.

@@ -61,7 +61,7 @@ class StallTracker {
   }
 
  private:
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::lock_rank::kStallTrackerMu};
   util::CondVar cv_;
   Histogram hist_ GUARDED_BY(mu_);
 };

@@ -159,11 +159,15 @@ class WriteFrontend {
   std::unique_ptr<LogicalLog> log_;
 
   // Writers shared, memtable swaps exclusive.
-  mutable util::SharedMutex swap_mu_;
+  // analyze:allow(blocking-under-lock) writers perform group-commit WAL
+  // appends while holding swap_mu_ shared by design — the shared mode means
+  // WAL IO never blocks other writers, only delays a memtable swap, and the
+  // swap path tolerates that (bLSM bounds it via the merge scheduler).
+  mutable util::SharedMutex swap_mu_{util::lock_rank::kWriteFrontendSwapMu};
 
   // Serializes pair swaps (Freeze/DropFrozen/TruncateToActive); readers
   // never take it — they load pair_ directly.
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::lock_rank::kWriteFrontendMu};
   // RCU publication point for the memtable pair. Stores happen only under
   // mu_ (and, for active-memtable swaps, under swap_mu_ exclusive); loads
   // are unsynchronized by design.

@@ -185,7 +185,7 @@ class FaultInjectionEnv final : public Env {
   std::atomic<uint64_t> bit_flips_{0};
   std::atomic<uint64_t> swallowed_syncs_{0};
 
-  util::Mutex policy_mu_;
+  util::Mutex policy_mu_{util::lock_rank::kFaultInjectionEnvPolicyMu};
   FaultPolicy policy_ GUARDED_BY(policy_mu_);
   std::atomic<bool> policy_active_{false};
   Random rng_ GUARDED_BY(policy_mu_) = Random(0);

@@ -8,7 +8,7 @@
 namespace blsm {
 
 struct MemEnv::FileState {
-  util::Mutex mu;
+  util::Mutex mu{util::lock_rank::kFileStateMu};
   std::string data GUARDED_BY(mu);
   size_t synced_len GUARDED_BY(mu) = 0;
 };

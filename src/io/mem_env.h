@@ -55,7 +55,7 @@ class MemEnv final : public Env {
   struct FileState;  // public so file implementations in the .cc can use it
 
  private:
-  util::Mutex mu_;
+  util::Mutex mu_{util::lock_rank::kMemEnvMu};
   std::map<std::string, std::shared_ptr<FileState>> files_ GUARDED_BY(mu_);
   std::set<std::string> dirs_ GUARDED_BY(mu_);
   EnvIoCounters counters_;

@@ -245,7 +245,7 @@ class AlignedBufferPool {
 
  private:
   std::vector<char*> slabs_;
-  util::Mutex mu_;
+  util::Mutex mu_{util::lock_rank::kAlignedBufferPoolMu};
   std::vector<int> free_ GUARDED_BY(mu_);
 };
 
@@ -324,7 +324,6 @@ class UringRandomAccessFile final : public RandomAccessFile {
   };
 
   void DoReads(ReadRequest* reqs, size_t n) const {
-    util::MutexLock l(&mu_);
     std::vector<UringQueue::Op> ops(n);
     std::vector<DirectWindow> windows(direct_ ? n : 0);
     for (size_t i = 0; i < n; i++) {
@@ -336,7 +335,15 @@ class UringRandomAccessFile final : public RandomAccessFile {
         ops[i].len = static_cast<unsigned>(reqs[i].len);
       }
     }
-    const bool ring_ok = queue_->Run(fd_, ops.data(), n);
+    // Only the ring submission itself needs the mutex (it serializes SQE/CQE
+    // access); window prep hits the internally-locked buffer pool, and the
+    // fallback preads plus result copies must not block other readers of
+    // this file.
+    bool ring_ok;
+    {
+      util::MutexLock l(&mu_);
+      ring_ok = queue_->Run(fd_, ops.data(), n);
+    }
     for (size_t i = 0; i < n; i++) {
       if (!ring_ok) {
         // Ring died mid-flight: synchronous fallback keeps the request
@@ -407,7 +414,10 @@ class UringRandomAccessFile final : public RandomAccessFile {
 
   std::string fname_;
   int fd_;
-  mutable util::Mutex mu_;  // serializes ring access
+  // analyze:allow(blocking-under-lock) mu_ serializes SQE/CQE access on the
+  // per-file ring; the submit-and-wait is the operation it protects. The
+  // fallback preads and result copies run outside it (see DoReads).
+  mutable util::Mutex mu_{util::lock_rank::kUringRandomAccessFileMu};  // ring
   std::unique_ptr<UringQueue> queue_;
   bool direct_;
   size_t alignment_;

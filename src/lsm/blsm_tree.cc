@@ -737,7 +737,8 @@ Status BlsmTree::ReadModifyWrite(
 
 // --- scans ------------------------------------------------------------------
 
-std::unique_ptr<ScanIterator> BlsmTree::NewScanIterator() {
+std::unique_ptr<ScanIterator> BlsmTree::NewScanIterator(
+    uint64_t readahead_bytes) {
   ReadViewPtr view = PinView();
   std::vector<std::unique_ptr<InternalIterator>> children;
   std::vector<std::shared_ptr<void>> pins;
@@ -747,8 +748,8 @@ std::unique_ptr<ScanIterator> BlsmTree::NewScanIterator() {
   }
   for (const ComponentPtr& comp : {view->c1, view->c1_prime, view->c2}) {
     if (comp == nullptr) continue;
-    children.push_back(
-        NewTreeComponentIterator(comp->reader.get(), /*sequential=*/false));
+    children.push_back(NewTreeComponentIterator(
+        comp->reader.get(), /*sequential=*/false, readahead_bytes));
     pins.push_back(comp);
   }
   auto merged = std::make_unique<MergingIterator>(std::move(children));
@@ -757,9 +758,10 @@ std::unique_ptr<ScanIterator> BlsmTree::NewScanIterator() {
 }
 
 Status BlsmTree::Scan(const Slice& start, size_t limit,
-                      std::vector<std::pair<std::string, std::string>>* out) {
+                      std::vector<std::pair<std::string, std::string>>* out,
+                      uint64_t readahead_bytes) {
   out->clear();
-  auto it = NewScanIterator();
+  auto it = NewScanIterator(readahead_bytes);
   for (it->Seek(start); it->Valid() && out->size() < limit; it->Next()) {
     out->emplace_back(it->key().ToString(), it->value().ToString());
   }

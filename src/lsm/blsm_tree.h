@@ -181,12 +181,15 @@ class BlsmTree {
 
   // Range scan from `start` (inclusive): up to `limit` user records, newest
   // versions, deltas applied, tombstones elided. Touches every component
-  // (§3.3): 2-3 seeks regardless of scan length.
+  // (§3.3): 2-3 seeks regardless of scan length. `readahead_bytes` caps the
+  // per-component readahead-hint window; 0 (default) leaves hints off, the
+  // right call on buffered storage (see kv::ReadOptions::readahead_bytes).
   Status Scan(const Slice& start, size_t limit,
-              std::vector<std::pair<std::string, std::string>>* out);
+              std::vector<std::pair<std::string, std::string>>* out,
+              uint64_t readahead_bytes = 0);
 
   // Streaming scan; see ScanIterator below.
-  std::unique_ptr<ScanIterator> NewScanIterator();
+  std::unique_ptr<ScanIterator> NewScanIterator(uint64_t readahead_bytes = 0);
 
   // Pushes C0 into C1 and waits (one synchronous merge pass).
   Status Flush();
@@ -340,7 +343,7 @@ class BlsmTree {
   std::unique_ptr<engine::WriteFrontend> frontend_;
   std::unique_ptr<engine::BackgroundRunner> runner_;
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::lock_rank::kBlsmTreeMu};
   ComponentPtr c1_ GUARDED_BY(mu_);
   ComponentPtr c1_prime_ GUARDED_BY(mu_);
   ComponentPtr c2_ GUARDED_BY(mu_);
@@ -364,7 +367,10 @@ class BlsmTree {
   MergeProgress progress2_;
 
   uint64_t manifest_build_version_ GUARDED_BY(mu_) = 0;
-  util::Mutex manifest_io_mu_;
+  // analyze:allow(blocking-under-lock) manifest_io_mu_ serializes and
+  // deduplicates manifest fsyncs outside mu_; the write happening under it
+  // is its whole purpose and never stalls foreground writers.
+  util::Mutex manifest_io_mu_{util::lock_rank::kBlsmTreeManifestIoMu};
   uint64_t manifest_written_version_ GUARDED_BY(manifest_io_mu_) = 0;
 
   // Stalled writers sleep here; PublishView signals it on every structural

@@ -529,7 +529,8 @@ Status MultilevelTree::GetFromView(const Slice& key, const ReadView& view,
 
 Status MultilevelTree::Scan(
     const Slice& start, size_t limit,
-    std::vector<std::pair<std::string, std::string>>* out) {
+    std::vector<std::pair<std::string, std::string>>* out,
+    uint64_t readahead_bytes) {
   out->clear();
   ReadViewPtr view = PinView();
 
@@ -541,8 +542,8 @@ Status MultilevelTree::Scan(
   }
   for (int level = 0; level < kNumLevels; level++) {
     for (const auto& f : view->version->levels[level]) {
-      children.push_back(
-          NewTreeComponentIterator(f->reader.get(), /*sequential=*/false));
+      children.push_back(NewTreeComponentIterator(
+          f->reader.get(), /*sequential=*/false, readahead_bytes));
       pins.push_back(f);
     }
   }

@@ -177,8 +177,11 @@ class MultilevelTree {
       const std::function<std::string(const std::string& old, bool absent)>&
           update);
 
+  // `readahead_bytes` caps each run iterator's readahead-hint window;
+  // 0 (default) leaves hints off (see kv::ReadOptions::readahead_bytes).
   Status Scan(const Slice& start, size_t limit,
-              std::vector<std::pair<std::string, std::string>>* out);
+              std::vector<std::pair<std::string, std::string>>* out,
+              uint64_t readahead_bytes = 0);
 
   // Flushes the memtable and compacts until every level is within target.
   Status CompactAll() EXCLUDES(mu_);
@@ -294,7 +297,7 @@ class MultilevelTree {
   // Worker thread, retry/backoff, error latch, quiesce waits.
   std::unique_ptr<engine::BackgroundRunner> runner_;
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::lock_rank::kMultilevelTreeMu};
   VersionPtr version_ GUARDED_BY(mu_);
   // RCU publication point for the read path; stores only in PublishView
   // (under mu_), loads lock-free.
@@ -303,7 +306,10 @@ class MultilevelTree {
   // Round-robin compaction cursors (LevelDB's partition scheduler state).
   std::string compact_cursor_[kNumLevels] GUARDED_BY(mu_);
   uint64_t manifest_build_version_ GUARDED_BY(mu_) = 0;
-  util::Mutex manifest_io_mu_;
+  // analyze:allow(blocking-under-lock) manifest_io_mu_ serializes and
+  // deduplicates manifest fsyncs outside mu_; the write happening under it
+  // is its whole purpose and never stalls foreground writers.
+  util::Mutex manifest_io_mu_{util::lock_rank::kMultilevelTreeManifestIoMu};
   uint64_t manifest_written_version_ GUARDED_BY(manifest_io_mu_) = 0;
 
   // Stalled writers sleep here; PublishView signals it on every structural

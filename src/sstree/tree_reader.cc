@@ -306,8 +306,10 @@ std::vector<std::optional<TreeReader::GetResult>> TreeReader::MultiGet(
   return results;
 }
 
-std::unique_ptr<TreeIterator> TreeReader::NewIterator(bool sequential) const {
-  return std::make_unique<TreeIterator>(this, sequential);
+std::unique_ptr<TreeIterator> TreeReader::NewIterator(
+    bool sequential, uint64_t scan_readahead_bytes) const {
+  return std::make_unique<TreeIterator>(this, sequential,
+                                        scan_readahead_bytes);
 }
 
 Status TreeReader::VerifyBlockAt(const BlockPointer& ptr, uint32_t depth,
@@ -394,15 +396,17 @@ Status TreeReader::VerifyAllBlocks(uint64_t* bad_offset) const {
 namespace {
 constexpr uint64_t kInitialReadAheadBytes = 16 << 10;
 // A scan's hinted-but-unread tail is pure wasted IO (a merge input has no
-// tail — it reads to the end), so the window cap is much smaller for
-// seek-positioned iterators than for sequential ones.
-constexpr uint64_t kScanReadAheadCap = 64 << 10;
+// tail — it reads to the end), so seek-positioned iterators only hint when
+// the caller opts in with a per-scan cap (ReadOptions::readahead_bytes),
+// which is typically much smaller than the merge window.
 constexpr uint64_t kMergeReadAheadCap = 256 << 10;
 }  // namespace
 
-TreeIterator::TreeIterator(const TreeReader* tree, bool sequential)
+TreeIterator::TreeIterator(const TreeReader* tree, bool sequential,
+                           uint64_t scan_readahead_bytes)
     : tree_(tree),
       sequential_(sequential),
+      scan_readahead_cap_(scan_readahead_bytes),
       readahead_bytes_(sequential ? kMergeReadAheadCap : 0) {}
 
 bool TreeIterator::DescendFrom(size_t i, const Slice* seek_target) {
@@ -424,13 +428,15 @@ bool TreeIterator::DescendFrom(size_t i, const Slice* seek_target) {
     // Child is a data block: keep the kernel readahead frontier ahead of
     // the traversal (merges and scans both walk data blocks in file
     // order). The window starts small and doubles per continued descent so
-    // a seek that never advances past one block hints nothing.
+    // a seek that never advances past one block hints nothing. A zero cap
+    // (the scan default) disables hints for this iterator.
+    uint64_t cap = sequential_ ? kMergeReadAheadCap : scan_readahead_cap_;
     uint64_t end = ptr.offset + ptr.size;
-    if (end >= readahead_until_ && end < tree_->data_bytes()) {
+    if (cap > 0 && end >= readahead_until_ && end < tree_->data_bytes()) {
       if (readahead_bytes_ == 0) {
-        readahead_bytes_ = kInitialReadAheadBytes;  // armed; hint next time
+        // armed; hint next time
+        readahead_bytes_ = std::min(cap, kInitialReadAheadBytes);
       } else {
-        uint64_t cap = sequential_ ? kMergeReadAheadCap : kScanReadAheadCap;
         tree_->HintReadAhead(end, readahead_bytes_);
         readahead_until_ = end + readahead_bytes_;
         readahead_bytes_ = std::min(cap, readahead_bytes_ * 2);

@@ -64,7 +64,11 @@ class TreeReader {
   // `sequential` iterators bypass the block cache and are intended for
   // merges and long scans: they read blocks in file order, which the I/O
   // accounting (correctly) treats as sequential bandwidth rather than seeks.
-  std::unique_ptr<TreeIterator> NewIterator(bool sequential = false) const;
+  // `scan_readahead_bytes` caps the readahead-hint window of non-sequential
+  // iterators; 0 (the default) disables their hints entirely. Sequential
+  // iterators ignore it and always hint at the full merge window.
+  std::unique_ptr<TreeIterator> NewIterator(
+      bool sequential = false, uint64_t scan_readahead_bytes = 0) const;
 
   uint64_t num_entries() const { return footer_.num_entries; }
   uint64_t data_bytes() const { return footer_.data_bytes; }
@@ -118,7 +122,8 @@ class TreeReader {
 // multi-level index with one cursor per level.
 class TreeIterator {
  public:
-  explicit TreeIterator(const TreeReader* tree, bool sequential);
+  TreeIterator(const TreeReader* tree, bool sequential,
+               uint64_t scan_readahead_bytes);
 
   bool Valid() const { return valid_; }
   void SeekToFirst();
@@ -155,7 +160,11 @@ class TreeIterator {
   // intent to keep reading — and a multilevel scan seeks one iterator per
   // run, most of which are read once or never), then doubles the window on
   // each continued traversal up to the cap. Merge inputs (sequential_)
-  // start at the cap: they always read to the end.
+  // start at the cap: they always read to the end. For non-sequential
+  // iterators the cap is the per-scan ReadOptions::readahead_bytes knob;
+  // its default of 0 keeps scan hints off (see EXPERIMENTS.md §5.6: on
+  // buffered storage each hint is a net loss).
+  uint64_t scan_readahead_cap_ = 0;
   uint64_t readahead_until_ = 0;
   uint64_t readahead_bytes_ = 0;  // 0 = not armed yet
 };

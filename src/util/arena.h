@@ -73,7 +73,7 @@ class Arena {
   // current_ is an atomic (not GUARDED_BY): the fast path reads it lock-free;
   // only installing a replacement serializes on mu_.
   std::atomic<Block*> current_;
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::lock_rank::kArenaMu};
   std::vector<std::unique_ptr<Block>> blocks_ GUARDED_BY(mu_);
   std::atomic<size_t> memory_usage_;
 };

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace blsm {
@@ -23,12 +24,30 @@ class CondVar;
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  // The lock id ties this mutex into the generated lock-order hierarchy
+  // (src/util/lock_rank.gen.h); under BLSM_LOCK_RANK_CHECKS every
+  // acquisition is checked against the ids already held by the thread.
+  // Id kUnranked (the default) opts out of checking.
+  explicit Mutex(int lock_id) : lock_id_(lock_id) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    BLSM_LOCK_RANK_CHECK_ACQUIRE(lock_id_);
+    mu_.lock();
+    BLSM_LOCK_RANK_PUSH(lock_id_);
+  }
+  void Unlock() RELEASE() {
+    BLSM_LOCK_RANK_POP(lock_id_);
+    mu_.unlock();
+  }
+  // TryLock cannot deadlock, so it records the hold without asserting
+  // order (an inversion through try-lock is benign by construction).
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    BLSM_LOCK_RANK_PUSH(lock_id_);
+    return true;
+  }
 
   // Tells the analysis (not the runtime) that the lock is held.
   void AssertHeld() ASSERT_CAPABILITY(this) {}
@@ -36,29 +55,54 @@ class CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;
+  int lock_id_ = lock_rank::kUnranked;
 };
 
 // A reader-writer lock. Writers take Lock(); readers take LockShared().
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(int lock_id) : lock_id_(lock_id) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    BLSM_LOCK_RANK_CHECK_ACQUIRE(lock_id_);
+    mu_.lock();
+    BLSM_LOCK_RANK_PUSH(lock_id_);
+  }
+  void Unlock() RELEASE() {
+    BLSM_LOCK_RANK_POP(lock_id_);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    BLSM_LOCK_RANK_PUSH(lock_id_);
+    return true;
+  }
 
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  // Shared acquisitions order-check exactly like exclusive ones: a
+  // reader blocking behind a writer deadlocks the same way.
+  void LockShared() ACQUIRE_SHARED() {
+    BLSM_LOCK_RANK_CHECK_ACQUIRE(lock_id_);
+    mu_.lock_shared();
+    BLSM_LOCK_RANK_PUSH(lock_id_);
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    BLSM_LOCK_RANK_POP(lock_id_);
+    mu_.unlock_shared();
+  }
   bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+    if (!mu_.try_lock_shared()) return false;
+    BLSM_LOCK_RANK_PUSH(lock_id_);
+    return true;
   }
 
   void AssertHeld() ASSERT_CAPABILITY(this) {}
 
  private:
   std::shared_mutex mu_;
+  int lock_id_ = lock_rank::kUnranked;
 };
 
 // Scoped exclusive lock over Mutex.

@@ -131,13 +131,16 @@ class LogicalLog {
   // written. Writer swaps (Open/Restart/Close) hold io_mu_ then mu_, so the
   // pointer is stable for any reader holding io_mu_. Lock order: io_mu_
   // before mu_; the leader never holds both across the write itself.
-  util::Mutex mu_;
+  util::Mutex mu_{util::lock_rank::kLogicalLogMu};
   util::CondVar cv_;
   std::deque<Waiter*> queue_ GUARDED_BY(mu_);
   Status bad_ GUARDED_BY(mu_);  // set on append/sync failure; cleared by
                                 // a successful Restart
 
-  util::Mutex io_mu_ ACQUIRED_BEFORE(mu_);
+  // analyze:allow(blocking-under-lock) io_mu_ exists to serialize WAL file
+  // IO: the group-commit leader appends and syncs under it while followers
+  // wait on mu_/cv_ only, so blocking here is the design, not a leak.
+  util::Mutex io_mu_ ACQUIRED_BEFORE(mu_){util::lock_rank::kLogicalLogIoMu};
   std::unique_ptr<wal::LogWriter> writer_ GUARDED_BY(io_mu_);
 
   std::atomic<uint64_t> records_{0};

@@ -46,7 +46,7 @@ class TimeSeries {
 
  private:
   uint64_t bucket_us_;
-  util::Mutex mu_;
+  util::Mutex mu_{util::lock_rank::kTimeSeriesMu};
   std::vector<TimeBucket> buckets_ GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,42 @@
+// Fixture: every function here must be flagged by blocking-under-lock.
+// These files are analyzer inputs, not compiled code (no includes needed);
+// the ctest driver asserts each *_bad.cc yields violations and each
+// *_good.cc is clean.
+
+namespace fixture {
+
+class FlushPath {
+ public:
+  // IO directly inside a lock scope.
+  void SyncUnderScope() {
+    util::MutexLock l(&mu_);
+    file_->Sync();
+  }
+
+  // IO inside a REQUIRES(mu_) body: the caller holds the lock for us.
+  void AppendHeld(const Slice& data) REQUIRES(mu_) {
+    file_->Append(data);
+  }
+
+  // Sleep while holding the lock — the bounded-write-latency killer.
+  void SleepUnderScope() {
+    util::MutexLock l(&mu_);
+    env_->SleepForMicroseconds(100);
+  }
+
+  // One level of helper indirection: the scope itself looks clean, but the
+  // helper it calls does the blocking work.
+  void SyncViaHelper() {
+    util::MutexLock l(&mu_);
+    HelperThatSyncs();
+  }
+
+ private:
+  void HelperThatSyncs() { file_->Sync(); }
+
+  mutable util::Mutex mu_;
+  Env* env_;
+  WritableFile* file_;
+};
+
+}  // namespace fixture

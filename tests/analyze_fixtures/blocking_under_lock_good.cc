@@ -1,0 +1,45 @@
+// Fixture: nothing here may be flagged by blocking-under-lock. Exercises
+// the shapes the pass must NOT trip over: IO after the scope closes, IO
+// outside any lock, CondVar waits under the lock (sanctioned), and a
+// suppressed call with a named reason.
+
+namespace fixture {
+
+class FlushPath {
+ public:
+  // Mutate state under the lock, do the IO after the scope closes — the
+  // narrowing this pass exists to enforce.
+  void SyncOutsideScope() {
+    {
+      util::MutexLock l(&mu_);
+      pending_ = 0;
+    }
+    file_->Sync();
+  }
+
+  // CondVar waits release the mutex; they are the sanctioned way to block.
+  void WaitForWork() {
+    util::MutexLock l(&mu_);
+    while (pending_ == 0) {
+      cv_.Wait();
+    }
+  }
+
+  // Pure CPU under REQUIRES is fine.
+  int CountHeld() REQUIRES(mu_) { return pending_ * 2; }
+
+  // Deliberate blocking with a named justification stays allowed.
+  void GroupCommit() {
+    util::MutexLock l(&mu_);
+    // analyze:allow(blocking-under-lock) fixture: group-commit leader syncs under the lock by design
+    file_->Sync();
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  int pending_ = 0;
+  WritableFile* file_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: the two methods acquire the same pair of mutexes in opposite
+// orders — the lock-order pass must report the cycle.
+
+namespace fixture {
+
+class TwoLocks {
+ public:
+  void First() {
+    util::MutexLock a(&alpha_);
+    util::MutexLock b(&beta_);
+    work_++;
+  }
+
+  void Second() {
+    util::MutexLock b(&beta_);
+    util::MutexLock a(&alpha_);
+    work_--;
+  }
+
+ private:
+  util::Mutex alpha_;
+  util::Mutex beta_;
+  int work_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: consistent acquisition order (alpha_ before beta_, declared via
+// ACQUIRED_BEFORE and observed in nested scopes) — no cycle, no findings.
+
+namespace fixture {
+
+class TwoLocks {
+ public:
+  void First() {
+    util::MutexLock a(&alpha_);
+    util::MutexLock b(&beta_);
+    work_++;
+  }
+
+  void Second() {
+    util::MutexLock a(&alpha_);
+    util::MutexLock b(&beta_);
+    work_--;
+  }
+
+ private:
+  util::Mutex alpha_ ACQUIRED_BEFORE(beta_);
+  util::Mutex beta_;
+  int work_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Fixture: every publishing function here must be flagged by
+// rcu-publish-order.
+
+namespace fixture {
+
+struct ReadView {
+  int epoch;
+  std::shared_ptr<Component> c1;
+};
+
+class Tree {
+ public:
+  // R1: the view is mutated after the publishing store — a reader can
+  // observe the half-built state.
+  void PublishThenMutate() {
+    auto next = std::make_shared<ReadView>();
+    view_.store(std::move(next));
+    next->epoch = 1;
+  }
+
+  // R2: the input component is marked obsolete before the new view is
+  // visible — a concurrent reader of the old view loses its input.
+  void ReleaseBeforePublish() {
+    auto next = BuildView();
+    old_c1_->obsolete.store(true);
+    view_.store(std::move(next));
+  }
+
+  // R2 (local pin): the local shared_ptr pinning an input is dropped
+  // before the publishing store.
+  void DropPinBeforePublish() {
+    std::shared_ptr<Component> pin = old_c1_;
+    auto next = BuildView();
+    pin.reset();
+    view_.store(std::move(next));
+  }
+
+ private:
+  std::shared_ptr<ReadView> BuildView();
+
+  util::AtomicSharedPtr<const ReadView> view_;
+  std::shared_ptr<Component> old_c1_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture: nothing here may be flagged by rcu-publish-order. The correct
+// protocol: build fully, publish, then release inputs.
+
+namespace fixture {
+
+struct ReadView {
+  int epoch;
+  std::shared_ptr<Component> c1;
+};
+
+class Tree {
+ public:
+  // Build the whole view before the store; never touch it after.
+  void PublishClean() {
+    auto next = std::make_shared<ReadView>();
+    next->epoch = 1;
+    view_.store(std::move(next));
+  }
+
+  // Inputs released only after the publishing store.
+  void ReleaseAfterPublish() {
+    auto next = BuildView();
+    view_.store(std::move(next));
+    old_c1_->obsolete.store(true);
+    old_c1_.reset();
+  }
+
+  // Member restructuring before the publish is protocol (rewiring slots
+  // under the tree mutex), not an input release.
+  void RestructureThenPublish() {
+    staging_.reset();
+    auto next = BuildView();
+    view_.store(std::move(next));
+  }
+
+ private:
+  std::shared_ptr<ReadView> BuildView();
+
+  util::AtomicSharedPtr<const ReadView> view_;
+  std::shared_ptr<Component> old_c1_;
+  std::shared_ptr<Component> staging_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""ctest driver for the analyzer fixtures.
+
+Each pass ships a good/bad fixture pair under tests/analyze_fixtures/.
+The driver runs `tools/analyze` on each file in fixture mode (positional
+file args, standalone parse) and asserts:
+
+  *_bad.cc  -> exit 1, every expected diagnostic substring present
+  *_good.cc -> exit 0, no violations printed
+
+Usage: run_fixture_tests.py <repo-root> [frontend]
+
+The frontend defaults to "textual" so the test is deterministic on
+machines without libclang; CI's analyze job additionally runs the
+clang frontend when the bindings are present.
+"""
+
+import os
+import subprocess
+import sys
+
+# fixture file -> (pass name, expected exit, required output substrings)
+CASES = {
+    "blocking_under_lock_bad.cc": (
+        "blocking-under-lock", 1,
+        ["Sync", "Append", "SleepForMicroseconds", "HelperThatSyncs"]),
+    "blocking_under_lock_good.cc": ("blocking-under-lock", 0, []),
+    "rcu_publish_order_bad.cc": (
+        "rcu-publish-order", 1,
+        ["PublishThenMutate", "ReleaseBeforePublish", "DropPinBeforePublish"]),
+    "rcu_publish_order_good.cc": ("rcu-publish-order", 0, []),
+    "lock_order_bad.cc": ("lock-order", 1, ["cycle"]),
+    "lock_order_good.cc": ("lock-order", 0, []),
+    "stats_keys_bad.cc": ("stats-keys", 1, ["cache.hits", "more than once"]),
+    "stats_keys_good.cc": ("stats-keys", 0, []),
+}
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print("usage: run_fixture_tests.py <repo-root> [frontend]",
+              file=sys.stderr)
+        return 2
+    root = os.path.abspath(sys.argv[1])
+    frontend = sys.argv[2] if len(sys.argv) > 2 else "textual"
+    fixture_dir = os.path.join(root, "tests", "analyze_fixtures")
+
+    failures = []
+    for fname, (pass_name, want_exit, want_strings) in sorted(CASES.items()):
+        path = os.path.join(fixture_dir, fname)
+        proc = subprocess.run(
+            [sys.executable, os.path.join(root, "tools", "analyze"),
+             "--root", root, f"--frontend={frontend}",
+             "--passes", pass_name, path],
+            capture_output=True, text=True)
+        out = proc.stdout + proc.stderr
+        problems = []
+        if proc.returncode != want_exit:
+            problems.append(
+                f"exit {proc.returncode}, expected {want_exit}")
+        if want_exit == 0 and f"[{pass_name}]" in proc.stdout:
+            problems.append("clean fixture produced violations")
+        for s in want_strings:
+            if s not in proc.stdout:
+                problems.append(f"missing diagnostic substring {s!r}")
+        status = "ok" if not problems else "FAIL"
+        print(f"{status:4} {fname} [{pass_name}]")
+        if problems:
+            failures.append(fname)
+            for p in problems:
+                print(f"       {p}")
+            print("       --- analyzer output ---")
+            for line in out.strip().splitlines():
+                print(f"       {line}")
+
+    total = len(CASES)
+    print(f"\n{total - len(failures)}/{total} fixtures passed "
+          f"(frontend={frontend})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+// Fixture: Stats() emits the same key twice — the stats-keys pass must
+// flag the duplicate (typo/copy-paste class of bug).
+
+namespace fixture {
+
+class Engine {
+ public:
+  std::map<std::string, uint64_t> Stats() const {
+    std::map<std::string, uint64_t> out;
+    out["cache.hits"] = hits_;
+    out["cache.misses"] = misses_;
+    out["cache.hits"] = hits_;
+    return out;
+  }
+
+ private:
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: unique keys plus a dynamic per-level prefix — clean.
+
+namespace fixture {
+
+class Engine {
+ public:
+  std::map<std::string, uint64_t> Stats() const {
+    std::map<std::string, uint64_t> out;
+    out["cache.hits"] = hits_;
+    out["cache.misses"] = misses_;
+    for (int i = 0; i < 4; i++) {
+      out["cache.level_" + std::to_string(i)] = hits_;
+    }
+    return out;
+  }
+
+ private:
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace fixture

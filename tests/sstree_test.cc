@@ -197,6 +197,43 @@ TEST_F(TreeTest, IteratorSeek) {
   EXPECT_FALSE(it->Valid());
 }
 
+TEST_F(TreeTest, ScanReadaheadDefaultsOff) {
+  auto reader = BuildTree(5000);
+  const EnvIoCounters* io = counting_env_.io_counters();
+  uint64_t before = io->readahead_hints.load();
+  auto it = reader->NewIterator();
+  int n = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+  EXPECT_EQ(n, 5000);
+  // Per-scan readahead hints are opt-in (ReadOptions::readahead_bytes);
+  // the default iterator must not issue any.
+  EXPECT_EQ(io->readahead_hints.load(), before);
+}
+
+TEST_F(TreeTest, ScanReadaheadKnobEnablesHints) {
+  auto reader = BuildTree(5000);
+  const EnvIoCounters* io = counting_env_.io_counters();
+  uint64_t before = io->readahead_hints.load();
+  auto it = reader->NewIterator(/*sequential=*/false,
+                                /*scan_readahead_bytes=*/64 << 10);
+  int n = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+  EXPECT_EQ(n, 5000);
+  EXPECT_GT(io->readahead_hints.load(), before);
+}
+
+TEST_F(TreeTest, SequentialIteratorHintsWithoutKnob) {
+  auto reader = BuildTree(5000);
+  const EnvIoCounters* io = counting_env_.io_counters();
+  uint64_t before = io->readahead_hints.load();
+  auto it = reader->NewIterator(/*sequential=*/true);
+  int n = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+  EXPECT_EQ(n, 5000);
+  // Merge inputs always keep the kernel frontier ahead of the traversal.
+  EXPECT_GT(io->readahead_hints.load(), before);
+}
+
 TEST_F(TreeTest, SequentialIteratorBypassesCache) {
   auto reader = BuildTree(2000);
   uint64_t cache_usage_before = cache_.usage();

@@ -1,0 +1,155 @@
+"""libclang (clang.cindex) frontend.
+
+Preferred when python3-clang + libclang are installed (the CI analyze
+lane installs them); `available()` gates it so environments without
+libclang fall back to the textual frontend transparently. The cursor
+walk supplies what textual scanning can only approximate — canonical
+field/local types resolved through typedefs and the exact extents of
+function definitions — while body events (lock scopes, calls, slot
+stores) reuse the shared extraction in textual_frontend so both
+frontends stay behaviorally interchangeable (tests/analyze_fixtures
+pins that contract for whichever frontend is active).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from cpp_model import ClassInfo, Model, MutexMember, SlotMember
+from cpp_source import clean_source, strip_template_args
+import textual_frontend
+
+_index = None
+
+
+def available() -> bool:
+    global _index
+    if _index is not None:
+        return True
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError:
+        return False
+    try:
+        _index = cindex.Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def _compile_args(repo_root: str) -> list[str]:
+    """Best-effort flags from build/compile_commands.json, falling back to
+    the project's defaults."""
+    path = os.path.join(repo_root, "build", "compile_commands.json")
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                db = json.load(f)
+            for entry in db:
+                cmd = entry.get("command", "")
+                args = [a for a in cmd.split() if a.startswith(("-I", "-D",
+                                                                "-std="))]
+                if args:
+                    return args
+        except (OSError, json.JSONDecodeError):
+            pass
+    return ["-std=c++20", f"-I{os.path.join(repo_root, 'src')}",
+            f"-I{repo_root}"]
+
+
+def build_model(repo_root: str, rel_paths: list[str],
+                file_texts: dict[str, str]) -> Model:
+    from clang import cindex
+
+    model = Model()
+    for rel in rel_paths:
+        model.sources[rel] = clean_source(rel, file_texts[rel])
+
+    args = _compile_args(repo_root)
+    opts = (cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0
+            | cindex.TranslationUnit.PARSE_INCOMPLETE)
+
+    parsed_classes: set[str] = set()
+    for rel in sorted(rel_paths, key=lambda p: (not p.endswith(".h"), p)):
+        full = os.path.join(repo_root, rel)
+        try:
+            tu = _index.parse(full, args=args, options=opts)
+        except cindex.TranslationUnitLoadError as e:
+            model.warnings.append(f"{rel}: clang parse failed: {e}")
+            continue
+        _walk(model, tu.cursor, rel, full, parsed_classes)
+
+    # Body events + annotations come from the shared structural layer so
+    # both frontends agree on pass inputs; clang contributed the class
+    # shape and canonical member types above (setdefault in _walk keeps
+    # the richer clang-resolved entries when both saw a class).
+    textual = textual_frontend.build_model(repo_root, rel_paths, file_texts)
+    for q, info in textual.classes.items():
+        if q in model.classes:
+            merged = model.classes[q]
+            for name, t in info.member_types.items():
+                merged.member_types.setdefault(name, t)
+            merged.methods.update(info.methods)
+            for name, m in info.mutexes.items():
+                if name in merged.mutexes:
+                    m.rank_expr = m.rank_expr or merged.mutexes[name].rank_expr
+                merged.mutexes[name] = m
+            merged.slots.update(info.slots)
+        else:
+            model.classes[q] = info
+    model.functions = textual.functions
+    model.warnings += textual.warnings
+    return model
+
+
+def _qualified_name(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.kind.name != "TRANSLATION_UNIT":
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _walk(model: Model, cursor, rel: str, full: str,
+          parsed_classes: set[str]) -> None:
+    from clang import cindex
+
+    for child in cursor.get_children():
+        loc = child.location
+        if loc.file is None or os.path.abspath(loc.file.name) != \
+                os.path.abspath(full):
+            continue
+        kind = child.kind
+        if kind in (cindex.CursorKind.NAMESPACE,
+                    cindex.CursorKind.LINKAGE_SPEC):
+            _walk(model, child, rel, full, parsed_classes)
+        elif kind in (cindex.CursorKind.CLASS_DECL,
+                      cindex.CursorKind.STRUCT_DECL) and \
+                child.is_definition():
+            q = _qualified_name(child)
+            if not q or q in parsed_classes:
+                continue
+            parsed_classes.add(q)
+            info = model.classes.setdefault(
+                q, ClassInfo(name=q, file=rel, line=loc.line))
+            for f in child.get_children():
+                if f.kind == cindex.CursorKind.FIELD_DECL:
+                    t = f.type.spelling
+                    base = strip_template_args(t)
+                    info.member_types[f.spelling] = base
+                    if "util::Mutex" in t or t.endswith("Mutex"):
+                        info.mutexes.setdefault(f.spelling, MutexMember(
+                            cls=q, name=f.spelling,
+                            kind="SharedMutex" if "SharedMutex" in t
+                            else "Mutex",
+                            file=rel, line=f.location.line))
+                    elif "AtomicSharedPtr" in t:
+                        info.slots.setdefault(f.spelling, SlotMember(
+                            cls=q, name=f.spelling, file=rel,
+                            line=f.location.line))
+                elif f.kind in (cindex.CursorKind.CLASS_DECL,
+                                cindex.CursorKind.STRUCT_DECL):
+                    _walk(model, child, rel, full, parsed_classes)

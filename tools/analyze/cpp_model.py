@@ -1,0 +1,210 @@
+"""The frontend-independent IR the analysis passes consume.
+
+Both frontends (textual and clang.cindex) lower the tree to this model:
+classes with typed members and annotated method declarations, plus
+function bodies reduced to the events the passes care about — lock
+scopes, call sites, RCU slot stores, release operations. Passes never
+look at source text except to format diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MutexMember:
+    """A util::Mutex / util::SharedMutex data member."""
+
+    cls: str  # qualified class name, e.g. "blsm::wal::LogicalLog"
+    name: str  # member name, e.g. "io_mu_"
+    kind: str  # "Mutex" | "SharedMutex"
+    file: str
+    line: int
+    acquired_before: list[str] = field(default_factory=list)  # member names
+    # A decl-site analyze:allow(blocking-under-lock) marks a mutex whose
+    # purpose is serializing IO; blocking calls under it are sanctioned.
+    io_allowed_reason: str | None = None
+    rank_expr: str | None = None  # initializer text, e.g. "lock_rank::kFoo"
+
+    @property
+    def qualified(self) -> str:
+        return f"{short_class(self.cls)}::{self.name}"
+
+
+@dataclass
+class SlotMember:
+    """A util::AtomicSharedPtr member — an RCU publication point."""
+
+    cls: str
+    name: str
+    file: str
+    line: int
+
+
+@dataclass
+class MethodDecl:
+    """An in-class method declaration's thread-safety annotations."""
+
+    cls: str
+    name: str
+    requires: list[str] = field(default_factory=list)
+    excludes: list[str] = field(default_factory=list)
+    acquires: list[str] = field(default_factory=list)
+    releases: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    name: str  # qualified, e.g. "blsm::engine::WriteFrontend"
+    file: str
+    line: int
+    # member name -> pointee/value type text (template args stripped), used
+    # to resolve `frontend_->Freeze()` to WriteFrontend::Freeze.
+    member_types: dict[str, str] = field(default_factory=dict)
+    mutexes: dict[str, MutexMember] = field(default_factory=dict)
+    slots: dict[str, SlotMember] = field(default_factory=dict)
+    methods: dict[str, MethodDecl] = field(default_factory=dict)
+
+
+@dataclass
+class Call:
+    """One call expression inside a function body."""
+
+    receiver: str  # "env_", "file_->tracker_", "" for free/this calls
+    name: str  # last path component actually called
+    offset: int  # into the file's clean text
+    line: int
+    arg_text: str  # raw text between the call's parentheses
+
+
+@dataclass
+class LockScope:
+    """A region of a function body executed with a mutex held."""
+
+    mutex: str  # canonical "Class::member" or "<local>name" or "<unresolved>expr"
+    kind: str  # "MutexLock" | "ReaderLock" | "WriterLock" | "manual"
+    start: int  # clean-text offsets delimiting the region
+    end: int
+    line: int
+
+
+@dataclass
+class SlotStore:
+    """`slot_.store(arg)` on an AtomicSharedPtr member."""
+
+    slot: str  # canonical "Class::member"
+    arg_var: str | None  # local var published, if the arg is (std::move of) one
+    offset: int
+    line: int
+
+
+@dataclass
+class ReleaseOp:
+    """An operation that drops or retires a pinned input: `x.reset()`,
+    `x = nullptr`, `x->obsolete.store(true)`."""
+
+    target: str  # the variable/member text operated on
+    op: str  # "reset" | "null-assign" | "obsolete"
+    is_member: bool  # True when target is a class member (ends with _ or
+    # declared in the class) — member restructuring pre-publish is protocol
+    offset: int
+    line: int
+
+
+@dataclass
+class VarUse:
+    name: str
+    offset: int
+    line: int
+
+
+@dataclass
+class Function:
+    cls: str | None  # qualified class for methods, None for free functions
+    name: str
+    file: str
+    line: int
+    body_start: int  # clean-text offsets of the body braces
+    body_end: int
+    calls: list[Call] = field(default_factory=list)
+    lock_scopes: list[LockScope] = field(default_factory=list)
+    slot_stores: list[SlotStore] = field(default_factory=list)
+    release_ops: list[ReleaseOp] = field(default_factory=list)
+    # annotations merged from the in-class declaration and the definition
+    requires: list[str] = field(default_factory=list)
+    excludes: list[str] = field(default_factory=list)
+    acquires: list[str] = field(default_factory=list)
+    # local variable name -> type text (best effort, for receiver resolution)
+    local_types: dict[str, str] = field(default_factory=dict)
+    # local variable name -> declared type as written (templates intact);
+    # the RCU pass keys pin detection off shared_ptr/Ptr wrappers here.
+    local_decl_types: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def qualified(self) -> str:
+        if self.cls:
+            return f"{short_class(self.cls)}::{self.name}"
+        return self.name
+
+
+@dataclass
+class Model:
+    classes: dict[str, ClassInfo] = field(default_factory=dict)  # by qualified name
+    functions: list[Function] = field(default_factory=list)
+    sources: dict[str, object] = field(default_factory=dict)  # path -> CleanSource
+    warnings: list[str] = field(default_factory=list)
+
+    # ---- lookup helpers ----
+
+    def class_by_short(self, short: str) -> ClassInfo | None:
+        hits = [c for q, c in self.classes.items() if short_class(q) == short]
+        return hits[0] if len(hits) == 1 else None
+
+    def find_class(self, name: str) -> ClassInfo | None:
+        if name in self.classes:
+            return self.classes[name]
+        # Suffix match: "WriteFrontend" or "engine::WriteFrontend" against
+        # "blsm::engine::WriteFrontend".
+        hits = [
+            c
+            for q, c in self.classes.items()
+            if q == name or q.endswith("::" + name)
+        ]
+        return hits[0] if len(hits) == 1 else None
+
+    def functions_named(self, name: str, cls: str | None = None) -> list[Function]:
+        out = []
+        for f in self.functions:
+            if f.name != name:
+                continue
+            if cls is not None:
+                if f.cls is None:
+                    continue
+                if not (f.cls == cls or f.cls.endswith("::" + cls)
+                        or cls.endswith("::" + short_class(f.cls))
+                        or short_class(f.cls) == short_class(cls)):
+                    continue
+            out.append(f)
+        return out
+
+    def method_decl(self, cls: str, name: str) -> MethodDecl | None:
+        info = self.find_class(cls)
+        if info is None:
+            return None
+        return info.methods.get(name)
+
+
+def short_class(qualified: str) -> str:
+    return qualified.rsplit("::", 1)[-1]
+
+
+@dataclass
+class Violation:
+    pass_name: str
+    file: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: [{self.pass_name}] {self.message}"

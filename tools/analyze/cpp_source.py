@@ -1,0 +1,225 @@
+"""Source cleaning and structural scanning for the AST-grade analyzer.
+
+This module owns the character-level work every frontend shares:
+
+  * `CleanSource` strips comments and string/char literals while preserving
+    byte offsets and line numbers exactly (each stripped char becomes a
+    space, newlines survive), so structural scanning downstream never
+    trips over braces inside strings or commented-out code.
+  * String literals are recorded with their offsets (the stats-key pass
+    consumes them).
+  * `analyze:allow(<pass>) <reason>` / `lint:allow(...)` comments are
+    collected per line before stripping.
+  * Balanced-delimiter helpers (`match_forward`) used by the structural
+    parser in textual_frontend.py.
+
+Everything here is pure text processing with no opinion about C++
+semantics; the frontends layer meaning on top.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass, field
+
+
+ALLOW_RE = re.compile(
+    r"(?:analyze|lint):allow\((?P<rule>[\w-]+)\)[ \t]*(?P<reason>[^\n]*)"
+)
+
+
+@dataclass
+class Allow:
+    rule: str
+    reason: str
+    line: int
+
+
+@dataclass
+class StringLiteral:
+    text: str  # contents without quotes
+    offset: int  # offset of the opening quote in the source
+    line: int
+
+
+@dataclass
+class CleanSource:
+    path: str
+    raw: str
+    clean: str  # same length as raw; comments/strings blanked
+    line_starts: list[int] = field(default_factory=list)
+    strings: list[StringLiteral] = field(default_factory=list)
+    allows: dict[int, list[Allow]] = field(default_factory=dict)
+
+    def line_of(self, offset: int) -> int:
+        return bisect.bisect_right(self.line_starts, offset)
+
+    def line_text(self, line: int) -> str:
+        start = self.line_starts[line - 1]
+        end = self.raw.find("\n", start)
+        return self.raw[start:] if end < 0 else self.raw[start:end]
+
+    def allowed(self, rule: str, line: int) -> Allow | None:
+        """An allow on the flagged line or alone on the line above."""
+        for candidate in (line, line - 1):
+            for allow in self.allows.get(candidate, []):
+                if allow.rule == rule:
+                    return allow
+        return None
+
+    def allowed_decl(self, rule: str, line: int) -> Allow | None:
+        """Like `allowed`, but for declarations: the allow may sit anywhere
+        in the contiguous `//` comment block directly above the decl."""
+        hit = self.allowed(rule, line)
+        if hit is not None:
+            return hit
+        cur = line - 1
+        while cur >= 1 and self.line_text(cur).strip().startswith("//"):
+            for allow in self.allows.get(cur, []):
+                if allow.rule == rule:
+                    return allow
+            cur -= 1
+        return None
+
+
+def clean_source(path: str, text: str) -> CleanSource:
+    n = len(text)
+    out = list(text)
+    strings: list[StringLiteral] = []
+    line_starts = [0]
+    for i, ch in enumerate(text):
+        if ch == "\n":
+            line_starts.append(i + 1)
+
+    def line_of(off: int) -> int:
+        return bisect.bisect_right(line_starts, off)
+
+    i = 0
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            for k in range(i, j + 2):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 2
+        elif ch == '"':
+            # Raw string literal? Look back for R prefix.
+            if i > 0 and text[i - 1] == "R" and (i < 2 or not text[i - 2].isalnum()):
+                close = text.find('("', i)  # delimiter between " and (
+                delim = text[i + 1 : close] if 0 <= close <= i + 17 else None
+                if delim is not None:
+                    end = text.find(")" + delim + '"', close)
+                    end = n - len(delim) - 2 if end < 0 else end
+                    strings.append(
+                        StringLiteral(text[close + 2 : end], i, line_of(i))
+                    )
+                    stop = end + len(delim) + 2
+                    for k in range(i, min(stop, n)):
+                        if out[k] != "\n":
+                            out[k] = " "
+                    i = stop
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            strings.append(StringLiteral(text[i + 1 : j], i, line_of(i)))
+            for k in range(i, min(j + 1, n)):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 1
+        elif ch == "'":
+            # Digit separators (1'000'000) are not char literals: a quote
+            # directly following an alnum inside a number stays as-is.
+            if (
+                i > 0
+                and (text[i - 1].isalnum() or text[i - 1] == "_")
+                and i + 1 < n
+                and text[i + 1].isalnum()
+            ):
+                i += 1
+                continue
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            for k in range(i, min(j + 1, n)):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 1
+        else:
+            i += 1
+
+    src = CleanSource(
+        path=path,
+        raw=text,
+        clean="".join(out),
+        line_starts=line_starts,
+        strings=strings,
+    )
+    # Allows are inside comments, so collect them from the raw text.
+    for m in ALLOW_RE.finditer(text):
+        line = src.line_of(m.start())
+        src.allows.setdefault(line, []).append(
+            Allow(m.group("rule"), m.group("reason").strip(), line)
+        )
+    return src
+
+
+OPEN_TO_CLOSE = {"(": ")", "{": "}", "[": "]", "<": ">"}
+
+
+def match_forward(clean: str, open_pos: int) -> int:
+    """Offset of the delimiter matching clean[open_pos], or -1.
+
+    Angle brackets are not handled (ambiguous with comparisons); only
+    (), {}, [] nest here.
+    """
+    opener = clean[open_pos]
+    closer = OPEN_TO_CLOSE[opener]
+    depth = 0
+    for i in range(open_pos, len(clean)):
+        ch = clean[i]
+        if ch in "({[":
+            depth += 1
+        elif ch in ")}]":
+            depth -= 1
+            if depth == 0:
+                if ch != closer:
+                    return -1
+                return i
+    return -1
+
+
+def strip_template_args(type_text: str) -> str:
+    """`std::unique_ptr<engine::WriteFrontend>` -> innermost argument type;
+    `engine::WriteFrontend*` -> `engine::WriteFrontend`.
+
+    Used to resolve the pointee class of smart-pointer/raw-pointer members.
+    """
+    t = type_text.strip()
+    wrappers = ("std::unique_ptr", "std::shared_ptr", "std::weak_ptr")
+    changed = True
+    while changed:
+        changed = False
+        for w in wrappers:
+            if t.startswith(w + "<") and t.endswith(">"):
+                t = t[len(w) + 1 : -1].strip()
+                changed = True
+    t = t.rstrip("*& ").strip()
+    for prefix in ("const ", "mutable ", "volatile "):
+        while t.startswith(prefix):
+            t = t[len(prefix):]
+    return t.strip()

@@ -1,0 +1,595 @@
+"""Structural (non-libclang) frontend.
+
+Builds the same `cpp_model.Model` the clang.cindex frontend produces, from
+a recursive scan of comment/string-stripped source: namespace and class
+nesting via balanced braces, member and method declarations at class
+level, and function bodies reduced to the events the passes consume
+(lock scopes, call expressions with receivers, RCU slot stores, release
+operations). It understands this repository's constrained style — the
+annotated wrappers in src/util/mutex.h, the TSA macros, Google-ish
+formatting — which is what makes a textual pass AST-grade *for this
+tree*: scopes come from real brace structure, calls may span any number
+of lines, and receivers resolve through declared member types.
+
+It exists because libclang is not installed everywhere this runs (the
+clang frontend is preferred when `clang.cindex` can load); both must stay
+behaviorally interchangeable — tests/analyze_fixtures pins that.
+"""
+
+from __future__ import annotations
+
+import re
+
+from cpp_model import (
+    Call,
+    ClassInfo,
+    Function,
+    LockScope,
+    MethodDecl,
+    Model,
+    MutexMember,
+    ReleaseOp,
+    SlotMember,
+    SlotStore,
+)
+from cpp_source import CleanSource, clean_source, match_forward, strip_template_args
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "else", "do",
+    "sizeof", "alignof", "decltype", "static_assert", "new", "delete",
+    "throw", "case", "default", "goto", "co_return", "co_await", "co_yield",
+    "alignas", "noexcept", "typedef", "using", "template", "typename",
+    "public", "private", "protected", "operator", "const_cast",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "assert",
+}
+
+ANNOTATION_NAMES = (
+    "REQUIRES_SHARED", "REQUIRES", "EXCLUDES",
+    "ACQUIRED_BEFORE", "ACQUIRED_AFTER",
+    "ACQUIRE_SHARED", "ACQUIRE", "RELEASE_SHARED", "RELEASE_GENERIC",
+    "RELEASE", "TRY_ACQUIRE_SHARED", "TRY_ACQUIRE",
+    "GUARDED_BY", "PT_GUARDED_BY", "ASSERT_CAPABILITY",
+    "ASSERT_SHARED_CAPABILITY", "RETURN_CAPABILITY", "CAPABILITY",
+    "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+)
+
+ANNOT_RE = re.compile(
+    r"\b(" + "|".join(ANNOTATION_NAMES) + r")\b\s*(\(([^()]*)\))?"
+)
+
+CLASS_HEAD_RE = re.compile(
+    r"^\s*(?:template\s*<[^{}]*>\s*)?(class|struct)\b"
+)
+GUARD_RE = re.compile(
+    r"util::(MutexLock|ReaderLock|WriterLock)\s+\w+\s*[({]\s*&\s*([^;(){}]+?)\s*[)}]\s*;"
+)
+MEMBER_CALL_RE = re.compile(
+    r"(?P<chain>(?:\bthis\b|[A-Za-z_]\w*(?:\[[^\[\]]*\])?)"
+    r"(?:(?:\.|->)[A-Za-z_]\w*(?:\[[^\[\]]*\])?)*?)"
+    r"(?:\.|->)(?P<name>[A-Za-z_]\w*)\s*\("
+)
+FREE_CALL_RE = re.compile(
+    r"(?<![\w.>:])(?P<name>[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\("
+)
+NULL_ASSIGN_RE = re.compile(
+    r"(?P<target>[A-Za-z_][\w.\->\[\]]*?)\s*=\s*(?:nullptr|\{\s*\})\s*;"
+)
+LOCAL_DECL_RE = re.compile(
+    r"(?:^|[;{}])\s*(?P<type>(?:const\s+)?[A-Za-z_][\w:]*"
+    r"(?:<[^<>;=]*(?:<[^<>;=]*>)?[^<>;=]*>)?(?:\s*[*&])?)"
+    r"\s+(?P<name>[A-Za-z_]\w*)\s*[=({;]"
+)
+MUTEX_DECL_RE = re.compile(
+    r"(?:mutable\s+)?util::(Mutex|SharedMutex)\s+(\w+)\b"
+)
+SLOT_DECL_RE = re.compile(r"util::AtomicSharedPtr\s*<(.+)>\s+(\w+)\b")
+LOCK_RANK_INIT_RE = re.compile(r"\{\s*([^{}]*?)\s*\}\s*$")
+
+
+def _parse_annotations(text: str) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {}
+    for m in ANNOT_RE.finditer(text):
+        args = m.group(3) or ""
+        names = [a.strip() for a in args.split(",") if a.strip()
+                 and not a.strip() in ("true", "false")]
+        out.setdefault(m.group(1), []).extend(names)
+    return out
+
+
+def _strip_annotations(text: str) -> str:
+    return ANNOT_RE.sub(" ", text)
+
+
+class FileParser:
+    def __init__(self, src: CleanSource, model: Model):
+        self.src = src
+        self.clean = _blank_preprocessor(src.clean)
+        self.model = model
+        self.rel = src.path
+
+    # ---- region scanning ----
+
+    def parse(self) -> None:
+        self.scan_region(0, len(self.clean), ns=[], cls=None)
+
+    def scan_region(self, start: int, end: int, ns: list[str],
+                    cls: ClassInfo | None) -> None:
+        clean = self.clean
+        i = start
+        seg_start = start
+        while i < end:
+            ch = clean[i]
+            if ch == ";":
+                if cls is not None:
+                    self.handle_class_segment(clean[seg_start:i], seg_start, cls)
+                seg_start = i + 1
+                i += 1
+            elif ch == "{":
+                head = clean[seg_start:i]
+                close = match_forward(clean, i)
+                if close < 0 or close > end:
+                    return  # unbalanced; bail out of this region
+                self.classify_block(head, seg_start, i, close, ns, cls)
+                i = close + 1
+                seg_start = i
+            elif ch == "}":
+                i += 1
+                seg_start = i
+            else:
+                i += 1
+        if cls is not None and clean[seg_start:end].strip():
+            self.handle_class_segment(clean[seg_start:end], seg_start, cls)
+
+    def classify_block(self, head: str, head_start: int, open_pos: int,
+                       close_pos: int, ns: list[str],
+                       cls: ClassInfo | None) -> None:
+        stripped = head.strip()
+        # Access specifiers leave "public:" prefixes glued to heads inside
+        # classes; drop them.
+        stripped = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "",
+                          stripped)
+        if stripped.startswith("namespace"):
+            name = stripped[len("namespace"):].strip()
+            sub = ns + ([p for p in name.split("::") if p] if name else [])
+            self.scan_region(open_pos + 1, close_pos, sub, cls)
+            return
+        if re.match(r"^\s*(?:enum|union)\b", stripped):
+            return
+        if stripped.startswith('extern'):
+            self.scan_region(open_pos + 1, close_pos, ns, cls)
+            return
+        m = CLASS_HEAD_RE.match(stripped)
+        if m:
+            # `class CAPABILITY("mutex") Mutex : public X` -> "Mutex";
+            # the base clause starts at a single colon (never the "::" of
+            # a qualified name like `struct MemEnv::FileState`).
+            body = _strip_annotations(stripped[m.end():])
+            body = re.split(r"(?<!:):(?!:)", body, 1)[0]
+            words = re.findall(r"[A-Za-z_]\w*", body)
+            words = [w for w in words if w not in ("final", "alignas")]
+            if not words:
+                return  # anonymous
+            name = words[-1]
+            qual_prefix = "::".join(ns)
+            if cls is not None:
+                qualified = f"{cls.name}::{name}"
+            else:
+                qualified = f"{qual_prefix}::{name}" if qual_prefix else name
+            info = self.model.classes.setdefault(
+                qualified,
+                ClassInfo(name=qualified, file=self.rel,
+                          line=self.src.line_of(open_pos)),
+            )
+            self.scan_region(open_pos + 1, close_pos, ns, info)
+            return
+        # Function definition: the head must contain a balanced parameter
+        # list and end (after annotations/qualifiers) in a way a function
+        # head can.
+        paren = stripped.find("(")
+        if paren > 0:
+            fn = self.try_function(stripped, head_start, open_pos, close_pos,
+                                   ns, cls)
+            if fn is not None:
+                return
+        if cls is not None:
+            # Member declaration with a brace initializer:
+            # `util::Mutex mu_{lock_rank::kFoo};`
+            init = self.clean[open_pos + 1 : close_pos]
+            self.handle_class_segment(head, head_start, cls,
+                                      brace_init=init)
+
+    def try_function(self, head: str, head_start: int, open_pos: int,
+                     close_pos: int, ns: list[str],
+                     cls: ClassInfo | None) -> Function | None:
+        paren = head.find("(")
+        before = head[:paren].rstrip()
+        m = re.search(r"((?:[A-Za-z_]\w*::)*~?[A-Za-z_]\w*)$", before)
+        if not m:
+            return None
+        name = m.group(1)
+        base = name.split("::")[-1]
+        if base in KEYWORDS or base in ("REQUIRES", "EXCLUDES"):
+            return None
+        # Reject constructor-init-list brace confusion: the function head
+        # must close its parameter list, and whatever trails the last ')'
+        # must be qualifiers/trailing-return only (a `: member_{...}` brace
+        # initializer leaves a dangling identifier).
+        if head.count("(") != head.count(")"):
+            return None
+        tail = _strip_annotations(head).rsplit(")", 1)[-1]
+        if "->" not in tail and not re.fullmatch(
+                r"(?:\s*(?:const|noexcept|override|final|mutable|try|&&?))*\s*",
+                tail):
+            return None
+        fn_cls: str | None = None
+        fn_name = name
+        if "::" in name:
+            parts = name.split("::")
+            fn_name = parts[-1]
+            owner_short = parts[-2] if parts[-2] else None
+            owner = "::".join(parts[:-1])
+            prefix = "::".join(ns)
+            candidates = [owner]
+            if prefix:
+                candidates.insert(0, f"{prefix}::{owner}")
+            fn_cls = None
+            for c in candidates:
+                if c in self.model.classes:
+                    fn_cls = c
+                    break
+            if fn_cls is None:
+                info = self.model.find_class(owner)
+                fn_cls = info.name if info is not None else candidates[0]
+            del owner_short
+        elif cls is not None:
+            fn_cls = cls.name
+
+        fn = Function(
+            cls=fn_cls,
+            name=fn_name,
+            file=self.rel,
+            line=self.src.line_of(open_pos),
+            body_start=open_pos,
+            body_end=close_pos,
+        )
+        # Parameters join local_types so calls through parameters
+        # (`manifest.Save(env_, ...)`) resolve like calls through locals.
+        open_p = head.find("(")
+        depth = 0
+        close_p = -1
+        for k in range(open_p, len(head)):
+            if head[k] == "(":
+                depth += 1
+            elif head[k] == ")":
+                depth -= 1
+                if depth == 0:
+                    close_p = k
+                    break
+        if close_p > open_p:
+            for param in _split_top_level(head[open_p + 1 : close_p]):
+                param = re.sub(r"=.*$", "", param).strip()
+                pm = re.match(r"^(?P<type>.+?)[\s*&]+(?P<name>\w+)$", param,
+                              re.S)
+                if pm and pm.group("type").split()[-1] not in KEYWORDS:
+                    fn.local_types[pm.group("name")] = strip_template_args(
+                        pm.group("type"))
+                    fn.local_decl_types[pm.group("name")] = pm.group(
+                        "type").strip()
+        annots = _parse_annotations(head)
+        fn.requires += annots.get("REQUIRES", []) + annots.get(
+            "REQUIRES_SHARED", [])
+        fn.excludes += annots.get("EXCLUDES", [])
+        fn.acquires += annots.get("ACQUIRE", []) + annots.get(
+            "ACQUIRE_SHARED", [])
+        self.parse_body(fn)
+        self.model.functions.append(fn)
+        return fn
+
+    # ---- class-level declarations ----
+
+    def handle_class_segment(self, seg: str, seg_start: int, cls: ClassInfo,
+                             brace_init: str | None = None) -> None:
+        text = seg.strip()
+        text = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "", text)
+        if not text or text.startswith(("friend", "using", "typedef",
+                                        "static_assert", "#")):
+            return
+        line = self.src.line_of(seg_start + len(seg) - len(seg.lstrip()))
+        annots = _parse_annotations(text)
+        mutex = MUTEX_DECL_RE.search(text)
+        slot = SLOT_DECL_RE.search(text)
+        # Annotation macros put parens on data-member declarations
+        # (`util::Mutex io_mu_ ACQUIRED_BEFORE(mu_);`), so strip them
+        # before deciding declaration vs. method.
+        if mutex is None and slot is None and "(" in _strip_annotations(text):
+            # Method declaration (or a member with a paren initializer —
+            # treat anything whose name precedes a '(' as a method; member
+            # initializers don't carry TSA annotations so nothing is lost).
+            plain = _strip_annotations(text)
+            paren = plain.find("(")
+            m = re.search(r"((?:operator\s*..?.?|~?[A-Za-z_]\w*))\s*$",
+                          plain[:paren].rstrip())
+            if not m:
+                return
+            name = m.group(1)
+            if name in KEYWORDS:
+                return
+            decl = cls.methods.setdefault(name, MethodDecl(cls=cls.name,
+                                                           name=name))
+            decl.requires += annots.get("REQUIRES", []) + annots.get(
+                "REQUIRES_SHARED", [])
+            decl.excludes += annots.get("EXCLUDES", [])
+            decl.acquires += annots.get("ACQUIRE", []) + annots.get(
+                "ACQUIRE_SHARED", [])
+            decl.releases += annots.get("RELEASE", []) + annots.get(
+                "RELEASE_SHARED", [])
+            return
+        if mutex:
+            kind, name = mutex.group(1), mutex.group(2)
+            member = MutexMember(cls=cls.name, name=name, kind=kind,
+                                 file=self.rel, line=line)
+            member.acquired_before = annots.get("ACQUIRED_BEFORE", [])
+            allow = self.src.allowed_decl("blocking-under-lock", line)
+            if allow is not None:
+                member.io_allowed_reason = allow.reason or None
+            if brace_init is not None:
+                member.rank_expr = brace_init.strip() or None
+            else:
+                init = LOCK_RANK_INIT_RE.search(text)
+                if init:
+                    member.rank_expr = init.group(1).strip() or None
+            cls.mutexes[name] = member
+            cls.member_types[name] = f"util::{kind}"
+            return
+        if slot:
+            name = slot.group(2)
+            cls.slots[name] = SlotMember(cls=cls.name, name=name,
+                                         file=self.rel, line=line)
+            cls.member_types[name] = "util::AtomicSharedPtr"
+            return
+        # Plain data member: last identifier is the name, the rest the type.
+        clean = _strip_annotations(text)
+        clean = re.sub(r"=\s*[^;]*$", "", clean).strip()
+        clean = re.sub(r"\[[^\]]*\]\s*$", "", clean).strip()
+        m = re.match(r"^(?P<type>.+?)\s+(?P<name>[A-Za-z_]\w*)$", clean,
+                     re.S)
+        if m and m.group("type").split()[-1] not in KEYWORDS:
+            cls.member_types[m.group("name")] = strip_template_args(
+                m.group("type"))
+
+    # ---- function bodies ----
+
+    def parse_body(self, fn: Function) -> None:
+        clean = self.clean
+        bs, be = fn.body_start + 1, fn.body_end
+        body = clean[bs:be]
+
+        # Innermost-enclosing-block index for scope ends.
+        pairs: list[tuple[int, int]] = []
+        stack: list[int] = []
+        for off in range(bs, be):
+            if clean[off] == "{":
+                stack.append(off)
+            elif clean[off] == "}" and stack:
+                pairs.append((stack.pop(), off))
+
+        def innermost_end(pos: int) -> int:
+            best = be
+            best_span = be - bs + 1
+            for o, c in pairs:
+                if o < pos <= c and (c - o) < best_span:
+                    best, best_span = c, c - o
+            return best
+
+        # Local declarations (receiver/type resolution).
+        for m in LOCAL_DECL_RE.finditer(body):
+            t = m.group("type").strip()
+            if t.split("<")[0].split()[-1].rstrip("*&") in KEYWORDS:
+                continue
+            fn.local_types.setdefault(m.group("name"),
+                                      strip_template_args(t))
+            fn.local_decl_types.setdefault(m.group("name"), t)
+
+        # Scoped lock guards.
+        for m in GUARD_RE.finditer(body):
+            pos = bs + m.start()
+            end = innermost_end(bs + m.end())
+            expr = m.group(2).strip()
+            fn.lock_scopes.append(LockScope(
+                mutex=expr, kind=m.group(1), start=bs + m.end(), end=end,
+                line=self.src.line_of(pos)))
+
+        # Call expressions.
+        member_spans: list[tuple[int, int]] = []
+        for m in MEMBER_CALL_RE.finditer(body):
+            chain = m.group("chain")
+            if chain.split("[")[0].split("->")[0].split(".")[0] in KEYWORDS:
+                continue
+            pos = bs + m.start()
+            open_paren = bs + m.end() - 1
+            close = match_forward(clean, open_paren)
+            arg_text = clean[open_paren + 1 : close] if close > 0 else ""
+            fn.calls.append(Call(receiver=chain, name=m.group("name"),
+                                 offset=pos, line=self.src.line_of(pos),
+                                 arg_text=arg_text.strip()))
+            member_spans.append((m.start(), m.end()))
+        for m in FREE_CALL_RE.finditer(body):
+            if any(s <= m.start() < e for s, e in member_spans):
+                continue
+            name = m.group("name")
+            base = name.split("::")[-1]
+            if base in KEYWORDS or name.split("::")[0] in KEYWORDS:
+                continue
+            # Distinguish a call from a declaration: the token before a
+            # call is an operator/punctuation or a keyword like `return`;
+            # before a declaration it is a type name.
+            j = m.start() - 1
+            while j >= 0 and body[j] in " \t\n":
+                j -= 1
+            if j >= 0 and (body[j].isalnum() or body[j] in "_>*&"):
+                wm = re.search(r"([A-Za-z_]\w*)$", body[: j + 1])
+                prev_word = wm.group(1) if wm else ""
+                if prev_word not in ("return", "co_return", "throw", "case",
+                                     "new", "delete"):
+                    continue  # declaration like `util::MutexLock l(...)`
+            pos = bs + m.start()
+            open_paren = bs + m.end() - 1
+            close = match_forward(clean, open_paren)
+            arg_text = clean[open_paren + 1 : close] if close > 0 else ""
+            fn.calls.append(Call(receiver="", name=name, offset=pos,
+                                 line=self.src.line_of(pos),
+                                 arg_text=arg_text.strip()))
+
+        self.derive_manual_scopes(fn)
+        # Slot stores / release ops are derived in build_model after every
+        # file is parsed: an inline method body can reference members the
+        # class declares further down (private section last), so the class
+        # must be complete before events are classified.
+
+        # Null assignments (release ops). is_member is finalized post-parse.
+        for m in NULL_ASSIGN_RE.finditer(body):
+            target = m.group("target").strip()
+            if "=" in target or target.split("->")[0].split(".")[0] in KEYWORDS:
+                continue
+            pos = bs + m.start()
+            fn.release_ops.append(ReleaseOp(
+                target=target, op="null-assign",
+                is_member=False,
+                offset=pos, line=self.src.line_of(pos)))
+
+    def derive_manual_scopes(self, fn: Function) -> None:
+        opens: list[tuple[str, str, Call]] = []
+        for c in fn.calls:
+            if c.name in ("Lock", "LockShared") and c.receiver:
+                opens.append((c.receiver, c.name, c))
+            elif c.name in ("Unlock", "UnlockShared") and c.receiver:
+                for k in range(len(opens) - 1, -1, -1):
+                    recv, kind, oc = opens[k]
+                    if recv == c.receiver and oc.offset < c.offset:
+                        fn.lock_scopes.append(LockScope(
+                            mutex=recv, kind="manual", start=oc.offset,
+                            end=c.offset, line=oc.line))
+                        opens.pop(k)
+                        break
+        for recv, kind, oc in opens:
+            # Lock without a (seen) unlock on any path: the scope runs to
+            # the end of the function; the TSA lane checks balance.
+            fn.lock_scopes.append(LockScope(
+                mutex=recv, kind="manual", start=oc.offset,
+                end=fn.body_end, line=oc.line))
+
+    # (slot-event derivation lives at module level: see derive_slot_events)
+
+
+def short(qualified: str) -> str:
+    return qualified.rsplit("::", 1)[-1]
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested in <>, (), {} or []."""
+    out = []
+    depth = 0
+    cur = []
+    for ch in text:
+        if ch in "<({[":
+            depth += 1
+        elif ch in ">)}]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+            continue
+        cur.append(ch)
+    if cur:
+        out.append("".join(cur))
+    return [p.strip() for p in out if p.strip()]
+
+
+def _blank_preprocessor(clean: str) -> str:
+    """Blank preprocessor directives (incl. backslash continuations) so
+    `#if defined(...)` parens never confuse structural scanning."""
+    lines = clean.split("\n")
+    out = []
+    cont = False
+    for ln in lines:
+        is_pp = cont or ln.lstrip().startswith("#")
+        cont = is_pp and ln.rstrip().endswith("\\")
+        out.append(" " * len(ln) if is_pp else ln)
+    return "\n".join(out)
+
+
+def is_member_target(model: Model, fn: Function, target: str) -> bool:
+    head = re.split(r"\.|->|\[", target)[0]
+    if head in fn.local_types:
+        return False
+    info = model.classes.get(fn.cls) if fn.cls else None
+    if info is not None and head in info.member_types:
+        return True
+    # The repo convention: trailing underscore = member.
+    return head.endswith("_")
+
+
+def derive_slot_events(model: Model, fn: Function) -> None:
+    """Classifies parsed calls into slot stores and release ops. Runs after
+    every file is parsed: an inline method body may reference members the
+    class declares below it, so the class must be complete first."""
+    cls_info = model.classes.get(fn.cls) if fn.cls else None
+    for c in fn.calls:
+        if c.name == "store" and c.receiver:
+            recv = c.receiver.removeprefix("this->").removeprefix("this.")
+            if cls_info is not None and recv in cls_info.slots:
+                arg = c.arg_text.strip()
+                mv = re.match(r"^std::move\(\s*(\w+)\s*\)$", arg)
+                var = mv.group(1) if mv else (
+                    arg if re.match(r"^\w+$", arg) else None)
+                fn.slot_stores.append(SlotStore(
+                    slot=f"{short(cls_info.name)}::{recv}",
+                    arg_var=var, offset=c.offset, line=c.line))
+            elif recv.endswith(("->obsolete", ".obsolete")):
+                target = recv[: -len("->obsolete")] if recv.endswith(
+                    "->obsolete") else recv[: -len(".obsolete")]
+                fn.release_ops.append(ReleaseOp(
+                    target=target, op="obsolete",
+                    is_member=is_member_target(model, fn, target),
+                    offset=c.offset, line=c.line))
+        elif c.name == "reset" and c.receiver:
+            target = c.receiver.removeprefix("this->")
+            fn.release_ops.append(ReleaseOp(
+                target=target, op="reset",
+                is_member=is_member_target(model, fn, target),
+                offset=c.offset, line=c.line))
+
+
+def build_model(repo_root: str, rel_paths: list[str],
+                file_texts: dict[str, str]) -> Model:
+    model = Model()
+    sources = {}
+    for rel in rel_paths:
+        src = clean_source(rel, file_texts[rel])
+        sources[rel] = src
+    model.sources = sources
+    # Two passes: headers first so out-of-line definitions in .cc files
+    # resolve against fully-declared classes.
+    ordered = sorted(rel_paths, key=lambda p: (not p.endswith(".h"), p))
+    for rel in ordered:
+        FileParser(sources[rel], model).parse()
+    # Merge in-class declaration annotations into definitions.
+    for fn in model.functions:
+        if fn.cls is None:
+            continue
+        decl = model.method_decl(fn.cls, fn.name)
+        if decl is None:
+            continue
+        for src_list, dst_list in ((decl.requires, fn.requires),
+                                   (decl.excludes, fn.excludes),
+                                   (decl.acquires, fn.acquires)):
+            for item in src_list:
+                if item not in dst_list:
+                    dst_list.append(item)
+    # Event derivation needs complete classes (see derive_slot_events).
+    for fn in model.functions:
+        derive_slot_events(model, fn)
+        for r in fn.release_ops:
+            if r.op == "null-assign":
+                r.is_member = is_member_target(model, fn, r.target)
+    return model

@@ -1,6 +1,12 @@
 #!/usr/bin/env python3
 """Repo-specific source lint: invariants clang-tidy cannot express.
 
+This is the regex tier of the two-tier static-analysis setup: fast, zero
+dependencies, runs everywhere. The semantic passes live in tools/analyze/
+(see docs/static_analysis.md) and supersede the lock/IO rules here when
+their CI lane runs; the regex rules stay for non-clang environments and as
+a first line of defense in pre-commit hooks.
+
 Rules (see docs/static_analysis.md):
 
   raw-lock      Raw std::mutex / std::shared_mutex / std::lock_guard /
@@ -47,22 +53,41 @@ Rules (see docs/static_analysis.md):
                 is BuildCompactionInputsLocked. Execution (ExecutePick,
                 FlushMemtable) may touch the version freely.
 
-A line may opt out with a justification:  // lint:allow(<rule>) <reason>
-The reason is mandatory; a bare allow is itself an error.
+All rules scan the comment- and string-stripped text of the whole file
+(shared with tools/analyze via cpp_source.clean_source), so a call whose
+argument list — or whose opening parenthesis — spans lines is still seen,
+and nothing inside strings or commented-out code ever matches.
+
+A finding may be suppressed with a justification on the flagged line or
+the line directly above, using either spelling:
+
+    // lint:allow(<rule>) <reason>
+    // analyze:allow(<rule>) <reason>
+
+The suppression grammar is shared with tools/analyze so one comment can
+satisfy both tiers when their rules overlap. The reason is mandatory; a
+bare allow is itself an error.
 
 Exit status 0 when clean; 1 with one "file:line: [rule] message" per
 violation otherwise.
 """
 
+import bisect
 import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from analyze.cpp_source import clean_source  # noqa: E402
 
 SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
 SOURCE_SUFFIXES = {".h", ".cc", ".cpp"}
 
+# Whole-text rules: matched against the cleaned file, so `\s*\(` may cross
+# a line break (the multi-line call false negative the old per-line scan
+# had) and string/comment contents never match.
 RAW_LOCK = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
     r"unique_lock|shared_lock|scoped_lock|condition_variable)\b"
@@ -74,11 +99,13 @@ RAW_IO = re.compile(
 ENGINE_INTERNAL_INCLUDE = re.compile(
     r'#\s*include\s+"(lsm|multilevel|btree|engine)/'
 )
-# Out-of-line method definitions at column 0 (return type, then
-# Class::Method(). The read-path rule keys off which method body the line
-# falls in: a Get*/MultiGet definition opens a no-lock region that the next
-# method definition closes.
-METHOD_DEF = re.compile(r"^[\w:<>,&*~\s]+\b[\w<>]+::(?P<method>~?\w+)\s*\(")
+# Out-of-line method definitions at column 0 (Class::Method(...), possibly
+# with the return type on the previous line). The read-path and
+# compaction-pick rules key off which method body a match falls in: each
+# definition opens a region that the next definition closes.
+METHOD_DEF = re.compile(
+    r"^[\w:<>,&*~ \t]*\b[\w<>]+::(?P<method>~?\w+)\s*\(", re.MULTILINE
+)
 READ_PATH_LOCK = re.compile(r"\butil::(MutexLock|ReaderLock)\b")
 COMPACTION_PICK_ACCESS = re.compile(r"version_->(levels|LevelBytes)\b")
 WRITE_PATH_SLEEP = re.compile(r"\b(SleepForMicroseconds|sleep_for)\s*\(")
@@ -87,20 +114,29 @@ WRITE_PATH_FILES = (
     "src/lsm/blsm_tree.",
     "src/multilevel/multilevel_tree.",
 )
-ALLOW = re.compile(r"//\s*lint:allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
 
 
-def allowed(line: str, rule: str, violations, path, lineno) -> bool:
-    m = ALLOW.search(line)
-    if not m:
-        return False
-    if m.group("rule") != rule:
-        return False
-    if not m.group("reason").strip():
+def check(src, rule, line, message, violations, path):
+    """Records the violation unless an allow (with a reason) covers it."""
+    allow = src.allowed(rule, line)
+    if allow is None:
+        violations.append((path, line, rule, message))
+        return
+    if not allow.reason:
         violations.append(
-            (path, lineno, "lint-allow", "lint:allow needs a reason")
+            (path, allow.line, "lint-allow",
+             f"{rule} allow needs a reason")
         )
-    return True
+
+
+def method_regions(clean):
+    """[(start_offset, method_name)] for out-of-line definitions, sorted."""
+    return [(m.start(), m.group("method")) for m in METHOD_DEF.finditer(clean)]
+
+
+def enclosing_method(regions, offset):
+    i = bisect.bisect_right([start for start, _ in regions], offset) - 1
+    return regions[i][1] if i >= 0 else None
 
 
 def lint_file(path: Path, violations) -> None:
@@ -112,75 +148,63 @@ def lint_file(path: Path, violations) -> None:
     in_write_path = rel_str.startswith(WRITE_PATH_FILES)
     in_read_path_dir = rel_str.startswith(("src/lsm/", "src/multilevel/"))
     in_multilevel = rel_str.startswith("src/multilevel/")
-    in_get_fn = False
-    in_pick_fn = False
     try:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
         return
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        code = line.split("//", 1)[0]
-        if not in_util and RAW_LOCK.search(code):
-            if not allowed(line, "raw-lock", violations, rel_str, lineno):
-                violations.append(
-                    (rel_str, lineno, "raw-lock",
-                     "raw std lock primitive; use the annotated wrappers "
-                     "in src/util/mutex.h")
-                )
-        if LIBC_UNSAFE.search(code):
-            if not allowed(line, "libc-unsafe", violations, rel_str, lineno):
-                violations.append(
-                    (rel_str, lineno, "libc-unsafe",
-                     "rand()/sprintf banned; use util::Random / snprintf")
-                )
-        if not in_io and RAW_IO.search(code):
-            if not allowed(line, "raw-io", violations, rel_str, lineno):
-                violations.append(
-                    (rel_str, lineno, "raw-io",
-                     "raw positional IO outside src/io/; bytes go through "
-                     "the Env layer (counters, limiter, faults, batching)")
-                )
-        if in_bench_cc and ENGINE_INTERNAL_INCLUDE.search(code):
-            if not allowed(line, "bench-include", violations, rel_str,
-                           lineno):
-                violations.append(
-                    (rel_str, lineno, "bench-include",
-                     "bench sources reach engines via bench/harness.h, "
-                     "not engine-internal headers")
-                )
-        if in_write_path and WRITE_PATH_SLEEP.search(code):
-            if not allowed(line, "write-path-sleep", violations, rel_str,
-                           lineno):
-                violations.append(
-                    (rel_str, lineno, "write-path-sleep",
-                     "bare sleep in a write-path file; stalls wait on the "
-                     "StallTracker CondVar (bounded, signaled on change)")
-                )
-        if in_read_path_dir:
-            m = METHOD_DEF.match(code)
-            if m:
-                name = m.group("method")
-                in_get_fn = name.startswith("Get") or name == "MultiGet"
-                in_pick_fn = name.startswith("Pick") or name in (
-                    "CompactionPending", "RunCompactionPass")
-            if in_get_fn and READ_PATH_LOCK.search(code):
-                if not allowed(line, "read-path-lock", violations, rel_str,
-                               lineno):
-                    violations.append(
-                        (rel_str, lineno, "read-path-lock",
-                         "mutex in a Get*/MultiGet body; point reads pin "
-                         "the ReadView lock-free")
-                    )
-            if in_multilevel and in_pick_fn and \
-                    COMPACTION_PICK_ACCESS.search(code):
-                if not allowed(line, "compaction-pick", violations, rel_str,
-                               lineno):
-                    violations.append(
-                        (rel_str, lineno, "compaction-pick",
-                         "direct version walk in a compaction decision; "
-                         "picks go through engine::CompactionPolicy over "
-                         "BuildCompactionInputsLocked")
-                    )
+    src = clean_source(rel_str, text)
+    clean = src.clean
+
+    if not in_util:
+        for m in RAW_LOCK.finditer(clean):
+            check(src, "raw-lock", src.line_of(m.start()),
+                  "raw std lock primitive; use the annotated wrappers "
+                  "in src/util/mutex.h", violations, rel_str)
+    for m in LIBC_UNSAFE.finditer(clean):
+        check(src, "libc-unsafe", src.line_of(m.start()),
+              "rand()/sprintf banned; use util::Random / snprintf",
+              violations, rel_str)
+    if not in_io:
+        for m in RAW_IO.finditer(clean):
+            check(src, "raw-io", src.line_of(m.start()),
+                  "raw positional IO outside src/io/; bytes go through "
+                  "the Env layer (counters, limiter, faults, batching)",
+                  violations, rel_str)
+    if in_write_path:
+        for m in WRITE_PATH_SLEEP.finditer(clean):
+            check(src, "write-path-sleep", src.line_of(m.start()),
+                  "bare sleep in a write-path file; stalls wait on the "
+                  "StallTracker CondVar (bounded, signaled on change)",
+                  violations, rel_str)
+    if in_bench_cc:
+        # Include paths are string literals, which the cleaned text blanks,
+        # so this rule scans raw lines (with // comments dropped).
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            code = line.split("//", 1)[0]
+            if ENGINE_INTERNAL_INCLUDE.search(code):
+                check(src, "bench-include", lineno,
+                      "bench sources reach engines via bench/harness.h, "
+                      "not engine-internal headers", violations, rel_str)
+
+    if in_read_path_dir:
+        regions = method_regions(clean)
+        for m in READ_PATH_LOCK.finditer(clean):
+            method = enclosing_method(regions, m.start())
+            if method is not None and (
+                    method.startswith("Get") or method == "MultiGet"):
+                check(src, "read-path-lock", src.line_of(m.start()),
+                      "mutex in a Get*/MultiGet body; point reads pin "
+                      "the ReadView lock-free", violations, rel_str)
+        if in_multilevel:
+            for m in COMPACTION_PICK_ACCESS.finditer(clean):
+                method = enclosing_method(regions, m.start())
+                if method is not None and (
+                        method.startswith("Pick") or method in (
+                            "CompactionPending", "RunCompactionPass")):
+                    check(src, "compaction-pick", src.line_of(m.start()),
+                          "direct version walk in a compaction decision; "
+                          "picks go through engine::CompactionPolicy over "
+                          "BuildCompactionInputsLocked", violations, rel_str)
 
 
 def main() -> int:

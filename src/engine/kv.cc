@@ -42,6 +42,9 @@ void AddIoStats(const EnvIoCounters* io,
       io != nullptr ? io->readahead_hints.load() : 0;
   (*stats)["io.readahead_hits"] =
       io != nullptr ? io->readahead_hits.load() : 0;
+  (*stats)["io.ring_writes"] = io != nullptr ? io->ring_writes.load() : 0;
+  (*stats)["io.direct_write_fallbacks"] =
+      io != nullptr ? io->direct_write_fallbacks.load() : 0;
 }
 
 // --- adapters ---------------------------------------------------------------

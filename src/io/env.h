@@ -123,6 +123,10 @@ struct EnvIoCounters {
   // ReadAheadHint actually fronted a later access.
   std::atomic<uint64_t> readahead_hits{0};
   std::atomic<uint64_t> readahead_hints{0};
+  // Writes submitted as ring SQEs (vs synchronous pwrite), and direct-IO
+  // writers that hit a mid-stream EINVAL and re-opened buffered.
+  std::atomic<uint64_t> ring_writes{0};
+  std::atomic<uint64_t> direct_write_fallbacks{0};
 };
 
 // Per-file helper for the readahead_hits counter: remembers the most recent

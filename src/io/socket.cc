@@ -1,0 +1,277 @@
+#include "io/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace blsm::net {
+
+namespace {
+
+Status Errno(const std::string& context, int err) {
+  return Status::IOError(context + ": " + strerror(err));
+}
+
+Status ParseAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string h = host.empty() ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, h.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + h);
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best-effort: a socket that cannot set NODELAY still works, just with
+  // Nagle batching the small reply frames.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Status Listen(const std::string& host, uint16_t port, int backlog,
+              int* listen_fd, uint16_t* bound_port) {
+  sockaddr_in addr;
+  Status s = ParseAddr(host, port, &addr);
+  if (!s.ok()) return s;
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket", errno);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    CloseFd(fd);
+    return Errno("bind", err);
+  }
+  if (listen(fd, backlog) != 0) {
+    int err = errno;
+    CloseFd(fd);
+    return Errno("listen", err);
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      int err = errno;
+      CloseFd(fd);
+      return Errno("getsockname", err);
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  *listen_fd = fd;
+  return Status::OK();
+}
+
+Status Connect(const std::string& host, uint16_t port, int* fd) {
+  sockaddr_in addr;
+  Status s = ParseAddr(host, port, &addr);
+  if (!s.ok()) return s;
+  int sock = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) return Errno("socket", errno);
+  int rc;
+  do {
+    rc = connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int err = errno;
+    CloseFd(sock);
+    return Errno("connect " + host + ":" + std::to_string(port), err);
+  }
+  SetNoDelay(sock);
+  *fd = sock;
+  return Status::OK();
+}
+
+IoResult Accept(int listen_fd, int* conn_fd) {
+  for (;;) {
+    int fd = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      *conn_fd = fd;
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    // ECONNABORTED and friends: the pending connection died before we got
+    // to it. Not a listener-level failure.
+    if (errno == ECONNABORTED) continue;
+    return IoResult::kError;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+IoResult SendSome(int fd, const char* data, size_t len, size_t* n) {
+  *n = 0;
+  for (;;) {
+    ssize_t r = send(fd, data, len, MSG_NOSIGNAL);
+    if (r >= 0) {
+      *n = static_cast<size_t>(r);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+IoResult RecvSome(int fd, char* buf, size_t len, size_t* n) {
+  *n = 0;
+  for (;;) {
+    ssize_t r = recv(fd, buf, len, 0);
+    if (r > 0) {
+      *n = static_cast<size_t>(r);
+      return IoResult::kOk;
+    }
+    if (r == 0) return IoResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+Status SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t r = send(fd, data, len, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send", errno);
+    }
+    data += r;
+    len -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t r = recv(fd, buf + got, len - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv", errno);
+    }
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("eof");
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    init_error_ = Errno("epoll_create1", errno);
+    return;
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    init_error_ = Errno("eventfd", errno);
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    return;
+  }
+  epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    init_error_ = Errno("epoll_ctl(wake)", errno);
+    close(wake_fd_);
+    close(epoll_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, bool want_read, bool want_write) {
+  if (!ok()) return init_error_;
+  epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(add)", errno);
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, bool want_read, bool want_write) {
+  if (!ok()) return init_error_;
+  epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(mod)", errno);
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  if (!ok()) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Status EventLoop::Poll(int timeout_ms, std::vector<Event>* out) {
+  if (!ok()) return init_error_;
+  epoll_event evs[64];
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, evs, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("epoll_wait", errno);
+  for (int i = 0; i < n; i++) {
+    Event e;
+    e.fd = evs[i].data.fd;
+    if (e.fd == wake_fd_) {
+      uint64_t drain;
+      // Drain the counter so the next Wake() re-arms the edge.
+      ssize_t ignored = read(wake_fd_, &drain, sizeof(drain));
+      (void)ignored;
+      e.wakeup = true;
+    } else {
+      e.readable = (evs[i].events & EPOLLIN) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    }
+    out->push_back(e);
+  }
+  return Status::OK();
+}
+
+void EventLoop::Wake() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace blsm::net

@@ -1,0 +1,100 @@
+#ifndef BLSM_IO_SOCKET_H_
+#define BLSM_IO_SOCKET_H_
+
+// TCP socket and epoll event-loop plumbing for the network server front-end
+// (src/server/). Lives in src/io/ alongside the Env backends because this is
+// the one other place in the tree that talks to the kernel directly: every
+// byte that crosses a socket goes through these wrappers so the server can
+// count them, and the raw-io lint rule keeps syscalls out of src/server/.
+//
+// All wrappers are Status-returning and EINTR-safe. Sockets are plain file
+// descriptors owned by the caller; the helpers never close an fd they did
+// not open.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blsm::net {
+
+// Result of one non-blocking transfer attempt.
+enum class IoResult {
+  kOk,        // made progress (n > 0 bytes moved)
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK: no progress possible right now
+  kEof,       // orderly peer shutdown (recv only)
+  kError,     // connection-level failure; close the socket
+};
+
+// Opens a listening TCP socket on 127.0.0.1 (host == "") or the given
+// address. `port` 0 asks the kernel for an ephemeral port; *bound_port
+// reports the actual one. SO_REUSEADDR is set so tests can rebind.
+Status Listen(const std::string& host, uint16_t port, int backlog,
+              int* listen_fd, uint16_t* bound_port);
+
+// Blocking connect to host:port with TCP_NODELAY set (the server's replies
+// are latency-sensitive small frames).
+Status Connect(const std::string& host, uint16_t port, int* fd);
+
+// Accepts one pending connection; sets TCP_NODELAY on it. kWouldBlock when
+// the listen queue is empty (non-blocking listener).
+IoResult Accept(int listen_fd, int* conn_fd);
+
+Status SetNonBlocking(int fd);
+
+// Non-blocking send/recv, EINTR-retried. *n reports bytes moved on kOk.
+IoResult SendSome(int fd, const char* data, size_t len, size_t* n);
+IoResult RecvSome(int fd, char* buf, size_t len, size_t* n);
+
+// Blocking full-buffer send/recv for the client side (Status::IOError on a
+// short transfer; RecvAll reports NotFound("eof") on a clean close at a
+// frame boundary, IOError mid-buffer).
+Status SendAll(int fd, const char* data, size_t len);
+Status RecvAll(int fd, char* buf, size_t len);
+
+void CloseFd(int fd);
+
+// Thin epoll wrapper with an eventfd wakeup channel so worker threads can
+// interrupt a blocked Poll(). Level-triggered: the loop re-polls until a
+// conn's buffers drain, which keeps the read/write state machines simple.
+class EventLoop {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;   // EPOLLERR/EPOLLHUP
+    bool wakeup = false;  // the eventfd fired (Wake() was called)
+  };
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False when epoll/eventfd creation failed (error() has the cause);
+  // Poll()/Add() fail fast in that state.
+  bool ok() const { return epoll_fd_ >= 0; }
+  const Status& error() const { return init_error_; }
+
+  Status Add(int fd, bool want_read, bool want_write);
+  Status Modify(int fd, bool want_read, bool want_write);
+  void Remove(int fd);
+
+  // Blocks up to timeout_ms (-1 = forever) and appends ready events to
+  // *out. A Wake() from any thread surfaces as one event with wakeup=true.
+  Status Poll(int timeout_ms, std::vector<Event>* out);
+
+  // Thread-safe; coalesces (N wakes before the next Poll surface as one).
+  void Wake();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  Status init_error_;
+};
+
+}  // namespace blsm::net
+
+#endif  // BLSM_IO_SOCKET_H_

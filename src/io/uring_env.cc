@@ -50,8 +50,9 @@ class UringQueue {
     uint64_t off = 0;
     void* buf = nullptr;
     unsigned len = 0;
+    bool write = false;  // WRITE instead of READ
     int buf_index = -1;  // >= 0 -> READ_FIXED against a registered buffer
-    ssize_t res = 0;     // completion: bytes read, or -errno
+    ssize_t res = 0;     // completion: bytes transferred, or -errno
   };
 
   static std::unique_ptr<UringQueue> Create(unsigned entries) {
@@ -136,9 +137,11 @@ class UringQueue {
       unsigned idx = tail & mask;
       io_uring_sqe* sqe = &sqes_[idx];
       memset(sqe, 0, sizeof(*sqe));
-      sqe->opcode = ops[i].buf_index >= 0
-                        ? static_cast<uint8_t>(IORING_OP_READ_FIXED)
-                        : static_cast<uint8_t>(IORING_OP_READ);
+      sqe->opcode = ops[i].write
+                        ? static_cast<uint8_t>(IORING_OP_WRITE)
+                        : ops[i].buf_index >= 0
+                              ? static_cast<uint8_t>(IORING_OP_READ_FIXED)
+                              : static_cast<uint8_t>(IORING_OP_READ);
       sqe->fd = fd;
       sqe->off = ops[i].off;
       sqe->addr = reinterpret_cast<uint64_t>(ops[i].buf);
@@ -432,16 +435,25 @@ class UringRandomAccessFile final : public RandomAccessFile {
 // Append-only writer owned by the uring env so write/sync totals land in the
 // same counters as the ring reads. Buffered mode mirrors the posix writer;
 // direct mode accumulates into one alignment-sized staging buffer and only
-// ever issues sector-aligned pwrites — the padded tail is rewritten in place
-// on the next flush and the file is truncated to its logical size at Close.
+// ever issues sector-aligned writes — submitted as IORING_OP_WRITE SQEs when
+// the file has a ring — with the padded tail rewritten in place on the next
+// flush and the file truncated to its logical size at Close. A direct write
+// the filesystem rejects mid-stream (EINVAL: the open succeeded but this
+// extent or mount refuses O_DIRECT) re-opens the file buffered and
+// re-windows the padded range back to its exact logical bytes, so the
+// caller never sees the downgrade.
 class UringWritableFile final : public WritableFile {
  public:
-  UringWritableFile(std::string fname, int fd, bool direct, size_t alignment,
+  UringWritableFile(std::string fname, int fd,
+                    std::unique_ptr<UringQueue> queue, bool direct,
+                    size_t alignment, int einval_after,
                     EnvIoCounters* counters)
       : fname_(std::move(fname)),
         fd_(fd),
+        queue_(std::move(queue)),
         direct_(direct),
         alignment_(alignment),
+        inject_einval_countdown_(einval_after),
         counters_(counters) {
     if (direct_) {
       void* p = nullptr;
@@ -534,10 +546,85 @@ class UringWritableFile final : public WritableFile {
     return Status::OK();
   }
 
+  // One write, preferring a ring SQE; bytes transferred or -errno. A ring
+  // that dies degrades this file to pwrite permanently.
+  ssize_t SubmitWrite(const char* p, size_t len, uint64_t off) {
+    if (queue_ != nullptr) {
+      UringQueue::Op op;
+      op.off = off;
+      op.buf = const_cast<char*>(p);
+      op.len = static_cast<unsigned>(len);
+      op.write = true;
+      if (queue_->Run(fd_, &op, 1)) {
+        counters_->ring_writes.fetch_add(1, std::memory_order_relaxed);
+        return op.res;
+      }
+      queue_.reset();
+    }
+    ssize_t r = pwrite(fd_, p, len, static_cast<off_t>(off));
+    return r < 0 ? -errno : r;
+  }
+
+  // Direct-mode range write of aligned_buf_[0, padded_len) at `off`, where
+  // only the first `logical_len` bytes are real data. On a mid-stream
+  // EINVAL the writer re-opens buffered and re-windows: the bytes still
+  // owed are rewritten without sector padding and any padding already on
+  // disk past the logical end is truncated away.
+  Status WriteDirect(size_t logical_len, size_t padded_len, uint64_t off) {
+    const char* p = aligned_buf_;
+    const uint64_t logical_end = off + logical_len;
+    size_t left = padded_len;
+    while (left > 0) {
+      ssize_t r;
+      if (inject_einval_countdown_ >= 0 && inject_einval_countdown_-- == 0) {
+        r = -EINVAL;  // test hook: the Nth direct write is rejected
+      } else {
+        r = SubmitWrite(p, left, off);
+      }
+      if (r < 0) {
+        if (r == -EINTR) continue;
+        if (r == -EINVAL) return ReopenBuffered(p, off, logical_end);
+        return UringError(fname_, static_cast<int>(-r));
+      }
+      p += r;
+      off += static_cast<uint64_t>(r);
+      left -= static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  // The mid-stream fallback: swap the O_DIRECT fd for a buffered one on the
+  // same path, finish the interrupted range byte-exact, and drop any padded
+  // sectors past the logical end. direct_ flips off, so every later append
+  // runs the plain buffered path.
+  Status ReopenBuffered(const char* p, uint64_t off, uint64_t logical_end) {
+    counters_->direct_write_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    int fd = open(fname_.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) return UringError(fname_, errno);
+    close(fd_);
+    fd_ = fd;
+    direct_ = false;
+    queue_.reset();  // the ring was bound to the old fd's direct windows
+    if (off < logical_end) {
+      Status s = WriteRange(p, static_cast<size_t>(logical_end - off), off);
+      if (!s.ok()) return s;
+    }
+    if (ftruncate(fd_, static_cast<off_t>(logical_end)) != 0) {
+      return UringError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
   Status FlushFullBuffer() {
-    char* buf = direct_ ? aligned_buf_ : plain_buf_;
-    Status s = WriteRange(buf, kBufferSize, flushed_offset_);
-    if (!s.ok()) return s;
+    if (direct_) {
+      // If this downgrades mid-flush the whole buffer still lands byte-exact
+      // and future appends stage into plain_buf_.
+      Status s = WriteDirect(kBufferSize, kBufferSize, flushed_offset_);
+      if (!s.ok()) return s;
+    } else {
+      Status s = WriteRange(plain_buf_, kBufferSize, flushed_offset_);
+      if (!s.ok()) return s;
+    }
     flushed_offset_ += kBufferSize;
     logical_size_ = flushed_offset_;
     buf_used_ = 0;
@@ -563,13 +650,25 @@ class UringWritableFile final : public WritableFile {
     if (buf_used_ == 0) return Status::OK();
     size_t padded = (buf_used_ + alignment_ - 1) & ~(alignment_ - 1);
     memset(aligned_buf_ + buf_used_, 0, padded - buf_used_);
-    return WriteRange(aligned_buf_, padded, flushed_offset_);
+    Status s = WriteDirect(buf_used_, padded, flushed_offset_);
+    if (!s.ok()) return s;
+    if (!direct_) {
+      // The tail went out through the buffered fallback, byte-exact: adopt
+      // drained-buffer bookkeeping so later appends start a fresh window.
+      flushed_offset_ += buf_used_;
+      buf_used_ = 0;
+    }
+    return Status::OK();
   }
 
   std::string fname_;
   int fd_;
+  std::unique_ptr<UringQueue> queue_;  // null -> synchronous pwrite
   bool direct_;
   size_t alignment_;
+  // Test hook (UringEnvOptions::direct_write_einval_after): counts down per
+  // direct write attempt; hitting zero forges one EINVAL. -1 = inactive.
+  int inject_einval_countdown_;
   EnvIoCounters* counters_;
   char* aligned_buf_ = nullptr;
   char plain_buf_[kBufferSize];
@@ -657,8 +756,13 @@ Status UringEnv::NewWritableFile(const std::string& fname,
   }
 #endif
   if (fd < 0) return UringError(fname, errno);
+  // Direct-mode writers get their own small ring so flushes are SQE
+  // submissions; nullptr (limits exhausted) quietly degrades to pwrite.
+  std::unique_ptr<UringQueue> queue;
+  if (direct) queue = UringQueue::Create(/*entries=*/4);
   *result = std::make_unique<UringWritableFile>(
-      fname, fd, direct, options_.direct_io_alignment, &counters_);
+      fname, fd, std::move(queue), direct, options_.direct_io_alignment,
+      direct ? options_.direct_write_einval_after : -1, &counters_);
   return Status::OK();
 }
 

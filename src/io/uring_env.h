@@ -19,6 +19,10 @@ struct UringEnvOptions {
   // Alignment unit for the direct-IO path (offset, length, and buffer
   // address rounding). 4096 covers every current sector size.
   size_t direct_io_alignment = 4096;
+  // Test hook: forge EINVAL on the Nth direct write of each writable file
+  // (-1 = never), exercising the mid-stream buffered fallback that real
+  // filesystems only trigger on exotic mounts.
+  int direct_write_einval_after = -1;
 };
 
 // Env backed by io_uring (raw syscalls; no liburing dependency): each

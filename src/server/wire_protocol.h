@@ -1,0 +1,162 @@
+#ifndef BLSM_SERVER_WIRE_PROTOCOL_H_
+#define BLSM_SERVER_WIRE_PROTOCOL_H_
+
+// The length-prefixed binary wire protocol spoken between blsm_server and
+// its clients (spec: docs/wire_protocol.md). Framing:
+//
+//   frame    := u32 payload_len (LE) | payload
+//   request  := u8 opcode | u64 request_id | body
+//   response := u8 status | u64 request_id | body
+//
+// request_id is an opaque client token echoed in the response; a connection
+// may have many requests in flight (pipelining) and responses may return in
+// any order — the server completes each request when its shard finishes, so
+// requests routed to different shards overtake each other.
+//
+// Every decoder here is total: any byte sequence either decodes or returns
+// false, never reads out of bounds, and never aborts — the fuzz suite
+// (tests/wire_fuzz_test.cc) holds the server to "garbage in, one clean
+// error frame (or connection close) out".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace blsm::server {
+
+// Payloads above this are a protocol error: a length prefix this large is
+// a corrupt or hostile frame, and refusing it bounds per-connection memory.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+inline constexpr size_t kFrameHeaderBytes = 4;   // u32 payload_len
+inline constexpr size_t kRequestHeaderBytes = 9;  // u8 opcode + u64 id
+
+enum class OpCode : uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDelete = 3,
+  kMultiGet = 4,
+  kWriteBatch = 5,
+  kScan = 6,
+  kRmw = 7,
+  kStats = 8,
+};
+
+// Response status byte. kBadRequest covers undecodable bodies and unknown
+// opcodes; kError carries an engine error message in the body.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kError = 2,
+  kBadRequest = 3,
+};
+
+// One entry of a WRITE_BATCH body.
+struct WireBatchEntry {
+  bool is_delete = false;
+  Slice key;
+  Slice value;  // empty for deletes
+};
+
+// A decoded request header + body views into the frame buffer (zero-copy:
+// the Slices alias the connection's input buffer and are only valid until
+// the frame is consumed).
+struct Request {
+  OpCode op = OpCode::kGet;
+  uint64_t id = 0;
+  // GET/DELETE: key. PUT/RMW: key + value. SCAN: key = start, limit set.
+  Slice key;
+  Slice value;
+  uint32_t scan_limit = 0;
+  std::vector<Slice> keys;               // MULTIGET
+  std::vector<WireBatchEntry> entries;   // WRITE_BATCH
+};
+
+// --- request encoding (client side) ----------------------------------------
+
+void EncodeGet(std::string* out, uint64_t id, const Slice& key);
+void EncodePut(std::string* out, uint64_t id, const Slice& key,
+               const Slice& value);
+void EncodeDelete(std::string* out, uint64_t id, const Slice& key);
+void EncodeMultiGet(std::string* out, uint64_t id,
+                    const std::vector<Slice>& keys);
+void EncodeWriteBatch(std::string* out, uint64_t id,
+                      const std::vector<WireBatchEntry>& entries);
+void EncodeScan(std::string* out, uint64_t id, const Slice& start,
+                uint32_t limit);
+void EncodeRmw(std::string* out, uint64_t id, const Slice& key,
+               const Slice& value);
+void EncodeStats(std::string* out, uint64_t id);
+
+// --- request decoding (server side) ----------------------------------------
+
+// Decodes one complete request payload (the bytes after the length prefix).
+// False on any malformed body; *request views alias `payload`.
+bool DecodeRequest(const Slice& payload, Request* request);
+
+// --- response encoding (server side) ----------------------------------------
+
+// Appends a complete frame (length prefix included) carrying `body`.
+void EncodeResponse(std::string* out, WireStatus status, uint64_t id,
+                    const Slice& body);
+
+// MULTIGET response body: u32 n, then n x (u8 found | u32 len | value).
+void AppendMultiGetResult(std::string* body, bool found, const Slice& value);
+void BeginCountedBody(std::string* body, uint32_t n);
+// SCAN response body entry: u32 klen | key | u32 vlen | value.
+void AppendScanResult(std::string* body, const Slice& key, const Slice& value);
+// STATS response body entry: u32 klen | key | u64 value.
+void AppendStatsResult(std::string* body, const Slice& key, uint64_t value);
+
+// --- response decoding (client side) ----------------------------------------
+
+struct Response {
+  WireStatus status = WireStatus::kOk;
+  uint64_t id = 0;
+  std::string body;
+};
+
+// Decodes a response payload (bytes after the length prefix).
+bool DecodeResponseHeader(const Slice& payload, WireStatus* status,
+                          uint64_t* id, Slice* body);
+bool DecodeMultiGetBody(const Slice& body,
+                        std::vector<std::pair<bool, std::string>>* out);
+bool DecodeScanBody(
+    const Slice& body,
+    std::vector<std::pair<std::string, std::string>>* out);
+bool DecodeStatsBody(const Slice& body,
+                     std::vector<std::pair<std::string, uint64_t>>* out);
+
+// --- incremental framer ------------------------------------------------------
+
+// Accumulates stream bytes and yields complete frames. The server keeps one
+// per connection; the client reuses it for pipelined reads.
+class FrameReader {
+ public:
+  // Appends raw stream bytes.
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  // True if a complete frame is available; *payload views the internal
+  // buffer and stays valid until the next Feed/Pop. False with *bad_frame
+  // set when the stream is unrecoverable (length prefix over
+  // kMaxFrameBytes) — the connection must be dropped.
+  bool Next(Slice* payload, bool* bad_frame);
+
+  // Releases the frame returned by the last Next().
+  void Pop();
+
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;
+  size_t frame_len_ = 0;  // payload length of the frame returned by Next()
+};
+
+const char* OpCodeName(OpCode op);
+
+}  // namespace blsm::server
+
+#endif  // BLSM_SERVER_WIRE_PROTOCOL_H_

@@ -1,5 +1,6 @@
 #include "io/env.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -510,6 +511,104 @@ TEST_F(RealFsEnvTest, UringWritableFileRoundTrip) {
     std::string back;
     ASSERT_TRUE(ReadFileToString(Env::Default(), fname, &back).ok());
     EXPECT_TRUE(back == payload) << (direct ? "direct" : "buffered");
+  }
+}
+
+// True when this directory's filesystem accepts O_DIRECT opens (ext4 yes,
+// tmpfs no); tests that assert direct-path behavior skip their strong
+// assertions on filesystems where the env legitimately downgrades at open.
+bool DirectIoSupported(const std::string& dir) {
+#if defined(O_DIRECT)
+  std::string probe = dir + "/direct_probe";
+  int fd = ::open(probe.c_str(), O_WRONLY | O_CREAT | O_DIRECT | O_CLOEXEC,
+                  0644);
+  if (fd >= 0) {
+    ::close(fd);
+    Env::Default()->RemoveFile(probe).IgnoreError("probe cleanup");
+    return true;
+  }
+#endif
+  return false;
+}
+
+TEST_F(RealFsEnvTest, UringDirectWritesAreRingSubmitted) {
+  if (!UringEnv::Supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  if (!DirectIoSupported(dir_)) {
+    GTEST_SKIP() << "filesystem rejects O_DIRECT";
+  }
+  UringEnvOptions opts;
+  opts.direct_io = true;
+  UringEnv uring(Env::Default(), opts);
+  ASSERT_TRUE(uring.using_uring());
+
+  std::string payload(600000, 0);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<char>(i * 37 % 251);
+  }
+  std::string fname = dir_ + "/ring_write";
+  {
+    std::unique_ptr<WritableFile> w;
+    ASSERT_TRUE(uring.NewWritableFile(fname, &w).ok());
+    ASSERT_TRUE(w->Append(payload).ok());
+    ASSERT_TRUE(w->Sync().ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), fname, &back).ok());
+  EXPECT_TRUE(back == payload);
+  // 600000 bytes = two full 256 KiB staging buffers plus a padded tail, all
+  // of which must have been SQE submissions, not pwrites.
+  EXPECT_GE(uring.io_counters()->ring_writes.load(), 3u);
+  EXPECT_EQ(uring.io_counters()->direct_write_fallbacks.load(), 0u);
+}
+
+TEST_F(RealFsEnvTest, UringDirectWriteMidStreamEinvalFallback) {
+  if (!UringEnv::Supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  if (!DirectIoSupported(dir_)) {
+    GTEST_SKIP() << "filesystem rejects O_DIRECT";
+  }
+  // Forge EINVAL on the Nth direct write: N=0 fails before anything is on
+  // disk, N=1 fails the padded-tail write of the first Sync, N=2 fails a
+  // full-buffer flush that follows a padded tail (the re-windowing case —
+  // the padded sector must be replaced by exact bytes).
+  for (int fail_at : {0, 1, 2}) {
+    UringEnvOptions opts;
+    opts.direct_io = true;
+    opts.direct_write_einval_after = fail_at;
+    UringEnv uring(Env::Default(), opts);
+    ASSERT_TRUE(uring.using_uring());
+
+    std::string payload(700001, 0);
+    for (size_t i = 0; i < payload.size(); i++) {
+      payload[i] = static_cast<char>((i * 131 + fail_at) % 249);
+    }
+    std::string fname = dir_ + "/einval_" + std::to_string(fail_at);
+    {
+      std::unique_ptr<WritableFile> w;
+      ASSERT_TRUE(uring.NewWritableFile(fname, &w).ok());
+      // First window: one full staging buffer plus an odd tail, then a Sync
+      // that pads the tail.
+      ASSERT_TRUE(w->Append(Slice(payload.data(), 300000)).ok());
+      ASSERT_TRUE(w->Sync().ok());
+      // Keep appending after the (possible) downgrade.
+      ASSERT_TRUE(
+          w->Append(Slice(payload.data() + 300000, payload.size() - 300000))
+              .ok());
+      ASSERT_TRUE(w->Sync().ok());
+      ASSERT_TRUE(w->Close().ok());
+    }
+    uint64_t size = 0;
+    ASSERT_TRUE(uring.GetFileSize(fname, &size).ok());
+    EXPECT_EQ(size, payload.size()) << "fail_at=" << fail_at;
+    std::string back;
+    ASSERT_TRUE(ReadFileToString(Env::Default(), fname, &back).ok());
+    EXPECT_TRUE(back == payload) << "fail_at=" << fail_at;
+    EXPECT_EQ(uring.io_counters()->direct_write_fallbacks.load(), 1u)
+        << "fail_at=" << fail_at;
   }
 }
 

@@ -21,6 +21,11 @@
 //                                     no engine start) and dump the active
 //                                     compaction policy plus per-level run
 //                                     counts, bytes, and layout
+//   blsm_inspect server-stats <host:port>
+//                                     fetch a live blsm_server's counter map
+//                                     over the wire protocol: server.* front-
+//                                     end counters first, then the summed
+//                                     engine counters of every shard
 
 #include <cinttypes>
 #include <cstdio>
@@ -34,6 +39,7 @@
 #include "lsm/manifest.h"
 #include "lsm/record.h"
 #include "multilevel/version.h"
+#include "server/client.h"
 #include "sstree/tree_reader.h"
 #include "wal/logical_log.h"
 
@@ -278,6 +284,51 @@ int RunLevels(const std::string& dir) {
   return 0;
 }
 
+// `blsm_inspect server-stats <host:port>`: one STATS round-trip against a
+// live blsm_server. The server.* keys (the front-end's own counters) print
+// first; the rest is the sum of every shard's engine counter map.
+int RunServerStats(const std::string& target) {
+  using namespace blsm;
+  size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    fprintf(stderr, "expected <host:port>, got %s\n", target.c_str());
+    return 2;
+  }
+  std::string host = target.substr(0, colon);
+  int port = atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    fprintf(stderr, "bad port in %s\n", target.c_str());
+    return 2;
+  }
+  std::unique_ptr<server::Client> client;
+  Status s = server::Client::Connect(host, static_cast<uint16_t>(port),
+                                     &client);
+  if (!s.ok()) {
+    fprintf(stderr, "cannot connect to %s: %s\n", target.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  std::map<std::string, uint64_t> stats;
+  s = client->Stats(&stats);
+  if (!s.ok()) {
+    fprintf(stderr, "STATS request failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("server stats for %s\n", target.c_str());
+  for (const auto& [name, value] : stats) {
+    if (name.rfind("server.", 0) == 0) {
+      printf("  %-32s %" PRIu64 "\n", name.c_str(), value);
+    }
+  }
+  printf("engine stats (summed across shards)\n");
+  for (const auto& [name, value] : stats) {
+    if (name.rfind("server.", 0) != 0) {
+      printf("  %-32s %" PRIu64 "\n", name.c_str(), value);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -289,9 +340,17 @@ int main(int argc, char** argv) {
             "       %s verify <dbdir>\n"
             "       %s stats <dbdir> [--engine NAME]\n"
             "       %s io <dbdir> [--engine NAME]\n"
-            "       %s levels <dbdir>\n",
-            argv[0], argv[0], argv[0], argv[0], argv[0]);
+            "       %s levels <dbdir>\n"
+            "       %s server-stats <host:port>\n",
+            argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
+  }
+  if (strcmp(argv[1], "server-stats") == 0) {
+    if (argc < 3) {
+      fprintf(stderr, "usage: %s server-stats <host:port>\n", argv[0]);
+      return 2;
+    }
+    return RunServerStats(argv[2]);
   }
   if (strcmp(argv[1], "levels") == 0) {
     if (argc < 3) {

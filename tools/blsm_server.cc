@@ -1,0 +1,100 @@
+// blsm_server: the shard-per-core network front-end as a standalone binary.
+//
+//   blsm_server --dir DIR [--host 127.0.0.1] [--port 0] [--shards N]
+//               [--engine SPEC] [--write-buffer-mb N] [--durability sync|async]
+//               [--print-port]
+//
+// Opens N engine shards under DIR (dir/shard-00, ...) and serves the binary
+// wire protocol (docs/wire_protocol.md) until SIGINT/SIGTERM. --port 0 binds
+// an ephemeral port; --print-port writes the bound port to stdout as the
+// first line (and flushes) so scripts and CI can discover it.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s --dir DIR [--host H] [--port P] [--shards N]\n"
+          "          [--engine SPEC] [--write-buffer-mb N]\n"
+          "          [--durability sync|async] [--print-port]\n",
+          argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blsm;
+
+  server::ServerOptions options;
+  bool print_port = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      options.dir = argv[++i];
+    } else if (strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(atoi(argv[++i]));
+    } else if (strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      options.shards = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      options.engine_spec = argv[++i];
+    } else if (strcmp(argv[i], "--write-buffer-mb") == 0 && i + 1 < argc) {
+      options.engine.write_buffer_bytes =
+          static_cast<size_t>(atoll(argv[++i])) << 20;
+    } else if (strcmp(argv[i], "--durability") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (strcmp(mode, "sync") == 0) {
+        options.engine.durability = DurabilityMode::kSync;
+      } else if (strcmp(mode, "async") == 0) {
+        options.engine.durability = DurabilityMode::kAsync;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (strcmp(argv[i], "--print-port") == 0) {
+      print_port = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.dir.empty()) return Usage(argv[0]);
+
+  std::unique_ptr<server::Server> srv;
+  Status s = server::Server::Start(options, &srv);
+  if (!s.ok()) {
+    fprintf(stderr, "cannot start server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (print_port) {
+    printf("%u\n", srv->port());
+    fflush(stdout);
+  }
+  fprintf(stderr, "blsm_server: %d shard(s) of %s on %s:%u (dir %s)\n",
+          srv->num_shards(), options.engine_spec.c_str(),
+          options.host.c_str(), srv->port(), options.dir.c_str());
+
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  fprintf(stderr, "blsm_server: shutting down\n");
+  srv->Stop();
+  return 0;
+}
